@@ -1,0 +1,322 @@
+package qurator
+
+// This file is the benchmark harness for the paper's evaluation artifacts
+// (see DESIGN.md's experiment index): one benchmark per figure plus the
+// ablations. Absolute numbers depend on the synthetic substrate; the
+// shapes they demonstrate (who wins, what reduces what) are asserted by
+// the test suites and recorded in EXPERIMENTS.md.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem .
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"qurator/internal/annotstore"
+	"qurator/internal/condition"
+	"qurator/internal/evidence"
+	"qurator/internal/ispider"
+	"qurator/internal/ontology"
+	"qurator/internal/ops"
+	"qurator/internal/qa"
+	"qurator/internal/qvlang"
+	"qurator/internal/rdf"
+)
+
+// benchWorld builds the default (paper-scale) world once per test binary.
+var benchWorld = sync.OnceValues(func() (*ispider.World, error) {
+	return ispider.BuildWorld(ispider.DefaultWorldParams())
+})
+
+func mustWorld(b *testing.B) *ispider.World {
+	b.Helper()
+	w, err := benchWorld()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// BenchmarkFigure1HostWorkflow regenerates Figure 1: the plain ISPIDER
+// analysis (Pedro → Imprint → GOA) with no quality processing.
+func BenchmarkFigure1HostWorkflow(b *testing.B) {
+	w := mustWorld(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var out *ispider.RunOutput
+	for i := 0; i < b.N; i++ {
+		var err error
+		out, err = ispider.RunBaseline(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	total := 0
+	for _, n := range out.TermCounts {
+		total += n
+	}
+	b.ReportMetric(float64(len(out.Entries)), "identifications")
+	b.ReportMetric(float64(total), "GO-occurrences")
+}
+
+// BenchmarkFigure3QualityProcess regenerates the Figure 3 pattern: the
+// full annotate → enrich → assert → act process over a 100-item set,
+// using the in-memory operator semantics.
+func BenchmarkFigure3QualityProcess(b *testing.B) {
+	items := make([]evidence.Item, 100)
+	for i := range items {
+		items[i] = rdf.IRI(fmt.Sprintf("urn:lsid:bench.org:item:%d", i))
+	}
+	cache := annotstore.New("cache", false)
+	process := &ops.Process{
+		Annotators: []ops.Annotator{ops.AnnotatorFunc{
+			ClassIRI: ontology.ImprintOutputAnnotation,
+			Types:    []rdf.Term{ontology.HitRatio, ontology.Coverage},
+			Fn: func(items []evidence.Item, repo annotstore.Store) error {
+				for i, it := range items {
+					v := float64(i%10) / 10
+					if err := repo.Put(annotstore.Annotation{Item: it, Type: ontology.HitRatio, Value: evidence.Float(v)}); err != nil {
+						return err
+					}
+					if err := repo.Put(annotstore.Annotation{Item: it, Type: ontology.Coverage, Value: evidence.Float(v)}); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		}},
+		AnnotateTo: cache,
+		Enrichment: &ops.DataEnrichment{Sources: []ops.EvidenceSource{
+			{Type: ontology.HitRatio, Repository: cache},
+			{Type: ontology.Coverage, Repository: cache},
+		}},
+		Assertions: []ops.QualityAssertion{
+			qa.NewUniversalPIScore(qvlang.TagKeyFor("HR_MC")),
+			qa.NewPIScoreClassifier(),
+		},
+		FilterStep: &ops.Filter{
+			Cond: condition.MustParse("ScoreClass in q:high, q:mid"),
+			Vars: condition.Bindings{"ScoreClass": ontology.PIScoreClassification},
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache.Clear()
+		if _, _, err := process.Run(items); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure6CompileEmbed regenerates Figure 6: compiling the §5.1
+// view and embedding it into the host workflow (the static targeting
+// step, not the enactment).
+func BenchmarkFigure6CompileEmbed(b *testing.B) {
+	w := mustWorld(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ispider.BuildPipeline(w, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure6EmbeddedEnactment enacts the embedded workflow — the
+// quality overhead added to one full analysis run.
+func BenchmarkFigure6EmbeddedEnactment(b *testing.B) {
+	w := mustWorld(b)
+	p, err := ispider.BuildPipeline(w, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7Significance regenerates the Figure 7 experiment:
+// baseline run + quality-filtered run + ratio ranking.
+func BenchmarkFigure7Significance(b *testing.B) {
+	w := mustWorld(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res *ispider.Figure7Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = ispider.RunFigure7(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(res.TotalOriginal), "occ-original")
+	b.ReportMetric(float64(res.TotalFiltered), "occ-filtered")
+	b.ReportMetric(res.RankDisplacement, "rank-shift")
+}
+
+// BenchmarkAblationAnnotationCaching is ablation A1: the §4 trade-off
+// between computing annotations on the fly each run and reading
+// pre-computed annotations from a persistent repository.
+func BenchmarkAblationAnnotationCaching(b *testing.B) {
+	items := make([]evidence.Item, 200)
+	for i := range items {
+		items[i] = rdf.IRI(fmt.Sprintf("urn:lsid:bench.org:item:%d", i))
+	}
+	annotate := func(repo annotstore.Store) error {
+		for i, it := range items {
+			v := float64(i%100) / 100
+			if err := repo.Put(annotstore.Annotation{Item: it, Type: ontology.HitRatio, Value: evidence.Float(v)}); err != nil {
+				return err
+			}
+			if err := repo.Put(annotstore.Annotation{Item: it, Type: ontology.Coverage, Value: evidence.Float(v)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	enrich := func(repo annotstore.Store) error {
+		m := evidence.NewMap(items...)
+		de := &ops.DataEnrichment{Sources: []ops.EvidenceSource{
+			{Type: ontology.HitRatio, Repository: repo},
+			{Type: ontology.Coverage, Repository: repo},
+		}}
+		_, err := de.Enrich(m)
+		return err
+	}
+
+	b.Run("on-the-fly", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cache := annotstore.New("cache", false)
+			if err := annotate(cache); err != nil {
+				b.Fatal(err)
+			}
+			if err := enrich(cache); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		persistent := annotstore.New("default", true)
+		if err := annotate(persistent); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := enrich(persistent); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationQAChoice is ablation A2: alternative QAs over the same
+// evidence, with precision/recall reported as metrics.
+func BenchmarkAblationQAChoice(b *testing.B) {
+	w := mustWorld(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rows []ispider.PRStats
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = ispider.RunQAComparison(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for _, r := range rows {
+		if r.Name == "classifier class=high" {
+			b.ReportMetric(r.Precision, "precision-high")
+			b.ReportMetric(r.Recall, "recall-high")
+		}
+	}
+}
+
+// BenchmarkAblationThresholdSweep is ablation A3: the condition sweep.
+func BenchmarkAblationThresholdSweep(b *testing.B) {
+	w := mustWorld(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ispider.RunThresholdSweep(w, []int{1, 3, 5, 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationLearnedQA is ablation A4: training the stump-tree QA
+// on half the spots and evaluating it against the hand-built classifier
+// on the other half (the paper's future-work item (ii) exercised).
+func BenchmarkAblationLearnedQA(b *testing.B) {
+	w := mustWorld(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res *ispider.LearnedQAResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = ispider.RunLearnedQA(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(res.Learned.Precision, "learned-precision")
+	b.ReportMetric(res.HandBuilt.Precision, "hand-precision")
+}
+
+// BenchmarkAblationContamination is ablation A5: the quality view's
+// precision/recall across increasing contamination levels.
+func BenchmarkAblationContamination(b *testing.B) {
+	params := ispider.DefaultWorldParams()
+	params.DBSize, params.SpotCount = 60, 6
+	b.ReportAllocs()
+	b.ResetTimer()
+	var points []ispider.ContaminationPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = ispider.RunContaminationSweep(params, []int{0, 2, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	last := points[len(points)-1]
+	b.ReportMetric(last.Filtered.Precision, "precision-heavy")
+	b.ReportMetric(last.Filtered.Recall, "recall-heavy")
+}
+
+// BenchmarkViewCompilation measures the pure view-compilation cost
+// (parse + resolve + compile) with pre-deployed services.
+func BenchmarkViewCompilation(b *testing.B) {
+	f := New()
+	if err := f.DeployStandardLibrary(); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.DeployAnnotator("ImprintOutputAnnotator", ops.AnnotatorFunc{
+		ClassIRI: ontology.ImprintOutputAnnotation,
+		Fn:       func([]evidence.Item, annotstore.Store) error { return nil },
+	}); err != nil {
+		b.Fatal(err)
+	}
+	src := []byte(PaperViewXML)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.CompileView(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

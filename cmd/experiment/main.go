@@ -1,0 +1,178 @@
+// Command experiment regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's experiment index) from the synthetic world:
+//
+//	experiment -fig 1        # Figure 1: host workflow enactment summary
+//	experiment -fig 6        # Figure 6: compiled + embedded workflow structure
+//	experiment -fig 7        # Figure 7: GO-term significance ranking (default)
+//	experiment -ablation qa  # A2: QA choice precision/recall
+//	experiment -ablation threshold  # A3: filter-threshold sweep
+//	experiment -all          # everything
+//
+// Flags -seed, -spots, -db resize the world.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"qurator/internal/ispider"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (1, 6 or 7)")
+	ablation := flag.String("ablation", "", "ablation to run: qa | threshold")
+	all := flag.Bool("all", false, "run every experiment")
+	seed := flag.Int64("seed", 2006, "world seed")
+	spots := flag.Int("spots", 10, "number of protein spots")
+	dbSize := flag.Int("db", 120, "reference database size")
+	flag.Parse()
+
+	params := ispider.DefaultWorldParams()
+	params.Seed = *seed
+	params.SpotCount = *spots
+	params.DBSize = *dbSize
+	world, err := ispider.BuildWorld(params)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *all {
+		runFigure1(world)
+		runFigure6(world)
+		runFigure7(world)
+		runQAAblation(world)
+		runThresholdAblation(world)
+		runLearnedAblation(world)
+		runContaminationAblation(params)
+		return
+	}
+	switch {
+	case *fig == 1:
+		runFigure1(world)
+	case *fig == 6:
+		runFigure6(world)
+	case *fig == 7 || (*fig == 0 && *ablation == ""):
+		runFigure7(world)
+	case *ablation == "qa":
+		runQAAblation(world)
+	case *ablation == "threshold":
+		runThresholdAblation(world)
+	case *ablation == "learned":
+		runLearnedAblation(world)
+	case *ablation == "contamination":
+		runContaminationAblation(params)
+	default:
+		fmt.Fprintln(os.Stderr, "experiment: unknown selection")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runFigure1(world *ispider.World) {
+	out, err := ispider.RunBaseline(world)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("Figure 1 — ISPIDER analysis workflow (no quality processing)")
+	fmt.Printf("spots analysed:        %d\n", world.Params.SpotCount)
+	fmt.Printf("reference DB size:     %d proteins\n", world.Params.DBSize)
+	fmt.Printf("identifications:       %d ranked protein IDs\n", len(out.Entries))
+	totalTerms := 0
+	for _, n := range out.TermCounts {
+		totalTerms += n
+	}
+	fmt.Printf("GO-term occurrences:   %d over %d distinct terms\n", totalTerms, len(out.TermCounts))
+	fmt.Println("\ntop GO terms by raw frequency (the pareto view):")
+	ranking := ispider.TermRanking(out.TermCounts)
+	for i, term := range ranking {
+		if i >= 10 {
+			break
+		}
+		fmt.Printf("  %2d. %-14s %4d occurrences\n", i+1, term, out.TermCounts[term])
+	}
+	fmt.Println()
+}
+
+func runFigure6(world *ispider.World) {
+	p, err := ispider.BuildPipeline(world, "")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("Figure 6 — compiled quality workflow, embedded in the host")
+	fmt.Print(p.Compiled.Describe())
+	fmt.Println("\nhost workflow after embedding:")
+	fmt.Printf("  processors: %v\n", p.Host.Processors())
+	for _, l := range p.Host.DataLinks() {
+		fmt.Printf("  link: %s\n", l)
+	}
+	// Prove the embedding runs, using the distribution-relative condition
+	// (the §5.1 default's absolute HR_MC > 20 threshold is calibrated to
+	// the authors' lab, not this synthetic world).
+	if err := p.Compiled.SetFilterCondition("filter top k score", "ScoreClass in q:high"); err != nil {
+		fatal(err)
+	}
+	out, err := p.Run(context.Background())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nenactment (condition: ScoreClass in q:high): %d identifications in, %d accepted\n\n",
+		len(out.Entries), out.Accepted.Len())
+}
+
+func runFigure7(world *ispider.World) {
+	res, err := ispider.RunFigure7(world)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res.Format())
+	fmt.Println()
+}
+
+func runQAAblation(world *ispider.World) {
+	rows, err := ispider.RunQAComparison(world)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(ispider.FormatPRTable(
+		"Ablation A2 — alternative quality assertions over the same evidence", rows))
+	fmt.Println()
+}
+
+func runThresholdAblation(world *ispider.World) {
+	points, err := ispider.RunThresholdSweep(world, []int{1, 2, 3, 5, 8, 10})
+	if err != nil {
+		fatal(err)
+	}
+	stats := make([]ispider.PRStats, len(points))
+	for i, p := range points {
+		stats[i] = p.PRStats
+	}
+	fmt.Print(ispider.FormatPRTable(
+		"Ablation A3 — filter-threshold sweep (score cuts and top-k per spot)", stats))
+	fmt.Println()
+}
+
+func runLearnedAblation(world *ispider.World) {
+	res, err := ispider.RunLearnedQA(world)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res.Format())
+	fmt.Println()
+}
+
+func runContaminationAblation(params ispider.WorldParams) {
+	points, err := ispider.RunContaminationSweep(params, []int{0, 1, 2, 4, 6})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(ispider.FormatContamination(points))
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiment:", err)
+	os.Exit(1)
+}

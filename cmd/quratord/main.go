@@ -1,0 +1,102 @@
+// Command quratord hosts the Qurator service fabric over HTTP: the
+// standard QA library (and, with -with-demo-annotator, a synthetic
+// annotator) are deployed at /services/<name>, with the service list at
+// /services for scavengers (paper §5's deployment surface).
+//
+// Usage:
+//
+//	quratord [-addr :9090] [-with-demo-annotator]
+//
+// A second machine (or a second process) can then do:
+//
+//	f := qurator.New()
+//	f.Scavenge(ctx, "http://host:9090")
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"qurator"
+	"qurator/internal/annotstore"
+	"qurator/internal/evidence"
+	"qurator/internal/ontology"
+	"qurator/internal/rdf"
+)
+
+func main() {
+	addr := flag.String("addr", ":9090", "listen address")
+	withDemo := flag.Bool("with-demo-annotator", false,
+		"also deploy a demo annotator producing synthetic HR/MC evidence")
+	flag.Parse()
+
+	f := qurator.New()
+	if err := f.DeployStandardLibrary(); err != nil {
+		log.Fatalf("quratord: %v", err)
+	}
+	if *withDemo {
+		if err := f.DeployAnnotator("ImprintOutputAnnotator", demoAnnotator{}); err != nil {
+			log.Fatalf("quratord: %v", err)
+		}
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/services", f.Handler())
+	mux.Handle("/services/", f.Handler())
+	mux.Handle("/repositories", f.Handler())
+	mux.Handle("/repositories/", f.Handler())
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("quratord: serving Qurator services on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}
+
+// demoAnnotator fabricates evidence deterministically from the item URI
+// so remote demos work without a proteomics pipeline: the evidence value
+// is derived from a hash of the accession.
+type demoAnnotator struct{}
+
+func (demoAnnotator) Class() rdf.Term { return ontology.ImprintOutputAnnotation }
+
+func (demoAnnotator) Provides() []rdf.Term {
+	return []rdf.Term{ontology.HitRatio, ontology.Coverage, ontology.Masses, ontology.PeptidesCount}
+}
+
+func (demoAnnotator) Annotate(items []evidence.Item, repo annotstore.Store) error {
+	for _, it := range items {
+		h := fnv32(it.Value())
+		hr := float64(h%100) / 100
+		mc := float64((h/100)%100) / 100
+		for _, a := range []annotstore.Annotation{
+			{Item: it, Type: ontology.HitRatio, Value: evidence.Float(hr)},
+			{Item: it, Type: ontology.Coverage, Value: evidence.Float(mc)},
+			{Item: it, Type: ontology.Masses, Value: evidence.Int(int64(h % 40))},
+			{Item: it, Type: ontology.PeptidesCount, Value: evidence.Int(int64(h % 12))},
+		} {
+			a.Source = ontology.ImprintOutputAnnotation
+			if err := repo.Put(a); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"qurator"
+	"qurator/internal/evidence"
+	"qurator/internal/ontology"
+)
+
+func writeCSV(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadCSV(t *testing.T) {
+	f := qurator.New()
+	path := writeCSV(t, "item,q:HitRatio,q:EvidenceCode\n"+
+		"urn:lsid:x.org:ns:a,0.8,TAS\n"+
+		"urn:lsid:x.org:ns:b,0.2,\n")
+	items, err := loadCSV(f, path)
+	if err != nil {
+		t.Fatalf("loadCSV: %v", err)
+	}
+	if len(items) != 2 {
+		t.Fatalf("items = %d", len(items))
+	}
+	cache, _ := f.Repository("cache")
+	v, ok := cache.Get(items[0], ontology.HitRatio)
+	if !ok || !v.Equal(evidence.Float(0.8)) {
+		t.Errorf("HitRatio = %v, %v", v, ok)
+	}
+	// String evidence parses as string.
+	v, ok = cache.Get(items[0], ontology.EvidenceCode)
+	if !ok || v.AsString() != "TAS" {
+		t.Errorf("EvidenceCode = %v, %v", v, ok)
+	}
+	// Empty cell stored nothing.
+	if _, ok := cache.Get(items[1], ontology.EvidenceCode); ok {
+		t.Error("empty cell should not annotate")
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	f := qurator.New()
+	cases := []string{
+		"",                         // no header
+		"item,q:HitRatio\n",        // no rows
+		"item\nurn:x\n",            // no evidence columns
+		"item,q:HitRatio\nurn:x\n", // ragged row
+	}
+	for i, content := range cases {
+		path := writeCSV(t, content)
+		if _, err := loadCSV(f, path); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	if _, err := loadCSV(f, filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -1,0 +1,66 @@
+package qurator
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"qurator/internal/ontology"
+	"qurator/internal/qvlang"
+)
+
+// TestFullyDistributedDeployment exercises the complete Figure 5
+// deployment across two nodes: the server hosts the annotator, the QA
+// library AND the annotation repositories; the client scavenges both,
+// compiles the paper view locally, and runs it — every annotation write,
+// enrichment read and QA invocation crosses HTTP.
+func TestFullyDistributedDeployment(t *testing.T) {
+	server, items := deployTestWorld(t)
+	srv := httptest.NewServer(server.Handler())
+	defer srv.Close()
+
+	client := New()
+	nServices, err := client.Scavenge(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatalf("Scavenge: %v", err)
+	}
+	nRepos, err := client.ScavengeRepositories(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatalf("ScavengeRepositories: %v", err)
+	}
+	if nServices < 5 || nRepos != 2 {
+		t.Fatalf("scavenged %d services, %d repositories", nServices, nRepos)
+	}
+
+	// The client's "cache" is now the server's cache; the remote
+	// annotator (which writes into the server's registry under the
+	// repositoryRef it receives) and the local enrichment step therefore
+	// agree on where the evidence lives.
+	out, err := client.ExecuteView(context.Background(), []byte(PaperViewXML), items)
+	if err != nil {
+		t.Fatalf("distributed ExecuteView: %v", err)
+	}
+	accepted := out["filter_top_k_score:accepted"]
+	if accepted == nil || accepted.Len() != 5 {
+		t.Fatalf("distributed run kept %v items, want 5", accepted)
+	}
+	for _, it := range accepted.Items() {
+		if accepted.Class(it, ontology.PIScoreClassification).IsZero() {
+			t.Errorf("%v lacks classification after distributed run", it)
+		}
+		if !accepted.Has(it, qvlang.TagKeyFor("HR_MC")) {
+			t.Errorf("%v lacks score after distributed run", it)
+		}
+	}
+
+	// The evidence physically lives on the server.
+	serverCache, _ := server.Repository("cache")
+	if serverCache.Len() == 0 {
+		t.Error("annotations did not land in the server-side cache")
+	}
+	// ClearCaches on the client clears the remote per-run cache too.
+	client.Repositories.ClearCaches()
+	if serverCache.Len() != 0 {
+		t.Error("client ClearCaches did not clear the remote cache")
+	}
+}

@@ -1,0 +1,141 @@
+// Community: the paper's two future-work directions working together.
+// A "curator" peer (ii) LEARNS a quality assertion from their labelled
+// example data instead of hand-coding it, wraps it in a quality view, and
+// (iv) PUBLISHES the view to the community library with quality-dimension
+// metadata. A "scientist" peer then discovers the view by asking "what can
+// I run with the evidence I have?" and applies it to their own data.
+//
+//	go run ./examples/community
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"qurator"
+	"qurator/internal/condition"
+	"qurator/internal/evidence"
+	"qurator/internal/library"
+	"qurator/internal/ontology"
+	"qurator/internal/qa"
+	"qurator/internal/rdf"
+)
+
+const learnedViewXML = `<QualityView name="learned-pi-quality">
+  <QualityAssertion servicename="LearnedPIQuality"
+                    servicetype="q:LearnedPIQuality"
+                    tagsemtype="q:LearnedPIClassification"
+                    tagname="Verdict" tagsyntype="q:class">
+    <variables repositoryRef="default">
+      <var variablename="hr" evidence="q:HitRatio"/>
+      <var variablename="mc" evidence="q:Coverage"/>
+    </variables>
+  </QualityAssertion>
+  <action name="keep">
+    <filter><condition>Verdict in q:high</condition></filter>
+  </action>
+</QualityView>`
+
+func main() {
+	f := qurator.New()
+
+	// ---- curator: learn a QA from labelled examples --------------------
+	// The curator has past identifications with known outcomes: good ones
+	// had high HR and decent coverage.
+	rng := rand.New(rand.NewSource(7))
+	train := &qa.TrainingSet{
+		Amap:     qurator.NewMap(),
+		Features: []rdf.Term{ontology.HitRatio, ontology.Coverage},
+	}
+	for i := 0; i < 150; i++ {
+		it := qurator.NewItem(fmt.Sprintf("urn:lsid:curator.org:example:%d", i))
+		hr, mc := rng.Float64(), rng.Float64()
+		train.Amap.Set(it, ontology.HitRatio, evidence.Float(hr))
+		train.Amap.Set(it, ontology.Coverage, evidence.Float(mc))
+		train.Examples = append(train.Examples, qa.Example{
+			Item: it,
+			Good: hr > 0.45 && mc > 0.25, // the curator's (implicit) truth
+		})
+	}
+	// Extend the IQ model with the learned QA's classes, then induce it.
+	learnedClass := qurator.Q("LearnedPIQuality")
+	learnedModel := qurator.Q("LearnedPIClassification")
+	f.Model.MustDefineClass(learnedClass, ontology.QualityAssertion)
+	f.Model.MustDefineClass(learnedModel, ontology.ClassificationModel)
+	tree, err := qa.LearnStumps(train, learnedClass, learnedModel,
+		ontology.ClassHigh, ontology.ClassLow,
+		condition.Bindings{"hr": ontology.HitRatio, "mc": ontology.Coverage},
+		qa.StumpParams{MaxDepth: 3, MinLeaf: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc, _ := qa.EvaluateClassifier(tree, train, ontology.ClassHigh)
+	fmt.Printf("curator: learned a stump-tree QA from %d examples (training accuracy %.2f)\n",
+		len(train.Examples), acc)
+
+	// Deploy it and publish the view that uses it.
+	if err := f.DeployAssertion("LearnedPIQuality", tree); err != nil {
+		log.Fatal(err)
+	}
+	entry, err := f.PublishView(library.Entry{
+		Name:        "learned-pi-quality",
+		Author:      "curator@aberdeen",
+		Description: "protein-ID acceptability model induced from 150 labelled identifications",
+		Dimensions:  []rdf.Term{ontology.Accuracy},
+		ViewXML:     learnedViewXML,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("curator: published %q (requires evidence: %v)\n",
+		entry.Name, localNames(entry.RequiredEvidence))
+
+	// ---- scientist: discover and apply ---------------------------------
+	// The scientist has HitRatio and Coverage evidence for a fresh run.
+	available := []rdf.Term{ontology.HitRatio, ontology.Coverage}
+	applicable := f.FindApplicableViews(available)
+	fmt.Printf("\nscientist: with evidence %v, applicable shared views: %v\n",
+		localNames(available), entryNames(applicable))
+
+	// Pre-seeded evidence is long-lived, so it goes to the persistent
+	// "default" store (ExecuteView clears per-run caches before running).
+	store, _ := f.Repository("default")
+	var items []qurator.Item
+	for i := 0; i < 8; i++ {
+		it := qurator.NewItem(fmt.Sprintf("urn:lsid:scientist.org:hit:%d", i))
+		items = append(items, it)
+		hr, mc := rng.Float64(), rng.Float64()
+		store.Put(qurator.Annotation{Item: it, Type: ontology.HitRatio, Value: evidence.Float(hr)})
+		store.Put(qurator.Annotation{Item: it, Type: ontology.Coverage, Value: evidence.Float(mc)})
+	}
+	out, err := f.ExecuteSharedView(context.Background(), "learned-pi-quality", items)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kept := out["keep:accepted"]
+	fmt.Printf("scientist: the curator's learned lens kept %d of %d identifications:\n",
+		kept.Len(), len(items))
+	for _, it := range kept.Items() {
+		hr, _ := kept.Get(it, ontology.HitRatio).AsFloat()
+		mc, _ := kept.Get(it, ontology.Coverage).AsFloat()
+		fmt.Printf("  %-8s HR=%.2f MC=%.2f\n", ontology.LocalName(it), hr, mc)
+	}
+}
+
+func localNames(ts []rdf.Term) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = ontology.LocalName(t)
+	}
+	return out
+}
+
+func entryNames(es []*library.Entry) []string {
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.Name
+	}
+	return out
+}

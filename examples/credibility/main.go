@@ -1,0 +1,112 @@
+// Credibility: the paper's second evidence style (§3) — long-lived
+// annotations over a stable database. Curated functional annotations
+// carry GO evidence codes (the reliability indicator validated by the
+// paper's reference [16]) and the impact factor of the citing journal;
+// the CurationCredibility QA combines them into a credibility score and a
+// three-way classification.
+//
+// Unlike the per-run Imprint evidence, this evidence is persistent: it is
+// computed once into a durable repository and re-used across process
+// executions — the other half of §4's caching discussion.
+//
+//	go run ./examples/credibility
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"qurator"
+	"qurator/internal/evidence"
+	"qurator/internal/ontology"
+)
+
+// curated is a miniature Uniprot-like table of curated annotations.
+var curated = []struct {
+	accession string
+	code      string
+	impact    float64 // 0 = no citation
+}{
+	{"P00001", "TAS", 9.2},
+	{"P00002", "IDA", 4.5},
+	{"P00003", "IMP", 2.1},
+	{"P00004", "ISS", 6.0},
+	{"P00005", "NAS", 1.2},
+	{"P00006", "IEA", 0},
+	{"P00007", "IEA", 0},
+	{"P00008", "TAS", 0},
+	{"P00009", "ND", 0.8},
+	{"P00010", "IDA", 11.4},
+}
+
+const credibilityView = `<QualityView name="annotation-credibility">
+  <QualityAssertion servicename="CurationCredibility"
+                    servicetype="q:CurationCredibility"
+                    tagsemtype="q:CredibilityClassification"
+                    tagname="CredClass" tagsyntype="q:class">
+    <variables repositoryRef="uniprot-credibility">
+      <var variablename="code" evidence="q:EvidenceCode"/>
+      <var variablename="impact" evidence="q:JournalImpactFactor"/>
+    </variables>
+  </QualityAssertion>
+  <action name="triage">
+    <splitter>
+      <branch name="trusted"><condition>CredClass in q:credible</condition></branch>
+      <branch name="review"><condition>CredClass in q:plausible</condition></branch>
+    </splitter>
+  </action>
+</QualityView>`
+
+func main() {
+	f := qurator.New()
+	if err := f.DeployStandardLibrary(); err != nil {
+		log.Fatal(err)
+	}
+
+	// A persistent repository: this evidence is "long-lived, relative to
+	// the execution of a query" (§4), so it is annotated once, up front —
+	// there is no annotator in the view at all, only enrichment.
+	repo := f.AddRepository("uniprot-credibility", true)
+	var items []qurator.Item
+	for _, row := range curated {
+		item := qurator.NewItem("urn:lsid:uniprot.org:uniprot:" + row.accession)
+		items = append(items, item)
+		if err := repo.Put(qurator.Annotation{
+			Item: item, Type: ontology.EvidenceCode,
+			Value:       evidence.String_(row.code),
+			EntityClass: ontology.CuratedAnnotationEntry,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		if row.impact > 0 {
+			if err := repo.Put(qurator.Annotation{
+				Item: item, Type: ontology.JournalImpactFactor,
+				Value: evidence.Float(row.impact),
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	out, err := f.ExecuteView(context.Background(), []byte(credibilityView), items)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, group := range []string{"trusted", "review", "default"} {
+		m := out["triage:"+group]
+		fmt.Printf("%s (%d annotations):\n", group, m.Len())
+		for _, item := range m.Items() {
+			code := m.Get(item, ontology.EvidenceCode).AsString()
+			impact, hasImpact := m.Get(item, ontology.JournalImpactFactor).AsFloat()
+			cls := m.Class(item, ontology.CredibilityClass)
+			if hasImpact {
+				fmt.Printf("  %-10s code=%-4s impact=%5.1f -> %s\n",
+					ontology.LocalName(item), code, impact, ontology.LocalName(cls))
+			} else {
+				fmt.Printf("  %-10s code=%-4s impact=  n/a -> %s\n",
+					ontology.LocalName(item), code, ontology.LocalName(cls))
+			}
+		}
+	}
+}

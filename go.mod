@@ -1,0 +1,3 @@
+module qurator
+
+go 1.22

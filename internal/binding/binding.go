@@ -1,0 +1,280 @@
+// Package binding implements Qurator's binding model (paper §3, §6): a
+// semantic registry that associates concepts of the IQ ontology with
+// concrete Service Resources or Data Resources through Binding objects,
+// each carrying a locator whose interpretation depends on the resource
+// kind (a service endpoint, an XPath, an SQL query, ...).
+//
+// The binding step "results in each Annotation and QA operator being
+// mapped to a Web Service endpoint" — here, to a services.QualityService,
+// resolved either from an in-process registry (locator "local:<name>") or
+// from an HTTP host (locator "http://host/services/<name>").
+package binding
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"qurator/internal/ontology"
+	"qurator/internal/rdf"
+	"qurator/internal/services"
+)
+
+// Kind distinguishes resource kinds.
+type Kind string
+
+// Resource kinds from the binding-model ontology.
+const (
+	// ServiceResource locates an executable operator implementation.
+	ServiceResource Kind = "service"
+	// DataResource locates data (the paper's resource locators for
+	// DataEntity concepts: XPath expressions, SQL queries, ...).
+	DataResource Kind = "data"
+)
+
+// Binding associates an IQ-model concept with a located resource.
+type Binding struct {
+	// Concept is the ontology class being bound (e.g. q:UniversalPIScore2).
+	Concept rdf.Term
+	// Kind is the resource kind.
+	Kind Kind
+	// Locator identifies the resource: "local:<service name>" for
+	// in-process services, an HTTP endpoint for remote ones, or a
+	// data-retrieval expression for data resources.
+	Locator string
+}
+
+// Vocabulary of the binding-model ontology.
+var (
+	bindingClass  = ontology.Q("Binding")
+	bindsConcept  = ontology.Q("bindsConcept")
+	resourceKind  = ontology.Q("resourceKind")
+	resourceLocat = ontology.Q("resourceLocator")
+)
+
+// Registry is the semantic binding registry. It optionally consults an IQ
+// ontology so that a concept with no direct binding resolves through its
+// superclasses (a user-specialised operator class inherits its parent's
+// implementation until it gets its own).
+type Registry struct {
+	mu       sync.RWMutex
+	bindings map[rdf.Term][]Binding
+	model    *ontology.Ontology
+}
+
+// NewRegistry returns an empty binding registry.
+func NewRegistry(model *ontology.Ontology) *Registry {
+	return &Registry{bindings: make(map[rdf.Term][]Binding), model: model}
+}
+
+// Bind records a binding. Multiple bindings per concept are allowed
+// (alternative deployments); resolution returns them in insertion order.
+func (r *Registry) Bind(b Binding) error {
+	if !b.Concept.IsIRI() {
+		return fmt.Errorf("binding: concept must be an IRI, got %v", b.Concept)
+	}
+	if b.Kind != ServiceResource && b.Kind != DataResource {
+		return fmt.Errorf("binding: unknown resource kind %q", b.Kind)
+	}
+	if b.Locator == "" {
+		return fmt.Errorf("binding: empty locator for %v", b.Concept)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.bindings[b.Concept] = append(r.bindings[b.Concept], b)
+	return nil
+}
+
+// MustBind is Bind that panics on error.
+func (r *Registry) MustBind(b Binding) {
+	if err := r.Bind(b); err != nil {
+		panic(err)
+	}
+}
+
+// Resolve returns the bindings for a concept. When the concept has no
+// direct binding and the registry has a model, superclass bindings are
+// consulted (nearest first).
+func (r *Registry) Resolve(concept rdf.Term) []Binding {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if bs := r.bindings[concept]; len(bs) > 0 {
+		return append([]Binding(nil), bs...)
+	}
+	if r.model == nil {
+		return nil
+	}
+	// Breadth-first up the taxonomy for the nearest bound ancestor.
+	frontier := []rdf.Term{concept}
+	seen := map[rdf.Term]bool{concept: true}
+	for len(frontier) > 0 {
+		var next []rdf.Term
+		for _, c := range frontier {
+			for _, sup := range r.model.DirectSuperclasses(c) {
+				if seen[sup] {
+					continue
+				}
+				seen[sup] = true
+				next = append(next, sup)
+			}
+		}
+		// Collect bindings at this level; deterministic order.
+		sort.Slice(next, func(i, j int) bool { return rdf.CompareTerms(next[i], next[j]) < 0 })
+		var found []Binding
+		for _, c := range next {
+			found = append(found, r.bindings[c]...)
+		}
+		if len(found) > 0 {
+			return found
+		}
+		frontier = next
+	}
+	return nil
+}
+
+// ResolveService resolves a concept to exactly one service binding,
+// preferring the first (primary) binding of ServiceResource kind.
+func (r *Registry) ResolveService(concept rdf.Term) (Binding, error) {
+	for _, b := range r.Resolve(concept) {
+		if b.Kind == ServiceResource {
+			return b, nil
+		}
+	}
+	return Binding{}, fmt.Errorf("binding: no service binding for %v", concept)
+}
+
+// Concepts returns all bound concepts, sorted.
+func (r *Registry) Concepts() []rdf.Term {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]rdf.Term, 0, len(r.bindings))
+	for c := range r.bindings {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return rdf.CompareTerms(out[i], out[j]) < 0 })
+	return out
+}
+
+// ToGraph serialises the registry as RDF (the binding ontology pattern:
+// a Binding node linking a concept to a located resource).
+func (r *Registry) ToGraph() *rdf.Graph {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	g := rdf.NewGraph()
+	i := 0
+	for _, concept := range sortedConcepts(r.bindings) {
+		for _, b := range r.bindings[concept] {
+			node := rdf.IRI(fmt.Sprintf("%sbinding/%d", ontology.QuratorNS, i))
+			i++
+			g.MustAdd(rdf.T(node, rdf.IRI(rdf.RDFType), bindingClass))
+			g.MustAdd(rdf.T(node, bindsConcept, b.Concept))
+			g.MustAdd(rdf.T(node, resourceKind, rdf.Literal(string(b.Kind))))
+			g.MustAdd(rdf.T(node, resourceLocat, rdf.Literal(b.Locator)))
+		}
+	}
+	return g
+}
+
+// FromGraph loads bindings serialised by ToGraph into a new registry.
+func FromGraph(g *rdf.Graph, model *ontology.Ontology) (*Registry, error) {
+	reg := NewRegistry(model)
+	for _, t := range g.Match(rdf.Term{}, rdf.IRI(rdf.RDFType), bindingClass) {
+		node := t.Subject
+		concept := g.FirstObject(node, bindsConcept)
+		kind := g.FirstObject(node, resourceKind)
+		locator := g.FirstObject(node, resourceLocat)
+		if concept.IsZero() || kind.IsZero() || locator.IsZero() {
+			return nil, fmt.Errorf("binding: incomplete binding node %v", node)
+		}
+		if err := reg.Bind(Binding{
+			Concept: concept,
+			Kind:    Kind(kind.Value()),
+			Locator: locator.Value(),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return reg, nil
+}
+
+func sortedConcepts(m map[rdf.Term][]Binding) []rdf.Term {
+	out := make([]rdf.Term, 0, len(m))
+	for c := range m {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return rdf.CompareTerms(out[i], out[j]) < 0 })
+	return out
+}
+
+// Resolver turns service bindings into invocable services.
+type Resolver struct {
+	// Local resolves "local:<name>" locators.
+	Local *services.Registry
+	// NewClient builds a client for a remote base URL; defaults to
+	// services.Client. Overridable for tests.
+	NewClient func(baseURL string) *services.Client
+}
+
+// Service materialises the QualityService behind a binding.
+func (r *Resolver) Service(b Binding) (services.QualityService, error) {
+	if b.Kind != ServiceResource {
+		return nil, fmt.Errorf("binding: %v is not a service binding", b.Concept)
+	}
+	switch {
+	case strings.HasPrefix(b.Locator, "local:"):
+		name := strings.TrimPrefix(b.Locator, "local:")
+		if r.Local == nil {
+			return nil, fmt.Errorf("binding: no local registry to resolve %q", b.Locator)
+		}
+		svc, ok := r.Local.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("binding: local service %q not deployed", name)
+		}
+		return svc, nil
+	case strings.HasPrefix(b.Locator, "http://") || strings.HasPrefix(b.Locator, "https://"):
+		base, name, ok := splitEndpoint(b.Locator)
+		if !ok {
+			return nil, fmt.Errorf("binding: malformed service endpoint %q (want .../services/<name>)", b.Locator)
+		}
+		newClient := r.NewClient
+		if newClient == nil {
+			newClient = func(baseURL string) *services.Client { return &services.Client{BaseURL: baseURL} }
+		}
+		client := newClient(base)
+		return &httpBound{client: client, name: name, typ: b.Concept.Value()}, nil
+	default:
+		return nil, fmt.Errorf("binding: unsupported locator scheme in %q", b.Locator)
+	}
+}
+
+func splitEndpoint(locator string) (base, name string, ok bool) {
+	const marker = "/services/"
+	i := strings.LastIndex(locator, marker)
+	if i < 0 {
+		return "", "", false
+	}
+	base, name = locator[:i], locator[i+len(marker):]
+	if base == "" || name == "" || strings.Contains(name, "/") {
+		return "", "", false
+	}
+	return base, name, true
+}
+
+// httpBound invokes a remote service found via a binding locator.
+type httpBound struct {
+	client *services.Client
+	name   string
+	typ    string
+}
+
+// Describe implements services.QualityService.
+func (h *httpBound) Describe() services.Info {
+	return services.Info{Name: h.name, Type: h.typ}
+}
+
+// Invoke implements services.QualityService.
+func (h *httpBound) Invoke(ctx context.Context, req *services.Envelope) (*services.Envelope, error) {
+	return h.client.Invoke(ctx, h.name, req)
+}

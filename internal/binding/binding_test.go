@@ -1,0 +1,161 @@
+package binding
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"qurator/internal/ontology"
+	"qurator/internal/qa"
+	"qurator/internal/rdf"
+	"qurator/internal/services"
+)
+
+func TestBindAndResolve(t *testing.T) {
+	reg := NewRegistry(nil)
+	reg.MustBind(Binding{Concept: ontology.UniversalPIScore2, Kind: ServiceResource, Locator: "local:HR_MC_score"})
+	reg.MustBind(Binding{Concept: ontology.UniversalPIScore2, Kind: ServiceResource, Locator: "local:alt"})
+	bs := reg.Resolve(ontology.UniversalPIScore2)
+	if len(bs) != 2 || bs[0].Locator != "local:HR_MC_score" {
+		t.Fatalf("Resolve = %v", bs)
+	}
+	b, err := reg.ResolveService(ontology.UniversalPIScore2)
+	if err != nil || b.Locator != "local:HR_MC_score" {
+		t.Errorf("ResolveService = %v, %v", b, err)
+	}
+	if _, err := reg.ResolveService(ontology.PIScoreClassifier); err == nil {
+		t.Error("unbound concept should fail")
+	}
+	if got := reg.Concepts(); len(got) != 1 {
+		t.Errorf("Concepts = %v", got)
+	}
+}
+
+func TestBindValidation(t *testing.T) {
+	reg := NewRegistry(nil)
+	bad := []Binding{
+		{Concept: rdf.Literal("x"), Kind: ServiceResource, Locator: "local:x"},
+		{Concept: ontology.UniversalPIScore2, Kind: "weird", Locator: "local:x"},
+		{Concept: ontology.UniversalPIScore2, Kind: ServiceResource, Locator: ""},
+	}
+	for i, b := range bad {
+		if err := reg.Bind(b); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestSubsumptionFallback(t *testing.T) {
+	// A user-specialised operator class inherits the superclass binding.
+	model := ontology.NewIQModel()
+	myQA := ontology.Q("MySpecialisedPIScore")
+	model.MustDefineClass(myQA, ontology.UniversalPIScore2)
+	reg := NewRegistry(model)
+	reg.MustBind(Binding{Concept: ontology.UniversalPIScore2, Kind: ServiceResource, Locator: "local:parent"})
+
+	b, err := reg.ResolveService(myQA)
+	if err != nil {
+		t.Fatalf("ResolveService via superclass: %v", err)
+	}
+	if b.Locator != "local:parent" {
+		t.Errorf("Locator = %q", b.Locator)
+	}
+	// A direct binding takes precedence over the inherited one.
+	reg.MustBind(Binding{Concept: myQA, Kind: ServiceResource, Locator: "local:own"})
+	b, err = reg.ResolveService(myQA)
+	if err != nil || b.Locator != "local:own" {
+		t.Errorf("direct binding should win: %v, %v", b, err)
+	}
+	// Nearest ancestor wins over farther ones.
+	reg2 := NewRegistry(model)
+	reg2.MustBind(Binding{Concept: ontology.QualityAssertion, Kind: ServiceResource, Locator: "local:root"})
+	reg2.MustBind(Binding{Concept: ontology.UniversalPIScore2, Kind: ServiceResource, Locator: "local:near"})
+	b, err = reg2.ResolveService(myQA)
+	if err != nil || b.Locator != "local:near" {
+		t.Errorf("nearest ancestor should win: %v, %v", b, err)
+	}
+}
+
+func TestGraphRoundTrip(t *testing.T) {
+	reg := NewRegistry(nil)
+	reg.MustBind(Binding{Concept: ontology.UniversalPIScore2, Kind: ServiceResource, Locator: "local:s"})
+	reg.MustBind(Binding{Concept: ontology.ImprintHitEntry, Kind: DataResource, Locator: "sql:SELECT * FROM hits"})
+	g := reg.ToGraph()
+	back, err := FromGraph(g, nil)
+	if err != nil {
+		t.Fatalf("FromGraph: %v", err)
+	}
+	if len(back.Concepts()) != 2 {
+		t.Fatalf("Concepts = %v", back.Concepts())
+	}
+	b, err := back.ResolveService(ontology.UniversalPIScore2)
+	if err != nil || b.Locator != "local:s" {
+		t.Errorf("service binding lost: %v, %v", b, err)
+	}
+	ds := back.Resolve(ontology.ImprintHitEntry)
+	if len(ds) != 1 || ds[0].Kind != DataResource || ds[0].Locator != "sql:SELECT * FROM hits" {
+		t.Errorf("data binding lost: %v", ds)
+	}
+}
+
+func TestResolverLocal(t *testing.T) {
+	local := services.NewRegistry()
+	local.Add(&services.AssertionService{
+		ServiceName: "HR_MC_score",
+		QA:          qa.NewUniversalPIScore(ontology.Q("tag/s")),
+	})
+	r := &Resolver{Local: local}
+
+	svc, err := r.Service(Binding{Concept: ontology.UniversalPIScore2, Kind: ServiceResource, Locator: "local:HR_MC_score"})
+	if err != nil {
+		t.Fatalf("Service: %v", err)
+	}
+	if svc.Describe().Name != "HR_MC_score" {
+		t.Errorf("resolved wrong service: %v", svc.Describe())
+	}
+	if _, err := r.Service(Binding{Kind: ServiceResource, Locator: "local:ghost"}); err == nil {
+		t.Error("undeployed local service should fail")
+	}
+	if _, err := r.Service(Binding{Kind: DataResource, Locator: "local:x"}); err == nil {
+		t.Error("data binding should not resolve to a service")
+	}
+	if _, err := r.Service(Binding{Kind: ServiceResource, Locator: "ftp://weird"}); err == nil {
+		t.Error("unsupported scheme should fail")
+	}
+}
+
+func TestResolverHTTP(t *testing.T) {
+	remote := services.NewRegistry()
+	remote.Add(&services.AssertionService{
+		ServiceName: "HR_MC_score",
+		QA:          qa.NewUniversalPIScore(ontology.Q("tag/s")),
+	})
+	srv := httptest.NewServer(services.Handler(remote))
+	defer srv.Close()
+
+	r := &Resolver{}
+	svc, err := r.Service(Binding{
+		Concept: ontology.UniversalPIScore2,
+		Kind:    ServiceResource,
+		Locator: srv.URL + "/services/HR_MC_score",
+	})
+	if err != nil {
+		t.Fatalf("Service: %v", err)
+	}
+	env := services.NewEnvelope(nil)
+	if _, err := svc.Invoke(context.Background(), env); err != nil {
+		t.Fatalf("remote invoke via binding: %v", err)
+	}
+	// Malformed endpoints are rejected.
+	bad := []string{
+		srv.URL,                   // no /services/
+		srv.URL + "/services/",    // empty name
+		srv.URL + "/services/a/b", // nested name
+		"http:///services/x",      // empty base... actually base "http://" non-empty
+	}
+	for _, loc := range bad[:3] {
+		if _, err := r.Service(Binding{Kind: ServiceResource, Locator: loc}); err == nil {
+			t.Errorf("locator %q should be rejected", loc)
+		}
+	}
+}

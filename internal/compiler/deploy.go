@@ -1,0 +1,125 @@
+package compiler
+
+import (
+	"encoding/xml"
+	"fmt"
+
+	"qurator/internal/workflow"
+)
+
+// DeploymentDescriptor is the Taverna-targeted embedding declaration of
+// paper §6.2: a succinct XML document declaring (i) the adapters that
+// surround the embedded quality flow and (ii) the connections among host
+// and embedded processors, which may pass through the adapters.
+type DeploymentDescriptor struct {
+	XMLName xml.Name `xml:"Deployment"`
+	// Target names the quality workflow being embedded (informational).
+	Target     string          `xml:"target,attr,omitempty"`
+	Adapters   []AdapterDecl   `xml:"adapter"`
+	Connectors []ConnectorDecl `xml:"connector"`
+}
+
+// AdapterDecl registers an adapter processor by name. Adapters typically
+// account for differences in data formats between host and quality
+// processors; they are processors themselves, registered out of band and
+// referenced here.
+type AdapterDecl struct {
+	// Name is the registered adapter processor's name.
+	Name string `xml:"name,attr"`
+}
+
+// ConnectorDecl wires a source processor/port to a target processor/port,
+// optionally through a declared adapter.
+type ConnectorDecl struct {
+	From     string `xml:"from,attr"`
+	FromPort string `xml:"fromPort,attr"`
+	To       string `xml:"to,attr"`
+	ToPort   string `xml:"toPort,attr"`
+	// Via names an adapter the data passes through (optional).
+	Via string `xml:"via,attr,omitempty"`
+}
+
+// ParseDeployment parses a deployment descriptor document.
+func ParseDeployment(data []byte) (*DeploymentDescriptor, error) {
+	var d DeploymentDescriptor
+	if err := xml.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("compiler: bad deployment descriptor: %w", err)
+	}
+	return &d, nil
+}
+
+// Marshal renders the descriptor as XML.
+func (d *DeploymentDescriptor) Marshal() ([]byte, error) {
+	return xml.MarshalIndent(d, "", "  ")
+}
+
+// AdapterPorts are the conventional single in/out ports of an adapter.
+const (
+	AdapterIn  = "in"
+	AdapterOut = "out"
+)
+
+// Embed inserts the compiled quality workflow into the host workflow
+// following the descriptor: the quality workflow joins the host as a
+// single processor (the homogeneity of the quality and data process
+// models makes this "a conceptually simple operation", §6.2), declared
+// adapters are added, and connectors are wired — with adapter hops
+// expanded into two links.
+//
+// Adapters referenced by the descriptor must be supplied in the adapters
+// map; each must expose the AdapterIn/AdapterOut ports.
+func Embed(host *workflow.Workflow, qv *Compiled, desc *DeploymentDescriptor,
+	adapters map[string]workflow.Processor) error {
+	// The Compiled itself is the embedded processor (not its bare
+	// workflow), so provenance recording survives embedding.
+	if err := host.AddProcessor(qv); err != nil {
+		return err
+	}
+	declared := map[string]bool{}
+	for _, a := range desc.Adapters {
+		p, ok := adapters[a.Name]
+		if !ok {
+			return fmt.Errorf("compiler: descriptor references unregistered adapter %q", a.Name)
+		}
+		if !hasPort(p.InputPorts(), AdapterIn) || !hasPort(p.OutputPorts(), AdapterOut) {
+			return fmt.Errorf("compiler: adapter %q must expose ports %q/%q", a.Name, AdapterIn, AdapterOut)
+		}
+		if err := host.AddProcessor(p); err != nil {
+			return err
+		}
+		declared[a.Name] = true
+	}
+	for _, c := range desc.Connectors {
+		if c.Via == "" {
+			if err := host.AddLink(workflow.Link{
+				From: c.From, FromPort: c.FromPort, To: c.To, ToPort: c.ToPort,
+			}); err != nil {
+				return err
+			}
+			continue
+		}
+		if !declared[c.Via] {
+			return fmt.Errorf("compiler: connector uses undeclared adapter %q", c.Via)
+		}
+		if err := host.AddLink(workflow.Link{
+			From: c.From, FromPort: c.FromPort, To: c.Via, ToPort: AdapterIn,
+		}); err != nil {
+			return err
+		}
+		if err := host.AddLink(workflow.Link{
+			From: c.Via, FromPort: AdapterOut, To: c.To, ToPort: c.ToPort,
+		}); err != nil {
+			return err
+		}
+	}
+	return host.Validate()
+}
+
+func hasPort(ports []string, want string) bool {
+	for _, p := range ports {
+		if p == want {
+			return true
+		}
+	}
+	return false
+}

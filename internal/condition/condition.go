@@ -1,0 +1,622 @@
+// Package condition implements the conditional expression language that
+// Qurator action operators evaluate over quality evidence and QA outputs
+// (paper §4, §5.1). Conditions are predicates on the values of quality
+// assertions and evidence, e.g.
+//
+//	ScoreClass in q:high, q:mid and HR_MC > 20
+//	score < 3.2
+//	not (HitRatio < 0.4 or MassCoverage < 0.1)
+//
+// Identifiers refer to variables declared in the quality-view
+// specification; a Bindings map resolves them to annotation-map keys
+// (evidence types, score tags, or classification models). Tag names
+// containing spaces in view XML (the paper's "HR MC") are normalised to
+// underscores by the view layer before reaching this package.
+//
+// Conditions are parsed once and evaluated repeatedly — the paper's usage
+// pattern is editing action conditions between process executions while
+// the (expensive) QAs stay fixed.
+package condition
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"qurator/internal/evidence"
+	"qurator/internal/ontology"
+	"qurator/internal/rdf"
+)
+
+// Bindings resolves condition identifiers to annotation-map keys.
+type Bindings map[string]rdf.Term
+
+// Context supplies everything needed to evaluate a condition for one item.
+type Context struct {
+	// Amap is the annotation map carrying evidence and QA outputs.
+	Amap *evidence.Map
+	// Item is the data item under test.
+	Item evidence.Item
+	// Vars resolves identifiers to map keys. Identifiers absent from Vars
+	// are resolved as q-names against the Qurator namespace, so conditions
+	// may reference evidence types directly (e.g. "HitRatio > 0.5").
+	Vars Bindings
+}
+
+func (c *Context) resolve(name string) rdf.Term {
+	if c.Vars != nil {
+		if key, ok := c.Vars[name]; ok {
+			return key
+		}
+	}
+	return ontology.ExpandQName(name)
+}
+
+// Expr is a parsed condition.
+type Expr interface {
+	// Eval evaluates the condition for one item. Evaluation errors (e.g.
+	// comparing a missing value) are returned so that actions can decide
+	// whether errors mean "reject" (the default) or abort.
+	Eval(ctx *Context) (bool, error)
+	String() string
+}
+
+// Parse parses a condition expression.
+func Parse(src string) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != tEOF {
+		return nil, fmt.Errorf("condition: unexpected trailing %q at offset %d", t.text, t.pos)
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error; for statically-known conditions.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+
+type tKind int
+
+const (
+	tEOF tKind = iota
+	tIdent
+	tQName // q:high
+	tNumber
+	tString
+	tBool
+	tOp    // < <= > >= = == != <>
+	tPunct // ( ) ,
+	tAnd
+	tOr
+	tNot
+	tIn
+	tIRI // <http://...>
+)
+
+// looksLikeIRI reports whether the '<' opening s begins an angle-bracketed
+// IRI (a '>' before any whitespace) rather than a comparison operator.
+func looksLikeIRI(s string) bool {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '>':
+			return i > 1
+		case ' ', '\t', '\n', '\r', '<', '=':
+			return false
+		}
+	}
+	return false
+}
+
+type tok struct {
+	kind tKind
+	text string
+	pos  int
+}
+
+func lex(src string) ([]tok, error) {
+	var toks []tok
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(' || c == ')' || c == ',':
+			toks = append(toks, tok{tPunct, string(c), i})
+			i++
+		case strings.HasPrefix(src[i:], "<=") || strings.HasPrefix(src[i:], ">=") ||
+			strings.HasPrefix(src[i:], "!=") || strings.HasPrefix(src[i:], "==") ||
+			strings.HasPrefix(src[i:], "<>"):
+			toks = append(toks, tok{tOp, src[i : i+2], i})
+			i += 2
+		case c == '<' && looksLikeIRI(src[i:]):
+			end := strings.IndexByte(src[i:], '>')
+			toks = append(toks, tok{tIRI, src[i+1 : i+end], i})
+			i += end + 1
+		case c == '<' || c == '>' || c == '=':
+			toks = append(toks, tok{tOp, string(c), i})
+			i++
+		case c == '"' || c == '\'':
+			quote := c
+			j := i + 1
+			var b strings.Builder
+			for j < len(src) && src[j] != quote {
+				if src[j] == '\\' && j+1 < len(src) {
+					j++
+				}
+				b.WriteByte(src[j])
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("condition: unterminated string at offset %d", i)
+			}
+			toks = append(toks, tok{tString, b.String(), i})
+			i = j + 1
+		case c >= '0' && c <= '9' || c == '-' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9':
+			j := i
+			if src[j] == '-' {
+				j++
+			}
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+				j++
+			}
+			toks = append(toks, tok{tNumber, src[i:j], i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			word := src[i:j]
+			// QName: ident ':' local.
+			if j < len(src) && src[j] == ':' {
+				k := j + 1
+				for k < len(src) && (isIdentPart(rune(src[k])) || src[k] == '-') {
+					k++
+				}
+				toks = append(toks, tok{tQName, word + ":" + src[j+1:k], i})
+				i = k
+				break
+			}
+			switch strings.ToLower(word) {
+			case "and":
+				toks = append(toks, tok{tAnd, word, i})
+			case "or":
+				toks = append(toks, tok{tOr, word, i})
+			case "not":
+				toks = append(toks, tok{tNot, word, i})
+			case "in":
+				toks = append(toks, tok{tIn, word, i})
+			case "true", "false":
+				toks = append(toks, tok{tBool, strings.ToLower(word), i})
+			default:
+				toks = append(toks, tok{tIdent, word, i})
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("condition: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, tok{tEOF, "", i})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentPart(r rune) bool  { return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' }
+
+// ---------------------------------------------------------------------------
+// Parser
+
+type parser struct {
+	toks []tok
+	pos  int
+}
+
+func (p *parser) peek() tok { return p.toks[p.pos] }
+
+func (p *parser) next() tok {
+	t := p.toks[p.pos]
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(kind tKind) bool {
+	if p.peek().kind == kind {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tOr) {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &binExpr{op: "or", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tAnd) {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &binExpr{op: "and", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept(tNot) {
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &notExpr{inner: inner}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	switch t.kind {
+	case tOp:
+		p.pos++
+		r, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		return &cmpExpr{op: normaliseOp(t.text), l: l, r: r}, nil
+	case tIn:
+		p.pos++
+		return p.parseInList(l, false)
+	case tNot:
+		// "x not in (...)"
+		save := p.pos
+		p.pos++
+		if p.accept(tIn) {
+			return p.parseInList(l, true)
+		}
+		p.pos = save
+	}
+	// A bare operand must be boolean-valued at evaluation time.
+	return &truthExpr{operand: l}, nil
+}
+
+func normaliseOp(op string) string {
+	switch op {
+	case "==":
+		return "="
+	case "<>":
+		return "!="
+	default:
+		return op
+	}
+}
+
+// parseInList parses the membership list, with or without parentheses —
+// the paper writes both "IN { 'high', 'mid' }" styles and the bare
+// "in q:high, q:mid" of the §5.1 filter.
+func (p *parser) parseInList(target operand, negated bool) (Expr, error) {
+	paren := false
+	if t := p.peek(); t.kind == tPunct && t.text == "(" {
+		p.pos++
+		paren = true
+	}
+	var items []operand
+	for {
+		item, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, item)
+		if t := p.peek(); t.kind == tPunct && t.text == "," {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if paren {
+		if t := p.next(); t.kind != tPunct || t.text != ")" {
+			return nil, fmt.Errorf("condition: expected ')' to close IN list, got %q", t.text)
+		}
+	}
+	if len(items) == 0 {
+		return nil, fmt.Errorf("condition: empty IN list")
+	}
+	return &inExpr{target: target, items: items, negated: negated}, nil
+}
+
+func (p *parser) parseOperand() (operand, error) {
+	t := p.next()
+	switch t.kind {
+	case tIdent:
+		return varOperand{name: t.text}, nil
+	case tQName:
+		return constOperand{v: evidence.TermValue(ontology.ExpandQName(t.text))}, nil
+	case tIRI:
+		return constOperand{v: evidence.TermValue(rdf.IRI(t.text))}, nil
+	case tNumber:
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("condition: bad number %q: %v", t.text, err)
+		}
+		return constOperand{v: evidence.Float(f)}, nil
+	case tString:
+		return constOperand{v: evidence.String_(t.text)}, nil
+	case tBool:
+		return constOperand{v: evidence.Bool(t.text == "true")}, nil
+	case tPunct:
+		if t.text == "(" {
+			e, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			if c := p.next(); c.kind != tPunct || c.text != ")" {
+				return nil, fmt.Errorf("condition: expected ')', got %q", c.text)
+			}
+			return exprOperand{e: e}, nil
+		}
+	}
+	return nil, fmt.Errorf("condition: unexpected token %q at offset %d", t.text, t.pos)
+}
+
+// ---------------------------------------------------------------------------
+// AST / evaluation
+
+// operand evaluates to a Value under a context.
+type operand interface {
+	value(ctx *Context) (evidence.Value, error)
+	String() string
+}
+
+type varOperand struct{ name string }
+
+func (o varOperand) value(ctx *Context) (evidence.Value, error) {
+	key := ctx.resolve(o.name)
+	v := ctx.Amap.Get(ctx.Item, key)
+	if v.IsNull() {
+		return evidence.Null, fmt.Errorf("condition: no value for %q (key %v) on item %v", o.name, key, ctx.Item)
+	}
+	return v, nil
+}
+
+func (o varOperand) String() string { return o.name }
+
+type constOperand struct{ v evidence.Value }
+
+func (o constOperand) value(*Context) (evidence.Value, error) { return o.v, nil }
+
+func (o constOperand) String() string {
+	switch o.v.Kind() {
+	case evidence.KindString:
+		return strconv.Quote(o.v.AsString())
+	case evidence.KindTerm:
+		if t, ok := o.v.AsTerm(); ok {
+			if rest, found := strings.CutPrefix(t.Value(), ontology.QuratorNS); found {
+				return "q:" + rest
+			}
+			return t.String() // <iri> form, re-parseable by the lexer
+		}
+	}
+	return o.v.String()
+}
+
+// exprOperand wraps a parenthesised sub-expression as a boolean operand.
+type exprOperand struct{ e Expr }
+
+func (o exprOperand) value(ctx *Context) (evidence.Value, error) {
+	b, err := o.e.Eval(ctx)
+	if err != nil {
+		return evidence.Null, err
+	}
+	return evidence.Bool(b), nil
+}
+
+func (o exprOperand) String() string { return "(" + o.e.String() + ")" }
+
+type binExpr struct {
+	op   string // "and" / "or"
+	l, r Expr
+}
+
+func (e *binExpr) Eval(ctx *Context) (bool, error) {
+	lv, err := e.l.Eval(ctx)
+	if err != nil {
+		return false, err
+	}
+	if e.op == "and" && !lv {
+		return false, nil
+	}
+	if e.op == "or" && lv {
+		return true, nil
+	}
+	return e.r.Eval(ctx)
+}
+
+func (e *binExpr) String() string {
+	return e.l.String() + " " + e.op + " " + e.r.String()
+}
+
+type notExpr struct{ inner Expr }
+
+func (e *notExpr) Eval(ctx *Context) (bool, error) {
+	v, err := e.inner.Eval(ctx)
+	if err != nil {
+		return false, err
+	}
+	return !v, nil
+}
+
+func (e *notExpr) String() string { return "not (" + e.inner.String() + ")" }
+
+type truthExpr struct{ operand operand }
+
+func (e *truthExpr) Eval(ctx *Context) (bool, error) {
+	v, err := e.operand.value(ctx)
+	if err != nil {
+		return false, err
+	}
+	if b, ok := v.AsBool(); ok {
+		return b, nil
+	}
+	return false, fmt.Errorf("condition: operand %s is not boolean", e.operand)
+}
+
+func (e *truthExpr) String() string { return e.operand.String() }
+
+type cmpExpr struct {
+	op   string
+	l, r operand
+}
+
+func (e *cmpExpr) Eval(ctx *Context) (bool, error) {
+	lv, err := e.l.value(ctx)
+	if err != nil {
+		return false, err
+	}
+	rv, err := e.r.value(ctx)
+	if err != nil {
+		return false, err
+	}
+	return compareValues(e.op, lv, rv)
+}
+
+func (e *cmpExpr) String() string {
+	return e.l.String() + " " + e.op + " " + e.r.String()
+}
+
+func compareValues(op string, l, r evidence.Value) (bool, error) {
+	if lf, ok := l.AsFloat(); ok {
+		if rf, ok := r.AsFloat(); ok {
+			switch op {
+			case "=":
+				return lf == rf, nil
+			case "!=":
+				return lf != rf, nil
+			case "<":
+				return lf < rf, nil
+			case "<=":
+				return lf <= rf, nil
+			case ">":
+				return lf > rf, nil
+			case ">=":
+				return lf >= rf, nil
+			}
+		}
+	}
+	switch op {
+	case "=":
+		return looseEqual(l, r), nil
+	case "!=":
+		return !looseEqual(l, r), nil
+	}
+	ls, rs := l.AsString(), r.AsString()
+	switch op {
+	case "<":
+		return ls < rs, nil
+	case "<=":
+		return ls <= rs, nil
+	case ">":
+		return ls > rs, nil
+	case ">=":
+		return ls >= rs, nil
+	}
+	return false, fmt.Errorf("condition: unsupported comparison %q", op)
+}
+
+// looseEqual compares values, additionally matching classification labels
+// (term values) against strings by local name — so "high" matches q:high,
+// letting users write either form in action conditions.
+func looseEqual(l, r evidence.Value) bool {
+	if l.Equal(r) {
+		return true
+	}
+	lt, lok := l.AsTerm()
+	rt, rok := r.AsTerm()
+	switch {
+	case lok && !rok:
+		return ontology.LocalName(lt) == r.AsString()
+	case rok && !lok:
+		return ontology.LocalName(rt) == l.AsString()
+	default:
+		return l.AsString() == r.AsString() && l.Kind() == r.Kind()
+	}
+}
+
+type inExpr struct {
+	target  operand
+	items   []operand
+	negated bool
+}
+
+func (e *inExpr) Eval(ctx *Context) (bool, error) {
+	tv, err := e.target.value(ctx)
+	if err != nil {
+		return false, err
+	}
+	for _, item := range e.items {
+		iv, err := item.value(ctx)
+		if err != nil {
+			return false, err
+		}
+		if looseEqual(tv, iv) {
+			return !e.negated, nil
+		}
+	}
+	return e.negated, nil
+}
+
+func (e *inExpr) String() string {
+	parts := make([]string, len(e.items))
+	for i, it := range e.items {
+		parts[i] = it.String()
+	}
+	op := " in "
+	if e.negated {
+		op = " not in "
+	}
+	return e.target.String() + op + strings.Join(parts, ", ")
+}
+
+// NormaliseName converts a view tag name to a condition identifier by
+// replacing spaces with underscores — the paper's view declares
+// tagname="HR MC" and references it as "HR MC" in conditions; in this
+// implementation both the declaration and the reference are normalised.
+func NormaliseName(name string) string {
+	return strings.ReplaceAll(strings.TrimSpace(name), " ", "_")
+}

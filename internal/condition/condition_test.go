@@ -1,0 +1,307 @@
+package condition
+
+import (
+	"strings"
+	"testing"
+
+	"qurator/internal/evidence"
+	"qurator/internal/ontology"
+	"qurator/internal/rdf"
+)
+
+// hitContext builds a context resembling one Imprint hit with the §5.1
+// variable bindings: HR_MC → score tag, ScoreClass → classification model.
+func hitContext(hrmc float64, class rdf.Term) *Context {
+	it := rdf.IRI("urn:lsid:uniprot.org:uniprot:P30089")
+	m := evidence.NewMap(it)
+	scoreTag := ontology.Q("tag/HR_MC")
+	m.Set(it, scoreTag, evidence.Float(hrmc))
+	m.Set(it, ontology.HitRatio, evidence.Float(0.8))
+	m.Set(it, ontology.MassCoverage, evidence.Float(0.35))
+	if !class.IsZero() {
+		m.SetClass(it, ontology.PIScoreClassification, class)
+	}
+	return &Context{
+		Amap: m,
+		Item: it,
+		Vars: Bindings{
+			"HR_MC":      scoreTag,
+			"ScoreClass": ontology.PIScoreClassification,
+		},
+	}
+}
+
+func evalOK(t *testing.T, src string, ctx *Context) bool {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	got, err := e.Eval(ctx)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	return got
+}
+
+func TestPaperFilterCondition(t *testing.T) {
+	// The §5.1 action: "ScoreClass in q:high, q:mid and HR MC > 20".
+	src := "ScoreClass in q:high, q:mid and HR_MC > 20"
+	if !evalOK(t, src, hitContext(25, ontology.ClassHigh)) {
+		t.Error("high + 25 should pass")
+	}
+	if !evalOK(t, src, hitContext(21, ontology.ClassMid)) {
+		t.Error("mid + 21 should pass")
+	}
+	if evalOK(t, src, hitContext(25, ontology.ClassLow)) {
+		t.Error("low class should fail")
+	}
+	if evalOK(t, src, hitContext(19, ontology.ClassHigh)) {
+		t.Error("score 19 should fail")
+	}
+}
+
+func TestComparisonOperators(t *testing.T) {
+	ctx := hitContext(20, ontology.ClassHigh)
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"HR_MC = 20", true},
+		{"HR_MC == 20", true},
+		{"HR_MC != 20", false},
+		{"HR_MC <> 20", false},
+		{"HR_MC < 20", false},
+		{"HR_MC <= 20", true},
+		{"HR_MC > 19.5", true},
+		{"HR_MC >= 20.5", false},
+		{"HitRatio > 0.5", true}, // un-declared identifier resolves as q-name
+		{"MassCoverage < 0.4", true},
+	}
+	for _, c := range cases {
+		if got := evalOK(t, c.src, ctx); got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestBooleanConnectivesAndPrecedence(t *testing.T) {
+	ctx := hitContext(25, ontology.ClassHigh)
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"HR_MC > 20 and HitRatio > 0.5", true},
+		{"HR_MC > 30 or HitRatio > 0.5", true},
+		{"HR_MC > 30 and HitRatio > 0.5 or HR_MC > 20", true}, // or binds loosest
+		{"not HR_MC > 30", true},
+		{"not (HR_MC > 20 and HitRatio > 0.5)", false},
+		{"not not HR_MC > 20", true},
+		{"(HR_MC > 30 or HitRatio > 0.5) and MassCoverage < 0.4", true},
+	}
+	for _, c := range cases {
+		if got := evalOK(t, c.src, ctx); got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestInListVariants(t *testing.T) {
+	ctx := hitContext(25, ontology.ClassMid)
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"ScoreClass in q:high, q:mid", true},
+		{"ScoreClass in (q:high, q:mid)", true},
+		{"ScoreClass in ('high', 'mid')", true}, // string matches label local name
+		{`ScoreClass in "low"`, false},
+		{"ScoreClass not in q:low", true},
+		{"ScoreClass not in (q:mid)", false},
+		{"HR_MC in 24, 25, 26", true},
+		{"HR_MC not in (1, 2)", true},
+	}
+	for _, c := range cases {
+		if got := evalOK(t, c.src, ctx); got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestStringAndTermEquality(t *testing.T) {
+	it := rdf.IRI("urn:item")
+	m := evidence.NewMap(it)
+	m.Set(it, ontology.EvidenceCode, evidence.String_("IEA"))
+	ctx := &Context{Amap: m, Item: it, Vars: Bindings{"code": ontology.EvidenceCode}}
+	if !evalOK(t, `code = "IEA"`, ctx) {
+		t.Error("string equality failed")
+	}
+	if !evalOK(t, `code != "TAS"`, ctx) {
+		t.Error("string inequality failed")
+	}
+	if !evalOK(t, `code in "IEA", "ISS"`, ctx) {
+		t.Error("string IN failed")
+	}
+	// Lexicographic comparison for strings.
+	if !evalOK(t, `code < "ZZZ"`, ctx) {
+		t.Error("string < failed")
+	}
+}
+
+func TestMissingValueIsError(t *testing.T) {
+	ctx := hitContext(25, rdf.Term{}) // no class assigned
+	e := MustParse("ScoreClass in q:high")
+	if _, err := e.Eval(ctx); err == nil {
+		t.Error("missing class value should be an evaluation error")
+	}
+	e = MustParse("NoSuchEvidence > 1")
+	if _, err := e.Eval(ctx); err == nil {
+		t.Error("missing evidence should be an evaluation error")
+	}
+	// Short-circuit: 'or' with a passing left side never touches the
+	// missing value.
+	e = MustParse("HR_MC > 20 or NoSuchEvidence > 1")
+	got, err := e.Eval(ctx)
+	if err != nil || !got {
+		t.Errorf("short-circuit or = %v, %v", got, err)
+	}
+}
+
+func TestBooleanOperandAndErrors(t *testing.T) {
+	it := rdf.IRI("urn:item")
+	m := evidence.NewMap(it)
+	m.Set(it, ontology.Q("flagged"), evidence.Bool(true))
+	ctx := &Context{Amap: m, Item: it, Vars: Bindings{"flagged": ontology.Q("flagged")}}
+	if !evalOK(t, "flagged", ctx) {
+		t.Error("bare boolean operand failed")
+	}
+	if evalOK(t, "not flagged", ctx) {
+		t.Error("negated boolean operand failed")
+	}
+	// Non-boolean bare operand errors.
+	m.Set(it, ontology.Q("num"), evidence.Float(1))
+	e := MustParse("num")
+	ctx.Vars["num"] = ontology.Q("num")
+	if _, err := e.Eval(ctx); err == nil {
+		t.Error("bare numeric operand should error")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"x >",
+		"x > > 1",
+		"x in",
+		"x in ()",
+		"x in (1, 2",
+		"(x > 1",
+		"x > 1) extra",
+		"x ~ 1",
+		`"unterminated`,
+		"and x",
+		"x in (1,)",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	srcs := []string{
+		"ScoreClass in q:high, q:mid and HR_MC > 20",
+		"not (a > 1 or b < 2)",
+		`code = "IEA"`,
+	}
+	for _, src := range srcs {
+		e := MustParse(src)
+		// Re-parsing the rendering must produce an equivalent expression.
+		if _, err := Parse(e.String()); err != nil {
+			t.Errorf("rendering of %q does not re-parse: %q: %v", src, e.String(), err)
+		}
+	}
+}
+
+func TestReEvaluationWithDifferentThresholds(t *testing.T) {
+	// The paper's exploration loop: same parsed QAs, different conditions
+	// between runs. Here: same condition AST, different contexts.
+	e := MustParse("HR_MC > 20")
+	for _, c := range []struct {
+		score float64
+		want  bool
+	}{{10, false}, {20, false}, {20.01, true}, {100, true}} {
+		ctx := hitContext(c.score, ontology.ClassHigh)
+		got, err := e.Eval(ctx)
+		if err != nil || got != c.want {
+			t.Errorf("score %v: got %v (%v), want %v", c.score, got, err, c.want)
+		}
+	}
+}
+
+func TestNormaliseName(t *testing.T) {
+	cases := map[string]string{
+		"HR MC":   "HR_MC",
+		" HR MC ": "HR_MC",
+		"simple":  "simple",
+		"a b c":   "a_b_c",
+	}
+	for in, want := range cases {
+		if got := NormaliseName(in); got != want {
+			t.Errorf("NormaliseName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestNegativeNumbers(t *testing.T) {
+	it := rdf.IRI("urn:item")
+	m := evidence.NewMap(it)
+	m.Set(it, ontology.Q("delta"), evidence.Float(-3.5))
+	ctx := &Context{Amap: m, Item: it, Vars: Bindings{"delta": ontology.Q("delta")}}
+	if !evalOK(t, "delta < -1", ctx) {
+		t.Error("negative comparison failed")
+	}
+	if !evalOK(t, "delta = -3.5", ctx) {
+		t.Error("negative equality failed")
+	}
+}
+
+func BenchmarkEval(b *testing.B) {
+	e := MustParse("ScoreClass in q:high, q:mid and HR_MC > 20")
+	ctx := hitContext(25, ontology.ClassHigh)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Eval(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	src := "ScoreClass in q:high, q:mid and HR_MC > 20 and not (HitRatio < 0.1)"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func FuzzParseNeverPanics(f *testing.F) {
+	for _, seed := range []string{
+		"ScoreClass in q:high, q:mid and HR_MC > 20",
+		"a > 1", "not x", "(a or b) and c", `s = "str"`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if !strings.Contains(e.String(), "") {
+			t.Fatal("impossible")
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package condition
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"qurator/internal/evidence"
+	"qurator/internal/ontology"
+	"qurator/internal/rdf"
+)
+
+// Property: "x > t" over a single-item map agrees with Go's > on the raw
+// floats, for arbitrary values and thresholds.
+func TestThresholdAgreesWithGoProperty(t *testing.T) {
+	it := rdf.IRI("urn:item")
+	key := ontology.Q("x")
+	vars := Bindings{"x": key}
+	f := func(val, threshold float64) bool {
+		if math.IsNaN(val) || math.IsInf(val, 0) || math.IsNaN(threshold) || math.IsInf(threshold, 0) {
+			return true
+		}
+		src := fmt.Sprintf("x > %v", threshold)
+		expr, err := Parse(src)
+		if err != nil {
+			// Exponential float renderings like 1e-300 may exceed the
+			// lexer's simple number grammar; skip those.
+			return true
+		}
+		m := evidence.NewMap(it)
+		m.Set(it, key, evidence.Float(val))
+		got, err := expr.Eval(&Context{Amap: m, Item: it, Vars: vars})
+		return err == nil && got == (val > threshold)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: De Morgan — not (a and b) ≡ (not a) or (not b) under the
+// evaluator, for arbitrary boolean evidence.
+func TestDeMorganProperty(t *testing.T) {
+	it := rdf.IRI("urn:item")
+	aKey, bKey := ontology.Q("a"), ontology.Q("b")
+	vars := Bindings{"a": aKey, "b": bKey}
+	lhs := MustParse("not (a and b)")
+	rhs := MustParse("not a or not b")
+	f := func(a, b bool) bool {
+		m := evidence.NewMap(it)
+		m.Set(it, aKey, evidence.Bool(a))
+		m.Set(it, bKey, evidence.Bool(b))
+		ctx := &Context{Amap: m, Item: it, Vars: vars}
+		l, err1 := lhs.Eval(ctx)
+		r, err2 := rhs.Eval(ctx)
+		return err1 == nil && err2 == nil && l == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the rendering of a parsed condition re-parses to an
+// expression with identical evaluation on a probe context.
+func TestRenderEvalStabilityProperty(t *testing.T) {
+	it := rdf.IRI("urn:item")
+	key := ontology.Q("x")
+	vars := Bindings{"x": key}
+	f := func(val float64, lo, hi uint8) bool {
+		if math.IsNaN(val) || math.IsInf(val, 0) {
+			return true
+		}
+		src := fmt.Sprintf("x > %d and x < %d or x = %d", lo, int(lo)+int(hi), lo)
+		e1, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		e2, err := Parse(e1.String())
+		if err != nil {
+			return false
+		}
+		m := evidence.NewMap(it)
+		m.Set(it, key, evidence.Float(val))
+		ctx := &Context{Amap: m, Item: it, Vars: vars}
+		r1, err1 := e1.Eval(ctx)
+		r2, err2 := e2.Eval(ctx)
+		return err1 == nil && err2 == nil && r1 == r2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: IN over a random list agrees with linear membership search.
+func TestInMembershipProperty(t *testing.T) {
+	it := rdf.IRI("urn:item")
+	key := ontology.Q("x")
+	vars := Bindings{"x": key}
+	f := func(val uint8, listRaw []uint8) bool {
+		if len(listRaw) == 0 {
+			return true
+		}
+		if len(listRaw) > 12 {
+			listRaw = listRaw[:12]
+		}
+		src := "x in "
+		member := false
+		for i, v := range listRaw {
+			if i > 0 {
+				src += ", "
+			}
+			src += fmt.Sprintf("%d", v)
+			if v == val {
+				member = true
+			}
+		}
+		expr, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		m := evidence.NewMap(it)
+		m.Set(it, key, evidence.Float(float64(val)))
+		got, err := expr.Eval(&Context{Amap: m, Item: it, Vars: vars})
+		return err == nil && got == member
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

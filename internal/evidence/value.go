@@ -1,0 +1,233 @@
+// Package evidence implements annotation maps — the values that flow
+// between Qurator's quality operators (paper §4.1).
+//
+// Given a data set D and a set E of evidence types, an annotation map
+// associates an evidence value v (possibly null) for each evidence type
+// e ∈ E to each data item d ∈ D:
+//
+//	Amap : d → {(e, v)}
+//
+// Quality assertions augment the map with class assignments of the form
+// {d → (t, cl)} where t is a classification model and cl one of its
+// members, and with named score tags. Items are identified by RDF terms
+// (typically LSID-wrapped URIs, see internal/lsid).
+package evidence
+
+import (
+	"fmt"
+	"strconv"
+
+	"qurator/internal/rdf"
+)
+
+// ValueKind discriminates evidence value types.
+type ValueKind uint8
+
+const (
+	// KindNull is the absent value (the paper's "possibly null" v).
+	KindNull ValueKind = iota
+	// KindFloat is a floating-point evidence value (scores, ratios).
+	KindFloat
+	// KindInt is an integer evidence value (counts).
+	KindInt
+	// KindString is a string evidence value (codes, names).
+	KindString
+	// KindBool is a boolean evidence value.
+	KindBool
+	// KindTerm is an RDF term value — used for class labels, which are
+	// individuals of a ClassificationModel in the IQ ontology.
+	KindTerm
+)
+
+func (k ValueKind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindFloat:
+		return "float"
+	case KindInt:
+		return "int"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	case KindTerm:
+		return "term"
+	default:
+		return fmt.Sprintf("ValueKind(%d)", uint8(k))
+	}
+}
+
+// Value is a typed evidence value. The zero Value is the null value.
+type Value struct {
+	kind ValueKind
+	f    float64
+	i    int64
+	s    string
+	b    bool
+	t    rdf.Term
+}
+
+// Null is the absent evidence value.
+var Null = Value{}
+
+// Float returns a floating-point value.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// String_ returns a string value. (Named with a trailing underscore to
+// leave the String method free for fmt.Stringer.)
+func String_(s string) Value { return Value{kind: KindString, s: s} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// TermValue returns an RDF-term value (e.g. a classification label IRI).
+func TermValue(t rdf.Term) Value { return Value{kind: KindTerm, t: t} }
+
+// Kind reports the value's kind.
+func (v Value) Kind() ValueKind { return v.kind }
+
+// IsNull reports whether the value is absent.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsFloat converts numeric values to float64.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.kind {
+	case KindFloat:
+		return v.f, true
+	case KindInt:
+		return float64(v.i), true
+	case KindString:
+		f, err := strconv.ParseFloat(v.s, 64)
+		return f, err == nil
+	default:
+		return 0, false
+	}
+}
+
+// AsInt converts integer-valued values to int64.
+func (v Value) AsInt() (int64, bool) {
+	switch v.kind {
+	case KindInt:
+		return v.i, true
+	case KindFloat:
+		if v.f == float64(int64(v.f)) {
+			return int64(v.f), true
+		}
+		return 0, false
+	default:
+		return 0, false
+	}
+}
+
+// AsString returns the lexical form of the value.
+func (v Value) AsString() string {
+	switch v.kind {
+	case KindNull:
+		return ""
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindString:
+		return v.s
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	case KindTerm:
+		return v.t.Value()
+	default:
+		return ""
+	}
+}
+
+// AsBool returns the boolean value.
+func (v Value) AsBool() (bool, bool) {
+	if v.kind == KindBool {
+		return v.b, true
+	}
+	return false, false
+}
+
+// AsTerm returns the RDF-term value.
+func (v Value) AsTerm() (rdf.Term, bool) {
+	if v.kind == KindTerm {
+		return v.t, true
+	}
+	return rdf.Term{}, false
+}
+
+// String implements fmt.Stringer.
+func (v Value) String() string {
+	if v.kind == KindNull {
+		return "<null>"
+	}
+	if v.kind == KindTerm {
+		return v.t.String()
+	}
+	return v.AsString()
+}
+
+// Equal reports whether two values are equal, comparing numerics across
+// int/float kinds.
+func (v Value) Equal(o Value) bool {
+	if v.kind == o.kind {
+		return v == o
+	}
+	vf, vok := v.AsFloat()
+	of, ook := o.AsFloat()
+	if vok && ook {
+		return vf == of
+	}
+	return false
+}
+
+// ToTerm encodes the value as an RDF term for storage in an annotation
+// repository. Null values encode as a zero Term.
+func (v Value) ToTerm() rdf.Term {
+	switch v.kind {
+	case KindNull:
+		return rdf.Term{}
+	case KindFloat:
+		return rdf.Double(v.f)
+	case KindInt:
+		return rdf.Integer(v.i)
+	case KindString:
+		return rdf.Literal(v.s)
+	case KindBool:
+		return rdf.Boolean(v.b)
+	case KindTerm:
+		return v.t
+	default:
+		return rdf.Term{}
+	}
+}
+
+// FromTerm decodes an RDF term into a Value, reversing ToTerm: typed
+// numeric/boolean literals become their native kinds, other literals
+// become strings, and IRIs/blank nodes become term values.
+func FromTerm(t rdf.Term) Value {
+	if t.IsZero() {
+		return Null
+	}
+	if !t.IsLiteral() {
+		return TermValue(t)
+	}
+	switch t.Datatype() {
+	case rdf.XSDDouble:
+		if f, ok := t.Float(); ok {
+			return Float(f)
+		}
+	case rdf.XSDInteger:
+		if i, ok := t.Int(); ok {
+			return Int(i)
+		}
+	case rdf.XSDBoolean:
+		if b, ok := t.Bool(); ok {
+			return Bool(b)
+		}
+	}
+	return String_(t.Value())
+}

@@ -1,0 +1,53 @@
+package imprint
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qurator/internal/proteomics"
+)
+
+// Property: for arbitrary random worlds, every reported hit satisfies the
+// indicator invariants — HR, MC ∈ (0, 1], matched counts within bounds,
+// ranks contiguous from 1, scores non-increasing down the ranking.
+func TestHitInvariantsProperty(t *testing.T) {
+	f := func(seed int64, noiseRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := proteomics.RandomDatabase(30, 150, 350, rng)
+		params := proteomics.DefaultSpectrumParams()
+		params.NoisePeaks = int(noiseRaw % 60)
+		pl := proteomics.SynthesizeSpectrum("s", []proteomics.Protein{db[0], db[1]}, params, rng)
+		eng, err := NewEngine(db, DefaultParams())
+		if err != nil {
+			return false
+		}
+		res := eng.Search(pl)
+		prevScore := 1e18
+		for i, h := range res.Hits {
+			if h.Rank != i+1 {
+				return false
+			}
+			if h.HitRatio <= 0 || h.HitRatio > 1 {
+				return false
+			}
+			if h.MassCoverage <= 0 || h.MassCoverage > 1 {
+				return false
+			}
+			if h.MatchedPeaks > res.PeakCount || h.MatchedPeaks <= 0 {
+				return false
+			}
+			if h.MatchedPeptides < DefaultParams().MinPeptides {
+				return false
+			}
+			if h.Score > prevScore {
+				return false
+			}
+			prevScore = h.Score
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,242 @@
+package ispider
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qurator/internal/evidence"
+	"qurator/internal/ontology"
+	"qurator/internal/ops"
+	"qurator/internal/qa"
+	"qurator/internal/qvlang"
+	"qurator/internal/rdf"
+)
+
+// PRStats are precision/recall of a filtered identification set against
+// the synthetic ground truth — the measure the paper could not report
+// (its data had no truth labels) that our synthetic substitution adds.
+type PRStats struct {
+	Name                string
+	Kept                int
+	TruePositives       int
+	Precision, Recall   float64
+	TotalTrue, TotalIDs int
+}
+
+// scorePR counts an accepted set against ground truth. A kept
+// identification is a true positive when its accession is in its spot's
+// truth set; recall is measured against the (spot, protein) pairs that
+// appear anywhere in the baseline identification list.
+func scorePR(world *World, name string, baseline, accepted *evidence.Map) (PRStats, error) {
+	stats := PRStats{Name: name, Kept: accepted.Len(), TotalIDs: baseline.Len()}
+	trueIdentified := map[string]bool{}
+	for _, item := range baseline.Items() {
+		spot, acc, _, err := ParseHitItem(item)
+		if err != nil {
+			return stats, err
+		}
+		if world.Truth(spot)[acc] {
+			trueIdentified[spot+"/"+acc] = true
+		}
+	}
+	stats.TotalTrue = len(trueIdentified)
+	keptTrue := map[string]bool{}
+	for _, item := range accepted.Items() {
+		spot, acc, _, err := ParseHitItem(item)
+		if err != nil {
+			return stats, err
+		}
+		if world.Truth(spot)[acc] {
+			stats.TruePositives++
+			keptTrue[spot+"/"+acc] = true
+		}
+	}
+	if stats.Kept > 0 {
+		stats.Precision = float64(stats.TruePositives) / float64(stats.Kept)
+	}
+	if stats.TotalTrue > 0 {
+		stats.Recall = float64(len(keptTrue)) / float64(stats.TotalTrue)
+	}
+	return stats, nil
+}
+
+// enrichedBaseline runs the baseline and computes the full evidence map
+// (annotator + enrichment) without any QA/action, for ablations that
+// apply QAs directly.
+func enrichedBaseline(world *World) (*RunOutput, *evidence.Map, error) {
+	baseline, err := RunBaseline(world)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := evidence.NewMap(baseline.Accepted.Items()...)
+	for _, e := range baseline.Entries {
+		item := HitItem(e.SpotID, e.Hit.Protein.Accession, e.Hit.Rank)
+		m.Set(item, ontology.HitRatio, evidence.Float(e.Hit.HitRatio))
+		m.Set(item, ontology.Coverage, evidence.Float(e.Hit.MassCoverage))
+		m.Set(item, ontology.Masses, evidence.Int(int64(e.Hit.MatchedPeaks)))
+		m.Set(item, ontology.PeptidesCount, evidence.Int(int64(e.Hit.MatchedPeptides)))
+	}
+	return baseline, m, nil
+}
+
+// RunQAComparison is ablation A2: the same world filtered by three
+// alternative QAs — HR-only score, HR+MC score, and the three-way
+// classifier — comparing their precision/recall. It makes the paper's
+// motivating claim measurable: different QAs over the same evidence
+// capture different (and differently effective) quality perceptions.
+func RunQAComparison(world *World) ([]PRStats, error) {
+	baseline, m, err := enrichedBaseline(world)
+	if err != nil {
+		return nil, err
+	}
+	hrTag, hrmcTag := qvlang.TagKeyFor("HR"), qvlang.TagKeyFor("HR_MC")
+	for _, assertion := range []ops.QualityAssertion{
+		qa.NewHRScore(hrTag),
+		qa.NewUniversalPIScore(hrmcTag),
+		qa.NewPIScoreClassifier(),
+	} {
+		if err := assertion.Assert(m); err != nil {
+			return nil, err
+		}
+	}
+	var out []PRStats
+
+	// Distribution-relative cuts (avg + stddev of each score column).
+	cutAbove := func(tag rdf.Term) func(evidence.Item) bool {
+		stats := m.ColumnStats(tag)
+		cut := stats.Mean + stats.StdDev
+		return func(it evidence.Item) bool {
+			f, ok := m.Get(it, tag).AsFloat()
+			return ok && f > cut
+		}
+	}
+	variants := []struct {
+		name string
+		keep func(evidence.Item) bool
+	}{
+		{"HR-only score > avg+sd", cutAbove(hrTag)},
+		{"HR+MC score > avg+sd", cutAbove(hrmcTag)},
+		{"classifier class=high", func(it evidence.Item) bool {
+			return m.Class(it, ontology.PIScoreClassification) == ontology.ClassHigh
+		}},
+		{"classifier class in high,mid", func(it evidence.Item) bool {
+			cls := m.Class(it, ontology.PIScoreClassification)
+			return cls == ontology.ClassHigh || cls == ontology.ClassMid
+		}},
+		{"native Imprint rank 1", func(it evidence.Item) bool {
+			_, _, rank, err := ParseHitItem(it)
+			return err == nil && rank == 1
+		}},
+	}
+	for _, v := range variants {
+		accepted := m.Filter(v.keep)
+		stats, err := scorePR(world, v.name, baseline.Accepted, accepted)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, stats)
+	}
+	return out, nil
+}
+
+// ThresholdPoint is one point of ablation A3's sweep.
+type ThresholdPoint struct {
+	Label string
+	PRStats
+}
+
+// RunThresholdSweep is ablation A3: the §4 exploration loop made
+// systematic — the same QAs, a sweep of filter conditions (score cuts at
+// avg, avg+σ, avg+2σ and top-k for k ∈ ks), reporting how false-positive
+// survival trades against recall.
+func RunThresholdSweep(world *World, ks []int) ([]ThresholdPoint, error) {
+	baseline, m, err := enrichedBaseline(world)
+	if err != nil {
+		return nil, err
+	}
+	tag := qvlang.TagKeyFor("HR_MC")
+	score := qa.NewUniversalPIScore(tag)
+	if err := score.Assert(m); err != nil {
+		return nil, err
+	}
+	stats := m.ColumnStats(tag)
+	var out []ThresholdPoint
+
+	for _, cut := range []struct {
+		label string
+		at    float64
+	}{
+		{"score > avg", stats.Mean},
+		{"score > avg+1sd", stats.Mean + stats.StdDev},
+		{"score > avg+2sd", stats.Mean + 2*stats.StdDev},
+	} {
+		accepted := m.Filter(func(it evidence.Item) bool {
+			f, ok := m.Get(it, tag).AsFloat()
+			return ok && f > cut.at
+		})
+		pr, err := scorePR(world, cut.label, baseline.Accepted, accepted)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ThresholdPoint{Label: cut.label, PRStats: pr})
+	}
+
+	// Top-k per spot, using the TopK action over each spot's slice.
+	for _, k := range ks {
+		kept := evidence.NewMap()
+		bySpot := map[string][]evidence.Item{}
+		var spots []string
+		for _, item := range m.Items() {
+			spot, _, _, err := ParseHitItem(item)
+			if err != nil {
+				return nil, err
+			}
+			if _, ok := bySpot[spot]; !ok {
+				spots = append(spots, spot)
+			}
+			bySpot[spot] = append(bySpot[spot], item)
+		}
+		for _, spot := range spots {
+			sub := m.Project(bySpot[spot])
+			top, err := (&ops.TopK{Key: tag, K: k}).Apply(sub)
+			if err != nil {
+				return nil, err
+			}
+			kept.Merge(top)
+		}
+		pr, err := scorePR(world, fmt.Sprintf("top-%d per spot", k), baseline.Accepted, kept)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ThresholdPoint{Label: pr.Name, PRStats: pr})
+	}
+	return out, nil
+}
+
+// FormatPRTable renders precision/recall rows as a text table.
+func FormatPRTable(title string, rows []PRStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-30s %6s %6s %10s %8s\n", "criterion", "kept", "TP", "precision", "recall")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-30s %6d %6d %10.3f %8.3f\n", r.Name, r.Kept, r.TruePositives, r.Precision, r.Recall)
+	}
+	return b.String()
+}
+
+// TermRanking returns GO terms sorted by descending count (the pareto
+// view of §1.1), breaking ties by term ID.
+func TermRanking(counts map[string]int) []string {
+	terms := make([]string, 0, len(counts))
+	for t := range counts {
+		terms = append(terms, t)
+	}
+	sort.Slice(terms, func(i, j int) bool {
+		if counts[terms[i]] != counts[terms[j]] {
+			return counts[terms[i]] > counts[terms[j]]
+		}
+		return terms[i] < terms[j]
+	})
+	return terms
+}

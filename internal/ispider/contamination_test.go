@@ -1,0 +1,41 @@
+package ispider
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestContaminationSweep(t *testing.T) {
+	params := DefaultWorldParams()
+	params.DBSize, params.SpotCount = 60, 6
+	points, err := RunContaminationSweep(params, []int{0, 2, 4})
+	if err != nil {
+		t.Fatalf("RunContaminationSweep: %v", err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for i, p := range points {
+		// The quality view must beat the unfiltered baseline at every
+		// contamination level.
+		if p.Filtered.Kept > 0 && p.Filtered.Precision <= p.BaselinePrecision {
+			t.Errorf("level %d: qv precision %.3f does not beat baseline %.3f",
+				p.Contaminants, p.Filtered.Precision, p.BaselinePrecision)
+		}
+		if p.Filtered.Precision < 0 || p.Filtered.Precision > 1 {
+			t.Errorf("level %d: precision out of range", p.Contaminants)
+		}
+		if i > 0 && p.NoisePeaks <= points[i-1].NoisePeaks {
+			t.Error("noise should increase with contamination level")
+		}
+	}
+	// Graceful degradation: heavy contamination may cost recall but not
+	// collapse it.
+	last := points[len(points)-1]
+	if last.Filtered.Recall < 0.3 {
+		t.Errorf("recall collapsed at heavy contamination: %.3f", last.Filtered.Recall)
+	}
+	if s := FormatContamination(points); !strings.Contains(s, "contaminants") {
+		t.Error("FormatContamination incomplete")
+	}
+}

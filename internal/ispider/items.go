@@ -1,0 +1,105 @@
+package ispider
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"qurator/internal/annotstore"
+	"qurator/internal/evidence"
+	"qurator/internal/imprint"
+	"qurator/internal/lsid"
+	"qurator/internal/ontology"
+	"qurator/internal/ops"
+	"qurator/internal/rdf"
+)
+
+// HitEntry pairs one Imprint hit with the spot it identifies — the
+// paper's q:ImprintHitEntry data entity.
+type HitEntry struct {
+	SpotID string
+	Hit    imprint.Hit
+}
+
+// HitItem wraps a hit entry as an LSID-identified RDF resource. The LSID
+// object encodes (spot, accession, rank) so entries are unique across an
+// experiment; the same protein identified in two spots is two data items.
+func HitItem(spotID, accession string, rank int) evidence.Item {
+	object := fmt.Sprintf("%s;%s;%d", spotID, accession, rank)
+	return rdf.IRI(lsid.MustWrap("qurator.org", "imprint-hit", object))
+}
+
+// ParseHitItem recovers (spot, accession, rank) from a hit item URI.
+func ParseHitItem(item evidence.Item) (spotID, accession string, rank int, err error) {
+	object, err := lsid.Unwrap(item.Value())
+	if err != nil {
+		return "", "", 0, err
+	}
+	parts := strings.Split(object, ";")
+	if len(parts) != 3 {
+		return "", "", 0, fmt.Errorf("ispider: malformed hit item %q", item.Value())
+	}
+	rank, err = strconv.Atoi(parts[2])
+	if err != nil {
+		return "", "", 0, fmt.Errorf("ispider: bad rank in %q: %v", item.Value(), err)
+	}
+	return parts[0], parts[1], rank, nil
+}
+
+// Identifications flattens per-spot search results into hit entries and
+// their data items, preserving spot order then rank order — the ranked
+// lists the quality view filters.
+func Identifications(results []imprint.Result) ([]HitEntry, []evidence.Item) {
+	var entries []HitEntry
+	var items []evidence.Item
+	for _, res := range results {
+		for _, hit := range res.Hits {
+			entries = append(entries, HitEntry{SpotID: res.SpotID, Hit: hit})
+			items = append(items, HitItem(res.SpotID, hit.Protein.Accession, hit.Rank))
+		}
+	}
+	return entries, items
+}
+
+// NewImprintAnnotator builds the q:ImprintOutputAnnotation operator for
+// one identification run: it annotates every hit item with the evidence
+// the §5.1 view declares — Hit Ratio, Coverage (mass coverage), Masses
+// (matched peak count) and PeptidesCount (matched peptide count). The
+// evidence "is available as part of the Imprint output, therefore the
+// annotation function simply captures their values and stores them as
+// annotations" (§3); its scope is this single process execution, which is
+// why the view routes it to the non-persistent cache repository.
+func NewImprintAnnotator(entries []HitEntry) ops.Annotator {
+	byItem := make(map[evidence.Item]imprint.Hit, len(entries))
+	for _, e := range entries {
+		byItem[HitItem(e.SpotID, e.Hit.Protein.Accession, e.Hit.Rank)] = e.Hit
+	}
+	return ops.AnnotatorFunc{
+		ClassIRI: ontology.ImprintOutputAnnotation,
+		Types: []rdf.Term{
+			ontology.HitRatio, ontology.Coverage, ontology.Masses, ontology.PeptidesCount,
+		},
+		Fn: func(items []evidence.Item, repo annotstore.Store) error {
+			for _, item := range items {
+				hit, ok := byItem[item]
+				if !ok {
+					return fmt.Errorf("ispider: no Imprint output for item %v", item)
+				}
+				annotations := []annotstore.Annotation{
+					{Item: item, Type: ontology.HitRatio, Value: evidence.Float(hit.HitRatio)},
+					{Item: item, Type: ontology.Coverage, Value: evidence.Float(hit.MassCoverage)},
+					{Item: item, Type: ontology.Masses, Value: evidence.Int(int64(hit.MatchedPeaks))},
+					{Item: item, Type: ontology.PeptidesCount, Value: evidence.Int(int64(hit.MatchedPeptides))},
+				}
+				for _, a := range annotations {
+					a.Source = ontology.ImprintOutputAnnotation
+					a.EntityClass = ontology.ImprintHitEntry
+					if err := repo.Put(a); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+	}
+}

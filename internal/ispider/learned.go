@@ -1,0 +1,131 @@
+package ispider
+
+import (
+	"fmt"
+
+	"qurator/internal/condition"
+	"qurator/internal/evidence"
+	"qurator/internal/ontology"
+	"qurator/internal/qa"
+)
+
+// This file is ablation A4: the paper's future-work item (ii) exercised
+// on the running example — a quality assertion *learned* from labelled
+// examples instead of hand-built, compared against the hand-built
+// classifier on held-out spots.
+
+// LearnedQAResult compares the learned and hand-built QAs on a held-out
+// test split.
+type LearnedQAResult struct {
+	TrainSpots, TestSpots int
+	TrainAccuracy         float64
+	// Learned and HandBuilt are test-split precision/recall.
+	Learned   PRStats
+	HandBuilt PRStats
+}
+
+// RunLearnedQA trains a decision-stump QA on the even-indexed spots'
+// ground truth and evaluates it against the hand-built PIScoreClassifier
+// on the odd-indexed spots.
+func RunLearnedQA(world *World) (*LearnedQAResult, error) {
+	baseline, m, err := enrichedBaseline(world)
+	if err != nil {
+		return nil, err
+	}
+
+	// Split items by spot parity.
+	var trainItems, testItems []evidence.Item
+	trainSpots, testSpots := map[string]bool{}, map[string]bool{}
+	for _, item := range m.Items() {
+		spot, _, _, err := ParseHitItem(item)
+		if err != nil {
+			return nil, err
+		}
+		// spotNN: parity of the numeric suffix.
+		var n int
+		if _, err := fmt.Sscanf(spot, "spot%d", &n); err != nil {
+			return nil, fmt.Errorf("ispider: unexpected spot ID %q", spot)
+		}
+		if n%2 == 0 {
+			trainItems = append(trainItems, item)
+			trainSpots[spot] = true
+		} else {
+			testItems = append(testItems, item)
+			testSpots[spot] = true
+		}
+	}
+	if len(trainItems) == 0 || len(testItems) == 0 {
+		return nil, fmt.Errorf("ispider: need at least two spots to split train/test")
+	}
+
+	vars := condition.Bindings{
+		"hr":  ontology.HitRatio,
+		"mc":  ontology.Coverage,
+		"pep": ontology.PeptidesCount,
+	}
+	ts := &qa.TrainingSet{
+		Amap:     m,
+		Features: []evidence.Key{ontology.HitRatio, ontology.Coverage, ontology.PeptidesCount},
+	}
+	for _, item := range trainItems {
+		spot, acc, _, err := ParseHitItem(item)
+		if err != nil {
+			return nil, err
+		}
+		ts.Examples = append(ts.Examples, qa.Example{Item: item, Good: world.Truth(spot)[acc]})
+	}
+
+	learnedModel := ontology.Q("LearnedPIClassification")
+	tree, err := qa.LearnStumps(ts, ontology.Q("LearnedPIQuality"), learnedModel,
+		ontology.ClassHigh, ontology.ClassLow, vars, qa.StumpParams{MaxDepth: 3, MinLeaf: 3})
+	if err != nil {
+		return nil, err
+	}
+	trainAcc, err := qa.EvaluateClassifier(tree, ts, ontology.ClassHigh)
+	if err != nil {
+		return nil, err
+	}
+
+	// Evaluate both QAs on the held-out test items.
+	testMap := m.Project(testItems)
+	if err := tree.Assert(testMap); err != nil {
+		return nil, err
+	}
+	hand := qa.NewPIScoreClassifier()
+	if err := hand.Assert(testMap); err != nil {
+		return nil, err
+	}
+
+	testBaseline := baseline.Accepted.Project(testItems)
+	learnedKept := testMap.Filter(func(it evidence.Item) bool {
+		return testMap.Class(it, learnedModel) == ontology.ClassHigh
+	})
+	learnedPR, err := scorePR(world, "learned stump tree", testBaseline, learnedKept)
+	if err != nil {
+		return nil, err
+	}
+	handKept := testMap.Filter(func(it evidence.Item) bool {
+		return testMap.Class(it, ontology.PIScoreClassification) == ontology.ClassHigh
+	})
+	handPR, err := scorePR(world, "hand-built classifier", testBaseline, handKept)
+	if err != nil {
+		return nil, err
+	}
+
+	return &LearnedQAResult{
+		TrainSpots:    len(trainSpots),
+		TestSpots:     len(testSpots),
+		TrainAccuracy: trainAcc,
+		Learned:       learnedPR,
+		HandBuilt:     handPR,
+	}, nil
+}
+
+// Format renders the comparison as a text table.
+func (r *LearnedQAResult) Format() string {
+	return fmt.Sprintf(
+		"Ablation A4 — learned vs hand-built QA (train %d spots, test %d spots)\n"+
+			"training accuracy: %.3f\n%s",
+		r.TrainSpots, r.TestSpots, r.TrainAccuracy,
+		FormatPRTable("held-out test split:", []PRStats{r.Learned, r.HandBuilt}))
+}

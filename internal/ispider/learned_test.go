@@ -1,0 +1,71 @@
+package ispider
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunLearnedQA(t *testing.T) {
+	w := smallWorld(t)
+	res, err := RunLearnedQA(w)
+	if err != nil {
+		t.Fatalf("RunLearnedQA: %v", err)
+	}
+	if res.TrainSpots == 0 || res.TestSpots == 0 {
+		t.Fatalf("bad split: %d/%d", res.TrainSpots, res.TestSpots)
+	}
+	if res.TrainSpots+res.TestSpots != w.Params.SpotCount {
+		t.Errorf("split covers %d spots, want %d", res.TrainSpots+res.TestSpots, w.Params.SpotCount)
+	}
+	// The ground-truth rule is learnable: training accuracy must be high.
+	if res.TrainAccuracy < 0.9 {
+		t.Errorf("training accuracy = %.3f", res.TrainAccuracy)
+	}
+	// The learned model must generalise: precision and recall on the
+	// held-out split both clearly above the unfiltered base rate (the
+	// fraction of true identifications, well under 0.5 in this world).
+	if res.Learned.Precision < 0.7 {
+		t.Errorf("learned precision = %.3f", res.Learned.Precision)
+	}
+	if res.Learned.Recall < 0.6 {
+		t.Errorf("learned recall = %.3f", res.Learned.Recall)
+	}
+	// Both criteria keep something and not everything.
+	for _, pr := range []PRStats{res.Learned, res.HandBuilt} {
+		if pr.Kept == 0 || pr.Kept == pr.TotalIDs {
+			t.Errorf("%s: degenerate filter kept %d of %d", pr.Name, pr.Kept, pr.TotalIDs)
+		}
+	}
+	if s := res.Format(); !strings.Contains(s, "learned stump tree") {
+		t.Error("Format incomplete")
+	}
+}
+
+func TestRunLearnedQASingleSpotFails(t *testing.T) {
+	params := DefaultWorldParams()
+	params.SpotCount = 1
+	params.DBSize = 40
+	w, err := BuildWorld(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunLearnedQA(w); err == nil {
+		t.Error("single-spot world cannot be split and should fail")
+	}
+}
+
+func BenchmarkLearnedQA(b *testing.B) {
+	params := DefaultWorldParams()
+	params.DBSize, params.SpotCount = 60, 6
+	w, err := BuildWorld(params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunLearnedQA(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package ontology
+
+import (
+	"strings"
+
+	"qurator/internal/rdf"
+)
+
+// QuratorNS is the namespace of the IQ model — the "q:" prefix used in the
+// paper's quality-view fragments (§5.1).
+const QuratorNS = "http://qurator.org/iq#"
+
+// Q returns the IRI of a name in the Qurator namespace, i.e. the expansion
+// of "q:local".
+func Q(local string) rdf.Term { return rdf.IRI(QuratorNS + local) }
+
+// ExpandQName expands "q:Name" against the Qurator namespace, returning
+// absolute IRIs unchanged. Names with no prefix are also resolved against
+// the Qurator namespace, matching the paper's informal usage.
+func ExpandQName(name string) rdf.Term {
+	switch {
+	case strings.HasPrefix(name, "q:"):
+		return Q(name[2:])
+	case strings.Contains(name, "://") || strings.HasPrefix(name, "urn:"):
+		return rdf.IRI(name)
+	default:
+		return Q(name)
+	}
+}
+
+// Root classes of the IQ model (paper §3, Figure 2).
+var (
+	// DataEntity represents any data item for which quality annotations
+	// can be computed and quality assertions made.
+	DataEntity = Q("DataEntity")
+	// QualityEvidence is any measurable quantity usable as input to a QA.
+	QualityEvidence = Q("QualityEvidence")
+	// QualityAssertion is the class of QA decision models.
+	QualityAssertion = Q("QualityAssertion")
+	// AnnotationFunction is the class of evidence-computing functions.
+	AnnotationFunction = Q("AnnotationFunction")
+	// ClassificationModel is the class of classification schemes whose
+	// members are the class labels QAs assign.
+	ClassificationModel = Q("ClassificationModel")
+	// QualityProperty is the class of generic IQ dimensions.
+	QualityProperty = Q("QualityProperty")
+)
+
+// Properties of the IQ model.
+var (
+	// ContainsEvidence links a DataEntity to a QualityEvidence value
+	// (Figure 2's contains-evidence object property).
+	ContainsEvidence = Q("containsEvidence")
+	// EvidenceType links an evidence node to its QualityEvidence subclass.
+	EvidenceType = Q("evidenceType")
+	// EvidenceValue carries the literal value of an evidence node.
+	EvidenceValue = Q("evidenceValue")
+	// ComputedBy links evidence to the AnnotationFunction that produced it.
+	ComputedBy = Q("computedBy")
+	// AddressesProperty classifies a QA under an IQ dimension, fostering
+	// reuse (paper §3).
+	AddressesProperty = Q("addressesProperty")
+	// MemberOfModel links a class label individual to its
+	// ClassificationModel.
+	MemberOfModel = Q("memberOfModel")
+)
+
+// Quality dimensions (the paper cites accuracy, completeness, currency
+// after Wang & Strong / Redman).
+var (
+	Accuracy     = Q("Accuracy")
+	Completeness = Q("Completeness")
+	Currency     = Q("Currency")
+	Credibility  = Q("Credibility")
+)
+
+// Proteomics-domain vocabulary from the running example.
+var (
+	// ImprintHitEntry is the DataEntity subclass for a single ranked
+	// protein identification produced by Imprint (§3).
+	ImprintHitEntry = Q("ImprintHitEntry")
+
+	// Evidence types produced by the Imprint annotator (§5.1 declares
+	// q:coverage, q:masses, q:peptidesCount alongside HitRatio).
+	HitRatio      = Q("HitRatio")
+	MassCoverage  = Q("MassCoverage")
+	Coverage      = Q("Coverage")
+	Masses        = Q("Masses")
+	PeptidesCount = Q("PeptidesCount")
+
+	// QA operator classes declared in the §5.1 view.
+	UniversalPIScore  = Q("UniversalPIScore")
+	UniversalPIScore2 = Q("UniversalPIScore2")
+	HRScoreAssertion  = Q("HRScoreAssertion")
+	PIScoreClassifier = Q("PIScoreClassifier")
+
+	// PIScoreClassification is the three-way classification model; its
+	// enumerated individuals are q:low / q:mid / q:high (§5.1).
+	PIScoreClassification = Q("PIScoreClassification")
+	ClassLow              = Q("low")
+	ClassMid              = Q("mid")
+	ClassHigh             = Q("high")
+
+	// ImprintOutputAnnotation is the annotation-function class of the
+	// §5.1 <Annotator> declaration.
+	ImprintOutputAnnotation = Q("ImprintOutputAnnotation")
+)
+
+// Credibility-domain vocabulary (paper §3's journal-reputation example and
+// the Uniprot evidence-code study [16]).
+var (
+	CuratedAnnotationEntry = Q("CuratedAnnotationEntry")
+	EvidenceCode           = Q("EvidenceCode")
+	JournalImpactFactor    = Q("JournalImpactFactor")
+	CurationCredibility    = Q("CurationCredibility")
+	CredibilityClass       = Q("CredibilityClassification")
+	ImpactFactorAnnotation = Q("ImpactFactorAnnotation")
+	EvidenceCodeAnnotation = Q("EvidenceCodeAnnotation")
+)
+
+// NewIQModel builds the IQ ontology: the generic root taxonomy plus the
+// proteomics and credibility domain extensions used throughout the paper.
+// User code extends the returned ontology with further subclasses — the
+// model is explicitly "user-extensible" (paper contribution #1).
+func NewIQModel() *Ontology {
+	o := New()
+
+	// Root taxonomy.
+	for _, c := range []rdf.Term{
+		DataEntity, QualityEvidence, QualityAssertion,
+		AnnotationFunction, ClassificationModel, QualityProperty,
+	} {
+		o.MustDefineClass(c)
+	}
+
+	// Core properties.
+	must(o.DefineObjectProperty(ContainsEvidence, DataEntity, QualityEvidence))
+	must(o.DefineObjectProperty(EvidenceType, rdf.Term{}, QualityEvidence))
+	must(o.DefineDatatypeProperty(EvidenceValue, rdf.Term{}, rdf.Term{}))
+	must(o.DefineObjectProperty(ComputedBy, QualityEvidence, AnnotationFunction))
+	must(o.DefineObjectProperty(AddressesProperty, QualityAssertion, QualityProperty))
+	must(o.DefineObjectProperty(MemberOfModel, rdf.Term{}, ClassificationModel))
+
+	// Quality dimensions as individuals of QualityProperty.
+	for _, dim := range []rdf.Term{Accuracy, Completeness, Currency, Credibility} {
+		o.MustAddIndividual(dim, QualityProperty)
+	}
+
+	// Proteomics domain.
+	o.MustDefineClass(ImprintHitEntry, DataEntity)
+	for _, ev := range []rdf.Term{HitRatio, MassCoverage, Coverage, Masses, PeptidesCount} {
+		o.MustDefineClass(ev, QualityEvidence)
+	}
+	o.MustDefineClass(UniversalPIScore, QualityAssertion)
+	o.MustDefineClass(UniversalPIScore2, UniversalPIScore)
+	o.MustDefineClass(HRScoreAssertion, QualityAssertion)
+	o.MustDefineClass(PIScoreClassifier, QualityAssertion)
+	o.MustDefineClass(PIScoreClassification, ClassificationModel)
+	for _, cl := range []rdf.Term{ClassLow, ClassMid, ClassHigh} {
+		o.MustAddIndividual(cl, PIScoreClassification)
+	}
+	o.MustDefineClass(ImprintOutputAnnotation, AnnotationFunction)
+
+	// Credibility domain.
+	o.MustDefineClass(CuratedAnnotationEntry, DataEntity)
+	o.MustDefineClass(EvidenceCode, QualityEvidence)
+	o.MustDefineClass(JournalImpactFactor, QualityEvidence)
+	o.MustDefineClass(CurationCredibility, QualityAssertion)
+	o.MustDefineClass(CredibilityClass, ClassificationModel)
+	o.MustDefineClass(ImpactFactorAnnotation, AnnotationFunction)
+	o.MustDefineClass(EvidenceCodeAnnotation, AnnotationFunction)
+
+	// Labels for the vocabulary most often shown to users.
+	o.SetLabel(HitRatio, "Hit Ratio")
+	o.SetLabel(MassCoverage, "Mass Coverage")
+	o.SetLabel(PIScoreClassification, "PI match classification")
+
+	return o
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,448 @@
+// Package ontology implements the class/property model underpinning the
+// Qurator IQ (information quality) semantic model of paper §3: a taxonomy
+// of OWL-style classes with subsumption reasoning, object and datatype
+// properties with domain/range, and typed individuals, all serialisable to
+// and from RDF.
+//
+// The paper defines the IQ model in OWL DL but exercises only its
+// taxonomic fragment (subclass vocabulary, instance typing, and
+// domain/range on the contains-evidence property); this package implements
+// exactly that fragment plus consistency checking.
+package ontology
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"qurator/internal/rdf"
+)
+
+// Ontology is a mutable class/property model. All methods are safe for
+// concurrent use.
+type Ontology struct {
+	mu sync.RWMutex
+
+	classes map[rdf.Term]struct{}
+	// supers maps a class to its direct superclasses.
+	supers map[rdf.Term]map[rdf.Term]struct{}
+	// subs is the inverse of supers.
+	subs map[rdf.Term]map[rdf.Term]struct{}
+
+	objectProps   map[rdf.Term]*Property
+	datatypeProps map[rdf.Term]*Property
+
+	// types maps an individual to its asserted classes.
+	types map[rdf.Term]map[rdf.Term]struct{}
+	// members is the inverse of types.
+	members map[rdf.Term]map[rdf.Term]struct{}
+
+	labels map[rdf.Term]string
+}
+
+// Property describes an object or datatype property.
+type Property struct {
+	IRI    rdf.Term
+	Domain rdf.Term // zero Term means unconstrained
+	Range  rdf.Term // class IRI for object properties, datatype IRI for datatype properties
+	Object bool     // true for object properties
+}
+
+// New returns an empty ontology.
+func New() *Ontology {
+	return &Ontology{
+		classes:       make(map[rdf.Term]struct{}),
+		supers:        make(map[rdf.Term]map[rdf.Term]struct{}),
+		subs:          make(map[rdf.Term]map[rdf.Term]struct{}),
+		objectProps:   make(map[rdf.Term]*Property),
+		datatypeProps: make(map[rdf.Term]*Property),
+		types:         make(map[rdf.Term]map[rdf.Term]struct{}),
+		members:       make(map[rdf.Term]map[rdf.Term]struct{}),
+		labels:        make(map[rdf.Term]string),
+	}
+}
+
+// DefineClass declares a class, optionally under one or more superclasses.
+// Superclasses are declared implicitly if unknown. It returns an error if
+// the subclass edge would create a cycle.
+func (o *Ontology) DefineClass(class rdf.Term, supers ...rdf.Term) error {
+	if !class.IsIRI() {
+		return fmt.Errorf("ontology: class must be an IRI, got %v", class)
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.classes[class] = struct{}{}
+	for _, sup := range supers {
+		if !sup.IsIRI() {
+			return fmt.Errorf("ontology: superclass must be an IRI, got %v", sup)
+		}
+		if sup == class || o.reachesLocked(sup, class) {
+			return fmt.Errorf("ontology: subclass cycle: %v ⊑ %v", class, sup)
+		}
+		o.classes[sup] = struct{}{}
+		addEdge(o.supers, class, sup)
+		addEdge(o.subs, sup, class)
+	}
+	return nil
+}
+
+// MustDefineClass is DefineClass that panics on error, for static models.
+func (o *Ontology) MustDefineClass(class rdf.Term, supers ...rdf.Term) {
+	if err := o.DefineClass(class, supers...); err != nil {
+		panic(err)
+	}
+}
+
+// reachesLocked reports whether sup is reachable from class via subclass
+// edges (i.e. class ⊑* sup). Caller holds the lock.
+func (o *Ontology) reachesLocked(from, to rdf.Term) bool {
+	if from == to {
+		return true
+	}
+	seen := map[rdf.Term]struct{}{from: {}}
+	stack := []rdf.Term{from}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for sup := range o.supers[cur] {
+			if sup == to {
+				return true
+			}
+			if _, ok := seen[sup]; !ok {
+				seen[sup] = struct{}{}
+				stack = append(stack, sup)
+			}
+		}
+	}
+	return false
+}
+
+// HasClass reports whether the class is declared.
+func (o *Ontology) HasClass(class rdf.Term) bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	_, ok := o.classes[class]
+	return ok
+}
+
+// Classes returns all declared classes in sorted order.
+func (o *Ontology) Classes() []rdf.Term {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return sortedKeys(o.classes)
+}
+
+// IsSubClassOf reports whether sub ⊑* sup (reflexive, transitive).
+func (o *Ontology) IsSubClassOf(sub, sup rdf.Term) bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.reachesLocked(sub, sup)
+}
+
+// Superclasses returns the transitive superclasses of class (excluding
+// class itself), sorted.
+func (o *Ontology) Superclasses(class rdf.Term) []rdf.Term {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.closureLocked(class, o.supers)
+}
+
+// DirectSuperclasses returns only the asserted (one-step) superclasses of
+// class, sorted.
+func (o *Ontology) DirectSuperclasses(class rdf.Term) []rdf.Term {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return sortedKeys(o.supers[class])
+}
+
+// Subclasses returns the transitive subclasses of class (excluding class
+// itself), sorted.
+func (o *Ontology) Subclasses(class rdf.Term) []rdf.Term {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.closureLocked(class, o.subs)
+}
+
+func (o *Ontology) closureLocked(start rdf.Term, edges map[rdf.Term]map[rdf.Term]struct{}) []rdf.Term {
+	seen := map[rdf.Term]struct{}{}
+	stack := []rdf.Term{start}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for next := range edges[cur] {
+			if _, ok := seen[next]; !ok {
+				seen[next] = struct{}{}
+				stack = append(stack, next)
+			}
+		}
+	}
+	return sortedKeys(seen)
+}
+
+// DefineObjectProperty declares an object property with optional domain and
+// range classes (zero Terms mean unconstrained).
+func (o *Ontology) DefineObjectProperty(iri, domain, rang rdf.Term) error {
+	return o.defineProp(iri, domain, rang, true)
+}
+
+// DefineDatatypeProperty declares a datatype property; rang, if set, is a
+// datatype IRI such as xsd:double.
+func (o *Ontology) DefineDatatypeProperty(iri, domain, rang rdf.Term) error {
+	return o.defineProp(iri, domain, rang, false)
+}
+
+func (o *Ontology) defineProp(iri, domain, rang rdf.Term, object bool) error {
+	if !iri.IsIRI() {
+		return fmt.Errorf("ontology: property must be an IRI, got %v", iri)
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	p := &Property{IRI: iri, Domain: domain, Range: rang, Object: object}
+	if object {
+		o.objectProps[iri] = p
+	} else {
+		o.datatypeProps[iri] = p
+	}
+	return nil
+}
+
+// Property looks up a declared property of either kind.
+func (o *Ontology) Property(iri rdf.Term) (*Property, bool) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	if p, ok := o.objectProps[iri]; ok {
+		return p, true
+	}
+	p, ok := o.datatypeProps[iri]
+	return p, ok
+}
+
+// AddIndividual asserts that individual is an instance of class; the class
+// must already be declared.
+func (o *Ontology) AddIndividual(individual, class rdf.Term) error {
+	if !individual.IsIRI() && !individual.IsBlank() {
+		return fmt.Errorf("ontology: individual must be an IRI or blank node, got %v", individual)
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, ok := o.classes[class]; !ok {
+		return fmt.Errorf("ontology: undeclared class %v", class)
+	}
+	addEdge(o.types, individual, class)
+	addEdge(o.members, class, individual)
+	return nil
+}
+
+// MustAddIndividual is AddIndividual that panics on error.
+func (o *Ontology) MustAddIndividual(individual, class rdf.Term) {
+	if err := o.AddIndividual(individual, class); err != nil {
+		panic(err)
+	}
+}
+
+// TypesOf returns the asserted classes of an individual, sorted.
+func (o *Ontology) TypesOf(individual rdf.Term) []rdf.Term {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return sortedKeys(o.types[individual])
+}
+
+// IsInstanceOf reports whether the individual is an instance of class,
+// taking subsumption into account: an asserted type that is a subclass of
+// class counts.
+func (o *Ontology) IsInstanceOf(individual, class rdf.Term) bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	for t := range o.types[individual] {
+		if o.reachesLocked(t, class) {
+			return true
+		}
+	}
+	return false
+}
+
+// InstancesOf returns all individuals whose asserted type is class or one
+// of its subclasses, sorted.
+func (o *Ontology) InstancesOf(class rdf.Term) []rdf.Term {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	out := map[rdf.Term]struct{}{}
+	collect := func(c rdf.Term) {
+		for ind := range o.members[c] {
+			out[ind] = struct{}{}
+		}
+	}
+	collect(class)
+	for _, sub := range o.closureLocked(class, o.subs) {
+		collect(sub)
+	}
+	return sortedKeys(out)
+}
+
+// SetLabel attaches an rdfs:label to a class, property or individual.
+func (o *Ontology) SetLabel(term rdf.Term, label string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.labels[term] = label
+}
+
+// Label returns the rdfs:label of a term, or its local name when unset.
+func (o *Ontology) Label(term rdf.Term) string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	if l, ok := o.labels[term]; ok {
+		return l
+	}
+	return LocalName(term)
+}
+
+// LocalName returns the fragment or final path segment of an IRI term.
+func LocalName(term rdf.Term) string {
+	v := term.Value()
+	for i := len(v) - 1; i >= 0; i-- {
+		switch v[i] {
+		case '#', '/', ':':
+			return v[i+1:]
+		}
+	}
+	return v
+}
+
+// ToGraph serialises the ontology (classes, subclass edges, properties,
+// individuals, labels) as RDF.
+func (o *Ontology) ToGraph() *rdf.Graph {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	g := rdf.NewGraph()
+	typeIRI := rdf.IRI(rdf.RDFType)
+	for c := range o.classes {
+		g.MustAdd(rdf.T(c, typeIRI, rdf.IRI(rdf.OWLClass)))
+	}
+	for sub, sups := range o.supers {
+		for sup := range sups {
+			g.MustAdd(rdf.T(sub, rdf.IRI(rdf.RDFSSubClassOf), sup))
+		}
+	}
+	emitProp := func(p *Property, kind string) {
+		g.MustAdd(rdf.T(p.IRI, typeIRI, rdf.IRI(kind)))
+		if !p.Domain.IsZero() {
+			g.MustAdd(rdf.T(p.IRI, rdf.IRI(rdf.RDFSDomain), p.Domain))
+		}
+		if !p.Range.IsZero() {
+			g.MustAdd(rdf.T(p.IRI, rdf.IRI(rdf.RDFSRange), p.Range))
+		}
+	}
+	for _, p := range o.objectProps {
+		emitProp(p, rdf.OWLObjectProp)
+	}
+	for _, p := range o.datatypeProps {
+		emitProp(p, rdf.OWLDatatypeProp)
+	}
+	for ind, classes := range o.types {
+		for c := range classes {
+			g.MustAdd(rdf.T(ind, typeIRI, c))
+		}
+	}
+	for term, label := range o.labels {
+		g.MustAdd(rdf.T(term, rdf.IRI(rdf.RDFSLabel), rdf.Literal(label)))
+	}
+	return g
+}
+
+// FromGraph reconstructs an ontology from RDF produced by ToGraph (or any
+// graph using the rdfs/owl vocabulary subset).
+func FromGraph(g *rdf.Graph) (*Ontology, error) {
+	o := New()
+	typeIRI := rdf.IRI(rdf.RDFType)
+	for _, t := range g.Match(rdf.Term{}, typeIRI, rdf.IRI(rdf.OWLClass)) {
+		if err := o.DefineClass(t.Subject); err != nil {
+			return nil, err
+		}
+	}
+	for _, t := range g.Match(rdf.Term{}, rdf.IRI(rdf.RDFSSubClassOf), rdf.Term{}) {
+		if err := o.DefineClass(t.Subject, t.Object); err != nil {
+			return nil, err
+		}
+	}
+	loadProps := func(kind string, object bool) error {
+		for _, t := range g.Match(rdf.Term{}, typeIRI, rdf.IRI(kind)) {
+			domain := g.FirstObject(t.Subject, rdf.IRI(rdf.RDFSDomain))
+			rang := g.FirstObject(t.Subject, rdf.IRI(rdf.RDFSRange))
+			if err := o.defineProp(t.Subject, domain, rang, object); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := loadProps(rdf.OWLObjectProp, true); err != nil {
+		return nil, err
+	}
+	if err := loadProps(rdf.OWLDatatypeProp, false); err != nil {
+		return nil, err
+	}
+	for _, t := range g.Match(rdf.Term{}, typeIRI, rdf.Term{}) {
+		obj := t.Object.Value()
+		if obj == rdf.OWLClass || obj == rdf.OWLObjectProp || obj == rdf.OWLDatatypeProp {
+			continue
+		}
+		if o.HasClass(t.Object) {
+			if err := o.AddIndividual(t.Subject, t.Object); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, t := range g.Match(rdf.Term{}, rdf.IRI(rdf.RDFSLabel), rdf.Term{}) {
+		o.SetLabel(t.Subject, t.Object.Value())
+	}
+	return o, nil
+}
+
+// CheckStatement validates an RDF statement against declared property
+// domain/range constraints, using subsumption on object values. Statements
+// with undeclared predicates pass (open world).
+func (o *Ontology) CheckStatement(t rdf.Triple) error {
+	p, ok := o.Property(t.Predicate)
+	if !ok {
+		return nil
+	}
+	if !p.Domain.IsZero() && !o.IsInstanceOf(t.Subject, p.Domain) {
+		return fmt.Errorf("ontology: subject %v of %v is not an instance of domain %v",
+			t.Subject, t.Predicate, p.Domain)
+	}
+	if p.Object {
+		if !t.Object.IsIRI() && !t.Object.IsBlank() {
+			return fmt.Errorf("ontology: object property %v has literal object %v", t.Predicate, t.Object)
+		}
+		if !p.Range.IsZero() && !o.IsInstanceOf(t.Object, p.Range) {
+			return fmt.Errorf("ontology: object %v of %v is not an instance of range %v",
+				t.Object, t.Predicate, p.Range)
+		}
+		return nil
+	}
+	if !t.Object.IsLiteral() {
+		return fmt.Errorf("ontology: datatype property %v has non-literal object %v", t.Predicate, t.Object)
+	}
+	if !p.Range.IsZero() && t.Object.Datatype() != p.Range.Value() {
+		return fmt.Errorf("ontology: literal %v of %v has datatype %q, want %q",
+			t.Object, t.Predicate, t.Object.Datatype(), p.Range.Value())
+	}
+	return nil
+}
+
+func addEdge(m map[rdf.Term]map[rdf.Term]struct{}, from, to rdf.Term) {
+	set, ok := m[from]
+	if !ok {
+		set = make(map[rdf.Term]struct{})
+		m[from] = set
+	}
+	set[to] = struct{}{}
+}
+
+func sortedKeys(m map[rdf.Term]struct{}) []rdf.Term {
+	out := make([]rdf.Term, 0, len(m))
+	for t := range m {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return rdf.CompareTerms(out[i], out[j]) < 0 })
+	return out
+}

@@ -1,0 +1,268 @@
+package ontology
+
+import (
+	"reflect"
+	"testing"
+
+	"qurator/internal/rdf"
+)
+
+func TestDefineClassAndSubsumption(t *testing.T) {
+	o := New()
+	a, b, c := rdf.IRI("urn:A"), rdf.IRI("urn:B"), rdf.IRI("urn:C")
+	o.MustDefineClass(a)
+	o.MustDefineClass(b, a)
+	o.MustDefineClass(c, b)
+
+	if !o.HasClass(a) || !o.HasClass(b) || !o.HasClass(c) {
+		t.Fatal("classes not declared")
+	}
+	if !o.IsSubClassOf(c, a) {
+		t.Error("C should be a transitive subclass of A")
+	}
+	if !o.IsSubClassOf(a, a) {
+		t.Error("subsumption should be reflexive")
+	}
+	if o.IsSubClassOf(a, c) {
+		t.Error("A should not be a subclass of C")
+	}
+	if got := o.Superclasses(c); !reflect.DeepEqual(got, []rdf.Term{a, b}) {
+		t.Errorf("Superclasses(C) = %v", got)
+	}
+	if got := o.Subclasses(a); !reflect.DeepEqual(got, []rdf.Term{b, c}) {
+		t.Errorf("Subclasses(A) = %v", got)
+	}
+}
+
+func TestDefineClassRejectsCycles(t *testing.T) {
+	o := New()
+	a, b, c := rdf.IRI("urn:A"), rdf.IRI("urn:B"), rdf.IRI("urn:C")
+	o.MustDefineClass(b, a)
+	o.MustDefineClass(c, b)
+	if err := o.DefineClass(a, c); err == nil {
+		t.Error("cycle A ⊑ C ⊑ B ⊑ A should be rejected")
+	}
+	if err := o.DefineClass(a, a); err == nil {
+		t.Error("self-cycle should be rejected")
+	}
+}
+
+func TestDefineClassRejectsNonIRI(t *testing.T) {
+	o := New()
+	if err := o.DefineClass(rdf.Literal("x")); err == nil {
+		t.Error("literal class should be rejected")
+	}
+	if err := o.DefineClass(rdf.IRI("urn:A"), rdf.Literal("s")); err == nil {
+		t.Error("literal superclass should be rejected")
+	}
+}
+
+func TestIndividualsAndInstanceOf(t *testing.T) {
+	o := New()
+	animal, dog := rdf.IRI("urn:Animal"), rdf.IRI("urn:Dog")
+	o.MustDefineClass(animal)
+	o.MustDefineClass(dog, animal)
+	rex := rdf.IRI("urn:rex")
+	o.MustAddIndividual(rex, dog)
+
+	if !o.IsInstanceOf(rex, dog) {
+		t.Error("rex should be a Dog")
+	}
+	if !o.IsInstanceOf(rex, animal) {
+		t.Error("rex should be an Animal by subsumption")
+	}
+	if o.IsInstanceOf(rex, rdf.IRI("urn:Cat")) {
+		t.Error("rex should not be a Cat")
+	}
+	if got := o.InstancesOf(animal); !reflect.DeepEqual(got, []rdf.Term{rex}) {
+		t.Errorf("InstancesOf(Animal) = %v", got)
+	}
+	if got := o.TypesOf(rex); !reflect.DeepEqual(got, []rdf.Term{dog}) {
+		t.Errorf("TypesOf(rex) = %v", got)
+	}
+	if err := o.AddIndividual(rdf.IRI("urn:x"), rdf.IRI("urn:Undeclared")); err == nil {
+		t.Error("AddIndividual with undeclared class should fail")
+	}
+	if err := o.AddIndividual(rdf.Literal("x"), animal); err == nil {
+		t.Error("literal individual should be rejected")
+	}
+}
+
+func TestLabelsAndLocalName(t *testing.T) {
+	o := New()
+	c := Q("HitRatio")
+	o.MustDefineClass(c)
+	if got := o.Label(c); got != "HitRatio" {
+		t.Errorf("default label = %q", got)
+	}
+	o.SetLabel(c, "Hit Ratio")
+	if got := o.Label(c); got != "Hit Ratio" {
+		t.Errorf("label = %q", got)
+	}
+	cases := map[string]string{
+		"http://qurator.org/iq#HitRatio":      "HitRatio",
+		"http://example.org/path/Leaf":        "Leaf",
+		"urn:lsid:uniprot.org:uniprot:P30089": "P30089",
+		"noseparator":                         "noseparator",
+	}
+	for iri, want := range cases {
+		if got := LocalName(rdf.IRI(iri)); got != want {
+			t.Errorf("LocalName(%q) = %q, want %q", iri, got, want)
+		}
+	}
+}
+
+func TestGraphRoundTrip(t *testing.T) {
+	o := NewIQModel()
+	g := o.ToGraph()
+	back, err := FromGraph(g)
+	if err != nil {
+		t.Fatalf("FromGraph: %v", err)
+	}
+	if !reflect.DeepEqual(o.Classes(), back.Classes()) {
+		t.Error("classes differ after round trip")
+	}
+	if !back.IsSubClassOf(ImprintHitEntry, DataEntity) {
+		t.Error("subclass edges lost in round trip")
+	}
+	if !back.IsInstanceOf(ClassHigh, PIScoreClassification) {
+		t.Error("individuals lost in round trip")
+	}
+	p, ok := back.Property(ContainsEvidence)
+	if !ok || p.Domain != DataEntity || p.Range != QualityEvidence || !p.Object {
+		t.Errorf("containsEvidence property lost: %+v ok=%v", p, ok)
+	}
+	if back.Label(HitRatio) != "Hit Ratio" {
+		t.Error("labels lost in round trip")
+	}
+}
+
+func TestCheckStatement(t *testing.T) {
+	o := NewIQModel()
+	hit := rdf.IRI("urn:lsid:uniprot.org:uniprot:P30089")
+	o.MustAddIndividual(hit, ImprintHitEntry)
+	ev := rdf.IRI("urn:ev:1")
+	o.MustAddIndividual(ev, HitRatio)
+
+	good := rdf.T(hit, ContainsEvidence, ev)
+	if err := o.CheckStatement(good); err != nil {
+		t.Errorf("valid statement rejected: %v", err)
+	}
+	// Literal object on an object property.
+	if err := o.CheckStatement(rdf.T(hit, ContainsEvidence, rdf.Literal("0.9"))); err == nil {
+		t.Error("literal object of object property should be rejected")
+	}
+	// Subject outside the domain.
+	stranger := rdf.IRI("urn:not-a-data-entity")
+	if err := o.CheckStatement(rdf.T(stranger, ContainsEvidence, ev)); err == nil {
+		t.Error("out-of-domain subject should be rejected")
+	}
+	// Object outside the range.
+	if err := o.CheckStatement(rdf.T(hit, ContainsEvidence, stranger)); err == nil {
+		t.Error("out-of-range object should be rejected")
+	}
+	// Undeclared predicates pass (open world).
+	if err := o.CheckStatement(rdf.T(stranger, rdf.IRI("urn:whatever"), rdf.Literal("x"))); err != nil {
+		t.Errorf("undeclared predicate should pass: %v", err)
+	}
+	// Datatype property with non-literal object.
+	if err := o.CheckStatement(rdf.T(ev, EvidenceValue, hit)); err == nil {
+		t.Error("non-literal object of datatype property should be rejected")
+	}
+}
+
+func TestIQModelShape(t *testing.T) {
+	o := NewIQModel()
+	// The taxonomy the paper's Figure 2 and §5.1 fragments rely on.
+	subsumptions := []struct{ sub, sup rdf.Term }{
+		{ImprintHitEntry, DataEntity},
+		{HitRatio, QualityEvidence},
+		{MassCoverage, QualityEvidence},
+		{Coverage, QualityEvidence},
+		{Masses, QualityEvidence},
+		{PeptidesCount, QualityEvidence},
+		{UniversalPIScore2, QualityAssertion},
+		{UniversalPIScore2, UniversalPIScore},
+		{HRScoreAssertion, QualityAssertion},
+		{PIScoreClassifier, QualityAssertion},
+		{PIScoreClassification, ClassificationModel},
+		{ImprintOutputAnnotation, AnnotationFunction},
+		{EvidenceCode, QualityEvidence},
+		{CurationCredibility, QualityAssertion},
+	}
+	for _, s := range subsumptions {
+		if !o.IsSubClassOf(s.sub, s.sup) {
+			t.Errorf("%v should be a subclass of %v", s.sub, s.sup)
+		}
+	}
+	// Classification labels are enumerated individuals of the model class.
+	for _, cl := range []rdf.Term{ClassLow, ClassMid, ClassHigh} {
+		if !o.IsInstanceOf(cl, PIScoreClassification) {
+			t.Errorf("%v should be an individual of PIScoreClassification", cl)
+		}
+	}
+	// Dimensions are individuals of QualityProperty.
+	for _, dim := range []rdf.Term{Accuracy, Completeness, Currency, Credibility} {
+		if !o.IsInstanceOf(dim, QualityProperty) {
+			t.Errorf("%v should be a QualityProperty individual", dim)
+		}
+	}
+}
+
+func TestExpandQName(t *testing.T) {
+	cases := map[string]string{
+		"q:HitRatio":                  QuratorNS + "HitRatio",
+		"HitRatio":                    QuratorNS + "HitRatio",
+		"http://example.org/x":        "http://example.org/x",
+		"urn:lsid:a.org:ns:obj":       "urn:lsid:a.org:ns:obj",
+		"q:imprint-output-annotation": QuratorNS + "imprint-output-annotation",
+	}
+	for in, want := range cases {
+		if got := ExpandQName(in); got.Value() != want {
+			t.Errorf("ExpandQName(%q) = %q, want %q", in, got.Value(), want)
+		}
+	}
+}
+
+func TestUserExtension(t *testing.T) {
+	// The model is user-extensible: a domain expert adds a new evidence
+	// type and QA without touching the core (paper contribution #1).
+	o := NewIQModel()
+	labReputation := Q("LabReputation")
+	o.MustDefineClass(labReputation, QualityEvidence)
+	myQA := Q("MyLabReputationScore")
+	o.MustDefineClass(myQA, QualityAssertion)
+	if !o.IsSubClassOf(labReputation, QualityEvidence) {
+		t.Error("user evidence extension failed")
+	}
+	// The new QA is discoverable among all QA classes.
+	found := false
+	for _, sub := range o.Subclasses(QualityAssertion) {
+		if sub == myQA {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("user QA extension not discoverable via Subclasses")
+	}
+}
+
+func BenchmarkIsSubClassOfDeep(b *testing.B) {
+	o := New()
+	prev := rdf.IRI("urn:C0")
+	o.MustDefineClass(prev)
+	var leaf rdf.Term
+	for i := 1; i <= 100; i++ {
+		leaf = rdf.IRI("urn:C" + string(rune('0'+i%10)) + "x")
+		cur := Q(string(rune('a' + i%26)))
+		_ = leaf
+		next := rdf.IRI(prev.Value() + "x")
+		o.MustDefineClass(next, prev)
+		prev = next
+		_ = cur
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.IsSubClassOf(prev, rdf.IRI("urn:C0"))
+	}
+}

@@ -1,0 +1,111 @@
+package ontology
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qurator/internal/rdf"
+)
+
+// Property: subsumption over a randomly built (acyclic) taxonomy is a
+// partial order — reflexive, transitive, and antisymmetric — and agrees
+// with Superclasses/Subclasses closures.
+func TestSubsumptionPartialOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		o := New()
+		n := rng.Intn(20) + 2
+		classes := make([]rdf.Term, n)
+		for i := range classes {
+			classes[i] = rdf.IRI(fmt.Sprintf("urn:C%d", i))
+			// Acyclic by construction: parents have smaller indices.
+			var supers []rdf.Term
+			if i > 0 {
+				for k := 0; k < rng.Intn(3); k++ {
+					supers = append(supers, classes[rng.Intn(i)])
+				}
+			}
+			if err := o.DefineClass(classes[i], supers...); err != nil {
+				return false
+			}
+		}
+		for _, a := range classes {
+			if !o.IsSubClassOf(a, a) { // reflexive
+				return false
+			}
+			for _, sup := range o.Superclasses(a) {
+				if !o.IsSubClassOf(a, sup) { // closure agrees
+					return false
+				}
+				// Antisymmetry: a proper superclass is never a subclass.
+				if sup != a && o.IsSubClassOf(sup, a) {
+					return false
+				}
+				// Transitivity: superclasses of superclasses included.
+				for _, supsup := range o.Superclasses(sup) {
+					if !o.IsSubClassOf(a, supsup) {
+						return false
+					}
+				}
+			}
+			// Subclasses is the inverse relation.
+			for _, sub := range o.Subclasses(a) {
+				if !o.IsSubClassOf(sub, a) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ToGraph/FromGraph is lossless for random taxonomies with
+// individuals.
+func TestOntologyGraphRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		o := New()
+		n := rng.Intn(12) + 1
+		classes := make([]rdf.Term, n)
+		for i := range classes {
+			classes[i] = rdf.IRI(fmt.Sprintf("urn:C%d", i))
+			var supers []rdf.Term
+			if i > 0 && rng.Intn(2) == 0 {
+				supers = append(supers, classes[rng.Intn(i)])
+			}
+			if err := o.DefineClass(classes[i], supers...); err != nil {
+				return false
+			}
+		}
+		for i := 0; i < rng.Intn(10); i++ {
+			ind := rdf.IRI(fmt.Sprintf("urn:ind%d", i))
+			o.MustAddIndividual(ind, classes[rng.Intn(n)])
+		}
+		back, err := FromGraph(o.ToGraph())
+		if err != nil {
+			return false
+		}
+		if len(back.Classes()) != len(o.Classes()) {
+			return false
+		}
+		for _, a := range classes {
+			for _, b := range classes {
+				if o.IsSubClassOf(a, b) != back.IsSubClassOf(a, b) {
+					return false
+				}
+			}
+			if len(o.InstancesOf(a)) != len(back.InstancesOf(a)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,247 @@
+package proteomics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSequenceMassKnownValues(t *testing.T) {
+	// Glycine peptide "G": residue 57.02146 + water 18.010565.
+	if m := SequenceMass("G"); math.Abs(m-75.03203) > 1e-4 {
+		t.Errorf("mass(G) = %v", m)
+	}
+	// Angiotensin II (DRVYIHPF) monoisotopic mass ≈ 1045.53 Da.
+	if m := SequenceMass("DRVYIHPF"); math.Abs(m-1045.53) > 0.02 {
+		t.Errorf("mass(DRVYIHPF) = %v, want ≈1045.53", m)
+	}
+	// Empty sequence is just water.
+	if m := SequenceMass(""); math.Abs(m-WaterMass) > 1e-9 {
+		t.Errorf("mass(\"\") = %v", m)
+	}
+}
+
+func TestPeptideMZ(t *testing.T) {
+	p := Peptide{Sequence: "DRVYIHPF"}
+	if mz := p.MZ(); math.Abs(mz-(p.Mass()+ProtonMass)) > 1e-12 {
+		t.Errorf("MZ = %v", mz)
+	}
+}
+
+func TestDigestBasicCleavage(t *testing.T) {
+	// Cleave after K and R: "AAKBB" is invalid (B not residue) — use
+	// proper residues. AAK | GGR | CC
+	peps := Digest("AAKGGRCC", 0, 1)
+	var seqs []string
+	for _, p := range peps {
+		seqs = append(seqs, p.Sequence)
+	}
+	want := []string{"AAK", "GGR", "CC"}
+	if strings.Join(seqs, ",") != strings.Join(want, ",") {
+		t.Errorf("fragments = %v, want %v", seqs, want)
+	}
+	// Start offsets.
+	if peps[0].Start != 0 || peps[1].Start != 3 || peps[2].Start != 6 {
+		t.Errorf("starts = %d, %d, %d", peps[0].Start, peps[1].Start, peps[2].Start)
+	}
+}
+
+func TestDigestProlineRule(t *testing.T) {
+	// K followed by P is not cleaved.
+	peps := Digest("AAKPGGR", 0, 1)
+	if len(peps) != 1 || peps[0].Sequence != "AAKPGGR" {
+		t.Errorf("proline rule violated: %v", peps)
+	}
+}
+
+func TestDigestMissedCleavages(t *testing.T) {
+	peps := Digest("AAKGGRCC", 1, 1)
+	seqs := map[string]bool{}
+	for _, p := range peps {
+		seqs[p.Sequence] = true
+	}
+	for _, want := range []string{"AAK", "GGR", "CC", "AAKGGR", "GGRCC"} {
+		if !seqs[want] {
+			t.Errorf("missing fragment %q in %v", want, seqs)
+		}
+	}
+	if seqs["AAKGGRCC"] {
+		t.Error("2-missed-cleavage fragment should not appear with limit 1")
+	}
+	// Missed-cleavage counters.
+	for _, p := range peps {
+		switch p.Sequence {
+		case "AAKGGR", "GGRCC":
+			if p.MissedCleavages != 1 {
+				t.Errorf("%s: MissedCleavages = %d", p.Sequence, p.MissedCleavages)
+			}
+		default:
+			if p.MissedCleavages != 0 {
+				t.Errorf("%s: MissedCleavages = %d", p.Sequence, p.MissedCleavages)
+			}
+		}
+	}
+}
+
+func TestDigestMinLength(t *testing.T) {
+	peps := Digest("AAKGGRCC", 0, 3)
+	for _, p := range peps {
+		if len(p.Sequence) < 3 {
+			t.Errorf("fragment %q below min length", p.Sequence)
+		}
+	}
+}
+
+func TestDigestNoCleavageSites(t *testing.T) {
+	peps := Digest("AAAGGG", 0, 1)
+	if len(peps) != 1 || peps[0].Sequence != "AAAGGG" {
+		t.Errorf("fragments = %v", peps)
+	}
+}
+
+// Property: digestion fragments (at 0 missed cleavages) partition the
+// sequence — they concatenate back to it.
+func TestDigestPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		n := 20 + int(seed%80+80)%80
+		prot := RandomProtein("X", n, rng)
+		peps := Digest(prot.Sequence, 0, 1)
+		var b strings.Builder
+		for _, p := range peps {
+			b.WriteString(p.Sequence)
+		}
+		return b.String() == prot.Sequence
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProteinValidate(t *testing.T) {
+	good := Protein{Accession: "P1", Sequence: "ACDEFGHIKLMNPQRSTVWY"}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid protein rejected: %v", err)
+	}
+	bad := []Protein{
+		{Accession: "", Sequence: "AAA"},
+		{Accession: "P1", Sequence: ""},
+		{Accession: "P1", Sequence: "AAZ"},
+		{Accession: "P1", Sequence: "aaa"},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("invalid protein %+v accepted", p)
+		}
+	}
+}
+
+func TestRandomDatabaseDeterministicAndValid(t *testing.T) {
+	db1 := RandomDatabase(20, 100, 300, rand.New(rand.NewSource(42)))
+	db2 := RandomDatabase(20, 100, 300, rand.New(rand.NewSource(42)))
+	for i := range db1 {
+		if db1[i].Sequence != db2[i].Sequence {
+			t.Fatal("RandomDatabase is not deterministic under a fixed seed")
+		}
+		if err := db1[i].Validate(); err != nil {
+			t.Errorf("generated protein invalid: %v", err)
+		}
+		if len(db1[i].Sequence) < 100 || len(db1[i].Sequence) >= 300 {
+			t.Errorf("length %d out of range", len(db1[i].Sequence))
+		}
+	}
+	// Distinct accessions.
+	seen := map[string]bool{}
+	for _, p := range db1 {
+		if seen[p.Accession] {
+			t.Errorf("duplicate accession %s", p.Accession)
+		}
+		seen[p.Accession] = true
+	}
+}
+
+func TestSynthesizeSpectrum(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	prot := RandomProtein("P1", 300, rng)
+	params := DefaultSpectrumParams()
+	pl := SynthesizeSpectrum("spot1", []Protein{prot}, params, rng)
+	if pl.SpotID != "spot1" {
+		t.Errorf("SpotID = %q", pl.SpotID)
+	}
+	if len(pl.Peaks) == 0 {
+		t.Fatal("no peaks generated")
+	}
+	// Sorted by m/z.
+	for i := 1; i < len(pl.Peaks); i++ {
+		if pl.Peaks[i].MZ < pl.Peaks[i-1].MZ {
+			t.Fatal("peaks not sorted")
+		}
+	}
+	// Noise-only spectrum.
+	noise := SynthesizeSpectrum("noise", nil, params, rng)
+	if len(noise.Peaks) != params.NoisePeaks {
+		t.Errorf("noise peaks = %d, want %d", len(noise.Peaks), params.NoisePeaks)
+	}
+	for _, p := range noise.Peaks {
+		if p.MZ < params.NoiseMZMin || p.MZ > params.NoiseMZMax {
+			t.Errorf("noise m/z %v out of range", p.MZ)
+		}
+	}
+}
+
+func TestSpectrumDetectionProbability(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	prot := RandomProtein("P1", 400, rng)
+	full := SpectrumParams{PeptideDetectionProb: 1, MassErrorPPM: 0, MissedCleavages: 0, MinPeptideLen: 6}
+	none := full
+	none.PeptideDetectionProb = 0
+	plFull := SynthesizeSpectrum("s", []Protein{prot}, full, rand.New(rand.NewSource(1)))
+	plNone := SynthesizeSpectrum("s", []Protein{prot}, none, rand.New(rand.NewSource(1)))
+	nPeps := len(Digest(prot.Sequence, 0, 6))
+	if len(plFull.Peaks) != nPeps {
+		t.Errorf("full detection: %d peaks, want %d", len(plFull.Peaks), nPeps)
+	}
+	if len(plNone.Peaks) != 0 {
+		t.Errorf("zero detection: %d peaks, want 0", len(plNone.Peaks))
+	}
+	// With zero mass error, peaks coincide exactly with theoretical m/z.
+	mzSet := map[float64]bool{}
+	for _, pep := range Digest(prot.Sequence, 0, 6) {
+		mzSet[pep.MZ()] = true
+	}
+	for _, p := range plFull.Peaks {
+		if !mzSet[p.MZ] {
+			t.Errorf("peak %v does not match any theoretical m/z", p.MZ)
+		}
+	}
+}
+
+func TestMZValuesAndSort(t *testing.T) {
+	pl := PeakList{Peaks: []Peak{{MZ: 3}, {MZ: 1}, {MZ: 2}}}
+	pl.SortByMZ()
+	got := pl.MZValues()
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("MZValues = %v", got)
+	}
+}
+
+func BenchmarkDigest(b *testing.B) {
+	prot := RandomProtein("P", 500, rand.New(rand.NewSource(1)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Digest(prot.Sequence, 1, 6)
+	}
+}
+
+func BenchmarkSynthesizeSpectrum(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	sample := RandomDatabase(3, 200, 400, rng)
+	params := DefaultSpectrumParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SynthesizeSpectrum("s", sample, params, rng)
+	}
+}

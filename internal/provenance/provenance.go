@@ -1,0 +1,170 @@
+// Package provenance records quality-process executions as RDF. The
+// paper's exploration loop — run, inspect, edit the condition, run again —
+// produces a sequence of runs whose configurations differ only in their
+// action conditions; this log keeps that history queryable, so a user can
+// ask "which condition produced the 18-item result?" the same way they
+// query annotations (and myGrid, the project Qurator deploys into, treats
+// provenance as first-class metadata).
+//
+// Each run is a q:QualityProcessRun resource:
+//
+//	<run>  rdf:type        q:QualityProcessRun
+//	<run>  q:usedView      "view name"
+//	<run>  q:startedAt     "RFC3339"
+//	<run>  q:inputSize     n
+//	<run>  q:outputSize    <output node> (name + size)
+//	<run>  q:usedCondition <condition node> (action + expression)
+package provenance
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"qurator/internal/ontology"
+	"qurator/internal/rdf"
+	"qurator/internal/sparql"
+)
+
+// Vocabulary.
+var (
+	runClass      = ontology.Q("QualityProcessRun")
+	propView      = ontology.Q("usedView")
+	propStarted   = ontology.Q("startedAt")
+	propDuration  = ontology.Q("durationMillis")
+	propInputSize = ontology.Q("inputSize")
+	propOutput    = ontology.Q("producedOutput")
+	propOutName   = ontology.Q("outputName")
+	propOutSize   = ontology.Q("outputSize")
+	propCondition = ontology.Q("usedCondition")
+	propCondAct   = ontology.Q("conditionAction")
+	propCondExpr  = ontology.Q("conditionExpression")
+)
+
+// Record describes one quality-process execution.
+type Record struct {
+	// View is the quality view's name.
+	View string
+	// Started is the enactment start time.
+	Started time.Time
+	// Duration is the wall-clock enactment time.
+	Duration time.Duration
+	// InputSize is the data-set size.
+	InputSize int
+	// Outputs maps workflow output names to their item counts.
+	Outputs map[string]int
+	// Conditions maps action names to the condition text in force.
+	Conditions map[string]string
+}
+
+// Log accumulates run records as RDF. Safe for concurrent use.
+type Log struct {
+	mu    sync.Mutex
+	graph *rdf.Graph
+	seq   int
+}
+
+// NewLog returns an empty provenance log.
+func NewLog() *Log {
+	return &Log{graph: rdf.NewGraph()}
+}
+
+// Record appends a run and returns its resource IRI.
+func (l *Log) Record(rec Record) rdf.Term {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	run := rdf.IRI(fmt.Sprintf("%srun/%d", ontology.QuratorNS, l.seq))
+	g := l.graph
+	g.MustAdd(rdf.T(run, rdf.IRI(rdf.RDFType), runClass))
+	g.MustAdd(rdf.T(run, propView, rdf.Literal(rec.View)))
+	g.MustAdd(rdf.T(run, propStarted, rdf.Literal(rec.Started.UTC().Format(time.RFC3339Nano))))
+	g.MustAdd(rdf.T(run, propDuration, rdf.Integer(rec.Duration.Milliseconds())))
+	g.MustAdd(rdf.T(run, propInputSize, rdf.Integer(int64(rec.InputSize))))
+	i := 0
+	for name, size := range rec.Outputs {
+		node := rdf.IRI(fmt.Sprintf("%s#output-%s", run.Value(), name))
+		g.MustAdd(rdf.T(run, propOutput, node))
+		g.MustAdd(rdf.T(node, propOutName, rdf.Literal(name)))
+		g.MustAdd(rdf.T(node, propOutSize, rdf.Integer(int64(size))))
+		i++
+	}
+	for action, expr := range rec.Conditions {
+		node := rdf.IRI(fmt.Sprintf("%s#condition-%s", run.Value(), action))
+		g.MustAdd(rdf.T(run, propCondition, node))
+		g.MustAdd(rdf.T(node, propCondAct, rdf.Literal(action)))
+		g.MustAdd(rdf.T(node, propCondExpr, rdf.Literal(expr)))
+	}
+	return run
+}
+
+// Runs returns the recorded run resources, oldest first.
+func (l *Log) Runs() []rdf.Term {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]rdf.Term, 0, l.seq)
+	for i := 1; i <= l.seq; i++ {
+		out = append(out, rdf.IRI(fmt.Sprintf("%srun/%d", ontology.QuratorNS, i)))
+	}
+	return out
+}
+
+// Len returns the number of recorded runs.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Query runs a SPARQL query against the provenance graph.
+func (l *Log) Query(query string) (*sparql.Result, error) {
+	l.mu.Lock()
+	g := l.graph.Clone()
+	l.mu.Unlock()
+	return sparql.Exec(g, query)
+}
+
+// Graph returns a snapshot of the provenance graph.
+func (l *Log) Graph() *rdf.Graph {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.graph.Clone()
+}
+
+// LastRun returns the most recent run's record fields re-read from the
+// graph (zero Record and false when empty).
+func (l *Log) LastRun() (Record, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.seq == 0 {
+		return Record{}, false
+	}
+	run := rdf.IRI(fmt.Sprintf("%srun/%d", ontology.QuratorNS, l.seq))
+	rec := Record{
+		View:       l.graph.FirstObject(run, propView).Value(),
+		Outputs:    map[string]int{},
+		Conditions: map[string]string{},
+	}
+	if ts := l.graph.FirstObject(run, propStarted).Value(); ts != "" {
+		if t, err := time.Parse(time.RFC3339Nano, ts); err == nil {
+			rec.Started = t
+		}
+	}
+	if ms, ok := l.graph.FirstObject(run, propDuration).Int(); ok {
+		rec.Duration = time.Duration(ms) * time.Millisecond
+	}
+	if n, ok := l.graph.FirstObject(run, propInputSize).Int(); ok {
+		rec.InputSize = int(n)
+	}
+	for _, node := range l.graph.Objects(run, propOutput) {
+		name := l.graph.FirstObject(node, propOutName).Value()
+		if size, ok := l.graph.FirstObject(node, propOutSize).Int(); ok {
+			rec.Outputs[name] = int(size)
+		}
+	}
+	for _, node := range l.graph.Objects(run, propCondition) {
+		action := l.graph.FirstObject(node, propCondAct).Value()
+		rec.Conditions[action] = l.graph.FirstObject(node, propCondExpr).Value()
+	}
+	return rec, true
+}

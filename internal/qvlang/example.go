@@ -1,0 +1,60 @@
+package qvlang
+
+// PaperViewXML is the quality view of paper §5.1, assembled from the
+// published fragments: one Imprint-output annotator writing per-run
+// evidence to the cache repository, three quality assertions (the HR+MC
+// score, the HR-only score, and the three-way avg±stddev classifier), and
+// the "filter top k score" action
+//
+//	ScoreClass in q:high, q:mid and HR MC > 20
+//
+// with the tag name "HR MC" normalised to HR_MC for use in conditions.
+const PaperViewXML = `<QualityView name="protein-id-quality">
+  <Annotator servicename="ImprintOutputAnnotator"
+             servicetype="q:ImprintOutputAnnotation">
+    <variables repositoryRef="cache" persistent="false">
+      <var evidence="q:HitRatio"/>
+      <var evidence="q:Coverage"/>
+      <var evidence="q:Masses"/>
+      <var evidence="q:PeptidesCount"/>
+    </variables>
+  </Annotator>
+
+  <QualityAssertion servicename="HR MC score"
+                    servicetype="q:UniversalPIScore2"
+                    tagname="HR MC"
+                    tagsyntype="q:score">
+    <variables repositoryRef="cache">
+      <var variablename="coverage" evidence="q:Coverage"/>
+      <var variablename="masses" evidence="q:Masses"/>
+      <var variablename="peptidesCount" evidence="q:PeptidesCount"/>
+      <var variablename="hitRatio" evidence="q:HitRatio"/>
+    </variables>
+  </QualityAssertion>
+
+  <QualityAssertion servicename="HR score"
+                    servicetype="q:HRScoreAssertion"
+                    tagname="HR"
+                    tagsyntype="q:score">
+    <variables repositoryRef="cache">
+      <var variablename="hr" evidence="q:HitRatio"/>
+    </variables>
+  </QualityAssertion>
+
+  <QualityAssertion servicename="PIScoreClassifier"
+                    servicetype="q:PIScoreClassifier"
+                    tagsemtype="q:PIScoreClassification"
+                    tagname="ScoreClass"
+                    tagsyntype="q:class">
+    <variables repositoryRef="cache">
+      <var variablename="coverage2" evidence="q:Coverage"/>
+      <var variablename="hitRatio2" evidence="q:HitRatio"/>
+    </variables>
+  </QualityAssertion>
+
+  <action name="filter top k score">
+    <filter>
+      <condition>ScoreClass in q:high, q:mid and HR_MC &gt; 20</condition>
+    </filter>
+  </action>
+</QualityView>`

@@ -1,0 +1,58 @@
+package rdf
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseTriple: arbitrary lines must either be rejected or round-trip
+// through the canonical rendering.
+func FuzzParseTriple(f *testing.F) {
+	seeds := []string{
+		`<urn:a> <urn:b> <urn:c> .`,
+		`<urn:a> <urn:b> "literal" .`,
+		`<urn:a> <urn:b> "esc\"aped\n" .`,
+		`_:b1 <urn:b> "x"@en .`,
+		`<urn:a> <urn:b> "3.5"^^<http://www.w3.org/2001/XMLSchema#double> .`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		tr, err := ParseTriple(line)
+		if err != nil {
+			return
+		}
+		again, err := ParseTriple(tr.String())
+		if err != nil {
+			t.Fatalf("canonical form %q does not re-parse: %v", tr.String(), err)
+		}
+		if again != tr {
+			t.Fatalf("round trip changed triple: %v vs %v", tr, again)
+		}
+	})
+}
+
+// FuzzReadNTriples: arbitrary documents must never panic the reader, and
+// accepted documents must re-serialise losslessly.
+func FuzzReadNTriples(f *testing.F) {
+	f.Add("<urn:a> <urn:b> \"c\" .\n# comment\n<urn:a> <urn:b> <urn:c> .\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, doc string) {
+		g, err := ReadNTriples(bytes.NewReader([]byte(doc)))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteNTriples(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadNTriples(&buf)
+		if err != nil {
+			t.Fatalf("canonical document does not re-parse: %v", err)
+		}
+		if back.Len() != g.Len() {
+			t.Fatalf("round trip changed size: %d vs %d", back.Len(), g.Len())
+		}
+	})
+}

@@ -1,0 +1,381 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Triple is an RDF statement. Subjects may be IRIs or blank nodes,
+// predicates must be IRIs, objects may be any term.
+type Triple struct {
+	Subject   Term
+	Predicate Term
+	Object    Term
+}
+
+// T is a convenience constructor for a Triple.
+func T(s, p, o Term) Triple { return Triple{Subject: s, Predicate: p, Object: o} }
+
+// String renders the triple in N-Triples syntax (without trailing newline).
+func (t Triple) String() string {
+	return t.Subject.String() + " " + t.Predicate.String() + " " + t.Object.String() + " ."
+}
+
+// Validate reports whether the triple is well-formed RDF.
+func (t Triple) Validate() error {
+	switch {
+	case t.Subject.IsZero() || t.Predicate.IsZero() || t.Object.IsZero():
+		return fmt.Errorf("rdf: triple has zero term: %v", t)
+	case t.Subject.IsLiteral():
+		return fmt.Errorf("rdf: literal subject: %v", t)
+	case !t.Predicate.IsIRI():
+		return fmt.Errorf("rdf: non-IRI predicate: %v", t)
+	}
+	return nil
+}
+
+// Graph is an in-memory RDF graph with three-way indexing (SPO, POS, OSP)
+// for efficient pattern matching. All methods are safe for concurrent use.
+//
+// The zero value is not ready to use; call NewGraph.
+type Graph struct {
+	mu sync.RWMutex
+	// spo indexes subject → predicate → object set; pos and osp are the
+	// rotations used to answer patterns with unbound subjects.
+	spo map[Term]map[Term]map[Term]struct{}
+	pos map[Term]map[Term]map[Term]struct{}
+	osp map[Term]map[Term]map[Term]struct{}
+	n   int
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		spo: make(map[Term]map[Term]map[Term]struct{}),
+		pos: make(map[Term]map[Term]map[Term]struct{}),
+		osp: make(map[Term]map[Term]map[Term]struct{}),
+	}
+}
+
+// Len returns the number of triples in the graph.
+func (g *Graph) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.n
+}
+
+// Add inserts a triple. It returns true if the triple was not already
+// present, and an error if the triple is malformed.
+func (g *Graph) Add(t Triple) (bool, error) {
+	if err := t.Validate(); err != nil {
+		return false, err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !index(g.spo, t.Subject, t.Predicate, t.Object) {
+		return false, nil
+	}
+	index(g.pos, t.Predicate, t.Object, t.Subject)
+	index(g.osp, t.Object, t.Subject, t.Predicate)
+	g.n++
+	return true, nil
+}
+
+// MustAdd inserts a triple and panics on malformed input. It is intended
+// for statically-known vocabulary construction (e.g. building the IQ model).
+func (g *Graph) MustAdd(t Triple) {
+	if _, err := g.Add(t); err != nil {
+		panic(err)
+	}
+}
+
+// AddAll inserts all triples, stopping at the first malformed one.
+func (g *Graph) AddAll(ts []Triple) error {
+	for _, t := range ts {
+		if _, err := g.Add(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Remove deletes a triple, reporting whether it was present.
+func (g *Graph) Remove(t Triple) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !unindex(g.spo, t.Subject, t.Predicate, t.Object) {
+		return false
+	}
+	unindex(g.pos, t.Predicate, t.Object, t.Subject)
+	unindex(g.osp, t.Object, t.Subject, t.Predicate)
+	g.n--
+	return true
+}
+
+// Has reports whether the triple is present.
+func (g *Graph) Has(t Triple) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if m, ok := g.spo[t.Subject]; ok {
+		if mm, ok := m[t.Predicate]; ok {
+			_, ok := mm[t.Object]
+			return ok
+		}
+	}
+	return false
+}
+
+// Match returns all triples matching the pattern; zero Terms act as
+// wildcards. Results are returned in deterministic (sorted) order.
+func (g *Graph) Match(s, p, o Term) []Triple {
+	var out []Triple
+	g.ForEachMatch(s, p, o, func(t Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	sortTriples(out)
+	return out
+}
+
+// Count returns the number of triples matching the pattern.
+func (g *Graph) Count(s, p, o Term) int {
+	n := 0
+	g.ForEachMatch(s, p, o, func(Triple) bool { n++; return true })
+	return n
+}
+
+// ForEachMatch calls fn for every triple matching the pattern (zero Terms
+// are wildcards) until fn returns false. Iteration order is unspecified;
+// use Match for deterministic order. The graph must not be mutated from
+// within fn.
+func (g *Graph) ForEachMatch(s, p, o Term, fn func(Triple) bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+
+	emit := func(t Triple) bool { return fn(t) }
+
+	switch {
+	case !s.IsZero() && !p.IsZero() && !o.IsZero():
+		if m, ok := g.spo[s]; ok {
+			if mm, ok := m[p]; ok {
+				if _, ok := mm[o]; ok {
+					emit(T(s, p, o))
+				}
+			}
+		}
+	case !s.IsZero() && !p.IsZero():
+		if m, ok := g.spo[s]; ok {
+			for obj := range m[p] {
+				if !emit(T(s, p, obj)) {
+					return
+				}
+			}
+		}
+	case !s.IsZero() && !o.IsZero():
+		if m, ok := g.osp[o]; ok {
+			for pred := range m[s] {
+				if !emit(T(s, pred, o)) {
+					return
+				}
+			}
+		}
+	case !p.IsZero() && !o.IsZero():
+		if m, ok := g.pos[p]; ok {
+			for subj := range m[o] {
+				if !emit(T(subj, p, o)) {
+					return
+				}
+			}
+		}
+	case !s.IsZero():
+		if m, ok := g.spo[s]; ok {
+			for pred, objs := range m {
+				for obj := range objs {
+					if !emit(T(s, pred, obj)) {
+						return
+					}
+				}
+			}
+		}
+	case !p.IsZero():
+		if m, ok := g.pos[p]; ok {
+			for obj, subjs := range m {
+				for subj := range subjs {
+					if !emit(T(subj, p, obj)) {
+						return
+					}
+				}
+			}
+		}
+	case !o.IsZero():
+		if m, ok := g.osp[o]; ok {
+			for subj, preds := range m {
+				for pred := range preds {
+					if !emit(T(subj, pred, o)) {
+						return
+					}
+				}
+			}
+		}
+	default:
+		for subj, m := range g.spo {
+			for pred, objs := range m {
+				for obj := range objs {
+					if !emit(T(subj, pred, obj)) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// Subjects returns the distinct subjects of triples matching (·, p, o),
+// in sorted order.
+func (g *Graph) Subjects(p, o Term) []Term {
+	seen := make(map[Term]struct{})
+	g.ForEachMatch(Term{}, p, o, func(t Triple) bool {
+		seen[t.Subject] = struct{}{}
+		return true
+	})
+	return sortedTerms(seen)
+}
+
+// Objects returns the distinct objects of triples matching (s, p, ·),
+// in sorted order.
+func (g *Graph) Objects(s, p Term) []Term {
+	seen := make(map[Term]struct{})
+	g.ForEachMatch(s, p, Term{}, func(t Triple) bool {
+		seen[t.Object] = struct{}{}
+		return true
+	})
+	return sortedTerms(seen)
+}
+
+// FirstObject returns the first object of (s, p, ·) in sorted order, or a
+// zero Term if none exists. It is the idiom for functional properties.
+func (g *Graph) FirstObject(s, p Term) Term {
+	objs := g.Objects(s, p)
+	if len(objs) == 0 {
+		return Term{}
+	}
+	return objs[0]
+}
+
+// Triples returns a sorted snapshot of every triple in the graph.
+func (g *Graph) Triples() []Triple {
+	return g.Match(Term{}, Term{}, Term{})
+}
+
+// Clear removes every triple.
+func (g *Graph) Clear() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.spo = make(map[Term]map[Term]map[Term]struct{})
+	g.pos = make(map[Term]map[Term]map[Term]struct{})
+	g.osp = make(map[Term]map[Term]map[Term]struct{})
+	g.n = 0
+}
+
+// Merge adds every triple of other into g.
+func (g *Graph) Merge(other *Graph) {
+	for _, t := range other.Triples() {
+		g.MustAdd(t)
+	}
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	out := NewGraph()
+	out.Merge(g)
+	return out
+}
+
+func index(idx map[Term]map[Term]map[Term]struct{}, a, b, c Term) bool {
+	m, ok := idx[a]
+	if !ok {
+		m = make(map[Term]map[Term]struct{})
+		idx[a] = m
+	}
+	mm, ok := m[b]
+	if !ok {
+		mm = make(map[Term]struct{})
+		m[b] = mm
+	}
+	if _, ok := mm[c]; ok {
+		return false
+	}
+	mm[c] = struct{}{}
+	return true
+}
+
+func unindex(idx map[Term]map[Term]map[Term]struct{}, a, b, c Term) bool {
+	m, ok := idx[a]
+	if !ok {
+		return false
+	}
+	mm, ok := m[b]
+	if !ok {
+		return false
+	}
+	if _, ok := mm[c]; !ok {
+		return false
+	}
+	delete(mm, c)
+	if len(mm) == 0 {
+		delete(m, b)
+		if len(m) == 0 {
+			delete(idx, a)
+		}
+	}
+	return true
+}
+
+func termLess(a, b Term) bool {
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	if a.value != b.value {
+		return a.value < b.value
+	}
+	if a.datatype != b.datatype {
+		return a.datatype < b.datatype
+	}
+	return a.lang < b.lang
+}
+
+// CompareTerms orders terms by kind, then value, datatype and language tag.
+// It returns -1, 0, or 1.
+func CompareTerms(a, b Term) int {
+	switch {
+	case a == b:
+		return 0
+	case termLess(a, b):
+		return -1
+	default:
+		return 1
+	}
+}
+
+func sortTriples(ts []Triple) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		if a.Subject != b.Subject {
+			return termLess(a.Subject, b.Subject)
+		}
+		if a.Predicate != b.Predicate {
+			return termLess(a.Predicate, b.Predicate)
+		}
+		return termLess(a.Object, b.Object)
+	})
+}
+
+func sortedTerms(set map[Term]struct{}) []Term {
+	out := make([]Term, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return termLess(out[i], out[j]) })
+	return out
+}

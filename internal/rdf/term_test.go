@@ -1,0 +1,227 @@
+package rdf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTermConstructorsAndAccessors(t *testing.T) {
+	cases := []struct {
+		name string
+		term Term
+		kind TermKind
+		val  string
+		dt   string
+		lang string
+	}{
+		{"iri", IRI("urn:x:a"), KindIRI, "urn:x:a", "", ""},
+		{"plain literal", Literal("hello"), KindLiteral, "hello", XSDString, ""},
+		{"typed literal", TypedLiteral("3.5", XSDDouble), KindLiteral, "3.5", XSDDouble, ""},
+		{"lang literal", LangLiteral("ciao", "it"), KindLiteral, "ciao", "", "it"},
+		{"integer", Integer(42), KindLiteral, "42", XSDInteger, ""},
+		{"double", Double(2.5), KindLiteral, "2.5", XSDDouble, ""},
+		{"boolean", Boolean(true), KindLiteral, "true", XSDBoolean, ""},
+		{"blank", Blank("b1"), KindBlank, "b1", "", ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if c.term.Kind() != c.kind {
+				t.Errorf("Kind = %v, want %v", c.term.Kind(), c.kind)
+			}
+			if c.term.Value() != c.val {
+				t.Errorf("Value = %q, want %q", c.term.Value(), c.val)
+			}
+			if c.term.Datatype() != c.dt {
+				t.Errorf("Datatype = %q, want %q", c.term.Datatype(), c.dt)
+			}
+			if c.term.Lang() != c.lang {
+				t.Errorf("Lang = %q, want %q", c.term.Lang(), c.lang)
+			}
+		})
+	}
+}
+
+func TestTermZeroValue(t *testing.T) {
+	var z Term
+	if !z.IsZero() {
+		t.Fatal("zero Term should report IsZero")
+	}
+	if IRI("x").IsZero() {
+		t.Fatal("IRI should not report IsZero")
+	}
+}
+
+func TestTermNumericAccessors(t *testing.T) {
+	if f, ok := Double(3.25).Float(); !ok || f != 3.25 {
+		t.Errorf("Double(3.25).Float() = %v, %v", f, ok)
+	}
+	if f, ok := Integer(7).Float(); !ok || f != 7 {
+		t.Errorf("Integer(7).Float() = %v, %v", f, ok)
+	}
+	if _, ok := Literal("abc").Float(); ok {
+		t.Error("non-numeric literal should not parse as float")
+	}
+	if _, ok := IRI("urn:x").Float(); ok {
+		t.Error("IRI should not parse as float")
+	}
+	if n, ok := Integer(-9).Int(); !ok || n != -9 {
+		t.Errorf("Integer(-9).Int() = %v, %v", n, ok)
+	}
+	if b, ok := Boolean(true).Bool(); !ok || !b {
+		t.Errorf("Boolean(true).Bool() = %v, %v", b, ok)
+	}
+}
+
+func TestTermEqualityAsMapKey(t *testing.T) {
+	m := map[Term]int{}
+	m[IRI("urn:a")] = 1
+	m[Literal("urn:a")] = 2
+	m[TypedLiteral("urn:a", XSDDouble)] = 3
+	if len(m) != 3 {
+		t.Fatalf("distinct terms collided: %v", m)
+	}
+	if m[IRI("urn:a")] != 1 {
+		t.Error("IRI key lookup failed")
+	}
+}
+
+func TestTermStringNTriples(t *testing.T) {
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{IRI("urn:lsid:uniprot.org:uniprot:P30089"), "<urn:lsid:uniprot.org:uniprot:P30089>"},
+		{Literal("plain"), `"plain"`},
+		{Literal(`with "quotes" and \slash`), `"with \"quotes\" and \\slash"`},
+		{Literal("line\nbreak"), `"line\nbreak"`},
+		{TypedLiteral("3.5", XSDDouble), `"3.5"^^<` + XSDDouble + `>`},
+		{LangLiteral("ciao", "it"), `"ciao"@it`},
+		{Blank("b7"), "_:b7"},
+	}
+	for _, c := range cases {
+		if got := c.term.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestLiteralEscapeRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		unescaped, err := unescapeLiteral(escapeLiteral(s))
+		return err == nil && unescaped == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseTermRoundTrip(t *testing.T) {
+	terms := []Term{
+		IRI("http://example.org/x"),
+		Literal("hello world"),
+		Literal(`quote " backslash \ tab	end`),
+		TypedLiteral("42", XSDInteger),
+		TypedLiteral("1.5e3", XSDDouble),
+		LangLiteral("bonjour", "fr"),
+		Blank("node1"),
+	}
+	for _, term := range terms {
+		parsed, err := ParseTerm(term.String())
+		if err != nil {
+			t.Errorf("ParseTerm(%q): %v", term.String(), err)
+			continue
+		}
+		if parsed != term {
+			t.Errorf("round trip %q: got %v, want %v", term.String(), parsed, term)
+		}
+	}
+}
+
+func TestParseTermErrors(t *testing.T) {
+	bad := []string{"", "<unterminated", `"unterminated`, "_:", "plainword", `"lit"@`, `"lit"^^x`, "<a> <b>"}
+	for _, s := range bad {
+		if _, err := ParseTerm(s); err == nil {
+			t.Errorf("ParseTerm(%q) should fail", s)
+		}
+	}
+}
+
+func TestTermKindString(t *testing.T) {
+	cases := map[TermKind]string{
+		KindIRI:     "iri",
+		KindLiteral: "literal",
+		KindBlank:   "blank",
+		TermKind(9): "TermKind(9)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("TermKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	if !Blank("b").IsBlank() || IRI("u").IsBlank() || Literal("l").IsBlank() {
+		t.Error("IsBlank wrong")
+	}
+	if !IRI("u").IsIRI() || !Literal("l").IsLiteral() {
+		t.Error("IsIRI/IsLiteral wrong")
+	}
+	var z Term
+	if z.String() != "<<invalid term>>" {
+		t.Errorf("zero Term String = %q", z.String())
+	}
+}
+
+func TestNonLiteralAccessorsMiss(t *testing.T) {
+	if _, ok := IRI("u").Int(); ok {
+		t.Error("Int on IRI should miss")
+	}
+	if _, ok := IRI("u").Bool(); ok {
+		t.Error("Bool on IRI should miss")
+	}
+	if _, ok := Literal("abc").Int(); ok {
+		t.Error("Int on non-numeric literal should miss")
+	}
+	if _, ok := Literal("abc").Bool(); ok {
+		t.Error("Bool on non-boolean literal should miss")
+	}
+}
+
+func TestUnescapeLiteralEscapes(t *testing.T) {
+	cases := map[string]string{
+		`a\\b`:     "a\\b",
+		`a\"b`:     `a"b`,
+		`a\nb`:     "a\nb",
+		`a\rb`:     "a\rb",
+		`a\tb`:     "a\tb",
+		`a\u0041b`: "aAb",
+		`plain`:    "plain",
+	}
+	for in, want := range cases {
+		got, err := unescapeLiteral(in)
+		if err != nil || got != want {
+			t.Errorf("unescapeLiteral(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	bad := []string{`a\`, `a\u12`, `a\u12ZZ`, `a\q`}
+	for _, in := range bad {
+		if _, err := unescapeLiteral(in); err == nil {
+			t.Errorf("unescapeLiteral(%q) should fail", in)
+		}
+	}
+}
+
+func TestCompareTerms(t *testing.T) {
+	a, b := IRI("urn:a"), IRI("urn:b")
+	if CompareTerms(a, b) != -1 || CompareTerms(b, a) != 1 || CompareTerms(a, a) != 0 {
+		t.Error("CompareTerms ordering on IRIs is wrong")
+	}
+	// Kind ordering: IRI < literal < blank.
+	if CompareTerms(IRI("z"), Literal("a")) != -1 {
+		t.Error("IRI should sort before literal")
+	}
+	if CompareTerms(Literal("z"), Blank("a")) != -1 {
+		t.Error("literal should sort before blank")
+	}
+}

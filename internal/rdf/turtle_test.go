@@ -1,0 +1,65 @@
+package rdf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteTurtle(t *testing.T) {
+	g := NewGraph()
+	q := func(l string) Term { return IRI("http://qurator.org/iq#" + l) }
+	g.MustAdd(T(IRI("urn:lsid:x.org:ns:P1"), IRI(RDFType), q("ImprintHitEntry")))
+	g.MustAdd(T(IRI("urn:lsid:x.org:ns:P1"), q("containsEvidence"), IRI("urn:lsid:x.org:ns:P1#ev")))
+	g.MustAdd(T(IRI("urn:lsid:x.org:ns:P1#ev"), q("evidenceValue"), Double(0.9)))
+
+	var buf bytes.Buffer
+	err := WriteTurtle(&buf, g, map[string]string{"q": "http://qurator.org/iq#"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"@prefix q: <http://qurator.org/iq#> .",
+		"a q:ImprintHitEntry",    // rdf:type abbreviated, prefix applied
+		"q:containsEvidence",     // prefixed predicate
+		"<urn:lsid:x.org:ns:P1>", // non-namespace IRI in brackets
+		" .",                     // statement terminators
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("turtle missing %q:\n%s", want, out)
+		}
+	}
+	// The evidence-node IRI contains '#', so its local name is unsafe and
+	// it must stay bracketed even though urn: isn't a declared prefix.
+	if strings.Contains(out, "q:containsEvidence q:") {
+		t.Errorf("unsafe local name was prefixed:\n%s", out)
+	}
+}
+
+func TestWriteTurtleNoPrefixes(t *testing.T) {
+	g := NewGraph()
+	g.MustAdd(T(IRI("urn:a"), IRI("urn:p"), Literal("x")))
+	var buf bytes.Buffer
+	if err := WriteTurtle(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `<urn:a>`) || strings.Contains(buf.String(), "@prefix") {
+		t.Errorf("turtle without prefixes wrong:\n%s", buf.String())
+	}
+}
+
+func TestIsTurtleLocal(t *testing.T) {
+	good := []string{"HitRatio", "a_b-c", "x1"}
+	bad := []string{"", "with space", "a#b", "a/b", "ünïcode"}
+	for _, s := range good {
+		if !isTurtleLocal(s) {
+			t.Errorf("isTurtleLocal(%q) = false", s)
+		}
+	}
+	for _, s := range bad {
+		if isTurtleLocal(s) {
+			t.Errorf("isTurtleLocal(%q) = true", s)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package services
+
+import (
+	"bytes"
+	"context"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Handler serves a registry over HTTP:
+//
+//	GET  /services            → XML list of service descriptions
+//	POST /services/<name>     → invoke <name> with an Envelope body
+//
+// This is the deployment surface cmd/quratord exposes, and the surface the
+// Scavenger discovers services from — the counterpart of publishing WSDL
+// for Taverna's scavenger (paper §6.1).
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /services", func(w http.ResponseWriter, r *http.Request) {
+		list := struct {
+			XMLName  xml.Name `xml:"Services"`
+			Services []Info   `xml:"Service"`
+		}{Services: reg.List()}
+		w.Header().Set("Content-Type", "application/xml")
+		if err := xml.NewEncoder(w).Encode(list); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("POST /services/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		svc, ok := reg.Get(name)
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown service %q", name), http.StatusNotFound)
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		req, err := UnmarshalEnvelope(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := svc.Invoke(r.Context(), req)
+		if err != nil {
+			// Faults travel as envelopes with an Error element, so
+			// clients distinguish service faults from transport failures.
+			fault := &Envelope{Service: name, Error: err.Error()}
+			w.Header().Set("Content-Type", "application/xml")
+			w.WriteHeader(http.StatusUnprocessableEntity)
+			data, _ := fault.Marshal()
+			w.Write(data)
+			return
+		}
+		data, err := resp.Marshal()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/xml")
+		w.Write(data)
+	})
+	return mux
+}
+
+// Client invokes remote Qurator services over HTTP.
+type Client struct {
+	// BaseURL is the host root, e.g. "http://localhost:9090".
+	BaseURL string
+	// HTTPClient defaults to a client with a 30s timeout.
+	HTTPClient *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// Invoke calls the named remote service.
+func (c *Client) Invoke(ctx context.Context, name string, req *Envelope) (*Envelope, error) {
+	data, err := req.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	url := strings.TrimSuffix(c.BaseURL, "/") + "/services/" + name
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/xml")
+	httpResp, err := c.httpClient().Do(httpReq)
+	if err != nil {
+		return nil, fmt.Errorf("services: invoking %s: %w", url, err)
+	}
+	defer httpResp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(httpResp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	switch httpResp.StatusCode {
+	case http.StatusOK, http.StatusUnprocessableEntity:
+		resp, err := UnmarshalEnvelope(body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Error != "" {
+			return nil, fmt.Errorf("services: %s fault: %s", name, resp.Error)
+		}
+		return resp, nil
+	default:
+		return nil, fmt.Errorf("services: %s returned %s: %s", url, httpResp.Status, strings.TrimSpace(string(body)))
+	}
+}
+
+// Scavenge discovers the services deployed on a remote host and returns
+// proxies for them, ready to Add to a local registry — the analogue of
+// Taverna's services-scavenger process (§6.1: "any deployed Web Service
+// with a published WSDL interface can be found automatically on a
+// specified host").
+func (c *Client) Scavenge(ctx context.Context) ([]QualityService, error) {
+	url := strings.TrimSuffix(c.BaseURL, "/") + "/services"
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	httpResp, err := c.httpClient().Do(httpReq)
+	if err != nil {
+		return nil, fmt.Errorf("services: scavenging %s: %w", url, err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("services: scavenging %s: %s", url, httpResp.Status)
+	}
+	var list struct {
+		Services []Info `xml:"Service"`
+	}
+	if err := xml.NewDecoder(httpResp.Body).Decode(&list); err != nil {
+		return nil, err
+	}
+	out := make([]QualityService, len(list.Services))
+	for i, info := range list.Services {
+		out[i] = &remoteService{client: c, info: info}
+	}
+	return out, nil
+}
+
+// remoteService proxies a scavenged remote service.
+type remoteService struct {
+	client *Client
+	info   Info
+}
+
+// Describe implements QualityService.
+func (r *remoteService) Describe() Info { return r.info }
+
+// Invoke implements QualityService.
+func (r *remoteService) Invoke(ctx context.Context, req *Envelope) (*Envelope, error) {
+	return r.client.Invoke(ctx, r.info.Name, req)
+}

@@ -1,0 +1,73 @@
+package services
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"qurator/internal/evidence"
+	"qurator/internal/rdf"
+)
+
+// Property: the Envelope XML schema round-trips arbitrary annotation maps
+// losslessly — items, order, every value kind.
+func TestEnvelopeRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := evidence.NewMap()
+		nItems := rng.Intn(15)
+		for i := 0; i < nItems; i++ {
+			it := rdf.IRI(fmt.Sprintf("urn:lsid:t.org:x:%d", i))
+			m.AddItem(it)
+			for k := 0; k < rng.Intn(4); k++ {
+				key := rdf.IRI(fmt.Sprintf("urn:key:%d", rng.Intn(5)))
+				var v evidence.Value
+				switch rng.Intn(5) {
+				case 0:
+					f64 := rng.NormFloat64()
+					if math.IsNaN(f64) || math.IsInf(f64, 0) {
+						f64 = 1
+					}
+					v = evidence.Float(f64)
+				case 1:
+					v = evidence.Int(rng.Int63n(1000) - 500)
+				case 2:
+					v = evidence.String_(fmt.Sprintf("str-%d <&\"'> %d", i, k))
+				case 3:
+					v = evidence.Bool(rng.Intn(2) == 0)
+				default:
+					v = evidence.TermValue(rdf.IRI(fmt.Sprintf("urn:label:%d", rng.Intn(3))))
+				}
+				m.Set(it, key, v)
+			}
+		}
+		env := NewEnvelope(m)
+		data, err := env.Marshal()
+		if err != nil {
+			return false
+		}
+		back, err := UnmarshalEnvelope(data)
+		if err != nil {
+			return false
+		}
+		m2, err := back.Map()
+		if err != nil {
+			return false
+		}
+		if !reflect.DeepEqual(m.Items(), m2.Items()) {
+			return false
+		}
+		for _, it := range m.Items() {
+			if !reflect.DeepEqual(m.Row(it), m2.Row(it)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,151 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"qurator/internal/rdf"
+)
+
+// QueryForm distinguishes SELECT from ASK queries.
+type QueryForm int
+
+const (
+	// FormSelect is a SELECT query returning variable bindings.
+	FormSelect QueryForm = iota + 1
+	// FormAsk is an ASK query returning a boolean.
+	FormAsk
+)
+
+// Query is a parsed SPARQL query.
+type Query struct {
+	Form     QueryForm
+	Distinct bool
+	// Vars are the projected variable names; empty means SELECT *.
+	Vars    []string
+	Where   *GroupPattern
+	OrderBy []OrderKey
+	Limit   int // -1 means unset
+	Offset  int
+}
+
+// OrderKey is one ORDER BY criterion.
+type OrderKey struct {
+	Var  string
+	Desc bool
+}
+
+// GroupPattern is a group graph pattern: triple patterns, filters, and
+// optional sub-groups, evaluated as a conjunction.
+type GroupPattern struct {
+	Patterns  []TriplePattern
+	Filters   []Expr
+	Optionals []*GroupPattern
+	Unions    [][]*GroupPattern // each union is a list of alternative groups
+}
+
+// TriplePattern is a triple with variables allowed in any position.
+// A position holds either a bound rdf.Term (Var == "") or a variable name.
+type TriplePattern struct {
+	S, P, O PatternTerm
+}
+
+// PatternTerm is one position of a triple pattern.
+type PatternTerm struct {
+	Var  string   // non-empty means a variable
+	Term rdf.Term // used when Var == ""
+}
+
+// IsVar reports whether the position is a variable.
+func (p PatternTerm) IsVar() bool { return p.Var != "" }
+
+func (p PatternTerm) String() string {
+	if p.IsVar() {
+		return "?" + p.Var
+	}
+	return p.Term.String()
+}
+
+func (tp TriplePattern) String() string {
+	return fmt.Sprintf("%s %s %s .", tp.S, tp.P, tp.O)
+}
+
+// Binding is a solution mapping from variable names to RDF terms.
+type Binding map[string]rdf.Term
+
+// Clone returns a copy of the binding.
+func (b Binding) Clone() Binding {
+	out := make(Binding, len(b)+2)
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+func (b Binding) String() string {
+	parts := make([]string, 0, len(b))
+	for k, v := range b {
+		parts = append(parts, "?"+k+"="+v.String())
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Expr is a FILTER expression node.
+type Expr interface {
+	// Eval computes the expression value under a binding. Errors follow
+	// SPARQL semantics: an erroring filter eliminates the solution.
+	Eval(b Binding) (Value, error)
+	String() string
+}
+
+// Value is the result of evaluating an expression: an RDF term or an
+// ephemeral boolean/number produced by operators.
+type Value struct {
+	Term rdf.Term
+	// IsBool/IsNum are set for operator results that have no term form.
+	IsBool bool
+	Bool   bool
+	IsNum  bool
+	Num    float64
+}
+
+// BoolVal wraps a boolean value.
+func BoolVal(b bool) Value { return Value{IsBool: true, Bool: b} }
+
+// NumVal wraps a numeric value.
+func NumVal(f float64) Value { return Value{IsNum: true, Num: f} }
+
+// TermVal wraps an RDF term value.
+func TermVal(t rdf.Term) Value { return Value{Term: t} }
+
+// EffectiveBool computes the SPARQL effective boolean value.
+func (v Value) EffectiveBool() (bool, error) {
+	switch {
+	case v.IsBool:
+		return v.Bool, nil
+	case v.IsNum:
+		return v.Num != 0, nil
+	case v.Term.IsLiteral():
+		if b, ok := v.Term.Bool(); ok {
+			return b, nil
+		}
+		if f, ok := v.Term.Float(); ok {
+			return f != 0, nil
+		}
+		return v.Term.Value() != "", nil
+	default:
+		return false, fmt.Errorf("sparql: no effective boolean value for %v", v)
+	}
+}
+
+// Numeric converts the value to a float64 if possible.
+func (v Value) Numeric() (float64, bool) {
+	switch {
+	case v.IsNum:
+		return v.Num, true
+	case v.IsBool:
+		return 0, false
+	default:
+		return v.Term.Float()
+	}
+}

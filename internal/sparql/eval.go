@@ -1,0 +1,344 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+
+	"qurator/internal/rdf"
+)
+
+// Result is the outcome of executing a query.
+type Result struct {
+	// Vars are the projected variable names, in projection order.
+	Vars []string
+	// Bindings are the solution rows (SELECT only).
+	Bindings []Binding
+	// Ok is the ASK answer (ASK only).
+	Ok bool
+}
+
+// Exec parses and executes a query against the graph.
+func Exec(g *rdf.Graph, query string) (*Result, error) {
+	q, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return q.Exec(g)
+}
+
+// Exec executes the parsed query against the graph.
+func (q *Query) Exec(g *rdf.Graph) (*Result, error) {
+	sols, err := evalGroup(g, q.Where, []Binding{{}})
+	if err != nil {
+		return nil, err
+	}
+	if q.Form == FormAsk {
+		return &Result{Ok: len(sols) > 0}, nil
+	}
+
+	vars := q.Vars
+	if len(vars) == 0 {
+		vars = collectVars(q.Where)
+	}
+
+	// Project.
+	projected := make([]Binding, len(sols))
+	for i, sol := range sols {
+		row := make(Binding, len(vars))
+		for _, v := range vars {
+			if t, ok := sol[v]; ok {
+				row[v] = t
+			}
+		}
+		projected[i] = row
+	}
+
+	if q.Distinct {
+		projected = distinct(vars, projected)
+	}
+
+	if len(q.OrderBy) > 0 {
+		sortBindings(projected, q.OrderBy)
+	} else {
+		// Deterministic default order keyed on projected values, so
+		// repeated queries over the same graph return identical rows.
+		sortBindings(projected, defaultOrder(vars))
+	}
+
+	// OFFSET/LIMIT.
+	if q.Offset > 0 {
+		if q.Offset >= len(projected) {
+			projected = nil
+		} else {
+			projected = projected[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(projected) {
+		projected = projected[:q.Limit]
+	}
+
+	return &Result{Vars: vars, Bindings: projected}, nil
+}
+
+func defaultOrder(vars []string) []OrderKey {
+	keys := make([]OrderKey, len(vars))
+	for i, v := range vars {
+		keys[i] = OrderKey{Var: v}
+	}
+	return keys
+}
+
+func distinct(vars []string, rows []Binding) []Binding {
+	seen := make(map[string]struct{}, len(rows))
+	out := rows[:0]
+	for _, row := range rows {
+		key := ""
+		for _, v := range vars {
+			key += row[v].String() + "\x00"
+		}
+		if _, ok := seen[key]; ok {
+			continue
+		}
+		seen[key] = struct{}{}
+		out = append(out, row)
+	}
+	return out
+}
+
+func sortBindings(rows []Binding, keys []OrderKey) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range keys {
+			a, aok := rows[i][k.Var]
+			b, bok := rows[j][k.Var]
+			if !aok && !bok {
+				continue
+			}
+			// Unbound sorts first (SPARQL: unbound < everything).
+			if !aok {
+				return !k.Desc
+			}
+			if !bok {
+				return k.Desc
+			}
+			c := compareOrderTerms(a, b)
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}
+
+// compareOrderTerms orders numerically when both terms are numeric,
+// otherwise falls back to the total term order.
+func compareOrderTerms(a, b rdf.Term) int {
+	if af, ok := a.Float(); ok {
+		if bf, ok := b.Float(); ok {
+			switch {
+			case af < bf:
+				return -1
+			case af > bf:
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
+	return rdf.CompareTerms(a, b)
+}
+
+func collectVars(g *GroupPattern) []string {
+	seen := map[string]struct{}{}
+	var order []string
+	add := func(pt PatternTerm) {
+		if pt.IsVar() {
+			if _, ok := seen[pt.Var]; !ok {
+				seen[pt.Var] = struct{}{}
+				order = append(order, pt.Var)
+			}
+		}
+	}
+	var walk func(g *GroupPattern)
+	walk = func(g *GroupPattern) {
+		for _, tp := range g.Patterns {
+			add(tp.S)
+			add(tp.P)
+			add(tp.O)
+		}
+		for _, opt := range g.Optionals {
+			walk(opt)
+		}
+		for _, alts := range g.Unions {
+			for _, alt := range alts {
+				walk(alt)
+			}
+		}
+	}
+	walk(g)
+	return order
+}
+
+// evalGroup evaluates a group graph pattern, extending each input binding.
+func evalGroup(g *rdf.Graph, group *GroupPattern, input []Binding) ([]Binding, error) {
+	if group == nil {
+		return input, nil
+	}
+	sols := input
+
+	// Order triple patterns greedily by boundness for join efficiency:
+	// patterns with more constants (or already-bound variables) first.
+	patterns := append([]TriplePattern(nil), group.Patterns...)
+	boundVars := map[string]bool{}
+	for _, b := range input {
+		for v := range b {
+			boundVars[v] = true
+		}
+	}
+	orderPatterns(patterns, boundVars)
+
+	for _, tp := range patterns {
+		var next []Binding
+		for _, b := range sols {
+			matches := matchPattern(g, tp, b)
+			next = append(next, matches...)
+		}
+		sols = next
+		if len(sols) == 0 {
+			break
+		}
+	}
+
+	// UNION blocks: each solution is joined with the union of alternatives.
+	for _, alts := range group.Unions {
+		var next []Binding
+		for _, alt := range alts {
+			branch, err := evalGroup(g, alt, sols)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, branch...)
+		}
+		sols = next
+	}
+
+	// OPTIONAL blocks: left join.
+	for _, opt := range group.Optionals {
+		var next []Binding
+		for _, b := range sols {
+			extended, err := evalGroup(g, opt, []Binding{b})
+			if err != nil {
+				return nil, err
+			}
+			if len(extended) == 0 {
+				next = append(next, b)
+			} else {
+				next = append(next, extended...)
+			}
+		}
+		sols = next
+	}
+
+	// FILTERs eliminate solutions (errors count as elimination).
+	for _, f := range group.Filters {
+		var kept []Binding
+		for _, b := range sols {
+			v, err := f.Eval(b)
+			if err != nil {
+				continue
+			}
+			ok, err := v.EffectiveBool()
+			if err != nil || !ok {
+				continue
+			}
+			kept = append(kept, b)
+		}
+		sols = kept
+	}
+	return sols, nil
+}
+
+func orderPatterns(patterns []TriplePattern, bound map[string]bool) {
+	score := func(tp TriplePattern, bound map[string]bool) int {
+		s := 0
+		for _, pt := range []PatternTerm{tp.S, tp.P, tp.O} {
+			if !pt.IsVar() || bound[pt.Var] {
+				s++
+			}
+		}
+		return s
+	}
+	// Greedy selection: repeatedly pick the most-bound remaining pattern,
+	// then mark its variables bound.
+	b := make(map[string]bool, len(bound))
+	for k, v := range bound {
+		b[k] = v
+	}
+	for i := range patterns {
+		best, bestScore := i, -1
+		for j := i; j < len(patterns); j++ {
+			if sc := score(patterns[j], b); sc > bestScore {
+				best, bestScore = j, sc
+			}
+		}
+		patterns[i], patterns[best] = patterns[best], patterns[i]
+		for _, pt := range []PatternTerm{patterns[i].S, patterns[i].P, patterns[i].O} {
+			if pt.IsVar() {
+				b[pt.Var] = true
+			}
+		}
+	}
+}
+
+func matchPattern(g *rdf.Graph, tp TriplePattern, b Binding) []Binding {
+	resolve := func(pt PatternTerm) (rdf.Term, string) {
+		if !pt.IsVar() {
+			return pt.Term, ""
+		}
+		if t, ok := b[pt.Var]; ok {
+			return t, ""
+		}
+		return rdf.Term{}, pt.Var
+	}
+	s, sv := resolve(tp.S)
+	p, pv := resolve(tp.P)
+	o, ov := resolve(tp.O)
+
+	var out []Binding
+	g.ForEachMatch(s, p, o, func(t rdf.Triple) bool {
+		nb := b.Clone()
+		ok := true
+		bindVar := func(name string, val rdf.Term) {
+			if name == "" {
+				return
+			}
+			if prev, exists := nb[name]; exists {
+				if prev != val {
+					ok = false
+				}
+				return
+			}
+			nb[name] = val
+		}
+		bindVar(sv, t.Subject)
+		bindVar(pv, t.Predicate)
+		bindVar(ov, t.Object)
+		if ok {
+			out = append(out, nb)
+		}
+		return true
+	})
+	return out
+}
+
+// MustExec is Exec that panics on error; for statically-known queries.
+func MustExec(g *rdf.Graph, query string) *Result {
+	r, err := Exec(g, query)
+	if err != nil {
+		panic(fmt.Sprintf("sparql: %v", err))
+	}
+	return r
+}

@@ -1,0 +1,348 @@
+package sparql
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"qurator/internal/rdf"
+)
+
+// varExpr references a variable; unbound evaluation is an error (which
+// eliminates the solution, per SPARQL semantics).
+type varExpr struct{ name string }
+
+func (e varExpr) Eval(b Binding) (Value, error) {
+	t, ok := b[e.name]
+	if !ok {
+		return Value{}, fmt.Errorf("sparql: unbound variable ?%s", e.name)
+	}
+	return TermVal(t), nil
+}
+
+func (e varExpr) String() string { return "?" + e.name }
+
+// constExpr is a constant RDF term.
+type constExpr struct{ term rdf.Term }
+
+func (e constExpr) Eval(Binding) (Value, error) { return TermVal(e.term), nil }
+func (e constExpr) String() string              { return e.term.String() }
+
+// notExpr is logical negation.
+type notExpr struct{ inner Expr }
+
+func (e notExpr) Eval(b Binding) (Value, error) {
+	v, err := e.inner.Eval(b)
+	if err != nil {
+		return Value{}, err
+	}
+	bv, err := v.EffectiveBool()
+	if err != nil {
+		return Value{}, err
+	}
+	return BoolVal(!bv), nil
+}
+
+func (e notExpr) String() string { return "!(" + e.inner.String() + ")" }
+
+// logicalExpr is && or ||.
+type logicalExpr struct {
+	op   string // "&&" or "||"
+	l, r Expr
+}
+
+func (e logicalExpr) Eval(b Binding) (Value, error) {
+	lv, lerr := e.l.Eval(b)
+	var lb bool
+	if lerr == nil {
+		lb, lerr = lv.EffectiveBool()
+	}
+	// Short-circuit per SPARQL: an error on one side may be masked by the
+	// other side's determining value.
+	if lerr == nil {
+		if e.op == "&&" && !lb {
+			return BoolVal(false), nil
+		}
+		if e.op == "||" && lb {
+			return BoolVal(true), nil
+		}
+	}
+	rv, rerr := e.r.Eval(b)
+	var rb bool
+	if rerr == nil {
+		rb, rerr = rv.EffectiveBool()
+	}
+	if rerr != nil {
+		return Value{}, rerr
+	}
+	if lerr != nil {
+		// Left errored: result determined only if right decides.
+		if e.op == "&&" && !rb {
+			return BoolVal(false), nil
+		}
+		if e.op == "||" && rb {
+			return BoolVal(true), nil
+		}
+		return Value{}, lerr
+	}
+	if e.op == "&&" {
+		return BoolVal(lb && rb), nil
+	}
+	return BoolVal(lb || rb), nil
+}
+
+func (e logicalExpr) String() string {
+	return "(" + e.l.String() + " " + e.op + " " + e.r.String() + ")"
+}
+
+// cmpExpr is a comparison: = != < <= > >=.
+type cmpExpr struct {
+	op   string
+	l, r Expr
+}
+
+func (e cmpExpr) Eval(b Binding) (Value, error) {
+	lv, err := e.l.Eval(b)
+	if err != nil {
+		return Value{}, err
+	}
+	rv, err := e.r.Eval(b)
+	if err != nil {
+		return Value{}, err
+	}
+	// Numeric comparison when both sides are numeric.
+	if lf, ok := lv.Numeric(); ok {
+		if rf, ok := rv.Numeric(); ok {
+			return BoolVal(cmpFloat(e.op, lf, rf)), nil
+		}
+	}
+	// Fall back to term/string comparison.
+	ls, rs := valueLexical(lv), valueLexical(rv)
+	switch e.op {
+	case "=":
+		return BoolVal(valueEqual(lv, rv)), nil
+	case "!=":
+		return BoolVal(!valueEqual(lv, rv)), nil
+	case "<":
+		return BoolVal(ls < rs), nil
+	case "<=":
+		return BoolVal(ls <= rs), nil
+	case ">":
+		return BoolVal(ls > rs), nil
+	case ">=":
+		return BoolVal(ls >= rs), nil
+	}
+	return Value{}, fmt.Errorf("sparql: unknown comparison %q", e.op)
+}
+
+func (e cmpExpr) String() string {
+	return "(" + e.l.String() + " " + e.op + " " + e.r.String() + ")"
+}
+
+func cmpFloat(op string, a, b float64) bool {
+	switch op {
+	case "=":
+		return a == b
+	case "!=":
+		return a != b
+	case "<":
+		return a < b
+	case "<=":
+		return a <= b
+	case ">":
+		return a > b
+	case ">=":
+		return a >= b
+	}
+	return false
+}
+
+func valueLexical(v Value) string {
+	switch {
+	case v.IsBool:
+		if v.Bool {
+			return "true"
+		}
+		return "false"
+	case v.IsNum:
+		return fmt.Sprintf("%g", v.Num)
+	default:
+		return v.Term.Value()
+	}
+}
+
+func valueEqual(a, b Value) bool {
+	if af, ok := a.Numeric(); ok {
+		if bf, ok := b.Numeric(); ok {
+			return af == bf
+		}
+	}
+	if !a.Term.IsZero() && !b.Term.IsZero() {
+		return a.Term == b.Term
+	}
+	return valueLexical(a) == valueLexical(b) && a.IsBool == b.IsBool
+}
+
+// arithExpr is + - * /.
+type arithExpr struct {
+	op   string
+	l, r Expr
+}
+
+func (e arithExpr) Eval(b Binding) (Value, error) {
+	lv, err := e.l.Eval(b)
+	if err != nil {
+		return Value{}, err
+	}
+	rv, err := e.r.Eval(b)
+	if err != nil {
+		return Value{}, err
+	}
+	lf, lok := lv.Numeric()
+	rf, rok := rv.Numeric()
+	if !lok || !rok {
+		return Value{}, fmt.Errorf("sparql: non-numeric operand to %q", e.op)
+	}
+	switch e.op {
+	case "+":
+		return NumVal(lf + rf), nil
+	case "-":
+		return NumVal(lf - rf), nil
+	case "*":
+		return NumVal(lf * rf), nil
+	case "/":
+		if rf == 0 {
+			return Value{}, fmt.Errorf("sparql: division by zero")
+		}
+		return NumVal(lf / rf), nil
+	}
+	return Value{}, fmt.Errorf("sparql: unknown arithmetic op %q", e.op)
+}
+
+func (e arithExpr) String() string {
+	return "(" + e.l.String() + " " + e.op + " " + e.r.String() + ")"
+}
+
+// boundExpr is BOUND(?x).
+type boundExpr struct{ name string }
+
+func (e boundExpr) Eval(b Binding) (Value, error) {
+	_, ok := b[e.name]
+	return BoolVal(ok), nil
+}
+
+func (e boundExpr) String() string { return "BOUND(?" + e.name + ")" }
+
+// strExpr is STR(expr): the lexical form.
+type strExpr struct{ inner Expr }
+
+func (e strExpr) Eval(b Binding) (Value, error) {
+	v, err := e.inner.Eval(b)
+	if err != nil {
+		return Value{}, err
+	}
+	return TermVal(rdf.Literal(valueLexical(v))), nil
+}
+
+func (e strExpr) String() string { return "STR(" + e.inner.String() + ")" }
+
+// datatypeExpr is DATATYPE(expr).
+type datatypeExpr struct{ inner Expr }
+
+func (e datatypeExpr) Eval(b Binding) (Value, error) {
+	v, err := e.inner.Eval(b)
+	if err != nil {
+		return Value{}, err
+	}
+	if !v.Term.IsLiteral() {
+		return Value{}, fmt.Errorf("sparql: DATATYPE of non-literal")
+	}
+	return TermVal(rdf.IRI(v.Term.Datatype())), nil
+}
+
+func (e datatypeExpr) String() string { return "DATATYPE(" + e.inner.String() + ")" }
+
+// regexExpr is REGEX(str, pattern [, flags]).
+type regexExpr struct {
+	target, pattern Expr
+	flags           string
+	compiled        *regexp.Regexp // cached when pattern is constant
+}
+
+func newRegexExpr(target, pattern Expr, flags string) (*regexExpr, error) {
+	e := &regexExpr{target: target, pattern: pattern, flags: flags}
+	if c, ok := pattern.(constExpr); ok {
+		re, err := compileRegex(c.term.Value(), flags)
+		if err != nil {
+			return nil, err
+		}
+		e.compiled = re
+	}
+	return e, nil
+}
+
+func compileRegex(pattern, flags string) (*regexp.Regexp, error) {
+	if strings.Contains(flags, "i") {
+		pattern = "(?i)" + pattern
+	}
+	return regexp.Compile(pattern)
+}
+
+func (e *regexExpr) Eval(b Binding) (Value, error) {
+	tv, err := e.target.Eval(b)
+	if err != nil {
+		return Value{}, err
+	}
+	re := e.compiled
+	if re == nil {
+		pv, err := e.pattern.Eval(b)
+		if err != nil {
+			return Value{}, err
+		}
+		re, err = compileRegex(valueLexical(pv), e.flags)
+		if err != nil {
+			return Value{}, err
+		}
+	}
+	return BoolVal(re.MatchString(valueLexical(tv))), nil
+}
+
+func (e *regexExpr) String() string {
+	return "REGEX(" + e.target.String() + ", " + e.pattern.String() + ")"
+}
+
+// inExpr is "expr IN (a, b, c)" or "expr NOT IN (...)".
+type inExpr struct {
+	target  Expr
+	items   []Expr
+	negated bool
+}
+
+func (e inExpr) Eval(b Binding) (Value, error) {
+	tv, err := e.target.Eval(b)
+	if err != nil {
+		return Value{}, err
+	}
+	for _, item := range e.items {
+		iv, err := item.Eval(b)
+		if err != nil {
+			return Value{}, err
+		}
+		if valueEqual(tv, iv) {
+			return BoolVal(!e.negated), nil
+		}
+	}
+	return BoolVal(e.negated), nil
+}
+
+func (e inExpr) String() string {
+	items := make([]string, len(e.items))
+	for i, it := range e.items {
+		items[i] = it.String()
+	}
+	op := " IN ("
+	if e.negated {
+		op = " NOT IN ("
+	}
+	return e.target.String() + op + strings.Join(items, ", ") + ")"
+}

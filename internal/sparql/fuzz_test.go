@@ -1,0 +1,37 @@
+package sparql
+
+import (
+	"testing"
+
+	"qurator/internal/rdf"
+)
+
+// FuzzParseNeverPanics checks the parser's robustness against arbitrary
+// input: it may reject, but must never panic, and accepted queries must
+// execute without panicking against a small graph.
+func FuzzParseNeverPanics(f *testing.F) {
+	seeds := []string{
+		"SELECT ?x WHERE { ?x ?p ?o . }",
+		prefixes + "SELECT DISTINCT ?v WHERE { ?x q:hitRatio ?v . FILTER (?v > 0.5) } ORDER BY DESC(?v) LIMIT 3",
+		"ASK { <urn:a> <urn:b> \"c\" . }",
+		"SELECT * WHERE { { ?a ?b ?c . } UNION { ?a ?b ?d . } OPTIONAL { ?a ?e ?f . } }",
+		"PREFIX : <urn:x#> SELECT ?x WHERE { ?x :p ?y . FILTER REGEX(STR(?y), \"a.*\", \"i\") }",
+		"SELECT ?x WHERE { ?x a ?c . FILTER (?x IN (<urn:a>, <urn:b>) && !BOUND(?z)) }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	g := rdf.NewGraph()
+	g.MustAdd(rdf.T(rdf.IRI("urn:a"), rdf.IRI("urn:b"), rdf.Literal("c")))
+	g.MustAdd(rdf.T(rdf.IRI("urn:a"), rdf.IRI("urn:p"), rdf.Double(0.5)))
+
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if _, err := q.Exec(g); err != nil {
+			t.Fatalf("parsed query failed to execute: %v", err)
+		}
+	})
+}

@@ -1,0 +1,281 @@
+// Package sparql implements the SPARQL subset that the Qurator framework
+// issues against its RDF stores: SELECT and ASK queries over basic graph
+// patterns with FILTER, OPTIONAL, DISTINCT, ORDER BY and LIMIT/OFFSET, plus
+// PREFIX declarations.
+//
+// The paper (§5) accesses quality-evidence metadata "primarily based on
+// (data, evidence type) keys, using queries in the SPARQL language"; this
+// package plays the role that an external SPARQL endpoint (3store, Sesame,
+// Oracle RDF) plays in the original system, and is deliberately swappable
+// behind the annotstore API for the same reason the paper cites.
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokKeyword
+	tokVar      // ?name
+	tokIRI      // <...>
+	tokPrefixed // pfx:local
+	tokLiteral  // "..." (lexical form in text; datatype/lang in aux)
+	tokNumber
+	tokBoolean
+	tokPunct // { } ( ) . , ; * =  != < <= > >= && || ! + - /
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	// aux carries the datatype IRI ("^^<...>" resolved later for prefixed)
+	// or "@lang" for literals.
+	aux string
+	pos int
+}
+
+func (t token) String() string {
+	return fmt.Sprintf("%v(%q)", t.kind, t.text)
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "ASK": true, "WHERE": true, "FILTER": true,
+	"OPTIONAL": true, "PREFIX": true, "DISTINCT": true, "ORDER": true,
+	"BY": true, "ASC": true, "DESC": true, "LIMIT": true, "OFFSET": true,
+	"BOUND": true, "REGEX": true, "STR": true, "DATATYPE": true,
+	"NOT": true, "IN": true, "A": true, "UNION": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	if err := l.run(); err != nil {
+		return nil, err
+	}
+	return l.toks, nil
+}
+
+func (l *lexer) run() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '<':
+			if l.looksLikeIRI() {
+				if err := l.iri(); err != nil {
+					return err
+				}
+			} else if !l.punct() {
+				return fmt.Errorf("sparql: unexpected character %q at offset %d", c, l.pos)
+			}
+		case c == '"':
+			if err := l.literal(); err != nil {
+				return err
+			}
+		case c == '?' || c == '$':
+			l.variable()
+		case c >= '0' && c <= '9' || (c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9'):
+			l.number()
+		case isNameStart(rune(c)):
+			l.word()
+		default:
+			if ok := l.punct(); !ok {
+				return fmt.Errorf("sparql: unexpected character %q at offset %d", c, l.pos)
+			}
+		}
+	}
+	l.emit(token{kind: tokEOF, pos: l.pos})
+	return nil
+}
+
+func (l *lexer) emit(t token) { l.toks = append(l.toks, t) }
+
+// looksLikeIRI reports whether the '<' at the current position opens an
+// IRI (a '>' appears before any whitespace) rather than a comparison
+// operator in a FILTER expression.
+func (l *lexer) looksLikeIRI() bool {
+	for i := l.pos + 1; i < len(l.src); i++ {
+		switch l.src[i] {
+		case '>':
+			return true
+		case ' ', '\t', '\n', '\r', '<':
+			return false
+		}
+	}
+	return false
+}
+
+func (l *lexer) iri() error {
+	start := l.pos
+	end := strings.IndexByte(l.src[l.pos:], '>')
+	if end < 0 {
+		return fmt.Errorf("sparql: unterminated IRI at offset %d", start)
+	}
+	l.emit(token{kind: tokIRI, text: l.src[l.pos+1 : l.pos+end], pos: start})
+	l.pos += end + 1
+	return nil
+}
+
+func (l *lexer) literal() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return fmt.Errorf("sparql: unterminated literal at offset %d", start)
+		}
+		c := l.src[l.pos]
+		if c == '\\' && l.pos+1 < len(l.src) {
+			next := l.src[l.pos+1]
+			switch next {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '"', '\\':
+				b.WriteByte(next)
+			default:
+				return fmt.Errorf("sparql: bad escape \\%c at offset %d", next, l.pos)
+			}
+			l.pos += 2
+			continue
+		}
+		if c == '"' {
+			l.pos++
+			break
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	tok := token{kind: tokLiteral, text: b.String(), pos: start}
+	// Optional @lang or ^^datatype.
+	if l.pos < len(l.src) && l.src[l.pos] == '@' {
+		l.pos++
+		s := l.pos
+		for l.pos < len(l.src) && (isNamePart(rune(l.src[l.pos])) || l.src[l.pos] == '-') {
+			l.pos++
+		}
+		tok.aux = "@" + l.src[s:l.pos]
+	} else if strings.HasPrefix(l.src[l.pos:], "^^") {
+		l.pos += 2
+		if l.pos < len(l.src) && l.src[l.pos] == '<' {
+			end := strings.IndexByte(l.src[l.pos:], '>')
+			if end < 0 {
+				return fmt.Errorf("sparql: unterminated datatype IRI at offset %d", l.pos)
+			}
+			tok.aux = "^^" + l.src[l.pos+1:l.pos+end]
+			l.pos += end + 1
+		} else {
+			s := l.pos
+			for l.pos < len(l.src) && (isNamePart(rune(l.src[l.pos])) || l.src[l.pos] == ':') {
+				l.pos++
+			}
+			tok.aux = "^^pfx:" + l.src[s:l.pos]
+		}
+	}
+	l.emit(tok)
+	return nil
+}
+
+func (l *lexer) variable() {
+	start := l.pos
+	l.pos++ // ? or $
+	s := l.pos
+	for l.pos < len(l.src) && isNamePart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.emit(token{kind: tokVar, text: l.src[s:l.pos], pos: start})
+}
+
+func (l *lexer) number() {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.' || l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		// Don't absorb a trailing "." that terminates a triple pattern:
+		// only treat '.' as part of the number when followed by a digit.
+		if l.src[l.pos] == '.' {
+			if l.pos+1 >= len(l.src) || l.src[l.pos+1] < '0' || l.src[l.pos+1] > '9' {
+				break
+			}
+		}
+		l.pos++
+	}
+	l.emit(token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) word() {
+	start := l.pos
+	for l.pos < len(l.src) && (isNamePart(rune(l.src[l.pos])) || l.src[l.pos] == '.' && l.pos+1 < len(l.src) && isNamePart(rune(l.src[l.pos+1]))) {
+		l.pos++
+	}
+	word := l.src[start:l.pos]
+	// Prefixed name: word directly followed by ':' local-part.
+	if l.pos < len(l.src) && l.src[l.pos] == ':' {
+		l.pos++
+		s := l.pos
+		for l.pos < len(l.src) && (isNamePart(rune(l.src[l.pos])) || l.src[l.pos] == '-') {
+			l.pos++
+		}
+		l.emit(token{kind: tokPrefixed, text: word + ":" + l.src[s:l.pos], pos: start})
+		return
+	}
+	upper := strings.ToUpper(word)
+	switch {
+	case upper == "TRUE" || upper == "FALSE":
+		l.emit(token{kind: tokBoolean, text: strings.ToLower(word), pos: start})
+	case keywords[upper]:
+		l.emit(token{kind: tokKeyword, text: upper, pos: start})
+	default:
+		// Bare word — treat as prefixed name with empty prefix is invalid;
+		// surface it as a keyword-like token so the parser reports context.
+		l.emit(token{kind: tokKeyword, text: upper, pos: start})
+	}
+}
+
+func (l *lexer) punct() bool {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "!=", "<=", ">=", "&&", "||":
+		l.emit(token{kind: tokPunct, text: two, pos: l.pos})
+		l.pos += 2
+		return true
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '{', '}', '(', ')', '.', ',', ';', '*', '=', '<', '>', '!', '+', '-', '/', ':':
+		l.emit(token{kind: tokPunct, text: string(c), pos: l.pos})
+		l.pos++
+		return true
+	}
+	return false
+}
+
+func isNameStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isNamePart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

@@ -1,0 +1,586 @@
+package sparql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"qurator/internal/rdf"
+)
+
+// Parse parses a SPARQL query in the supported subset.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, prefixes: map[string]string{}}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks     []token
+	pos      int
+	prefixes map[string]string
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.next()
+	if t.kind != tokPunct || t.text != s {
+		return fmt.Errorf("sparql: expected %q at offset %d, got %q", s, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if t := p.peek(); t.kind == tokPunct && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if t := p.peek(); t.kind == tokKeyword && t.text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) query() (*Query, error) {
+	for p.acceptKeyword("PREFIX") {
+		if err := p.prefixDecl(); err != nil {
+			return nil, err
+		}
+	}
+	q := &Query{Limit: -1}
+	switch {
+	case p.acceptKeyword("SELECT"):
+		q.Form = FormSelect
+		if p.acceptKeyword("DISTINCT") {
+			q.Distinct = true
+		}
+		if p.acceptPunct("*") {
+			// SELECT * — project all.
+		} else {
+			for p.peek().kind == tokVar {
+				q.Vars = append(q.Vars, p.next().text)
+			}
+			if len(q.Vars) == 0 {
+				return nil, fmt.Errorf("sparql: SELECT requires * or at least one variable")
+			}
+		}
+	case p.acceptKeyword("ASK"):
+		q.Form = FormAsk
+	default:
+		return nil, fmt.Errorf("sparql: expected SELECT or ASK, got %q", p.peek().text)
+	}
+
+	// WHERE is optional before the group.
+	p.acceptKeyword("WHERE")
+	group, err := p.groupPattern()
+	if err != nil {
+		return nil, err
+	}
+	q.Where = group
+
+	if q.Form == FormSelect {
+		if p.acceptKeyword("ORDER") {
+			if !p.acceptKeyword("BY") {
+				return nil, fmt.Errorf("sparql: ORDER must be followed by BY")
+			}
+			for {
+				desc := false
+				if p.acceptKeyword("DESC") {
+					desc = true
+					if err := p.expectPunct("("); err != nil {
+						return nil, err
+					}
+				} else if p.acceptKeyword("ASC") {
+					if err := p.expectPunct("("); err != nil {
+						return nil, err
+					}
+				} else if p.peek().kind != tokVar {
+					break
+				} else {
+					q.OrderBy = append(q.OrderBy, OrderKey{Var: p.next().text})
+					continue
+				}
+				v := p.next()
+				if v.kind != tokVar {
+					return nil, fmt.Errorf("sparql: ORDER BY expects a variable, got %q", v.text)
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+				q.OrderBy = append(q.OrderBy, OrderKey{Var: v.text, Desc: desc})
+			}
+			if len(q.OrderBy) == 0 {
+				return nil, fmt.Errorf("sparql: empty ORDER BY")
+			}
+		}
+		// LIMIT and OFFSET may appear in either order.
+		for {
+			switch {
+			case p.acceptKeyword("LIMIT"):
+				n, err := p.integer()
+				if err != nil {
+					return nil, err
+				}
+				q.Limit = n
+				continue
+			case p.acceptKeyword("OFFSET"):
+				n, err := p.integer()
+				if err != nil {
+					return nil, err
+				}
+				q.Offset = n
+				continue
+			}
+			break
+		}
+	}
+
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("sparql: unexpected trailing token %q at offset %d", t.text, t.pos)
+	}
+	return q, nil
+}
+
+func (p *parser) integer() (int, error) {
+	t := p.next()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("sparql: expected integer, got %q", t.text)
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("sparql: bad integer %q", t.text)
+	}
+	return n, nil
+}
+
+func (p *parser) prefixDecl() error {
+	t := p.next()
+	var pfx string
+	switch {
+	case t.kind == tokPrefixed && strings.HasSuffix(t.text, ":"):
+		pfx = strings.TrimSuffix(t.text, ":")
+	case t.kind == tokPrefixed:
+		// lexer produced "pfx:local" with empty local when declaration is
+		// "PREFIX q: <...>": text is "q:".
+		parts := strings.SplitN(t.text, ":", 2)
+		if parts[1] != "" {
+			return fmt.Errorf("sparql: malformed prefix declaration %q", t.text)
+		}
+		pfx = parts[0]
+	case t.kind == tokPunct && t.text == ":":
+		pfx = ""
+	default:
+		return fmt.Errorf("sparql: expected prefix name, got %q", t.text)
+	}
+	iri := p.next()
+	if iri.kind != tokIRI {
+		return fmt.Errorf("sparql: expected IRI in PREFIX declaration, got %q", iri.text)
+	}
+	p.prefixes[pfx] = iri.text
+	return nil
+}
+
+func (p *parser) resolvePrefixed(name string, pos int) (rdf.Term, error) {
+	parts := strings.SplitN(name, ":", 2)
+	base, ok := p.prefixes[parts[0]]
+	if !ok {
+		return rdf.Term{}, fmt.Errorf("sparql: undeclared prefix %q at offset %d", parts[0], pos)
+	}
+	return rdf.IRI(base + parts[1]), nil
+}
+
+func (p *parser) groupPattern() (*GroupPattern, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	g := &GroupPattern{}
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == tokPunct && t.text == "}":
+			p.pos++
+			return g, nil
+		case t.kind == tokEOF:
+			return nil, fmt.Errorf("sparql: unterminated group pattern")
+		case t.kind == tokKeyword && t.text == "FILTER":
+			p.pos++
+			expr, err := p.filterExpr()
+			if err != nil {
+				return nil, err
+			}
+			g.Filters = append(g.Filters, expr)
+		case t.kind == tokKeyword && t.text == "OPTIONAL":
+			p.pos++
+			sub, err := p.groupPattern()
+			if err != nil {
+				return nil, err
+			}
+			g.Optionals = append(g.Optionals, sub)
+		case t.kind == tokPunct && t.text == "{":
+			// UNION alternative groups: { A } UNION { B } ...
+			alt, err := p.groupPattern()
+			if err != nil {
+				return nil, err
+			}
+			alts := []*GroupPattern{alt}
+			for p.acceptKeyword("UNION") {
+				next, err := p.groupPattern()
+				if err != nil {
+					return nil, err
+				}
+				alts = append(alts, next)
+			}
+			g.Unions = append(g.Unions, alts)
+		default:
+			tp, err := p.triplePattern()
+			if err != nil {
+				return nil, err
+			}
+			g.Patterns = append(g.Patterns, tp)
+			// '.' separators are optional before '}'.
+			p.acceptPunct(".")
+		}
+	}
+}
+
+func (p *parser) triplePattern() (TriplePattern, error) {
+	s, err := p.patternTerm(false)
+	if err != nil {
+		return TriplePattern{}, fmt.Errorf("subject: %w", err)
+	}
+	pr, err := p.patternTerm(true)
+	if err != nil {
+		return TriplePattern{}, fmt.Errorf("predicate: %w", err)
+	}
+	o, err := p.patternTerm(false)
+	if err != nil {
+		return TriplePattern{}, fmt.Errorf("object: %w", err)
+	}
+	return TriplePattern{S: s, P: pr, O: o}, nil
+}
+
+func (p *parser) patternTerm(isPredicate bool) (PatternTerm, error) {
+	t := p.next()
+	switch t.kind {
+	case tokVar:
+		return PatternTerm{Var: t.text}, nil
+	case tokIRI:
+		return PatternTerm{Term: rdf.IRI(t.text)}, nil
+	case tokPrefixed:
+		term, err := p.resolvePrefixed(t.text, t.pos)
+		if err != nil {
+			return PatternTerm{}, err
+		}
+		return PatternTerm{Term: term}, nil
+	case tokKeyword:
+		// "a" abbreviates rdf:type in predicate position.
+		if isPredicate && t.text == "A" {
+			return PatternTerm{Term: rdf.IRI(rdf.RDFType)}, nil
+		}
+		return PatternTerm{}, fmt.Errorf("sparql: unexpected keyword %q in pattern at offset %d", t.text, t.pos)
+	case tokLiteral:
+		return PatternTerm{Term: p.literalTerm(t)}, nil
+	case tokNumber:
+		return PatternTerm{Term: numberTerm(t.text)}, nil
+	case tokBoolean:
+		return PatternTerm{Term: rdf.TypedLiteral(t.text, rdf.XSDBoolean)}, nil
+	default:
+		return PatternTerm{}, fmt.Errorf("sparql: unexpected token %q at offset %d", t.text, t.pos)
+	}
+}
+
+func (p *parser) literalTerm(t token) rdf.Term {
+	switch {
+	case strings.HasPrefix(t.aux, "@"):
+		return rdf.LangLiteral(t.text, t.aux[1:])
+	case strings.HasPrefix(t.aux, "^^pfx:"):
+		resolved, err := p.resolvePrefixed(strings.TrimPrefix(t.aux, "^^pfx:"), t.pos)
+		if err == nil {
+			return rdf.TypedLiteral(t.text, resolved.Value())
+		}
+		return rdf.Literal(t.text)
+	case strings.HasPrefix(t.aux, "^^"):
+		return rdf.TypedLiteral(t.text, t.aux[2:])
+	default:
+		return rdf.Literal(t.text)
+	}
+}
+
+func numberTerm(text string) rdf.Term {
+	if strings.ContainsAny(text, ".eE") {
+		return rdf.TypedLiteral(text, rdf.XSDDouble)
+	}
+	return rdf.TypedLiteral(text, rdf.XSDInteger)
+}
+
+// filterExpr parses "FILTER ( expr )" or "FILTER expr" with a primary.
+func (p *parser) filterExpr() (Expr, error) {
+	if p.acceptPunct("(") {
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return p.orExpr()
+}
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptPunct("||") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = logicalExpr{op: "||", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.relExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptPunct("&&") {
+		r, err := p.relExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = logicalExpr{op: "&&", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) relExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	// IN / NOT IN
+	if p.acceptKeyword("IN") {
+		return p.inList(l, false)
+	}
+	if p.peek().kind == tokKeyword && p.peek().text == "NOT" {
+		save := p.pos
+		p.pos++
+		if p.acceptKeyword("IN") {
+			return p.inList(l, true)
+		}
+		p.pos = save
+	}
+	t := p.peek()
+	if t.kind == tokPunct {
+		switch t.text {
+		case "=", "!=", "<", "<=", ">", ">=":
+			p.pos++
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return cmpExpr{op: t.text, l: l, r: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) inList(target Expr, negated bool) (Expr, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var items []Expr
+	for {
+		item, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, item)
+		if p.acceptPunct(",") {
+			continue
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return inExpr{target: target, items: items, negated: negated}, nil
+	}
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokPunct && (t.text == "+" || t.text == "-") {
+			p.pos++
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = arithExpr{op: t.text, l: l, r: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokPunct && (t.text == "*" || t.text == "/") {
+			p.pos++
+			r, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = arithExpr{op: t.text, l: l, r: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.acceptPunct("!") {
+		inner, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return notExpr{inner: inner}, nil
+	}
+	return p.primaryExpr()
+}
+
+func (p *parser) primaryExpr() (Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokVar:
+		return varExpr{name: t.text}, nil
+	case tokIRI:
+		return constExpr{term: rdf.IRI(t.text)}, nil
+	case tokPrefixed:
+		term, err := p.resolvePrefixed(t.text, t.pos)
+		if err != nil {
+			return nil, err
+		}
+		return constExpr{term: term}, nil
+	case tokLiteral:
+		return constExpr{term: p.literalTerm(t)}, nil
+	case tokNumber:
+		return constExpr{term: numberTerm(t.text)}, nil
+	case tokBoolean:
+		return constExpr{term: rdf.TypedLiteral(t.text, rdf.XSDBoolean)}, nil
+	case tokPunct:
+		if t.text == "(" {
+			e, err := p.orExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case tokKeyword:
+		switch t.text {
+		case "BOUND":
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			v := p.next()
+			if v.kind != tokVar {
+				return nil, fmt.Errorf("sparql: BOUND expects a variable")
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return boundExpr{name: v.text}, nil
+		case "STR":
+			inner, err := p.parenArg()
+			if err != nil {
+				return nil, err
+			}
+			return strExpr{inner: inner}, nil
+		case "DATATYPE":
+			inner, err := p.parenArg()
+			if err != nil {
+				return nil, err
+			}
+			return datatypeExpr{inner: inner}, nil
+		case "REGEX":
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			target, err := p.orExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+			pattern, err := p.orExpr()
+			if err != nil {
+				return nil, err
+			}
+			flags := ""
+			if p.acceptPunct(",") {
+				ft := p.next()
+				if ft.kind != tokLiteral {
+					return nil, fmt.Errorf("sparql: REGEX flags must be a string literal")
+				}
+				flags = ft.text
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return newRegexExpr(target, pattern, flags)
+		}
+	}
+	return nil, fmt.Errorf("sparql: unexpected token %q in expression at offset %d", t.text, t.pos)
+}
+
+func (p *parser) parenArg() (Expr, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	e, err := p.orExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}

@@ -1,0 +1,161 @@
+package sparql
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qurator/internal/rdf"
+)
+
+// Property: SELECT * { ?s ?p ?o } returns exactly one row per triple, and
+// every row's terms reassemble into a triple present in the graph.
+func TestSelectAllMatchesGraphProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := rdf.NewGraph()
+		n := rng.Intn(60)
+		for i := 0; i < n; i++ {
+			g.MustAdd(rdf.T(
+				rdf.IRI(fmt.Sprintf("urn:s%d", rng.Intn(10))),
+				rdf.IRI(fmt.Sprintf("urn:p%d", rng.Intn(5))),
+				rdf.Integer(int64(rng.Intn(20))),
+			))
+		}
+		res, err := Exec(g, "SELECT * WHERE { ?s ?p ?o . }")
+		if err != nil {
+			return false
+		}
+		if len(res.Bindings) != g.Len() {
+			return false
+		}
+		for _, b := range res.Bindings {
+			if !g.Has(rdf.T(b["s"], b["p"], b["o"])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DISTINCT never increases the row count, and LIMIT k caps it.
+func TestDistinctAndLimitProperty(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(kRaw % 20)
+		g := rdf.NewGraph()
+		for i := 0; i < 40; i++ {
+			g.MustAdd(rdf.T(
+				rdf.IRI(fmt.Sprintf("urn:s%d", rng.Intn(8))),
+				rdf.IRI("urn:p"),
+				rdf.Integer(int64(rng.Intn(4))),
+			))
+		}
+		all, err := Exec(g, "SELECT ?o WHERE { ?s <urn:p> ?o . }")
+		if err != nil {
+			return false
+		}
+		distinct, err := Exec(g, "SELECT DISTINCT ?o WHERE { ?s <urn:p> ?o . }")
+		if err != nil {
+			return false
+		}
+		if len(distinct.Bindings) > len(all.Bindings) || len(distinct.Bindings) > 4 {
+			return false
+		}
+		limited, err := Exec(g, fmt.Sprintf("SELECT ?o WHERE { ?s <urn:p> ?o . } LIMIT %d", k))
+		if err != nil {
+			return false
+		}
+		want := k
+		if len(all.Bindings) < k {
+			want = len(all.Bindings)
+		}
+		return len(limited.Bindings) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ORDER BY ?v yields non-decreasing numeric values, and DESC the
+// reverse.
+func TestOrderByMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := rdf.NewGraph()
+		for i := 0; i < 30; i++ {
+			g.MustAdd(rdf.T(
+				rdf.IRI(fmt.Sprintf("urn:s%d", i)),
+				rdf.IRI("urn:v"),
+				rdf.Double(rng.Float64()),
+			))
+		}
+		asc, err := Exec(g, "SELECT ?v WHERE { ?s <urn:v> ?v . } ORDER BY ?v")
+		if err != nil {
+			return false
+		}
+		prev := -1.0
+		for _, b := range asc.Bindings {
+			v, _ := b["v"].Float()
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		desc, err := Exec(g, "SELECT ?v WHERE { ?s <urn:v> ?v . } ORDER BY DESC(?v)")
+		if err != nil {
+			return false
+		}
+		prev = 2.0
+		for _, b := range desc.Bindings {
+			v, _ := b["v"].Float()
+			if v > prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a FILTER is equivalent to post-filtering the unfiltered rows.
+func TestFilterEquivalenceProperty(t *testing.T) {
+	f := func(seed int64, cutRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cut := float64(cutRaw) / 255
+		g := rdf.NewGraph()
+		for i := 0; i < 30; i++ {
+			g.MustAdd(rdf.T(
+				rdf.IRI(fmt.Sprintf("urn:s%d", i)),
+				rdf.IRI("urn:v"),
+				rdf.Double(rng.Float64()),
+			))
+		}
+		filtered, err := Exec(g, fmt.Sprintf(
+			"SELECT ?s ?v WHERE { ?s <urn:v> ?v . FILTER (?v > %g) }", cut))
+		if err != nil {
+			return false
+		}
+		all, err := Exec(g, "SELECT ?s ?v WHERE { ?s <urn:v> ?v . }")
+		if err != nil {
+			return false
+		}
+		manual := 0
+		for _, b := range all.Bindings {
+			if v, _ := b["v"].Float(); v > cut {
+				manual++
+			}
+		}
+		return len(filtered.Bindings) == manual
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,360 @@
+package sparql
+
+import (
+	"fmt"
+	"testing"
+
+	"qurator/internal/rdf"
+)
+
+// evidenceGraph builds a small annotation graph in the shape the Qurator
+// annotation repositories use: protein hits typed with rdf:type and
+// annotated with HitRatio / MassCoverage evidence values.
+func evidenceGraph(t testing.TB) *rdf.Graph {
+	g := rdf.NewGraph()
+	q := func(local string) rdf.Term { return rdf.IRI("http://qurator.org/iq#" + local) }
+	hits := []struct {
+		id     string
+		hr, mc float64
+		class  string
+	}{
+		{"P30089", 0.9, 0.6, "high"},
+		{"P12345", 0.5, 0.4, "mid"},
+		{"P67890", 0.2, 0.1, "low"},
+		{"P00001", 0.7, 0.55, "high"},
+	}
+	for _, h := range hits {
+		s := rdf.IRI("urn:lsid:uniprot.org:uniprot:" + h.id)
+		g.MustAdd(rdf.T(s, rdf.IRI(rdf.RDFType), q("ImprintHitEntry")))
+		g.MustAdd(rdf.T(s, q("hitRatio"), rdf.Double(h.hr)))
+		g.MustAdd(rdf.T(s, q("massCoverage"), rdf.Double(h.mc)))
+		g.MustAdd(rdf.T(s, q("scoreClass"), rdf.Literal(h.class)))
+	}
+	return g
+}
+
+const prefixes = "PREFIX q: <http://qurator.org/iq#>\nPREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+
+func mustSelect(t *testing.T, g *rdf.Graph, query string) *Result {
+	t.Helper()
+	r, err := Exec(g, query)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", query, err)
+	}
+	return r
+}
+
+func TestSelectAllHits(t *testing.T) {
+	g := evidenceGraph(t)
+	r := mustSelect(t, g, prefixes+`SELECT ?x WHERE { ?x a q:ImprintHitEntry . }`)
+	if len(r.Bindings) != 4 {
+		t.Fatalf("got %d rows, want 4: %v", len(r.Bindings), r.Bindings)
+	}
+}
+
+func TestSelectByDataAndEvidenceTypeKey(t *testing.T) {
+	// The access pattern from paper §5: lookup by (data, evidence type).
+	g := evidenceGraph(t)
+	r := mustSelect(t, g, prefixes+
+		`SELECT ?v WHERE { <urn:lsid:uniprot.org:uniprot:P30089> q:hitRatio ?v . }`)
+	if len(r.Bindings) != 1 {
+		t.Fatalf("got %d rows, want 1", len(r.Bindings))
+	}
+	if f, ok := r.Bindings[0]["v"].Float(); !ok || f != 0.9 {
+		t.Errorf("hitRatio = %v", r.Bindings[0]["v"])
+	}
+}
+
+func TestFilterNumericComparison(t *testing.T) {
+	g := evidenceGraph(t)
+	r := mustSelect(t, g, prefixes+
+		`SELECT ?x WHERE { ?x q:hitRatio ?hr . FILTER (?hr > 0.6) }`)
+	if len(r.Bindings) != 2 {
+		t.Fatalf("got %d rows, want 2: %v", len(r.Bindings), r.Bindings)
+	}
+}
+
+func TestFilterConjunctionAcrossEvidence(t *testing.T) {
+	g := evidenceGraph(t)
+	r := mustSelect(t, g, prefixes+`
+		SELECT ?x WHERE {
+			?x q:hitRatio ?hr .
+			?x q:massCoverage ?mc .
+			FILTER (?hr > 0.4 && ?mc > 0.5)
+		}`)
+	if len(r.Bindings) != 2 {
+		t.Fatalf("got %d rows, want 2: %v", len(r.Bindings), r.Bindings)
+	}
+}
+
+func TestFilterInList(t *testing.T) {
+	g := evidenceGraph(t)
+	r := mustSelect(t, g, prefixes+`
+		SELECT ?x WHERE {
+			?x q:scoreClass ?c .
+			FILTER (?c IN ("high", "mid"))
+		}`)
+	if len(r.Bindings) != 3 {
+		t.Fatalf("got %d rows, want 3: %v", len(r.Bindings), r.Bindings)
+	}
+	r = mustSelect(t, g, prefixes+`
+		SELECT ?x WHERE { ?x q:scoreClass ?c . FILTER (?c NOT IN ("high")) }`)
+	if len(r.Bindings) != 2 {
+		t.Fatalf("NOT IN: got %d rows, want 2", len(r.Bindings))
+	}
+}
+
+func TestOrderByDescLimitOffset(t *testing.T) {
+	g := evidenceGraph(t)
+	r := mustSelect(t, g, prefixes+`
+		SELECT ?x ?hr WHERE { ?x q:hitRatio ?hr . } ORDER BY DESC(?hr) LIMIT 2`)
+	if len(r.Bindings) != 2 {
+		t.Fatalf("got %d rows, want 2", len(r.Bindings))
+	}
+	first, _ := r.Bindings[0]["hr"].Float()
+	second, _ := r.Bindings[1]["hr"].Float()
+	if first != 0.9 || second != 0.7 {
+		t.Errorf("order = %v, %v; want 0.9, 0.7", first, second)
+	}
+	r = mustSelect(t, g, prefixes+`
+		SELECT ?hr WHERE { ?x q:hitRatio ?hr . } ORDER BY ?hr OFFSET 1 LIMIT 2`)
+	if len(r.Bindings) != 2 {
+		t.Fatalf("offset: got %d rows", len(r.Bindings))
+	}
+	if f, _ := r.Bindings[0]["hr"].Float(); f != 0.5 {
+		t.Errorf("offset first = %v, want 0.5", f)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	g := evidenceGraph(t)
+	r := mustSelect(t, g, prefixes+`SELECT DISTINCT ?c WHERE { ?x q:scoreClass ?c . }`)
+	if len(r.Bindings) != 3 {
+		t.Fatalf("distinct classes = %d, want 3: %v", len(r.Bindings), r.Bindings)
+	}
+}
+
+func TestOptionalLeftJoin(t *testing.T) {
+	g := evidenceGraph(t)
+	// Remove MC for one protein to exercise the optional.
+	g.Remove(rdf.T(rdf.IRI("urn:lsid:uniprot.org:uniprot:P67890"),
+		rdf.IRI("http://qurator.org/iq#massCoverage"), rdf.Double(0.1)))
+	r := mustSelect(t, g, prefixes+`
+		SELECT ?x ?mc WHERE {
+			?x q:hitRatio ?hr .
+			OPTIONAL { ?x q:massCoverage ?mc . }
+		}`)
+	if len(r.Bindings) != 4 {
+		t.Fatalf("got %d rows, want 4", len(r.Bindings))
+	}
+	unbound := 0
+	for _, b := range r.Bindings {
+		if _, ok := b["mc"]; !ok {
+			unbound++
+		}
+	}
+	if unbound != 1 {
+		t.Errorf("unbound mc rows = %d, want 1", unbound)
+	}
+	// BOUND filter over the optional.
+	r = mustSelect(t, g, prefixes+`
+		SELECT ?x WHERE {
+			?x q:hitRatio ?hr .
+			OPTIONAL { ?x q:massCoverage ?mc . }
+			FILTER (!BOUND(?mc))
+		}`)
+	if len(r.Bindings) != 1 {
+		t.Fatalf("!BOUND rows = %d, want 1", len(r.Bindings))
+	}
+}
+
+func TestUnion(t *testing.T) {
+	g := evidenceGraph(t)
+	r := mustSelect(t, g, prefixes+`
+		SELECT ?x WHERE {
+			{ ?x q:scoreClass "high" . } UNION { ?x q:scoreClass "low" . }
+		}`)
+	if len(r.Bindings) != 3 {
+		t.Fatalf("union rows = %d, want 3: %v", len(r.Bindings), r.Bindings)
+	}
+}
+
+func TestAsk(t *testing.T) {
+	g := evidenceGraph(t)
+	r := mustSelect(t, g, prefixes+`ASK { ?x q:scoreClass "high" . }`)
+	if !r.Ok {
+		t.Error("ASK should be true")
+	}
+	r = mustSelect(t, g, prefixes+`ASK { ?x q:scoreClass "nonexistent" . }`)
+	if r.Ok {
+		t.Error("ASK should be false")
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	g := evidenceGraph(t)
+	r := mustSelect(t, g, prefixes+`SELECT * WHERE { ?x q:hitRatio ?hr . }`)
+	if len(r.Vars) != 2 {
+		t.Fatalf("vars = %v, want [x hr]", r.Vars)
+	}
+	if len(r.Bindings) != 4 {
+		t.Fatalf("rows = %d, want 4", len(r.Bindings))
+	}
+}
+
+func TestArithmeticAndRegexAndStr(t *testing.T) {
+	g := evidenceGraph(t)
+	r := mustSelect(t, g, prefixes+`
+		SELECT ?x WHERE {
+			?x q:hitRatio ?hr . ?x q:massCoverage ?mc .
+			FILTER (?hr + ?mc > 1.2)
+		}`)
+	if len(r.Bindings) != 2 {
+		t.Fatalf("arith rows = %d, want 2", len(r.Bindings))
+	}
+	r = mustSelect(t, g, prefixes+`
+		SELECT ?x WHERE { ?x a q:ImprintHitEntry . FILTER REGEX(STR(?x), "P3.*") }`)
+	if len(r.Bindings) != 1 {
+		t.Fatalf("regex rows = %d, want 1: %v", len(r.Bindings), r.Bindings)
+	}
+}
+
+func TestRepeatedVariableInPattern(t *testing.T) {
+	g := rdf.NewGraph()
+	g.MustAdd(rdf.T(rdf.IRI("urn:a"), rdf.IRI("urn:sameAs"), rdf.IRI("urn:a")))
+	g.MustAdd(rdf.T(rdf.IRI("urn:a"), rdf.IRI("urn:sameAs"), rdf.IRI("urn:b")))
+	r := mustSelect(t, g, `SELECT ?x WHERE { ?x <urn:sameAs> ?x . }`)
+	if len(r.Bindings) != 1 || r.Bindings[0]["x"] != rdf.IRI("urn:a") {
+		t.Fatalf("rows = %v, want just urn:a", r.Bindings)
+	}
+}
+
+func TestDeterministicResultOrder(t *testing.T) {
+	g := evidenceGraph(t)
+	q := prefixes + `SELECT ?x WHERE { ?x a q:ImprintHitEntry . }`
+	first := mustSelect(t, g, q)
+	for i := 0; i < 5; i++ {
+		again := mustSelect(t, g, q)
+		for j := range first.Bindings {
+			if first.Bindings[j]["x"] != again.Bindings[j]["x"] {
+				t.Fatal("result order is not deterministic")
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT WHERE { ?x ?p ?o . }",
+		"SELECT ?x { ?x ?p ?o ", // unterminated
+		"SELECT ?x WHERE { ?x q:undeclared ?o . }",              // undeclared prefix
+		"FOO ?x WHERE { ?x ?p ?o . }",                           // bad form
+		"SELECT ?x WHERE { ?x ?p ?o . } ORDER BY",               // empty order
+		"SELECT ?x WHERE { ?x ?p ?o . } LIMIT x",                // bad limit
+		"SELECT ?x WHERE { ?x ?p ?o . FILTER (?x IN (1, 2) }",   // paren mismatch
+		"SELECT ?x WHERE { ?x ?p ?o . } extra",                  // trailing junk
+		prefixes + "SELECT ?x WHERE { FILTER (BOUND(q:x)) ?x }", // BOUND non-var
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestEffectiveBooleanValue(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want bool
+		err  bool
+	}{
+		{BoolVal(true), true, false},
+		{BoolVal(false), false, false},
+		{NumVal(1), true, false},
+		{NumVal(0), false, false},
+		{TermVal(rdf.Literal("")), false, false},
+		{TermVal(rdf.Literal("x")), true, false},
+		{TermVal(rdf.Boolean(false)), false, false},
+		{TermVal(rdf.Integer(0)), false, false},
+		{TermVal(rdf.IRI("urn:x")), false, true},
+	}
+	for i, c := range cases {
+		got, err := c.v.EffectiveBool()
+		if (err != nil) != c.err {
+			t.Errorf("case %d: err = %v, want err=%v", i, err, c.err)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("case %d: got %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestLogicalErrorMasking(t *testing.T) {
+	// SPARQL: false && error = false; true || error = true.
+	g := rdf.NewGraph()
+	g.MustAdd(rdf.T(rdf.IRI("urn:a"), rdf.IRI("urn:p"), rdf.Integer(1)))
+	r := mustSelect(t, g, `
+		SELECT ?x WHERE {
+			?x <urn:p> ?v .
+			OPTIONAL { ?x <urn:q> ?w . }
+			FILTER (?v = 1 || ?w > 5)
+		}`)
+	if len(r.Bindings) != 1 {
+		t.Fatalf("error masking: rows = %d, want 1", len(r.Bindings))
+	}
+}
+
+func TestJoinOrderingLargeGraph(t *testing.T) {
+	// A shape that is pathological without selectivity ordering: one very
+	// selective pattern and one broad pattern.
+	g := rdf.NewGraph()
+	for i := 0; i < 500; i++ {
+		s := rdf.IRI(fmt.Sprintf("urn:item%d", i))
+		g.MustAdd(rdf.T(s, rdf.IRI("urn:kind"), rdf.Literal("thing")))
+		g.MustAdd(rdf.T(s, rdf.IRI("urn:score"), rdf.Integer(int64(i))))
+	}
+	r := mustSelect(t, g, `
+		SELECT ?x WHERE {
+			?x <urn:kind> "thing" .
+			?x <urn:score> 499 .
+		}`)
+	if len(r.Bindings) != 1 {
+		t.Fatalf("rows = %d, want 1", len(r.Bindings))
+	}
+}
+
+func BenchmarkExecKeyLookup(b *testing.B) {
+	g := evidenceGraph(b)
+	q, err := Parse(prefixes + `SELECT ?v WHERE { <urn:lsid:uniprot.org:uniprot:P30089> q:hitRatio ?v . }`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Exec(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecFilterScan(b *testing.B) {
+	g := rdf.NewGraph()
+	for i := 0; i < 1000; i++ {
+		s := rdf.IRI(fmt.Sprintf("urn:item%d", i))
+		g.MustAdd(rdf.T(s, rdf.IRI("urn:score"), rdf.Double(float64(i)/1000)))
+	}
+	q, err := Parse(`SELECT ?x WHERE { ?x <urn:score> ?s . FILTER (?s > 0.5) }`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Exec(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package workflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ToDOT renders the workflow as a Graphviz digraph: processors as boxes,
+// data links as solid edges labelled with ports, control links as dashed
+// edges, workflow inputs/outputs as ellipses. This is the "more general
+// mapping from quality views to formal workflow models" hook the paper
+// lists as further work — the same structure can be re-serialised for any
+// target that consumes a node/edge model.
+func (w *Workflow) ToDOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", w.name)
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontname=\"Helvetica\"];\n")
+
+	for _, name := range w.procOrder {
+		fmt.Fprintf(&b, "  %q;\n", name)
+	}
+
+	// Workflow inputs and outputs as distinct shapes.
+	inputNames := make([]string, 0, len(w.inputs))
+	for in := range w.inputs {
+		inputNames = append(inputNames, in)
+	}
+	sort.Strings(inputNames)
+	for _, in := range inputNames {
+		fmt.Fprintf(&b, "  %q [shape=ellipse, style=dashed];\n", "in:"+in)
+		for _, ref := range w.inputs[in] {
+			fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", "in:"+in, ref.proc, ref.port)
+		}
+	}
+	outputNames := make([]string, 0, len(w.outputs))
+	for out := range w.outputs {
+		outputNames = append(outputNames, out)
+	}
+	sort.Strings(outputNames)
+	for _, out := range outputNames {
+		ref := w.outputs[out]
+		fmt.Fprintf(&b, "  %q [shape=ellipse, style=dashed];\n", "out:"+out)
+		fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", ref.proc, "out:"+out, ref.port)
+	}
+
+	for _, l := range w.dataLinks {
+		fmt.Fprintf(&b, "  %q -> %q [label=\"%s→%s\"];\n", l.From, l.To, l.FromPort, l.ToPort)
+	}
+	for _, c := range w.controlLinks {
+		fmt.Fprintf(&b, "  %q -> %q [style=dashed, label=\"ctrl\"];\n", c.From, c.To)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

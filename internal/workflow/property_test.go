@@ -1,0 +1,102 @@
+package workflow
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: a random linear chain of increment processors computes its
+// length, regardless of chain size — enactment delivers every value
+// exactly once and in order.
+func TestLinearChainProperty(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		w := New("chain")
+		w.MustAddProcessor(&Func{
+			PName: "p0", Outputs: []string{"out"},
+			Fn: func(context.Context, Ports) (Ports, error) {
+				return Ports{"out": 0}, nil
+			},
+		})
+		for i := 1; i <= n; i++ {
+			name := fmt.Sprintf("p%d", i)
+			w.MustAddProcessor(&Func{
+				PName: name, Inputs: []string{"in"}, Outputs: []string{"out"},
+				Fn: func(_ context.Context, in Ports) (Ports, error) {
+					return Ports{"out": in["in"].(int) + 1}, nil
+				},
+			})
+			w.MustAddLink(Link{fmt.Sprintf("p%d", i-1), "out", name, "in"})
+		}
+		w.BindOutput("result", fmt.Sprintf("p%d", n), "out")
+		out, err := w.Run(context.Background(), nil)
+		return err == nil && out["result"] == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: in a random fan-out/fan-in DAG, the sink receives the sum of
+// all source values exactly once (no lost or duplicated deliveries), and
+// the trace contains each processor exactly once.
+func TestFanInSumProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(12) + 1
+		w := New("fan")
+		want := 0
+		inputs := make([]string, n)
+		for i := 0; i < n; i++ {
+			v := rng.Intn(100)
+			want += v
+			name := fmt.Sprintf("src%d", i)
+			val := v
+			w.MustAddProcessor(&Func{
+				PName: name, Outputs: []string{"out"},
+				Fn: func(context.Context, Ports) (Ports, error) {
+					return Ports{"out": val}, nil
+				},
+			})
+			inputs[i] = fmt.Sprintf("in%d", i)
+		}
+		sink := &Func{
+			PName: "sink", Inputs: inputs, Outputs: []string{"sum"},
+			Fn: func(_ context.Context, in Ports) (Ports, error) {
+				s := 0
+				for _, v := range in {
+					s += v.(int)
+				}
+				return Ports{"sum": s}, nil
+			},
+		}
+		w.MustAddProcessor(sink)
+		for i := 0; i < n; i++ {
+			w.MustAddLink(Link{fmt.Sprintf("src%d", i), "out", "sink", inputs[i]})
+		}
+		w.BindOutput("sum", "sink", "sum")
+		out, trace, err := w.RunTrace(context.Background(), nil)
+		if err != nil || out["sum"] != want {
+			return false
+		}
+		seen := map[string]int{}
+		for _, e := range trace.Events {
+			seen[e.Processor]++
+		}
+		if len(seen) != n+1 {
+			return false
+		}
+		for _, count := range seen {
+			if count != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,64 @@
+package workflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Retry wraps a processor with Taverna-style fault tolerance: on failure
+// the processor is re-executed up to Attempts times, sleeping Backoff
+// between attempts (doubled each retry). Context cancellation is never
+// retried. The wrapped processor keeps its name and ports, so retry
+// policy is invisible to the workflow structure.
+type Retry struct {
+	Inner Processor
+	// Attempts is the total number of tries (min 1).
+	Attempts int
+	// Backoff is the initial sleep between attempts (0 = immediate).
+	Backoff time.Duration
+}
+
+// WithRetry wraps p so that transient failures are retried.
+func WithRetry(p Processor, attempts int, backoff time.Duration) *Retry {
+	if attempts < 1 {
+		attempts = 1
+	}
+	return &Retry{Inner: p, Attempts: attempts, Backoff: backoff}
+}
+
+// Name implements Processor.
+func (r *Retry) Name() string { return r.Inner.Name() }
+
+// InputPorts implements Processor.
+func (r *Retry) InputPorts() []string { return r.Inner.InputPorts() }
+
+// OutputPorts implements Processor.
+func (r *Retry) OutputPorts() []string { return r.Inner.OutputPorts() }
+
+// Execute implements Processor.
+func (r *Retry) Execute(ctx context.Context, in Ports) (Ports, error) {
+	var lastErr error
+	backoff := r.Backoff
+	for attempt := 1; attempt <= r.Attempts; attempt++ {
+		out, err := r.Inner.Execute(ctx, in)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || ctx.Err() != nil {
+			break
+		}
+		if attempt < r.Attempts && backoff > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+	}
+	return nil, fmt.Errorf("workflow: processor %q failed after %d attempts: %w",
+		r.Inner.Name(), r.Attempts, lastErr)
+}

@@ -1,0 +1,101 @@
+package workflow
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flaky fails the first n executions, then succeeds.
+func flaky(name string, failures int32) (*Func, *int32) {
+	var calls int32
+	return &Func{
+		PName:   name,
+		Outputs: []string{"out"},
+		Fn: func(context.Context, Ports) (Ports, error) {
+			n := atomic.AddInt32(&calls, 1)
+			if n <= failures {
+				return nil, errors.New("transient fault")
+			}
+			return Ports{"out": int(n)}, nil
+		},
+	}, &calls
+}
+
+func TestRetryRecoversTransientFailure(t *testing.T) {
+	p, calls := flaky("svc", 2)
+	r := WithRetry(p, 3, 0)
+	out, err := r.Execute(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if out["out"] != 3 || atomic.LoadInt32(calls) != 3 {
+		t.Errorf("out = %v, calls = %d", out["out"], *calls)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	p, calls := flaky("svc", 100)
+	r := WithRetry(p, 3, 0)
+	_, err := r.Execute(context.Background(), nil)
+	if err == nil || !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Errorf("err = %v", err)
+	}
+	if atomic.LoadInt32(calls) != 3 {
+		t.Errorf("calls = %d, want 3", *calls)
+	}
+}
+
+func TestRetryDoesNotRetryCancellation(t *testing.T) {
+	var calls int32
+	p := &Func{
+		PName: "cancelled",
+		Fn: func(ctx context.Context, _ Ports) (Ports, error) {
+			atomic.AddInt32(&calls, 1)
+			return nil, context.Canceled
+		},
+	}
+	r := WithRetry(p, 5, 0)
+	_, err := r.Execute(context.Background(), nil)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if atomic.LoadInt32(&calls) != 1 {
+		t.Errorf("cancellation retried: %d calls", calls)
+	}
+}
+
+func TestRetryPreservesInterface(t *testing.T) {
+	p := adder("add")
+	r := WithRetry(p, 2, time.Millisecond)
+	if r.Name() != "add" {
+		t.Errorf("Name = %q", r.Name())
+	}
+	if len(r.InputPorts()) != 2 || len(r.OutputPorts()) != 1 {
+		t.Error("ports not forwarded")
+	}
+	// Works inside a workflow.
+	w := New("w")
+	w.MustAddProcessor(r)
+	w.BindInput("x", "add", "a")
+	w.BindInput("y", "add", "b")
+	w.BindOutput("sum", "add", "sum")
+	out, err := w.Run(context.Background(), Ports{"x": 1, "y": 2})
+	if err != nil || out["sum"] != 3 {
+		t.Errorf("run = %v, %v", out, err)
+	}
+}
+
+func TestRetryMinimumOneAttempt(t *testing.T) {
+	p, calls := flaky("svc", 0)
+	r := WithRetry(p, -5, 0)
+	if _, err := r.Execute(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt32(calls) != 1 {
+		t.Errorf("calls = %d", *calls)
+	}
+}

@@ -1,0 +1,112 @@
+package qurator
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"qurator/internal/library"
+	"qurator/internal/ontology"
+	"qurator/internal/rdf"
+)
+
+func TestClassifyAssertionAndLookup(t *testing.T) {
+	f := New()
+	if err := f.ClassifyAssertion(ontology.UniversalPIScore2, ontology.Accuracy); err != nil {
+		t.Fatalf("ClassifyAssertion: %v", err)
+	}
+	if err := f.ClassifyAssertion(ontology.CurationCredibility, ontology.Credibility); err != nil {
+		t.Fatal(err)
+	}
+	dims := f.DimensionsOf(ontology.UniversalPIScore2)
+	if len(dims) != 1 || dims[0] != ontology.Accuracy {
+		t.Errorf("DimensionsOf = %v", dims)
+	}
+	qas := f.AssertionsAddressing(ontology.Credibility)
+	if len(qas) != 1 || qas[0] != ontology.CurationCredibility {
+		t.Errorf("AssertionsAddressing = %v", qas)
+	}
+	// Invalid classifications are rejected.
+	if err := f.ClassifyAssertion(ontology.HitRatio, ontology.Accuracy); err == nil {
+		t.Error("evidence type should not classify as a QA")
+	}
+	if err := f.ClassifyAssertion(ontology.UniversalPIScore2, ontology.HitRatio); err == nil {
+		t.Error("non-dimension should be rejected")
+	}
+}
+
+func TestPublishFindExecuteSharedView(t *testing.T) {
+	// One peer publishes; the consumer discovers by available evidence
+	// and runs the shared view against its own deployment.
+	f, items := deployTestWorld(t)
+	if _, err := f.PublishView(library.Entry{
+		Name:       "protein-id-quality",
+		Author:     "peer-lab",
+		Dimensions: []rdf.Term{ontology.Accuracy},
+		ViewXML:    PaperViewXML,
+	}); err != nil {
+		t.Fatalf("PublishView: %v", err)
+	}
+
+	applicable := f.FindApplicableViews(nil)
+	if len(applicable) != 1 || applicable[0].Name != "protein-id-quality" {
+		t.Fatalf("FindApplicableViews = %v", applicable)
+	}
+
+	out, err := f.ExecuteSharedView(context.Background(), "protein-id-quality", items)
+	if err != nil {
+		t.Fatalf("ExecuteSharedView: %v", err)
+	}
+	if out["filter_top_k_score:accepted"].Len() != 5 {
+		t.Errorf("shared view kept %d items", out["filter_top_k_score:accepted"].Len())
+	}
+	if _, err := f.ExecuteSharedView(context.Background(), "ghost", items); err == nil {
+		t.Error("unknown shared view should fail")
+	}
+}
+
+func TestFrameworkProvenanceRecordsRuns(t *testing.T) {
+	f, items := deployTestWorld(t)
+	if _, err := f.ExecuteView(context.Background(), []byte(PaperViewXML), items); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ExecuteView(context.Background(), []byte(PaperViewXML), items[:4]); err != nil {
+		t.Fatal(err)
+	}
+	if f.Provenance.Len() != 2 {
+		t.Fatalf("provenance recorded %d runs, want 2", f.Provenance.Len())
+	}
+	last, ok := f.Provenance.LastRun()
+	if !ok || last.InputSize != 4 {
+		t.Errorf("last run = %+v, %v", last, ok)
+	}
+	// The history is queryable with SPARQL.
+	res, err := f.Provenance.Query(`PREFIX q: <http://qurator.org/iq#>
+		SELECT ?run WHERE { ?run a q:QualityProcessRun . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bindings) != 2 {
+		t.Errorf("SPARQL over provenance = %d rows", len(res.Bindings))
+	}
+}
+
+func TestCompiledWorkflowToDOT(t *testing.T) {
+	f, _ := deployTestWorld(t)
+	compiled, err := f.CompileView([]byte(PaperViewXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := compiled.Workflow.ToDOT()
+	for _, want := range []string{
+		"DataEnrichment",
+		"ConsolidateAssertions",
+		"Annotator:ImprintOutputAnnotator",
+		`style=dashed, label="ctrl"`, // annotator → DE control link
+		"digraph",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+}
