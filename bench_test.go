@@ -25,6 +25,7 @@ import (
 	"qurator/internal/qa"
 	"qurator/internal/qvlang"
 	"qurator/internal/rdf"
+	"qurator/internal/stream"
 )
 
 // benchWorld builds the default (paper-scale) world once per test binary.
@@ -296,6 +297,63 @@ func BenchmarkAblationContamination(b *testing.B) {
 	last := points[len(points)-1]
 	b.ReportMetric(last.Filtered.Precision, "precision-heavy")
 	b.ReportMetric(last.Filtered.Recall, "recall-heavy")
+}
+
+// BenchmarkStreamEnactment measures continuous enactment throughput
+// (internal/stream): items flow through windowed quality processing and
+// the items/s metric shows how window size and worker-pool parallelism
+// trade latency against throughput.
+func BenchmarkStreamEnactment(b *testing.B) {
+	for _, window := range []int{64, 256} {
+		for _, par := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("window=%d/parallelism=%d", window, par), func(b *testing.B) {
+				f := New()
+				if err := f.DeployStandardLibrary(); err != nil {
+					b.Fatal(err)
+				}
+				compiled, err := f.CompileViewForStream([]byte(PaperViewXML))
+				if err != nil {
+					b.Fatal(err)
+				}
+				e, err := stream.New(compiled, stream.Config{Window: window, Parallelism: par})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				in := make(chan stream.Item, par)
+				results := make(chan stream.WindowResult, par)
+				done := make(chan error, 1)
+				go func() { done <- e.Run(context.Background(), in, results) }()
+				go func() {
+					defer close(in)
+					for i := 0; i < b.N; i++ {
+						frac := 0.15 + 0.8*float64(i%window)/float64(window)
+						in <- stream.Item{
+							ID: rdf.IRI(fmt.Sprintf("urn:lsid:bench.org:stream:%d", i)),
+							Evidence: map[evidence.Key]evidence.Value{
+								ontology.HitRatio:      evidence.Float(frac),
+								ontology.Coverage:      evidence.Float(frac),
+								ontology.Masses:        evidence.Int(int64(10 + i%7)),
+								ontology.PeptidesCount: evidence.Int(8),
+							},
+						}
+					}
+				}()
+				decided := 0
+				for r := range results {
+					decided += len(r.Decisions)
+				}
+				if err := <-done; err != nil {
+					b.Fatal(err)
+				}
+				if decided != b.N {
+					b.Fatalf("decided %d of %d items", decided, b.N)
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "items/s")
+			})
+		}
+	}
 }
 
 // BenchmarkViewCompilation measures the pure view-compilation cost

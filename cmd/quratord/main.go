@@ -11,6 +11,10 @@
 //
 //	f := qurator.New()
 //	f.Scavenge(ctx, "http://host:9090")
+//
+// POST /stream/enact?view=paper enacts a quality view continuously over
+// an NDJSON item stream (see internal/stream): decisions flush back
+// window by window while the request body is still being produced.
 package main
 
 import (
@@ -22,9 +26,11 @@ import (
 
 	"qurator"
 	"qurator/internal/annotstore"
+	"qurator/internal/compiler"
 	"qurator/internal/evidence"
 	"qurator/internal/ontology"
 	"qurator/internal/rdf"
+	"qurator/internal/stream"
 )
 
 func main() {
@@ -51,6 +57,7 @@ func main() {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.Handle("/stream/enact", stream.Handler(streamCompiler(f)))
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -59,6 +66,24 @@ func main() {
 	}
 	log.Printf("quratord: serving Qurator services on %s", *addr)
 	log.Fatal(srv.ListenAndServe())
+}
+
+// streamCompiler resolves ?view= names for /stream/enact: the built-in
+// §5.1 view by its aliases, otherwise the framework's shared-view
+// library. Unbound annotator classes are stubbed so evidence can arrive
+// inline with the streamed items.
+func streamCompiler(f *qurator.Framework) stream.CompileFunc {
+	return func(view string) (*compiler.Compiled, error) {
+		switch view {
+		case "paper", "protein-id-quality":
+			return f.CompileViewForStream([]byte(qurator.PaperViewXML))
+		}
+		entry, ok := f.Library.Get(view)
+		if !ok {
+			return nil, fmt.Errorf("unknown view (try \"paper\" or a library view name)")
+		}
+		return f.CompileViewForStream([]byte(entry.ViewXML))
+	}
 }
 
 // demoAnnotator fabricates evidence deterministically from the item URI

@@ -1,16 +1,22 @@
 // Command qvrun executes a quality view against a data set supplied as a
-// CSV file of inline evidence. It is the fastest way to observe a view's
-// effect on real data without writing an annotator.
+// CSV file of inline evidence, or — with -stream — continuously against
+// an unbounded NDJSON item stream on stdin. It is the fastest way to
+// observe a view's effect on real data without writing an annotator.
 //
 // Usage:
 //
 //	qvrun -view view.xml -data items.csv [-condition "expr"]
+//	qvrun -stream [-view view.xml] [-window 64] [-slide n] [-parallelism p] < items.ndjson
 //
 // The CSV's first column is the item URI; the header names the remaining
 // columns with evidence q-names (e.g. q:HitRatio). Values parse as
 // numbers when possible, strings otherwise. -condition overrides the
 // first filter action's condition before running — the paper's
 // explore-by-editing loop from the command line.
+//
+// In -stream mode each stdin line is one item ({"item": uri, "evidence":
+// {...}}); decisions are written as NDJSON the moment their window
+// resolves, so qvrun composes with pipes over live feeds.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -27,70 +34,96 @@ import (
 	"qurator/internal/evidence"
 	"qurator/internal/ontology"
 	"qurator/internal/qvlang"
+	"qurator/internal/stream"
 )
 
 func main() {
-	viewPath := flag.String("view", "", "quality-view XML file (default: the paper's §5.1 view)")
-	dataPath := flag.String("data", "", "CSV data set: item URI column + evidence columns (required)")
-	override := flag.String("condition", "", "override the first filter action's condition")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
 
-	if *dataPath == "" {
-		fmt.Fprintln(os.Stderr, "qvrun: -data is required")
-		flag.Usage()
-		os.Exit(2)
+// run is main with its environment made explicit, so exit codes and
+// usage behaviour are testable.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("qvrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	viewPath := fs.String("view", "", "quality-view XML file (default: the paper's §5.1 view)")
+	dataPath := fs.String("data", "", "CSV data set: item URI column + evidence columns (required unless -stream)")
+	override := fs.String("condition", "", "override the first filter action's condition")
+	streaming := fs.Bool("stream", false, "read NDJSON items from stdin and enact continuously")
+	window := fs.Int("window", 64, "streaming: count-based window size")
+	slide := fs.Int("slide", 0, "streaming: items per window fire (default: window, i.e. tumbling)")
+	parallelism := fs.Int("parallelism", 1, "streaming: concurrent window enactments")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	usage := func(err error) int {
+		fmt.Fprintln(stderr, "qvrun:", err)
+		fs.Usage()
+		return 2
+	}
+
+	if !*streaming && *dataPath == "" {
+		return usage(fmt.Errorf("-data is required (or use -stream)"))
 	}
 	src := []byte(qurator.PaperViewXML)
 	if *viewPath != "" {
 		var err error
 		src, err = os.ReadFile(*viewPath)
 		if err != nil {
-			fatal(err)
+			return usage(fmt.Errorf("view file: %w", err))
 		}
 	}
 
 	f := qurator.New()
 	if err := f.DeployStandardLibrary(); err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
+
+	if *streaming {
+		return runStream(f, src, stream.Config{
+			Window:      *window,
+			Slide:       *slide,
+			Parallelism: *parallelism,
+		}, *override, stdin, stdout, stderr)
+	}
+
 	items, err := loadCSV(f, *dataPath)
 	if err != nil {
-		fatal(err)
+		if os.IsNotExist(err) {
+			return usage(fmt.Errorf("data file: %w", err))
+		}
+		return fail(stderr, err)
 	}
 
 	// The CSV already materialises the evidence, so annotator classes in
 	// the view resolve to no-ops.
-	view, err := qvlang.Parse(src)
+	resolved, err := resolveView(f, src)
 	if err != nil {
-		fatal(err)
-	}
-	resolved, err := qvlang.Resolve(view, f.Model)
-	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 	for _, ann := range resolved.Annotators {
 		stubName := "csv-preloaded:" + ann.Decl.ServiceName
 		if err := f.DeployAnnotator(stubName, noopAnnotator{class: ann.Type}); err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
 	}
 
 	compiled, err := f.CompileView(src)
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 	if *override != "" {
 		if len(resolved.Actions) == 0 || resolved.Actions[0].Filter == nil {
-			fatal(fmt.Errorf("view has no filter action to override"))
+			return fail(stderr, fmt.Errorf("view has no filter action to override"))
 		}
 		if err := compiled.SetFilterCondition(resolved.Actions[0].Name, *override); err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
 	}
 
 	out, err := compiled.Run(context.Background(), items)
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 	names := make([]string, 0, len(out))
 	for name := range out {
@@ -99,11 +132,69 @@ func main() {
 	sort.Strings(names)
 	for _, name := range names {
 		m := out[name]
-		fmt.Printf("output %s: %d of %d items\n", name, m.Len(), len(items))
+		fmt.Fprintf(stdout, "output %s: %d of %d items\n", name, m.Len(), len(items))
 		for _, it := range m.Items() {
-			fmt.Printf("  %s\n", it.Value())
+			fmt.Fprintf(stdout, "  %s\n", it.Value())
 		}
 	}
+	return 0
+}
+
+// runStream enacts the view continuously over an NDJSON item stream:
+// stdin lines in, decision lines out, window by window.
+func runStream(f *qurator.Framework, viewXML []byte, cfg stream.Config, override string, stdin io.Reader, stdout, stderr io.Writer) int {
+	compiled, err := f.CompileViewForStream(viewXML)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if override != "" {
+		resolved, err := resolveView(f, viewXML)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		if len(resolved.Actions) == 0 || resolved.Actions[0].Filter == nil {
+			return fail(stderr, fmt.Errorf("view has no filter action to override"))
+		}
+		if err := compiled.SetFilterCondition(resolved.Actions[0].Name, override); err != nil {
+			return fail(stderr, err)
+		}
+	}
+	enactor, err := stream.New(compiled, cfg)
+	if err != nil {
+		return fail(stderr, err)
+	}
+
+	in := make(chan stream.Item, cfg.Parallelism)
+	results := make(chan stream.WindowResult, cfg.Parallelism)
+	readErr := make(chan error, 1)
+	go func() { readErr <- stream.ReadItems(stdin, in) }()
+	runErr := make(chan error, 1)
+	go func() { runErr <- enactor.Run(context.Background(), in, results) }()
+
+	writeError := stream.WriteResults(stdout, results, nil)
+	code := 0
+	if err := <-runErr; err != nil {
+		code = fail(stderr, err)
+	}
+	go func() { // unblock the reader if the pipeline stopped early
+		for range in {
+		}
+	}()
+	if err := <-readErr; err != nil && code == 0 {
+		code = fail(stderr, err)
+	}
+	if writeError != nil && code == 0 {
+		code = fail(stderr, writeError)
+	}
+	return code
+}
+
+func resolveView(f *qurator.Framework, src []byte) (*qvlang.Resolved, error) {
+	view, err := qvlang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return qvlang.Resolve(view, f.Model)
 }
 
 type noopAnnotator struct{ class evidence.Key }
@@ -133,7 +224,10 @@ func loadCSV(f *qurator.Framework, path string) ([]qurator.Item, error) {
 	if len(header) < 2 {
 		return nil, fmt.Errorf("qvrun: CSV needs an item column plus evidence columns")
 	}
-	cache, _ := f.Repository("cache")
+	cache, ok := f.Repository("cache")
+	if !ok {
+		return nil, fmt.Errorf("qvrun: framework has no cache repository")
+	}
 	var items []qurator.Item
 	for lineNo, row := range rows[1:] {
 		if len(row) != len(header) {
@@ -164,7 +258,7 @@ func loadCSV(f *qurator.Framework, path string) ([]qurator.Item, error) {
 	return items, nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "qvrun:", err)
-	os.Exit(1)
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "qvrun:", err)
+	return 1
 }

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"qurator"
@@ -63,5 +66,141 @@ func TestLoadCSVErrors(t *testing.T) {
 	}
 	if _, err := loadCSV(f, filepath.Join(t.TempDir(), "missing.csv")); err == nil {
 		t.Error("missing file should fail")
+	}
+}
+
+func runQvrun(t *testing.T, stdin string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func writeStrongWeakCSV(t *testing.T) string {
+	t.Helper()
+	return writeCSV(t, "item,q:HitRatio,q:Coverage,q:Masses,q:PeptidesCount\n"+
+		"urn:lsid:test.org:hit:0,0.9,0.8,12,8\n"+
+		"urn:lsid:test.org:hit:1,0.15,0.1,11,8\n"+
+		"urn:lsid:test.org:hit:2,0.9,0.8,12,8\n"+
+		"urn:lsid:test.org:hit:3,0.15,0.1,11,8\n")
+}
+
+// Missing inputs must produce a non-zero exit and a usage message, not a
+// bare error or — worse — a zero exit.
+func TestMissingDataFlagFailsWithUsage(t *testing.T) {
+	code, _, stderr := runQvrun(t, "")
+	if code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-data is required") || !strings.Contains(stderr, "Usage") {
+		t.Errorf("stderr lacks error + usage:\n%s", stderr)
+	}
+}
+
+func TestMissingDataFileFailsWithUsage(t *testing.T) {
+	code, _, stderr := runQvrun(t, "", "-data", filepath.Join(t.TempDir(), "no-such.csv"))
+	if code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "data file") || !strings.Contains(stderr, "Usage") {
+		t.Errorf("stderr lacks error + usage:\n%s", stderr)
+	}
+}
+
+func TestMissingViewFileFailsWithUsage(t *testing.T) {
+	code, _, stderr := runQvrun(t, "",
+		"-view", filepath.Join(t.TempDir(), "no-such.xml"),
+		"-data", writeStrongWeakCSV(t))
+	if code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "view file") || !strings.Contains(stderr, "Usage") {
+		t.Errorf("stderr lacks error + usage:\n%s", stderr)
+	}
+}
+
+func TestBadFlagFailsNonZero(t *testing.T) {
+	code, _, _ := runQvrun(t, "", "-no-such-flag")
+	if code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+}
+
+func TestBatchRunAcceptsStrongItems(t *testing.T) {
+	code, stdout, stderr := runQvrun(t, "", "-data", writeStrongWeakCSV(t))
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "hit:0") || !strings.Contains(stdout, "hit:2") {
+		t.Errorf("strong items missing from output:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "2 of 4 items") {
+		t.Errorf("expected 2 of 4 accepted:\n%s", stdout)
+	}
+}
+
+func TestConditionOverride(t *testing.T) {
+	code, stdout, stderr := runQvrun(t, "",
+		"-data", writeStrongWeakCSV(t), "-condition", "HR_MC > 0")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "4 of 4 items") {
+		t.Errorf("loosened condition should accept everything:\n%s", stdout)
+	}
+}
+
+// TestStreamMode drives the NDJSON stdin mode end to end: items in,
+// window-by-window decisions out.
+func TestStreamMode(t *testing.T) {
+	var in strings.Builder
+	for i := 0; i < 8; i++ {
+		hr, mc := "0.9", "0.8"
+		if i%2 == 1 {
+			hr, mc = "0.15", "0.1"
+		}
+		fmt.Fprintf(&in, `{"item":"urn:lsid:test.org:hit:%d","evidence":{"q:HitRatio":%s,"q:Coverage":%s,"q:Masses":12,"q:PeptidesCount":8}}%s`,
+			i, hr, mc, "\n")
+	}
+	code, stdout, stderr := runQvrun(t, in.String(), "-stream", "-window", "4")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	// 8 decisions + 2 window summaries.
+	if len(lines) != 10 {
+		t.Fatalf("got %d NDJSON lines, want 10:\n%s", len(lines), stdout)
+	}
+	if !strings.Contains(stdout, `"window":1`) {
+		t.Errorf("second window missing:\n%s", stdout)
+	}
+	// Strong items accepted (listed in an output), weak rejected.
+	for _, line := range lines {
+		if strings.Contains(line, "hit:0\"") && !strings.Contains(line, "accepted") {
+			t.Errorf("strong item rejected: %s", line)
+		}
+		if strings.Contains(line, "hit:1\"") && strings.Contains(line, "accepted") {
+			t.Errorf("weak item accepted: %s", line)
+		}
+	}
+}
+
+func TestStreamModeBadConfig(t *testing.T) {
+	code, _, stderr := runQvrun(t, "", "-stream", "-window", "0")
+	if code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "window") {
+		t.Errorf("stderr = %s", stderr)
+	}
+}
+
+func TestStreamModeMalformedInput(t *testing.T) {
+	code, _, stderr := runQvrun(t, "not json\n", "-stream", "-window", "2")
+	if code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "NDJSON") {
+		t.Errorf("stderr = %s", stderr)
 	}
 }

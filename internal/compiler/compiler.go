@@ -195,6 +195,14 @@ func (c *Compiler) Compile(r *qvlang.Resolved) (*Compiled, error) {
 			return nil, err
 		}
 	}
+	// The consolidated map is also a workflow output: enactors that need
+	// the full per-item assertion state — classes and scores for rejected
+	// items included, e.g. the streaming enactor's decision records — read
+	// it without re-running the QAs. Compiled.Outputs still lists only the
+	// action outputs.
+	if err := wf.BindOutput(OutputAnnotations, ProcConsolidate, PortAnnotations); err != nil {
+		return nil, err
+	}
 
 	// Rule 5: action processors last; their ports become workflow outputs.
 	for _, act := range r.Actions {

@@ -1,0 +1,113 @@
+package compiler
+
+import (
+	"context"
+	"testing"
+
+	"qurator/internal/evidence"
+	"qurator/internal/ontology"
+	"qurator/internal/qvlang"
+	"qurator/internal/rdf"
+)
+
+// TestPlan checks the abstract plan derived from the compiled §5.1 view:
+// annotators/QAs in declaration order, the evidence → repository routing,
+// the QA tag keys and the action outputs.
+func TestPlan(t *testing.T) {
+	c := compilePaperView(t)
+	p := c.Plan()
+
+	if p.View == "" {
+		t.Error("plan has no view name")
+	}
+	if len(p.Annotators) != 1 || p.Annotators[0] != "Annotator:ImprintOutputAnnotator" {
+		t.Errorf("annotators = %v", p.Annotators)
+	}
+	if len(p.QAs) != 3 {
+		t.Fatalf("QAs = %v", p.QAs)
+	}
+	if len(p.EvidenceRepo) == 0 {
+		t.Fatal("plan lost the evidence → repository association")
+	}
+	for ev, repo := range p.EvidenceRepo {
+		if repo == "" {
+			t.Errorf("evidence %v routed to empty repository", ev)
+		}
+	}
+	// The §5.1 view's three QAs write two score tags and one
+	// classification model.
+	if len(p.Tags) != 3 {
+		t.Errorf("tags = %v", p.Tags)
+	}
+	hasModel := false
+	for _, tag := range p.Tags {
+		if tag == ontology.PIScoreClassification {
+			hasModel = true
+		}
+	}
+	if !hasModel {
+		t.Errorf("tags %v missing the classification model", p.Tags)
+	}
+	if len(p.Actions) != 1 || p.Actions[0].Op != "filter" {
+		t.Fatalf("actions = %+v", p.Actions)
+	}
+	if len(p.Outputs) != 1 || p.Outputs[0] != p.Actions[0].Outputs[0] {
+		t.Errorf("outputs = %v, actions = %+v", p.Outputs, p.Actions)
+	}
+	if len(p.Vars) == 0 {
+		t.Error("plan lost the condition variable bindings")
+	}
+	// The plan is a copy: mutating it must not corrupt the compiled view.
+	for ev := range p.EvidenceRepo {
+		p.EvidenceRepo[ev] = "poisoned"
+	}
+	if c.Plan().EvidenceRepo[firstKey(p.EvidenceRepo)] == "poisoned" {
+		t.Error("Plan aliases the resolved view state")
+	}
+}
+
+func firstKey(m map[rdf.Term]string) rdf.Term {
+	for k := range m {
+		return k
+	}
+	return rdf.Term{}
+}
+
+// TestConsolidatedOutput checks that every compiled view exposes the
+// consolidated annotation map as the "annotations" workflow output, and
+// that it carries the full data set — including items the filter rejects.
+func TestConsolidatedOutput(t *testing.T) {
+	c := compilePaperView(t)
+	items := make([]evidence.Item, 10)
+	for i := range items {
+		items[i] = item(i)
+	}
+	out, err := c.Run(context.Background(), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, ok := out[OutputAnnotations]
+	if !ok {
+		t.Fatalf("Run outputs %v lack %q", keysOf(out), OutputAnnotations)
+	}
+	if cons.Len() != len(items) {
+		t.Errorf("consolidated map has %d items, want %d", cons.Len(), len(items))
+	}
+	accepted := out[c.Outputs[0]]
+	if accepted.Len() >= cons.Len() {
+		t.Skip("filter rejected nothing; rejected-item check not applicable")
+	}
+	// A rejected item still has its class assignment in the consolidated
+	// map.
+	for _, it := range cons.Items() {
+		if accepted.HasItem(it) {
+			continue
+		}
+		if cons.Class(it, ontology.PIScoreClassification).IsZero() {
+			t.Errorf("rejected item %v lost its class in the consolidated map", it)
+		}
+		break
+	}
+}
+
+var _ = qvlang.PaperViewXML // the view the helpers above compile

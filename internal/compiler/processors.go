@@ -26,6 +26,11 @@ const (
 	PortAccepted = "accepted"
 	// PortDefault is a splitter's k+1-th group.
 	PortDefault = "default"
+	// OutputAnnotations is the workflow output carrying the consolidated
+	// annotation map (every item with its full assertion state, before
+	// actions apply). It appears in Run results alongside the
+	// "<action>:<port>" outputs.
+	OutputAnnotations = PortAnnotations
 )
 
 // mode selects how a serviceProcessor translates ports to envelopes.

@@ -66,8 +66,13 @@ func (a AnnotatorFunc) Class() rdf.Term { return a.ClassIRI }
 // Provides implements Annotator.
 func (a AnnotatorFunc) Provides() []rdf.Term { return a.Types }
 
-// Annotate implements Annotator.
+// Annotate implements Annotator. A nil Fn annotates nothing — the stub
+// shape used when evidence is preloaded or arrives inline with the items
+// (cmd/qvrun's CSV mode, the streaming enactor's NDJSON mode).
 func (a AnnotatorFunc) Annotate(items []evidence.Item, repo annotstore.Store) error {
+	if a.Fn == nil {
+		return nil
+	}
 	return a.Fn(items, repo)
 }
 

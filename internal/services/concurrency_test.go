@@ -1,0 +1,114 @@
+package services
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"qurator/internal/annotstore"
+	"qurator/internal/evidence"
+	"qurator/internal/ontology"
+	"qurator/internal/qa"
+	"qurator/internal/rdf"
+)
+
+// TestConcurrentRoundTrips drives many goroutines through both HTTP
+// surfaces at once — service invocation (http.go) and repository
+// read/write (repohttp.go) — each with a payload only it uses. Under
+// -race this shows the transport neither loses nor cross-wires
+// envelopes: every response carries exactly the evidence its own
+// request sent, and the shared store ends with exactly the annotations
+// that were put.
+func TestConcurrentRoundTrips(t *testing.T) {
+	reg := NewRegistry()
+	reg.Add(&AssertionService{
+		ServiceName: "HR_MC_score",
+		QA:          qa.NewUniversalPIScore(ontology.Q("tag/HR_MC")),
+	})
+	repos := annotstore.NewRegistry()
+	mux := http.NewServeMux()
+	mux.Handle("/services", Handler(reg))
+	mux.Handle("/services/", Handler(reg))
+	mux.Handle("/repositories", RepositoryHandler(repos))
+	mux.Handle("/repositories/", RepositoryHandler(repos))
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	const goroutines = 8
+	const rounds = 5
+	concItem := func(g, i int) evidence.Item {
+		return rdf.IRI(fmt.Sprintf("urn:lsid:test.org:conc:%d:%d", g, i))
+	}
+	concFrac := func(g, i int) float64 {
+		return float64(g*rounds+i+1) / float64(goroutines*rounds+1)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client := &Client{BaseURL: srv.URL}
+			remote := NewRemoteRepository(client, "default", true)
+			for i := 0; i < rounds; i++ {
+				it, frac := concItem(g, i), concFrac(g, i)
+				m := evidence.NewMap()
+				m.Set(it, ontology.HitRatio, evidence.Float(frac))
+				m.Set(it, ontology.Coverage, evidence.Float(frac))
+				resp, err := client.Invoke(context.Background(), "HR_MC_score", NewEnvelope(m))
+				if err != nil {
+					errs <- fmt.Errorf("g%d r%d: Invoke: %w", g, i, err)
+					return
+				}
+				got, err := resp.Map()
+				if err != nil {
+					errs <- fmt.Errorf("g%d r%d: response Map: %w", g, i, err)
+					return
+				}
+				if got.Len() != 1 || !got.Has(it, ontology.Q("tag/HR_MC")) {
+					errs <- fmt.Errorf("g%d r%d: response lost the item or its score", g, i)
+					return
+				}
+				if v := got.Get(it, ontology.HitRatio); !v.Equal(evidence.Float(frac)) {
+					errs <- fmt.Errorf("g%d r%d: evidence cross-wired: got %v", g, i, v)
+					return
+				}
+				err = remote.Put(annotstore.Annotation{
+					Item: it, Type: ontology.HitRatio, Value: evidence.Float(frac),
+				})
+				if err != nil {
+					errs <- fmt.Errorf("g%d r%d: remote Put: %w", g, i, err)
+					return
+				}
+				if v, ok := remote.Get(it, ontology.HitRatio); !ok || !v.Equal(evidence.Float(frac)) {
+					errs <- fmt.Errorf("g%d r%d: remote Get = %v, %v", g, i, v, ok)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The store holds exactly one annotation per (goroutine, round) — no
+	// concurrent put was lost, duplicated, or overwritten by a peer's.
+	def := repos.MustGet("default")
+	if def.Len() != goroutines*rounds {
+		t.Errorf("store holds %d annotations, want %d", def.Len(), goroutines*rounds)
+	}
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < rounds; i++ {
+			it, frac := concItem(g, i), concFrac(g, i)
+			if v, ok := def.Get(it, ontology.HitRatio); !ok || !v.Equal(evidence.Float(frac)) {
+				t.Errorf("annotation for %s lost or corrupted: %v, %v", it.Value(), v, ok)
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package stream_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"qurator/internal/compiler"
+	"qurator/internal/evidence"
+	"qurator/internal/imprint"
+	"qurator/internal/ispider"
+	"qurator/internal/ops"
+	"qurator/internal/qvlang"
+	"qurator/internal/stream"
+)
+
+// ispiderRun materialises one deterministic ISPIDER experiment: the
+// ranked identifications of the paper's 10-spot running example, plus the
+// annotator that computes their Imprint evidence.
+func ispiderRun(t *testing.T) ([]evidence.Item, ops.Annotator) {
+	t.Helper()
+	world, err := ispider.BuildWorld(ispider.DefaultWorldParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pls, err := world.Pedro.PeakLists(world.ExperimentID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]imprint.Result, len(pls))
+	for i, pl := range pls {
+		results[i] = world.Engine.Search(pl)
+	}
+	entries, items := ispider.Identifications(results)
+	return items, ispider.NewImprintAnnotator(entries)
+}
+
+// TestBatchStreamEquivalence is the subsystem's defining law: enacting a
+// stream through a single window equal to the collection size yields
+// byte-identical decisions — accept/reject and class assignments — to the
+// one-shot batch enactment of the same collection. Collection-scoped QAs
+// see the same collection either way, so thresholds, classes and filter
+// verdicts coincide exactly.
+func TestBatchStreamEquivalence(t *testing.T) {
+	items, annotator := ispiderRun(t)
+	if len(items) == 0 {
+		t.Fatal("ISPIDER world produced no identifications")
+	}
+
+	// The §5.1 default condition includes an absolute score threshold
+	// (HR_MC > 20) whose scale depends on the lab; for the noisy synthetic
+	// world use the distribution-relative high class (as §6.3 does) so
+	// both sides have a non-degenerate accept/reject split.
+	const relCond = "ScoreClass in q:high"
+
+	// Batch: one Compiled.Run over the full collection.
+	batchView := compileViewXML(t, qvlang.PaperViewXML, annotator)
+	if err := batchView.SetFilterCondition("filter top k score", relCond); err != nil {
+		t.Fatal(err)
+	}
+	out, err := batchView.Run(context.Background(), items)
+	if err != nil {
+		t.Fatalf("batch Run: %v", err)
+	}
+	batch := stream.Decide(items, out, out[compiler.OutputAnnotations], batchView.Plan().Outputs, 0)
+
+	// Stream: an independent compile of the same view, enacted with a
+	// single window spanning the whole collection.
+	streamView := compileViewXML(t, qvlang.PaperViewXML, annotator)
+	if err := streamView.SetFilterCondition("filter top k score", relCond); err != nil {
+		t.Fatal(err)
+	}
+	e, err := stream.New(streamView, stream.Config{Window: len(items), Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan stream.Item)
+	results := make(chan stream.WindowResult)
+	done := make(chan error, 1)
+	go func() { done <- e.Run(context.Background(), in, results) }()
+	go func() {
+		defer close(in)
+		for _, it := range items {
+			in <- stream.Item{ID: it}
+		}
+	}()
+	var windows []stream.WindowResult
+	for r := range results {
+		windows = append(windows, r)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("stream Run: %v", err)
+	}
+	if len(windows) != 1 {
+		t.Fatalf("got %d windows, want 1 (window == collection)", len(windows))
+	}
+	streamed := windows[0].Decisions
+
+	batchJSON, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamJSON, err := json.Marshal(streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(batchJSON, streamJSON) {
+		t.Errorf("batch and stream decisions diverge:\nbatch:  %s\nstream: %s", batchJSON, streamJSON)
+	}
+
+	// Sanity: the view did something — some items accepted, some rejected.
+	accepted := 0
+	for _, d := range batch {
+		if len(d.Outputs) > 0 {
+			accepted++
+		}
+		if len(d.Classes) == 0 {
+			t.Errorf("item %s carries no class assignment", d.Item)
+		}
+	}
+	if accepted == 0 || accepted == len(batch) {
+		t.Errorf("degenerate filter outcome: %d/%d accepted", accepted, len(batch))
+	}
+}
+
+// TestStreamCoversBatchUnderWindowing: windowed enactment decides exactly
+// the batch item set (no loss, no duplication), even though individual
+// verdicts may differ — thresholds are per-window by design.
+func TestStreamCoversBatchUnderWindowing(t *testing.T) {
+	items, annotator := ispiderRun(t)
+	e, err := stream.New(compileViewXML(t, qvlang.PaperViewXML, annotator),
+		stream.Config{Window: 7, Slide: 3, Parallelism: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan stream.Item)
+	results := make(chan stream.WindowResult)
+	done := make(chan error, 1)
+	go func() { done <- e.Run(context.Background(), in, results) }()
+	go func() {
+		defer close(in)
+		for _, it := range items {
+			in <- stream.Item{ID: it}
+		}
+	}()
+	seen := map[string]int{}
+	for r := range results {
+		for _, d := range r.Decisions {
+			seen[d.Item]++
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(items) {
+		t.Fatalf("decided %d distinct items, want %d", len(seen), len(items))
+	}
+	for item, n := range seen {
+		if n != 1 {
+			t.Errorf("item %s decided %d times", item, n)
+		}
+	}
+}

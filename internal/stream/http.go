@@ -1,0 +1,130 @@
+package stream
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"qurator/internal/compiler"
+)
+
+// CompileFunc produces a freshly-compiled quality view for one streaming
+// request. Each request gets its own Compiled so concurrent streams never
+// share mutable workflow state; the host (quratord, or a test) decides
+// how the view is obtained — typically by compiling the request body's
+// named view against its deployed framework.
+type CompileFunc func(view string) (*compiler.Compiled, error)
+
+// Handler serves POST /stream/enact: the request body is an NDJSON
+// sequence of items (see DecodeItem), the response is an NDJSON sequence
+// of decisions and window summaries, flushed window-by-window — the first
+// decisions arrive while the request body is still being produced.
+//
+// Query parameters:
+//
+//	view        name of the quality view to enact (required)
+//	window      window size (default 64)
+//	slide       slide width (default = window, i.e. tumbling)
+//	parallelism worker-pool degree (default 1)
+//	timeout     per-processor timeout, a Go duration (optional)
+//	partial     "drop" suppresses the final short window
+func Handler(compile CompileFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "stream: POST an NDJSON item stream", http.StatusMethodNotAllowed)
+			return
+		}
+		cfg, view, err := configFromQuery(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		compiled, err := compile(view)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("stream: compile view %q: %v", view, err), http.StatusBadRequest)
+			return
+		}
+		e, err := New(compiled, cfg)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+
+		// The endpoint reads the request body and writes the response
+		// concurrently — without full duplex the server would block the
+		// first header write until the body is drained, deadlocking
+		// against a paused producer.
+		rc := http.NewResponseController(w)
+		if err := rc.EnableFullDuplex(); err != nil {
+			http.Error(w, "stream: connection does not support full-duplex streaming",
+				http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("X-Accel-Buffering", "no") // proxies: don't buffer
+		flush := func() { _ = rc.Flush() }
+
+		ctx := r.Context()
+		in := make(chan Item, cfg.Parallelism)
+		results := make(chan WindowResult, cfg.Parallelism)
+
+		readErr := make(chan error, 1)
+		go func() { readErr <- ReadItems(r.Body, in) }()
+
+		runErr := make(chan error, 1)
+		go func() { runErr <- e.Run(ctx, in, results) }()
+
+		writeFailed := WriteResults(w, results, flush) != nil
+		enactErr := <-runErr // Run closed results, so it has returned
+		// If the pipeline stopped early its ingest stage no longer drains
+		// in; unblock the body reader so it can finish and report.
+		go func() {
+			for range in {
+			}
+		}()
+		readError := <-readErr
+		// Surface the first error as a trailing NDJSON error record —
+		// headers are long gone.
+		firstErr := enactErr
+		if firstErr == nil {
+			firstErr = readError
+		}
+		if firstErr != nil && !writeFailed {
+			fmt.Fprintf(w, "{\"error\":%q}\n", firstErr.Error())
+			flush()
+		}
+	})
+}
+
+func configFromQuery(r *http.Request) (Config, string, error) {
+	q := r.URL.Query()
+	view := q.Get("view")
+	if view == "" {
+		return Config{}, "", fmt.Errorf("stream: missing ?view= parameter")
+	}
+	cfg := Config{Window: 64, Parallelism: 1}
+	var err error
+	if s := q.Get("window"); s != "" {
+		if cfg.Window, err = strconv.Atoi(s); err != nil {
+			return Config{}, "", fmt.Errorf("stream: bad window %q", s)
+		}
+	}
+	if s := q.Get("slide"); s != "" {
+		if cfg.Slide, err = strconv.Atoi(s); err != nil {
+			return Config{}, "", fmt.Errorf("stream: bad slide %q", s)
+		}
+	}
+	if s := q.Get("parallelism"); s != "" {
+		if cfg.Parallelism, err = strconv.Atoi(s); err != nil {
+			return Config{}, "", fmt.Errorf("stream: bad parallelism %q", s)
+		}
+	}
+	if s := q.Get("timeout"); s != "" {
+		if cfg.ProcessorTimeout, err = time.ParseDuration(s); err != nil {
+			return Config{}, "", fmt.Errorf("stream: bad timeout %q", s)
+		}
+	}
+	cfg.DropPartial = q.Get("partial") == "drop"
+	return cfg, view, nil
+}

@@ -1,0 +1,127 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"qurator/internal/evidence"
+	"qurator/internal/ontology"
+)
+
+// wireItem is the NDJSON input record: one data item per line, with
+// optional inline evidence. Evidence keys are IRIs or IQ-ontology QNames
+// ("q:name", "tag/name"); values are JSON numbers, strings or booleans.
+//
+//	{"item":"urn:lsid:ispider.org:spot:7","evidence":{"q:HitRatio":0.62}}
+type wireItem struct {
+	Item     string                     `json:"item"`
+	Evidence map[string]json.RawMessage `json:"evidence,omitempty"`
+}
+
+// DecodeItem parses one NDJSON line into a stream Item.
+func DecodeItem(line []byte) (Item, error) {
+	var w wireItem
+	if err := json.Unmarshal(line, &w); err != nil {
+		return Item{}, fmt.Errorf("stream: bad NDJSON item: %w", err)
+	}
+	if strings.TrimSpace(w.Item) == "" {
+		return Item{}, fmt.Errorf("stream: NDJSON item record lacks \"item\"")
+	}
+	it := Item{ID: evidence.Item(ontology.ExpandQName(w.Item))}
+	for key, raw := range w.Evidence {
+		v, err := decodeValue(raw)
+		if err != nil {
+			return Item{}, fmt.Errorf("stream: evidence %q: %w", key, err)
+		}
+		if v.IsNull() {
+			continue
+		}
+		if it.Evidence == nil {
+			it.Evidence = make(map[evidence.Key]evidence.Value, len(w.Evidence))
+		}
+		it.Evidence[ontology.ExpandQName(key)] = v
+	}
+	return it, nil
+}
+
+func decodeValue(raw json.RawMessage) (evidence.Value, error) {
+	var v any
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.UseNumber()
+	if err := dec.Decode(&v); err != nil {
+		return evidence.Null, err
+	}
+	switch x := v.(type) {
+	case nil:
+		return evidence.Null, nil
+	case json.Number:
+		if i, err := x.Int64(); err == nil && !strings.ContainsAny(x.String(), ".eE") {
+			return evidence.Int(i), nil
+		}
+		f, err := x.Float64()
+		if err != nil {
+			return evidence.Null, err
+		}
+		return evidence.Float(f), nil
+	case string:
+		return evidence.String_(x), nil
+	case bool:
+		return evidence.Bool(x), nil
+	default:
+		return evidence.Null, fmt.Errorf("unsupported evidence value %s", string(raw))
+	}
+}
+
+// ReadItems decodes NDJSON records from r into the channel until EOF or
+// ctx-free termination, closing out on return. Blank lines are skipped.
+// The first malformed line aborts the read with its error.
+func ReadItems(r io.Reader, out chan<- Item) error {
+	defer close(out)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		it, err := DecodeItem([]byte(line))
+		if err != nil {
+			return err
+		}
+		out <- it
+	}
+	return sc.Err()
+}
+
+// WriteResults encodes window results as NDJSON — one decision object per
+// line, interleaved with one window-summary line per window (after its
+// decisions). If w implements http.Flusher-style flushing via the flush
+// callback, each window is flushed as soon as it is written, so consumers
+// see decisions while the input stream is still open.
+func WriteResults(w io.Writer, results <-chan WindowResult, flush func()) error {
+	enc := json.NewEncoder(w)
+	for res := range results {
+		for _, d := range res.Decisions {
+			if err := enc.Encode(d); err != nil {
+				return err
+			}
+		}
+		summary := struct {
+			Window  int                    `json:"window"`
+			Size    int                    `json:"size"`
+			Decided int                    `json:"decided"`
+			Partial bool                   `json:"partial,omitempty"`
+			Stats   map[string]WindowStats `json:"stats,omitempty"`
+		}{res.Seq, res.Size, len(res.Decisions), res.Partial, res.Stats}
+		if err := enc.Encode(summary); err != nil {
+			return err
+		}
+		if flush != nil {
+			flush()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,375 @@
+// Package stream enacts compiled quality views continuously over
+// unbounded data. The paper's enactment model is strictly batch: a view
+// runs once over a finished collection, and collection-scoped QAs (the
+// §5.1 avg±stddev classifier) assume the whole run is in hand. This
+// package lifts that restriction: items arrive one at a time, a
+// count-based windowing policy groups them into finite windows, each
+// window is enacted through the unmodified compiled workflow by a worker
+// pool, and per-item accept/reject/class decisions are emitted as soon as
+// their window resolves — while the input is still open.
+//
+// The semantics is the windowed closure of batch enactment, with one law
+// tying the two together: enacting a stream through a single window equal
+// to the collection size yields exactly the batch result (the equivalence
+// property test). Collection-scoped QAs therefore recompute their
+// thresholds per window — the window is the collection.
+//
+// The pipeline is staged over bounded channels, so a slow consumer
+// back-pressures the workers, the windower, and finally the producer; a
+// cancelled context unwinds every stage.
+//
+//	in ──► windower ──► jobs ──► worker pool ──► results ──► reorder ──► out
+//	        (live Amap,   (cap P)  (P × enact)     (cap P)    (per-window
+//	         Welford)                                          order)
+package stream
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"qurator/internal/compiler"
+	"qurator/internal/evidence"
+	"qurator/internal/workflow"
+)
+
+// Item is one arriving data item: its identity plus optional inline
+// evidence. Inline evidence travels inside the window's annotation map,
+// so purely-inline streams never touch an annotation repository — the
+// repositories (and the view's annotators) still run per window for
+// evidence the stream does not carry.
+type Item struct {
+	// ID identifies the data item (an LSID-wrapped URI).
+	ID evidence.Item
+	// Evidence carries inline evidence values keyed by evidence type.
+	Evidence map[evidence.Key]evidence.Value
+}
+
+// Decision is the streaming verdict for one item: which action outputs it
+// reached (empty = rejected by every action) and the class assignments it
+// received. Classes come from the consolidated assertion state, so a
+// rejected item still reports why it was rejected.
+type Decision struct {
+	// Item is the data item URI.
+	Item string `json:"item"`
+	// Window is the sequence number of the window that decided the item.
+	Window int `json:"window"`
+	// Outputs lists the workflow outputs ("<action>:<port>") containing
+	// the item, in the view's declaration order.
+	Outputs []string `json:"outputs"`
+	// Classes maps classification-model IRIs to assigned label IRIs.
+	Classes map[string]string `json:"classes,omitempty"`
+}
+
+// WindowStats summarises one numeric column over one window, with the
+// §5.1 classifier cut points (mean ± stddev).
+type WindowStats struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+	// Lo and Hi are the avg±stddev classification thresholds in force for
+	// this window.
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+}
+
+// WindowResult is one enacted window: the decisions for its newly-decided
+// items (in arrival order) and the per-key statistics of the window.
+type WindowResult struct {
+	// Seq is the window sequence number, starting at 0. Results are
+	// emitted in Seq order regardless of worker completion order.
+	Seq int `json:"window"`
+	// Size is the number of items enacted (for sliding windows this
+	// includes the context items decided by earlier windows).
+	Size int `json:"size"`
+	// Partial marks the final short window emitted when the input closes
+	// before a full window accumulated.
+	Partial bool `json:"partial,omitempty"`
+	// Decisions holds one decision per newly-decided item.
+	Decisions []Decision `json:"decisions"`
+	// Stats maps annotation-map key IRIs (QA score tags, plus inline
+	// numeric evidence types) to their window statistics. Tag statistics
+	// are computed from the enacted window; evidence statistics are
+	// maintained incrementally by the windower (Welford add/remove).
+	Stats map[string]WindowStats `json:"stats,omitempty"`
+}
+
+// Config parameterises a streaming enactment.
+type Config struct {
+	// Window is the count-based window size (required, ≥ 1).
+	Window int
+	// Slide is the number of new items between window fires. 0 or
+	// Slide == Window gives tumbling windows; 0 < Slide < Window gives
+	// sliding windows where each fire decides the Slide newest items in
+	// the context of the full window.
+	Slide int
+	// Parallelism is the worker-pool degree: how many windows enact
+	// concurrently (default 1). Per-window order is preserved at the
+	// output regardless.
+	Parallelism int
+	// DropPartial suppresses the final short window when the input closes
+	// mid-window; by default the remainder is enacted as a partial window.
+	DropPartial bool
+	// ProcessorTimeout, when positive, bounds every processor invocation
+	// inside the compiled workflow (stuck annotators fail the window
+	// instead of wedging the stream).
+	ProcessorTimeout time.Duration
+}
+
+// Enactor runs a compiled quality view over unbounded item sequences.
+// One Enactor serves one stream at a time; the compiled view it wraps may
+// be shared with batch enactments when idle.
+type Enactor struct {
+	compiled *compiler.Compiled
+	plan     compiler.Plan
+	cfg      Config
+}
+
+// New validates the configuration and prepares a streaming enactor for
+// the compiled view.
+func New(compiled *compiler.Compiled, cfg Config) (*Enactor, error) {
+	if compiled == nil {
+		return nil, fmt.Errorf("stream: nil compiled view")
+	}
+	if cfg.Window < 1 {
+		return nil, fmt.Errorf("stream: window size must be ≥ 1, got %d", cfg.Window)
+	}
+	if cfg.Slide == 0 {
+		cfg.Slide = cfg.Window
+	}
+	if cfg.Slide < 1 || cfg.Slide > cfg.Window {
+		return nil, fmt.Errorf("stream: slide must be in [1, window], got %d", cfg.Slide)
+	}
+	if cfg.Parallelism < 1 {
+		cfg.Parallelism = 1
+	}
+	if cfg.ProcessorTimeout > 0 {
+		compiled.Workflow.SetProcessorTimeout(cfg.ProcessorTimeout)
+	}
+	return &Enactor{compiled: compiled, plan: compiled.Plan(), cfg: cfg}, nil
+}
+
+// Plan returns the abstract plan of the enacted view.
+func (e *Enactor) Plan() compiler.Plan { return e.plan }
+
+// Config returns the normalised configuration in force.
+func (e *Enactor) Config() Config { return e.cfg }
+
+// Run consumes items from in until it closes or ctx is cancelled,
+// enacting windows and emitting their results on out in window order. It
+// closes out before returning. The first enactment error cancels the
+// whole pipeline and is returned; a parent-context cancellation returns
+// the context's error.
+func (e *Enactor) Run(ctx context.Context, in <-chan Item, out chan<- WindowResult) error {
+	defer close(out)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	jobs := make(chan windowJob, e.cfg.Parallelism)
+	results := make(chan WindowResult, e.cfg.Parallelism)
+
+	var (
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	// Stage 1: ingest + window. A single goroutine keeps the live window
+	// Amap and the incremental evidence accumulators, emitting one job per
+	// window fire. The bounded jobs channel is the backpressure point
+	// towards the producer.
+	var ingestWG sync.WaitGroup
+	ingestWG.Add(1)
+	go func() {
+		defer ingestWG.Done()
+		defer close(jobs)
+		w := newWindower(e.cfg.Window, e.cfg.Slide)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case it, ok := <-in:
+				if !ok {
+					if j := w.flush(); j != nil && !e.cfg.DropPartial {
+						select {
+						case jobs <- *j:
+						case <-ctx.Done():
+						}
+					}
+					return
+				}
+				if j := w.push(it); j != nil {
+					select {
+					case jobs <- *j:
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+		}
+	}()
+
+	// Stage 2: worker pool. Each worker enacts whole windows through the
+	// compiled workflow; annotator and QA invocations of distinct windows
+	// therefore run fanned out across the pool, and within one window the
+	// workflow engine already runs independent processors concurrently.
+	var workerWG sync.WaitGroup
+	for i := 0; i < e.cfg.Parallelism; i++ {
+		workerWG.Add(1)
+		go func() {
+			defer workerWG.Done()
+			for j := range jobs {
+				res, err := e.enactWindow(ctx, j)
+				if err != nil {
+					if ctx.Err() == nil {
+						fail(err)
+					}
+					return
+				}
+				select {
+				case results <- res:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		workerWG.Wait()
+		close(results)
+	}()
+
+	// Stage 3: reorder + emit. Windows complete out of order under
+	// parallelism; decisions are released strictly in window order. The
+	// pending map holds at most Parallelism results (each worker owns at
+	// most one completed-but-unreleased window).
+	pending := make(map[int]WindowResult, e.cfg.Parallelism)
+	next := 0
+	for res := range results {
+		if ctx.Err() != nil {
+			continue // drain so the workers can exit
+		}
+		pending[res.Seq] = res
+		for {
+			r, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			select {
+			case out <- r:
+				next++
+			case <-ctx.Done():
+			}
+			if ctx.Err() != nil {
+				break
+			}
+		}
+	}
+	ingestWG.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// windowJob is one window ready to enact: a snapshot of the live Amap,
+// the item order, the index where newly-decided items start, and the
+// incrementally-maintained inline-evidence statistics.
+type windowJob struct {
+	seq        int
+	items      []evidence.Item
+	m          *evidence.Map
+	decideFrom int
+	partial    bool
+	stats      map[string]WindowStats
+}
+
+// enactWindow runs one window through the compiled workflow and derives
+// the newly-decided items' decisions plus the window tag statistics.
+func (e *Enactor) enactWindow(ctx context.Context, j windowJob) (WindowResult, error) {
+	ports, err := e.compiled.Execute(ctx, workflow.Ports{compiler.PortDataSet: j.m})
+	if err != nil {
+		return WindowResult{}, fmt.Errorf("stream: window %d: %w", j.seq, err)
+	}
+	outputs := make(map[string]*evidence.Map, len(ports))
+	for name, v := range ports {
+		m, ok := v.(*evidence.Map)
+		if !ok {
+			return WindowResult{}, fmt.Errorf("stream: window %d: output %q is %T, not *evidence.Map", j.seq, name, v)
+		}
+		outputs[name] = m
+	}
+	cons := outputs[compiler.OutputAnnotations]
+
+	res := WindowResult{
+		Seq:       j.seq,
+		Size:      len(j.items),
+		Partial:   j.partial,
+		Decisions: Decide(j.items[j.decideFrom:], outputs, cons, e.plan.Outputs, j.seq),
+		Stats:     j.stats,
+	}
+	// Window score statistics: one Welford pass over the enacted window
+	// per QA tag — O(1) per (item, tag).
+	if cons == nil {
+		return res, nil
+	}
+	for _, tag := range e.plan.Tags {
+		var acc evidence.Accumulator
+		for _, it := range j.items {
+			if f, ok := cons.Get(it, tag).AsFloat(); ok {
+				acc.Add(f)
+			}
+		}
+		if acc.N() == 0 {
+			continue
+		}
+		if res.Stats == nil {
+			res.Stats = make(map[string]WindowStats)
+		}
+		lo, hi := acc.Thresholds()
+		res.Stats[tag.Value()] = WindowStats{
+			N: acc.N(), Mean: acc.Mean(), StdDev: acc.StdDev(), Lo: lo, Hi: hi,
+		}
+	}
+	return res, nil
+}
+
+// Decide derives per-item decisions from one enactment's outputs — the
+// shared projection both the streaming workers and the batch/stream
+// equivalence check use. outputOrder fixes the Outputs ordering (the
+// view's declaration order); consolidated supplies class assignments for
+// every item, accepted or not.
+func Decide(items []evidence.Item, outputs map[string]*evidence.Map, consolidated *evidence.Map, outputOrder []string, window int) []Decision {
+	decisions := make([]Decision, 0, len(items))
+	for _, it := range items {
+		d := Decision{
+			Item:    it.Value(),
+			Window:  window,
+			Outputs: []string{},
+		}
+		for _, name := range outputOrder {
+			if m := outputs[name]; m != nil && m.HasItem(it) {
+				d.Outputs = append(d.Outputs, name)
+			}
+		}
+		if consolidated != nil {
+			for k, v := range consolidated.Row(it) {
+				if t, ok := v.AsTerm(); ok {
+					if d.Classes == nil {
+						d.Classes = make(map[string]string)
+					}
+					d.Classes[k.Value()] = t.Value()
+				}
+			}
+		}
+		decisions = append(decisions, d)
+	}
+	return decisions
+}

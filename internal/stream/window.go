@@ -1,0 +1,133 @@
+package stream
+
+import (
+	"qurator/internal/evidence"
+)
+
+// windower implements the count-based windowing policy. It maintains the
+// live window as an annotation map (so inline evidence rides along at no
+// extra cost) plus one incremental Welford accumulator per numeric inline
+// evidence key — O(1) work per arriving or evicted item and value.
+//
+// Decide-once semantics: every item is decided by exactly one window —
+// the first complete window containing it. The first fire decides all
+// Window items; each later fire decides only the Slide newest, with the
+// Window−Slide older items re-enacted purely as statistical context for
+// the collection-scoped QAs. Tumbling windows (Slide == Window) decide
+// every item they contain.
+type windower struct {
+	size  int
+	slide int
+
+	live      *evidence.Map
+	undecided int // trailing items not yet decided by any fire
+	seq       int
+
+	accs map[evidence.Key]*evidence.Accumulator
+}
+
+func newWindower(size, slide int) *windower {
+	return &windower{
+		size:  size,
+		slide: slide,
+		live:  evidence.NewMap(),
+		accs:  make(map[evidence.Key]*evidence.Accumulator),
+	}
+}
+
+// push adds one item to the live window and returns a job if the window
+// fires. A re-arrival of an item already in the window refreshes its
+// evidence without growing the window.
+func (w *windower) push(it Item) *windowJob {
+	fresh := !w.live.HasItem(it.ID)
+	if !fresh {
+		// Retract the stale numeric contributions before the row update.
+		for k, v := range it.Evidence {
+			if v.IsNull() {
+				continue // SetRow won't overwrite with a Null
+			}
+			if old, ok := w.live.Get(it.ID, k).AsFloat(); ok {
+				w.acc(k).Remove(old)
+			}
+		}
+	}
+	w.live.SetRow(it.ID, it.Evidence)
+	for k, v := range it.Evidence {
+		if f, ok := v.AsFloat(); ok {
+			w.acc(k).Add(f)
+		}
+	}
+	if fresh {
+		w.undecided++
+	}
+	if w.live.Len() >= w.size && w.undecided >= w.slide {
+		return w.fire(false)
+	}
+	return nil
+}
+
+// flush returns the final partial window, or nil if nothing is pending.
+func (w *windower) flush() *windowJob {
+	if w.undecided == 0 {
+		return nil
+	}
+	return w.fire(true)
+}
+
+// fire snapshots the live window into a job and slides it forward.
+func (w *windower) fire(partial bool) *windowJob {
+	items := append([]evidence.Item(nil), w.live.Items()...)
+	j := &windowJob{
+		seq:        w.seq,
+		items:      items,
+		m:          w.live.Clone(),
+		decideFrom: len(items) - w.undecided,
+		partial:    partial,
+		stats:      w.snapshotStats(),
+	}
+	w.seq++
+	w.undecided = 0
+	// Evict the oldest slide-worth of items so the next window overlaps
+	// the current one by Window−Slide items (none, for tumbling windows).
+	evict := w.slide
+	if partial || evict > w.live.Len() {
+		evict = w.live.Len()
+	}
+	for i := 0; i < evict; i++ {
+		old := w.live.Items()[0]
+		for k, acc := range w.accs {
+			if f, ok := w.live.Get(old, k).AsFloat(); ok {
+				acc.Remove(f)
+			}
+		}
+		w.live.RemoveItem(old)
+	}
+	return j
+}
+
+func (w *windower) acc(k evidence.Key) *evidence.Accumulator {
+	a := w.accs[k]
+	if a == nil {
+		a = &evidence.Accumulator{}
+		w.accs[k] = a
+	}
+	return a
+}
+
+// snapshotStats freezes the inline-evidence accumulators into the job.
+func (w *windower) snapshotStats() map[string]WindowStats {
+	var out map[string]WindowStats
+	for k, acc := range w.accs {
+		if acc.N() == 0 {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]WindowStats, len(w.accs))
+		}
+		lo, hi := acc.Thresholds()
+		out[k.Value()] = WindowStats{
+			N: acc.N(), Mean: acc.Mean(), StdDev: acc.StdDev(), Lo: lo, Hi: hi,
+		}
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package workflow
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Timeout wraps a processor with a per-invocation deadline, complementing
+// the Retry fault-tolerance decorator: Execute runs under
+// context.WithTimeout and a stuck processor fails with a timeout error
+// instead of stalling the enactment. Streaming stages use this to bound
+// stuck annotators (a hung external service must not wedge an unbounded
+// stream). Like Retry, the wrapper keeps the inner processor's name and
+// ports, so the policy is invisible to the workflow structure.
+type Timeout struct {
+	Inner Processor
+	// D is the per-invocation deadline; 0 disables the wrapper.
+	D time.Duration
+}
+
+// WithTimeout wraps p so each Execute completes within d.
+func WithTimeout(p Processor, d time.Duration) *Timeout {
+	return &Timeout{Inner: p, D: d}
+}
+
+// Name implements Processor.
+func (t *Timeout) Name() string { return t.Inner.Name() }
+
+// InputPorts implements Processor.
+func (t *Timeout) InputPorts() []string { return t.Inner.InputPorts() }
+
+// OutputPorts implements Processor.
+func (t *Timeout) OutputPorts() []string { return t.Inner.OutputPorts() }
+
+// Execute implements Processor.
+func (t *Timeout) Execute(ctx context.Context, in Ports) (Ports, error) {
+	if t.D <= 0 {
+		return t.Inner.Execute(ctx, in)
+	}
+	ctx, cancel := context.WithTimeout(ctx, t.D)
+	defer cancel()
+	out, err := t.Inner.Execute(ctx, in)
+	if err != nil && ctx.Err() == context.DeadlineExceeded {
+		return nil, fmt.Errorf("workflow: processor %q exceeded %v timeout: %w",
+			t.Inner.Name(), t.D, err)
+	}
+	return out, err
+}
+
+// SetProcessorTimeout sets a per-processor deadline applied to every
+// processor invocation of this workflow's enactments — the Run-level
+// knob: each Execute receives a context that expires after d. Zero (the
+// default) disables the deadline. Set it before Run; it is not safe to
+// change while an enactment is in flight.
+func (w *Workflow) SetProcessorTimeout(d time.Duration) { w.procTimeout = d }
+
+// ProcessorTimeout returns the per-processor deadline in force.
+func (w *Workflow) ProcessorTimeout() time.Duration { return w.procTimeout }

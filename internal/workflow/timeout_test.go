@@ -1,0 +1,126 @@
+package workflow
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stuckProc blocks until its context is cancelled.
+type stuckProc struct{ name string }
+
+func (p *stuckProc) Name() string          { return p.name }
+func (p *stuckProc) InputPorts() []string  { return []string{"in"} }
+func (p *stuckProc) OutputPorts() []string { return []string{"out"} }
+func (p *stuckProc) Execute(ctx context.Context, in Ports) (Ports, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+func TestWithTimeoutCutsStuckProcessor(t *testing.T) {
+	p := WithTimeout(&stuckProc{name: "stuck"}, 20*time.Millisecond)
+	start := time.Now()
+	_, err := p.Execute(context.Background(), Ports{"in": 1})
+	if err == nil {
+		t.Fatal("expected timeout error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if !strings.Contains(err.Error(), "stuck") || !strings.Contains(err.Error(), "timeout") {
+		t.Errorf("error message %q should name the processor and the timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("timeout took %v", elapsed)
+	}
+}
+
+func TestWithTimeoutZeroDisablesDeadline(t *testing.T) {
+	done := &Func{
+		PName:   "quick",
+		Inputs:  []string{"in"},
+		Outputs: []string{"out"},
+		Fn: func(ctx context.Context, in Ports) (Ports, error) {
+			if _, hasDeadline := ctx.Deadline(); hasDeadline {
+				return nil, errors.New("unexpected deadline")
+			}
+			return Ports{"out": in["in"]}, nil
+		},
+	}
+	out, err := WithTimeout(done, 0).Execute(context.Background(), Ports{"in": 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["out"] != 7 {
+		t.Errorf("out = %v", out["out"])
+	}
+}
+
+func TestWithTimeoutKeepsIdentity(t *testing.T) {
+	inner := &stuckProc{name: "inner"}
+	w := WithTimeout(inner, time.Second)
+	if w.Name() != "inner" || len(w.InputPorts()) != 1 || len(w.OutputPorts()) != 1 {
+		t.Error("decorator changed the processor identity")
+	}
+}
+
+// TestWorkflowProcessorTimeout exercises the Run-level option: a workflow
+// with a per-processor deadline fails fast when one node hangs instead of
+// stalling the whole enactment.
+func TestWorkflowProcessorTimeout(t *testing.T) {
+	w := New("timed")
+	w.MustAddProcessor(&stuckProc{name: "hang"})
+	if err := w.BindInput("in", "hang", "in"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.BindOutput("out", "hang", "out"); err != nil {
+		t.Fatal(err)
+	}
+	w.SetProcessorTimeout(20 * time.Millisecond)
+	if got := w.ProcessorTimeout(); got != 20*time.Millisecond {
+		t.Fatalf("ProcessorTimeout = %v", got)
+	}
+	start := time.Now()
+	_, err := w.Run(context.Background(), Ports{"in": 1})
+	if err == nil {
+		t.Fatal("expected enactment error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("enactment took %v despite timeout", elapsed)
+	}
+	// The deadline is per processor, not per workflow: a healthy node is
+	// unaffected even when the budget is smaller than the total runtime.
+	w2 := New("healthy")
+	for i, name := range []string{"a", "b"} {
+		i := i
+		w2.MustAddProcessor(&Func{
+			PName:   name,
+			Inputs:  []string{"in"},
+			Outputs: []string{"out"},
+			Fn: func(ctx context.Context, in Ports) (Ports, error) {
+				time.Sleep(15 * time.Millisecond)
+				return Ports{"out": in["in"].(int) + i}, nil
+			},
+		})
+	}
+	w2.MustAddLink(Link{From: "a", FromPort: "out", To: "b", ToPort: "in"})
+	if err := w2.BindInput("in", "a", "in"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.BindOutput("out", "b", "out"); err != nil {
+		t.Fatal(err)
+	}
+	w2.SetProcessorTimeout(25 * time.Millisecond) // < 30ms total, > 15ms per node
+	out, err := w2.Run(context.Background(), Ports{"in": 0})
+	if err != nil {
+		t.Fatalf("per-processor deadline tripped across processors: %v", err)
+	}
+	if out["out"] != 1 {
+		t.Errorf("out = %v", out["out"])
+	}
+}

@@ -98,6 +98,10 @@ type Workflow struct {
 	// feed; outputs maps workflow-level output names to their source port.
 	inputs  map[string][]portRef
 	outputs map[string]portRef
+
+	// procTimeout bounds each processor invocation (see
+	// SetProcessorTimeout); 0 means no deadline.
+	procTimeout time.Duration
 }
 
 // New returns an empty workflow.
@@ -492,7 +496,13 @@ func (w *Workflow) RunTrace(ctx context.Context, in Ports) (Ports, *Trace, error
 					err = fmt.Errorf("workflow %s: processor %q panicked: %v", w.name, name, r)
 				}
 			}()
-			return w.procs[name].Execute(ctx, inputs)
+			execCtx := ctx
+			if w.procTimeout > 0 {
+				var cancel context.CancelFunc
+				execCtx, cancel = context.WithTimeout(ctx, w.procTimeout)
+				defer cancel()
+			}
+			return w.procs[name].Execute(execCtx, inputs)
 		}()
 		ev.End = time.Now()
 		ev.Err = err

@@ -200,6 +200,33 @@ func (f *Framework) CompileView(viewXML []byte) (*Compiled, error) {
 	return compiled, nil
 }
 
+// CompileViewForStream compiles a view for streaming enactment
+// (internal/stream): annotator classes with no bound service are stubbed
+// with no-op annotators before compilation, since streamed items
+// typically carry their evidence inline or find it already stored in a
+// repository. Annotators that ARE deployed keep their bindings — each
+// window invokes them as in batch enactment.
+func (f *Framework) CompileViewForStream(viewXML []byte) (*Compiled, error) {
+	view, err := qvlang.Parse(viewXML)
+	if err != nil {
+		return nil, err
+	}
+	resolved, err := qvlang.Resolve(view, f.Model)
+	if err != nil {
+		return nil, err
+	}
+	for _, ann := range resolved.Annotators {
+		if _, err := f.Bindings.ResolveService(ann.Type); err == nil {
+			continue
+		}
+		if err := f.DeployAnnotator("stream-stub:"+ann.Decl.ServiceName,
+			ops.AnnotatorFunc{ClassIRI: ann.Type}); err != nil {
+			return nil, err
+		}
+	}
+	return f.CompileView(viewXML)
+}
+
 // ExecuteView compiles and runs a view over a data set in one call,
 // clearing per-run caches first. The result maps output names
 // ("<action>:<port>") to the surviving annotation maps.
