@@ -1,0 +1,173 @@
+package qurator
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"qurator/internal/resilience"
+	"qurator/internal/resilience/chaos"
+)
+
+// TestFullyDistributedDeploymentUnderChaos is TestFullyDistributedDeployment
+// with the fabric made hostile: every HTTP call between the client and the
+// server crosses a fault-injecting transport (25% outright transport
+// errors, 50% added latency), then a hard outage, then a heal. The run
+// must keep producing correct decisions for the items it can still reach,
+// quarantine the rest, and the circuit breakers must open during the
+// outage and recover through half-open afterwards.
+//
+// All randomness is seeded and the breaker clock is injected, so the
+// scenario replays exactly (including under -race — only invariants that
+// hold for every interleaving are asserted while chaos is active).
+func TestFullyDistributedDeploymentUnderChaos(t *testing.T) {
+	server, items := deployTestWorld(t)
+	srv := httptest.NewServer(server.Handler())
+	defer srv.Close()
+
+	strong := make(map[Item]bool, len(items))
+	for i, it := range items {
+		strong[it] = i%2 == 0
+	}
+
+	// chaosOn gates injection so the heal phase is genuinely clean.
+	var chaosOn atomic.Bool
+	chaosOn.Store(true)
+	chaosT := chaos.New(nil, chaos.Config{
+		Seed:        42,
+		ErrorRate:   0.25,
+		LatencyRate: 0.5,
+		Latency:     time.Millisecond,
+		Match:       func(*http.Request) bool { return chaosOn.Load() },
+	})
+
+	// Manual breaker clock: open breakers stay open until the test says
+	// time passed, whatever the wall clock does.
+	var clock atomic.Int64
+	now := func() time.Time { return time.Unix(0, clock.Load()) }
+
+	client := New()
+	client.SetResilience(Resilience{
+		Transport: resilience.Policy{
+			MaxAttempts:      4,
+			BaseBackoff:      time.Millisecond,
+			MaxBackoff:       4 * time.Millisecond,
+			RetryBudgetBurst: 256, // budget starvation is transport_test's concern
+			Breaker: resilience.BreakerConfig{
+				FailureThreshold: 3,
+				Cooldown:         time.Second,
+			},
+			Seed: 42,
+		}.WithClock(now),
+		BaseTransport: chaosT,
+		RetryAttempts: 4,
+		RetryBackoff:  time.Millisecond,
+		Degraded:      DegradeQuarantine,
+	})
+
+	if _, err := client.Scavenge(context.Background(), srv.URL); err != nil {
+		t.Fatalf("Scavenge through chaos: %v", err)
+	}
+	if _, err := client.ScavengeRepositories(context.Background(), srv.URL); err != nil {
+		t.Fatalf("ScavengeRepositories through chaos: %v", err)
+	}
+
+	// Phase 1 — flaky fabric: the run must complete, and whatever it
+	// accepts must be genuinely strong. Items the fabric lost are parked
+	// on the quarantine output with a degraded-evidence marker, never
+	// silently accepted.
+	out, err := client.ExecuteView(context.Background(), []byte(PaperViewXML), items)
+	if err != nil {
+		t.Fatalf("chaotic ExecuteView: %v", err)
+	}
+	accepted, quarantined := out["filter_top_k_score:accepted"], out[QuarantineOutput]
+	if accepted == nil || quarantined == nil {
+		t.Fatalf("outputs missing under quarantine policy: %v", keysOf(out))
+	}
+	for _, it := range accepted.Items() {
+		if !strong[it] {
+			t.Errorf("flaky run accepted weak item %v", it)
+		}
+		if quarantined.HasItem(it) {
+			t.Errorf("%v both accepted and quarantined", it)
+		}
+	}
+	for _, it := range quarantined.Items() {
+		if !quarantined.Has(it, DegradedEvidence) {
+			t.Errorf("quarantined %v lacks the degraded-evidence marker", it)
+		}
+	}
+	if quarantined.Len() == 0 && accepted.Len() != 5 {
+		t.Errorf("clean pass accepted %d items, want 5", accepted.Len())
+	}
+	if st := chaosT.Stats(); st.Errors == 0 || st.Delays == 0 {
+		t.Fatalf("chaos injected nothing (stats %+v) — the test is not testing", st)
+	}
+
+	// Phase 2 — hard outage: every decision degrades to quarantine and
+	// the per-endpoint breakers trip open.
+	chaosT.SetDown(true)
+	out, err = client.ExecuteView(context.Background(), []byte(PaperViewXML), items)
+	if err != nil {
+		t.Fatalf("ExecuteView during outage: %v", err)
+	}
+	if n := out["filter_top_k_score:accepted"].Len(); n != 0 {
+		t.Errorf("outage run accepted %d items, want 0", n)
+	}
+	if q := out[QuarantineOutput]; q.Len() != len(items) {
+		t.Errorf("outage run quarantined %d items, want all %d", q.Len(), len(items))
+	}
+	rt := client.TransportFor(srv.URL)
+	if rt == nil {
+		t.Fatal("no resilient transport recorded for the scavenged host")
+	}
+	openEndpoints := 0
+	for _, state := range rt.BreakerStates() {
+		if state == resilience.Open {
+			openEndpoints++
+		}
+	}
+	if openEndpoints == 0 {
+		t.Fatalf("no breaker opened during the outage: %v", rt.BreakerStates())
+	}
+
+	// Phase 3 — heal: chaos off, cooldown elapses, the next calls are
+	// half-open probes that succeed and close the breakers; the view is
+	// back to full, exact decisions.
+	chaosT.SetDown(false)
+	chaosOn.Store(false)
+	clock.Add(int64(2 * time.Second)) // past the breaker cooldown
+
+	out, err = client.ExecuteView(context.Background(), []byte(PaperViewXML), items)
+	if err != nil {
+		t.Fatalf("ExecuteView after heal: %v", err)
+	}
+	accepted = out["filter_top_k_score:accepted"]
+	if accepted.Len() != 5 {
+		t.Errorf("healed run accepted %d items, want the 5 strong ones", accepted.Len())
+	}
+	for _, it := range accepted.Items() {
+		if !strong[it] {
+			t.Errorf("healed run accepted weak item %v", it)
+		}
+	}
+	if q := out[QuarantineOutput]; q.Len() != 0 {
+		t.Errorf("healed run still quarantines %d items", q.Len())
+	}
+	for key, state := range rt.BreakerStates() {
+		if state != resilience.Closed {
+			t.Errorf("breaker %s is %v after heal, want closed", key, state)
+		}
+	}
+}
+
+func keysOf(out map[string]*Map) []string {
+	names := make([]string, 0, len(out))
+	for name := range out {
+		names = append(names, name)
+	}
+	return names
+}

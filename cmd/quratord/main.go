@@ -6,6 +6,13 @@
 // Usage:
 //
 //	quratord [-addr :9090] [-with-demo-annotator]
+//	         [-retries n] [-proc-timeout d] [-degraded mode]
+//	         [-flake-rate p] [-flake-latency d]
+//
+// The -retries/-proc-timeout/-degraded flags make the views enacted at
+// /stream/enact fault-tolerant (see qurator.Resilience); the -flake-*
+// flags do the opposite — they turn this instance into a deliberately
+// unreliable host for demonstrating a resilient client.
 //
 // A second machine (or a second process) can then do:
 //
@@ -21,7 +28,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"net/http"
+	"sync"
 	"time"
 
 	"qurator"
@@ -37,11 +46,37 @@ func main() {
 	addr := flag.String("addr", ":9090", "listen address")
 	withDemo := flag.Bool("with-demo-annotator", false,
 		"also deploy a demo annotator producing synthetic HR/MC evidence")
+	retries := flag.Int("retries", 0,
+		"re-invoke a failed quality service up to N times during enactment (0 = off)")
+	retryBackoff := flag.Duration("retry-backoff", 50*time.Millisecond,
+		"initial sleep between service retries")
+	procTimeout := flag.Duration("proc-timeout", 0,
+		"per-service invocation deadline inside enacted views (0 = none)")
+	degraded := flag.String("degraded", "off",
+		"on service failure during /stream/enact: off (abort the window), fail-closed, fail-open, or quarantine")
+	flakeRate := flag.Float64("flake-rate", 0,
+		"probability in [0,1] that a request is answered 503 — simulate an unreliable host for resilience demos")
+	flakeLatency := flag.Duration("flake-latency", 0,
+		"extra delay added to flaked requests before the 503")
+	flakeSeed := flag.Int64("flake-seed", 1, "seed for the flake RNG")
 	flag.Parse()
+
+	mode, err := qurator.ParseDegradedMode(*degraded)
+	if err != nil {
+		log.Fatalf("quratord: %v", err)
+	}
 
 	f := qurator.New()
 	if err := f.DeployStandardLibrary(); err != nil {
 		log.Fatalf("quratord: %v", err)
+	}
+	if *retries > 0 || *procTimeout > 0 || mode != qurator.DegradeOff {
+		f.SetResilience(qurator.Resilience{
+			RetryAttempts:    *retries + 1,
+			RetryBackoff:     *retryBackoff,
+			ProcessorTimeout: *procTimeout,
+			Degraded:         mode,
+		})
 	}
 	if *withDemo {
 		if err := f.DeployAnnotator("ImprintOutputAnnotator", demoAnnotator{}); err != nil {
@@ -59,13 +94,39 @@ func main() {
 	})
 	mux.Handle("/stream/enact", stream.Handler(streamCompiler(f)))
 
+	var handler http.Handler = mux
+	if *flakeRate > 0 {
+		handler = flaky(handler, *flakeRate, *flakeLatency, *flakeSeed)
+		log.Printf("quratord: flaking %.0f%% of requests (latency %s)", *flakeRate*100, *flakeLatency)
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	log.Printf("quratord: serving Qurator services on %s", *addr)
 	log.Fatal(srv.ListenAndServe())
+}
+
+// flaky answers a seeded fraction of requests with 503 Service
+// Unavailable (a retryable status for resilient clients), optionally
+// after a delay — the server side of a fault-tolerance demo. /healthz is
+// spared so liveness checks stay honest.
+func flaky(h http.Handler, rate float64, latency time.Duration, seed int64) http.Handler {
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(seed))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		flake := rng.Float64() < rate
+		mu.Unlock()
+		if flake && r.URL.Path != "/healthz" {
+			time.Sleep(latency)
+			http.Error(w, "quratord: injected flake", http.StatusServiceUnavailable)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
 }
 
 // streamCompiler resolves ?view= names for /stream/enact: the built-in

@@ -6,7 +6,18 @@
 // Usage:
 //
 //	qvrun -view view.xml -data items.csv [-condition "expr"]
-//	qvrun -stream [-view view.xml] [-window 64] [-slide n] [-parallelism p] < items.ndjson
+//	qvrun -stream [-view view.xml] [-window 64] [-slide n] [-parallelism p] [-skip-failed] < items.ndjson
+//
+// Resilience flags (both modes): -retries N re-invokes a failed quality
+// service, -proc-timeout bounds each invocation, and -degraded selects
+// what happens when a service stays down — "fail-closed" rejects the
+// affected items, "fail-open" accepts them, "quarantine" parks them on a
+// dedicated output, and "off" (default) aborts the run.
+//
+// With -scavenge URL the view is enacted through a remote quratord's
+// services and annotation repositories instead of the local standard
+// library — every annotation write, enrichment read and QA invocation
+// then crosses HTTP through the resilient client.
 //
 // The CSV's first column is the item URI; the header names the remaining
 // columns with evidence q-names (e.g. q:HitRatio). Values parse as
@@ -28,6 +39,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"time"
 
 	"qurator"
 	"qurator/internal/annotstore"
@@ -53,6 +65,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	window := fs.Int("window", 64, "streaming: count-based window size")
 	slide := fs.Int("slide", 0, "streaming: items per window fire (default: window, i.e. tumbling)")
 	parallelism := fs.Int("parallelism", 1, "streaming: concurrent window enactments")
+	skipFailed := fs.Bool("skip-failed", false, "streaming: report failed windows and keep going instead of stopping")
+	scavenge := fs.String("scavenge", "", "base URL of a remote Qurator host: enact through its services and repositories instead of the local standard library")
+	retries := fs.Int("retries", 0, "re-invoke a failed quality service up to N times (0 = off)")
+	retryBackoff := fs.Duration("retry-backoff", 50*time.Millisecond, "initial sleep between service retries")
+	procTimeout := fs.Duration("proc-timeout", 0, "per-service invocation deadline (0 = none)")
+	degraded := fs.String("degraded", "off", "on service failure: off (abort), fail-closed, fail-open, or quarantine")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -74,16 +92,42 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 	}
 
+	mode, err := qurator.ParseDegradedMode(*degraded)
+	if err != nil {
+		return usage(err)
+	}
+
 	f := qurator.New()
-	if err := f.DeployStandardLibrary(); err != nil {
-		return fail(stderr, err)
+	if *scavenge == "" {
+		if err := f.DeployStandardLibrary(); err != nil {
+			return fail(stderr, err)
+		}
+	}
+	if *retries > 0 || *procTimeout > 0 || mode != qurator.DegradeOff {
+		f.SetResilience(qurator.Resilience{
+			RetryAttempts:    *retries + 1, // N retries = N+1 attempts
+			RetryBackoff:     *retryBackoff,
+			ProcessorTimeout: *procTimeout,
+			Degraded:         mode,
+		})
+	}
+	if *scavenge != "" {
+		// Resilience is installed above, so the scavenged proxies get the
+		// retrying, breaker-guarded HTTP client.
+		if _, err := f.Scavenge(context.Background(), *scavenge); err != nil {
+			return fail(stderr, fmt.Errorf("scavenge %s: %w", *scavenge, err))
+		}
+		if _, err := f.ScavengeRepositories(context.Background(), *scavenge); err != nil {
+			return fail(stderr, fmt.Errorf("scavenge repositories %s: %w", *scavenge, err))
+		}
 	}
 
 	if *streaming {
 		return runStream(f, src, stream.Config{
-			Window:      *window,
-			Slide:       *slide,
-			Parallelism: *parallelism,
+			Window:            *window,
+			Slide:             *slide,
+			Parallelism:       *parallelism,
+			SkipFailedWindows: *skipFailed,
 		}, *override, stdin, stdout, stderr)
 	}
 

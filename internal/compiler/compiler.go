@@ -27,6 +27,21 @@ type Compiler struct {
 	Resolver *binding.Resolver
 	// Repositories backs the core Data Enrichment service.
 	Repositories *annotstore.Registry
+
+	// RetryAttempts, when > 1, wraps every quality-service processor
+	// (annotators, enrichment, QAs — not the local actions) in
+	// workflow.Retry: application-level re-invocation on top of the
+	// transport's own retries. Annotation writes are safe to re-invoke
+	// here because repository puts are set-semantic.
+	RetryAttempts int
+	// RetryBackoff is the initial sleep between retry attempts.
+	RetryBackoff time.Duration
+	// ProcessorTimeout, when > 0, bounds each quality-service invocation
+	// via workflow.Timeout.
+	ProcessorTimeout time.Duration
+	// Degraded selects what happens when a quality service fails for
+	// good (see DegradedMode); DegradeOff aborts the enactment.
+	Degraded DegradedMode
 }
 
 // Compiled is a quality workflow produced from a view, with handles for
@@ -45,8 +60,18 @@ type Compiled struct {
 	// force, input/output sizes, timing) as queryable RDF.
 	Provenance *provenance.Log
 
-	actions map[string]*serviceProcessor
+	actions  map[string]*serviceProcessor
+	degraded DegradedMode
 }
+
+// DegradedMode returns the degraded-enactment policy in force.
+func (c *Compiled) DegradedMode() DegradedMode { return c.degraded }
+
+// SetDegradedMode changes the degraded-enactment policy for subsequent
+// runs (the compiled processors always carry the degrade wrapper; the
+// mode only decides whether Execute opts a run into it). Not safe to
+// change while an enactment is in flight.
+func (c *Compiled) SetDegradedMode(m DegradedMode) { c.degraded = m }
 
 // Conditions returns the condition text currently in force per action —
 // filter conditions under the action name, splitter branches under
@@ -90,7 +115,11 @@ func (c *Compiler) Compile(r *qvlang.Resolved) (*Compiled, error) {
 		return nil, fmt.Errorf("compiler: no repositories configured")
 	}
 	wf := workflow.New(r.View.Name)
-	compiled := &Compiled{Workflow: wf, Resolved: r, actions: map[string]*serviceProcessor{}}
+	compiled := &Compiled{
+		Workflow: wf, Resolved: r,
+		actions:  map[string]*serviceProcessor{},
+		degraded: c.Degraded,
+	}
 
 	// Rule 1: annotators first.
 	var annotatorNames []string
@@ -107,7 +136,7 @@ func (c *Compiler) Compile(r *qvlang.Resolved) (*Compiled, error) {
 			inPort: PortDataSet,
 		}
 		p.config.Set("repositoryRef", ann.Provides[0].Repository)
-		if err := wf.AddProcessor(p); err != nil {
+		if err := wf.AddProcessor(c.guard(p)); err != nil {
 			return nil, err
 		}
 		if err := wf.BindInput(PortDataSet, name, PortDataSet); err != nil {
@@ -128,7 +157,7 @@ func (c *Compiler) Compile(r *qvlang.Resolved) (*Compiled, error) {
 	for _, ev := range sortedEvidence(r.EvidenceRepo) {
 		de.config.Set(services.SourceParam(ev), r.EvidenceRepo[ev])
 	}
-	if err := wf.AddProcessor(de); err != nil {
+	if err := wf.AddProcessor(c.guard(de)); err != nil {
 		return nil, err
 	}
 	if err := wf.BindInput(PortDataSet, ProcEnrichment, PortDataSet); err != nil {
@@ -155,7 +184,7 @@ func (c *Compiler) Compile(r *qvlang.Resolved) (*Compiled, error) {
 			inPort: PortAnnotations,
 			outs:   []string{PortAnnotations},
 		}
-		if err := wf.AddProcessor(p); err != nil {
+		if err := wf.AddProcessor(c.guard(p)); err != nil {
 			return nil, err
 		}
 		if err := wf.AddLink(workflow.Link{
@@ -256,6 +285,24 @@ func (c *Compiler) Compile(r *qvlang.Resolved) (*Compiled, error) {
 		return nil, err
 	}
 	return compiled, nil
+}
+
+// guard stacks the fault-tolerance decorators around a quality-service
+// processor: degrade(Retry(Timeout(p))). Timeout bounds one invocation,
+// Retry re-invokes through transient failures, and the degrade wrapper —
+// outermost, so it only sees terminal failures — turns what is left into
+// unknown evidence when the run carries a FailureLog. Actions and
+// consolidation stay bare: they are local, pure computations whose
+// failure is a programming error, not a fabric fault.
+func (c *Compiler) guard(p *serviceProcessor) workflow.Processor {
+	var w workflow.Processor = p
+	if c.ProcessorTimeout > 0 {
+		w = workflow.WithTimeout(w, c.ProcessorTimeout)
+	}
+	if c.RetryAttempts > 1 {
+		w = workflow.WithRetry(w, c.RetryAttempts, c.RetryBackoff)
+	}
+	return &degradeProcessor{inner: w, pmode: p.mode, inPort: p.inPort}
 }
 
 // serviceFor resolves an operator class to a deployed service through the
@@ -368,12 +415,23 @@ func (c *Compiled) InputPorts() []string { return c.Workflow.InputPorts() }
 // OutputPorts implements workflow.Processor.
 func (c *Compiled) OutputPorts() []string { return c.Workflow.OutputPorts() }
 
-// Execute implements workflow.Processor.
+// Execute implements workflow.Processor. With a degraded mode set, a
+// FailureLog is attached to the run (unless the caller brought one) so
+// quality-service failures degrade to unknown evidence instead of
+// aborting, and undecided items are routed per the policy afterwards.
 func (c *Compiled) Execute(ctx context.Context, in workflow.Ports) (workflow.Ports, error) {
 	started := time.Now()
+	log, hasLog := FailureLogFrom(ctx)
+	if c.degraded != DegradeOff && !hasLog {
+		log = NewFailureLog()
+		ctx = WithFailureLog(ctx, log)
+	}
 	out, err := c.Workflow.Execute(ctx, in)
 	if err != nil {
 		return nil, err
+	}
+	if c.degraded != DegradeOff {
+		c.applyDegradedRouting(out, log)
 	}
 	if c.Provenance != nil {
 		rec := provenance.Record{

@@ -1,0 +1,201 @@
+package resilience
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// Closed: requests flow; consecutive failures are counted.
+	Closed BreakerState = iota
+	// Open: requests fail fast without touching the endpoint until the
+	// cooldown elapses.
+	Open
+	// HalfOpen: a limited number of probe requests are admitted; enough
+	// successes close the breaker, any failure re-opens it.
+	HalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int(s))
+	}
+}
+
+// BreakerConfig parameterises one circuit breaker.
+type BreakerConfig struct {
+	// FailureThreshold is the consecutive-failure count that opens the
+	// breaker (default 5).
+	FailureThreshold int
+	// Cooldown is how long an open breaker rejects before admitting
+	// half-open probes (default 500ms).
+	Cooldown time.Duration
+	// HalfOpenProbes is how many concurrent probe requests half-open
+	// admits (default 1); SuccessesToClose successful probes close the
+	// breaker again (default 1).
+	HalfOpenProbes   int
+	SuccessesToClose int
+}
+
+// Normalise returns a copy of c with unset fields defaulted.
+func (c BreakerConfig) Normalise() BreakerConfig {
+	if c.FailureThreshold < 1 {
+		c.FailureThreshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 500 * time.Millisecond
+	}
+	if c.HalfOpenProbes < 1 {
+		c.HalfOpenProbes = 1
+	}
+	if c.SuccessesToClose < 1 {
+		c.SuccessesToClose = 1
+	}
+	return c
+}
+
+// ErrOpen is returned (wrapped in *OpenError) when a breaker rejects a
+// call without attempting it.
+var ErrOpen = fmt.Errorf("resilience: circuit breaker open")
+
+// OpenError reports a fast-failed call and which endpoint's breaker
+// rejected it.
+type OpenError struct {
+	// Endpoint identifies the broken dependency (method+host+path for the
+	// HTTP transport).
+	Endpoint string
+}
+
+func (e *OpenError) Error() string {
+	return fmt.Sprintf("resilience: circuit breaker open for %s", e.Endpoint)
+}
+
+// Unwrap makes errors.Is(err, ErrOpen) work.
+func (e *OpenError) Unwrap() error { return ErrOpen }
+
+// Breaker is one circuit breaker: closed → open on consecutive failures,
+// open → half-open after a cooldown, half-open → closed on successful
+// probes (or back to open on a failed one). Safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu            sync.Mutex
+	state         BreakerState
+	failures      int // consecutive failures while closed
+	probes        int // in-flight probes while half-open
+	probeSuccess  int // successful probes this half-open episode
+	openedAt      time.Time
+	opens, rejections int
+}
+
+// NewBreaker returns a closed breaker. now may be nil (wall clock).
+func NewBreaker(cfg BreakerConfig, now func() time.Time) *Breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{cfg: cfg.Normalise(), now: now}
+}
+
+// Allow reports whether a call may proceed. Rejected calls MUST NOT call
+// Record*; admitted calls MUST call exactly one of RecordSuccess or
+// RecordFailure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.now().Sub(b.openedAt) >= b.cfg.Cooldown {
+			b.state = HalfOpen
+			b.probes = 0
+			b.probeSuccess = 0
+			// fall through into the half-open admission check below
+		} else {
+			b.rejections++
+			return false
+		}
+		fallthrough
+	case HalfOpen:
+		if b.probes >= b.cfg.HalfOpenProbes {
+			b.rejections++
+			return false
+		}
+		b.probes++
+		return true
+	}
+	return true
+}
+
+// RecordSuccess reports a successful admitted call.
+func (b *Breaker) RecordSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		b.failures = 0
+	case HalfOpen:
+		b.probes--
+		b.probeSuccess++
+		if b.probeSuccess >= b.cfg.SuccessesToClose {
+			b.state = Closed
+			b.failures = 0
+		}
+	}
+}
+
+// RecordFailure reports a failed admitted call.
+func (b *Breaker) RecordFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.trip()
+		}
+	case HalfOpen:
+		b.probes--
+		b.trip()
+	}
+}
+
+// trip opens the breaker; the caller holds b.mu.
+func (b *Breaker) trip() {
+	b.state = Open
+	b.openedAt = b.now()
+	b.failures = 0
+	b.opens++
+}
+
+// State returns the breaker's current position (advancing open →
+// half-open if the cooldown has elapsed, so observers see the effective
+// state).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && b.now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		return HalfOpen
+	}
+	return b.state
+}
+
+// Stats reports how often the breaker opened and how many calls it
+// fast-failed — the observability hook chaos tests assert on.
+func (b *Breaker) Stats() (opens, rejections int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens, b.rejections
+}

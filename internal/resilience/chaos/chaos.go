@@ -1,0 +1,178 @@
+// Package chaos is Qurator's fault-injection harness: an
+// http.RoundTripper decorator that makes a healthy test deployment
+// misbehave in controlled, reproducible ways — transport errors, added
+// latency, truncated bodies, corrupt envelopes, and hard outages. The
+// resilience layer's tests drive the Figure 5 distributed deployment
+// through it to prove circuit breakers open and recover, retries stay
+// within budget, and degraded-mode quality views keep deciding.
+//
+// Every probabilistic choice draws from one seeded RNG, so a failing
+// scenario replays exactly from its seed.
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sets the injected fault mix. All rates are probabilities in
+// [0, 1]; zero-valued Config injects nothing.
+type Config struct {
+	// Seed seeds the fault RNG (0 selects a fixed default seed).
+	Seed int64
+	// ErrorRate is the probability a request fails outright with an
+	// injected transport error (the request never reaches the base).
+	ErrorRate float64
+	// LatencyRate is the probability Latency is added before forwarding.
+	LatencyRate float64
+	Latency     time.Duration
+	// TruncateRate is the probability the response body is cut in half
+	// with its Content-Length left claiming the full size — a mid-body
+	// connection reset as the client sees it.
+	TruncateRate float64
+	// CorruptRate is the probability response-body XML is mangled into a
+	// non-well-formed document — an adversarial envelope.
+	CorruptRate float64
+	// Match limits injection to matching requests (nil = all requests).
+	Match func(*http.Request) bool
+}
+
+// Stats counts what the transport injected, for test assertions.
+type Stats struct {
+	Requests  int64
+	Errors    int64
+	Delays    int64
+	Truncated int64
+	Corrupted int64
+	Outages   int64
+}
+
+// ErrInjected is the error class of every chaos-injected transport
+// failure.
+var ErrInjected = fmt.Errorf("chaos: injected transport error")
+
+// Transport injects faults in front of a base RoundTripper.
+type Transport struct {
+	base http.RoundTripper
+	cfg  Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	down  atomic.Bool
+	stats struct {
+		requests, errors, delays, truncated, corrupted, outages atomic.Int64
+	}
+}
+
+// New wraps base (nil = http.DefaultTransport) with fault injection.
+func New(base http.RoundTripper, cfg Config) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Transport{base: base, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetDown switches a hard outage on or off: while down, every matching
+// request fails, deterministically — how tests force a breaker open and
+// then let the dependency heal.
+func (t *Transport) SetDown(down bool) { t.down.Store(down) }
+
+// Stats snapshots the injection counters.
+func (t *Transport) Stats() Stats {
+	return Stats{
+		Requests:  t.stats.requests.Load(),
+		Errors:    t.stats.errors.Load(),
+		Delays:    t.stats.delays.Load(),
+		Truncated: t.stats.truncated.Load(),
+		Corrupted: t.stats.corrupted.Load(),
+		Outages:   t.stats.outages.Load(),
+	}
+}
+
+// roll draws one uniform variate under the lock, keeping the stream
+// deterministic even when requests race.
+func (t *Transport) roll() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rng.Float64()
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.cfg.Match != nil && !t.cfg.Match(req) {
+		return t.base.RoundTrip(req)
+	}
+	t.stats.requests.Add(1)
+	if t.down.Load() {
+		t.stats.outages.Add(1)
+		return nil, fmt.Errorf("%w: %s %s: endpoint down", ErrInjected, req.Method, req.URL.Path)
+	}
+	if t.cfg.ErrorRate > 0 && t.roll() < t.cfg.ErrorRate {
+		t.stats.errors.Add(1)
+		return nil, fmt.Errorf("%w: %s %s", ErrInjected, req.Method, req.URL.Path)
+	}
+	if t.cfg.LatencyRate > 0 && t.roll() < t.cfg.LatencyRate {
+		t.stats.delays.Add(1)
+		select {
+		case <-time.After(t.cfg.Latency):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if t.cfg.TruncateRate > 0 && t.roll() < t.cfg.TruncateRate {
+		t.stats.truncated.Add(1)
+		return truncateBody(resp)
+	}
+	if t.cfg.CorruptRate > 0 && t.roll() < t.cfg.CorruptRate {
+		t.stats.corrupted.Add(1)
+		return corruptBody(resp)
+	}
+	return resp, nil
+}
+
+// truncateBody replaces the body with its first half while keeping the
+// original Content-Length, so readers observe an unexpected EOF.
+func truncateBody(resp *http.Response) (*http.Response, error) {
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	full := int64(len(data))
+	resp.Body = io.NopCloser(bytes.NewReader(data[:len(data)/2]))
+	resp.ContentLength = full
+	return resp, nil
+}
+
+// corruptBody mangles the payload into non-well-formed XML: closing
+// brackets vanish and a stray NUL is appended.
+func corruptBody(resp *http.Response) (*http.Response, error) {
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	mangled := strings.ReplaceAll(string(data), ">", "")
+	mangled += "\x00<unclosed"
+	resp.Body = io.NopCloser(strings.NewReader(mangled))
+	resp.ContentLength = int64(len(mangled))
+	return resp, nil
+}
+
+var _ http.RoundTripper = (*Transport)(nil)

@@ -1,0 +1,160 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"qurator/internal/resilience"
+)
+
+func newEchoServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/xml")
+		io.WriteString(w, "<Envelope service=\"echo\"><DataSet/></Envelope>")
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func doGet(t *testing.T, rt http.RoundTripper, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt.RoundTrip(req)
+}
+
+func TestInjectedErrorRateIsDeterministic(t *testing.T) {
+	srv := newEchoServer(t)
+	run := func() (errs int) {
+		tr := New(http.DefaultTransport, Config{Seed: 7, ErrorRate: 0.3})
+		for i := 0; i < 50; i++ {
+			resp, err := doGet(t, tr, srv.URL)
+			if err != nil {
+				if !errors.Is(err, ErrInjected) {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				errs++
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		return errs
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed produced different fault counts: %d vs %d", a, b)
+	}
+	if a < 5 || a > 25 {
+		t.Errorf("error count %d wildly off a 30%% rate over 50 calls", a)
+	}
+}
+
+func TestOutageFailsEveryRequest(t *testing.T) {
+	srv := newEchoServer(t)
+	tr := New(http.DefaultTransport, Config{Seed: 1})
+	tr.SetDown(true)
+	for i := 0; i < 3; i++ {
+		if _, err := doGet(t, tr, srv.URL); !errors.Is(err, ErrInjected) {
+			t.Fatalf("outage call %d: err = %v, want injected", i, err)
+		}
+	}
+	tr.SetDown(false)
+	resp, err := doGet(t, tr, srv.URL)
+	if err != nil {
+		t.Fatalf("after recovery: %v", err)
+	}
+	resp.Body.Close()
+	st := tr.Stats()
+	if st.Outages != 3 {
+		t.Errorf("outages = %d, want 3", st.Outages)
+	}
+}
+
+func TestTruncationObservableByReader(t *testing.T) {
+	srv := newEchoServer(t)
+	tr := New(http.DefaultTransport, Config{Seed: 1, TruncateRate: 1})
+	resp, err := doGet(t, tr, srv.URL)
+	if err != nil {
+		t.Fatalf("RoundTrip: %v", err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if int64(len(data)) >= resp.ContentLength {
+		t.Fatalf("body not truncated: %d bytes of claimed %d", len(data), resp.ContentLength)
+	}
+}
+
+func TestCorruptionBreaksXML(t *testing.T) {
+	srv := newEchoServer(t)
+	tr := New(http.DefaultTransport, Config{Seed: 1, CorruptRate: 1})
+	resp, err := doGet(t, tr, srv.URL)
+	if err != nil {
+		t.Fatalf("RoundTrip: %v", err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if strings.Contains(string(data), "<Envelope service=\"echo\">") {
+		t.Fatal("body not corrupted")
+	}
+}
+
+func TestMatchScopesInjection(t *testing.T) {
+	srv := newEchoServer(t)
+	tr := New(http.DefaultTransport, Config{
+		Seed:      1,
+		ErrorRate: 1,
+		Match:     func(r *http.Request) bool { return strings.Contains(r.URL.Path, "/services/") },
+	})
+	// Non-matching path sails through even at 100% error rate.
+	resp, err := doGet(t, tr, srv.URL+"/repositories")
+	if err != nil {
+		t.Fatalf("non-matching request failed: %v", err)
+	}
+	resp.Body.Close()
+	if _, err := doGet(t, tr, srv.URL+"/services/score"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("matching request: err = %v, want injected", err)
+	}
+}
+
+// TestResilientTransportSurvivesChaos is the layered integration check:
+// the resilient transport stacked on the chaos transport keeps a flaky
+// endpoint usable — every idempotent call eventually succeeds under a
+// 30% injected error rate, with a deterministic seed and zero real sleep.
+func TestResilientTransportSurvivesChaos(t *testing.T) {
+	srv := newEchoServer(t)
+	faulty := New(http.DefaultTransport, Config{Seed: 11, ErrorRate: 0.3, TruncateRate: 0.1})
+	tr := resilience.NewTransport(faulty, resilience.Policy{
+		MaxAttempts:      5,
+		RetryBudgetRatio: 1,
+		RetryBudgetBurst: 100,
+		Breaker:          resilience.BreakerConfig{FailureThreshold: 50},
+		Seed:             11,
+	}.WithSleep(func(time.Duration, <-chan struct{}) bool { return true }))
+	for i := 0; i < 40; i++ {
+		resp, err := doGet(t, tr, srv.URL+"/services/echo")
+		if err != nil {
+			t.Fatalf("call %d failed despite retries: %v", i, err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("call %d: body read: %v", i, err)
+		}
+		if !strings.Contains(string(data), "Envelope") {
+			t.Fatalf("call %d: unexpected body %q", i, data)
+		}
+	}
+	if faulty.Stats().Errors == 0 {
+		t.Fatal("chaos injected nothing; the test proved nothing")
+	}
+}

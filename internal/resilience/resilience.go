@@ -1,0 +1,207 @@
+// Package resilience makes Qurator's distributed service fabric survive
+// the unreliability of the services it composes. The paper's deployment
+// story (§5–§6, Figure 5) spreads QA services, annotators and annotation
+// repositories across hosts, but says nothing about what happens when one
+// of them is slow, flaky or down; an IQ system that dies when its own
+// inputs degrade would fail its single purpose.
+//
+// The package supplies three layers:
+//
+//   - Transport: an http.RoundTripper decorator adding jittered
+//     exponential backoff with a per-call retry budget, deadline
+//     propagation, and a per-endpoint circuit breaker
+//     (closed → open → half-open with probe requests). Retries are
+//     applied only to requests that are idempotent — safe methods, or
+//     requests explicitly marked via MarkIdempotent. Non-idempotent
+//     annotation writes are never replayed at this layer: the transport
+//     cannot know whether the lost response carried a committed write.
+//
+//   - Breaker: the circuit-breaker state machine itself, usable
+//     standalone by non-HTTP callers.
+//
+//   - chaos (subpackage): a fault-injection RoundTripper for
+//     deterministic, seeded failure testing — error rates, added latency,
+//     truncated bodies, corrupt envelopes, and hard outages.
+//
+// All randomness (jitter, chaos) is drawn from seeded generators and all
+// clocks are injectable, so every failure scenario replays exactly.
+package resilience
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Policy configures the resilient transport. The zero value is usable:
+// Normalise fills every unset knob with a production-shaped default.
+type Policy struct {
+	// MaxAttempts is the total number of tries per call, first attempt
+	// included (default 3). 1 disables retries.
+	MaxAttempts int
+	// BaseBackoff is the first retry's backoff before jitter (default
+	// 25ms); each further retry doubles it up to MaxBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 2s).
+	MaxBackoff time.Duration
+	// AttemptTimeout, when positive, bounds each individual attempt with
+	// context.WithTimeout. The caller's deadline always propagates; the
+	// attempt deadline only ever tightens it.
+	AttemptTimeout time.Duration
+	// RetryBudgetRatio bounds retries to a fraction of requests seen
+	// (default 0.2): a flapping dependency gets help, a dead one does not
+	// get a retry storm. RetryBudgetBurst retries are always allowed so
+	// cold starts can retry at all (default 10).
+	RetryBudgetRatio float64
+	RetryBudgetBurst int
+	// Breaker configures the per-endpoint circuit breakers.
+	Breaker BreakerConfig
+	// Seed seeds the jitter RNG; 0 selects a fixed default seed, so runs
+	// are deterministic unless the caller opts into their own seed.
+	Seed int64
+	// sleep and now are injectable for deterministic tests.
+	sleep func(d time.Duration, done <-chan struct{}) bool
+	now   func() time.Time
+}
+
+// Normalise returns a copy of p with every unset field defaulted.
+func (p Policy) Normalise() Policy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 25 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 2 * time.Second
+	}
+	if p.RetryBudgetRatio <= 0 {
+		p.RetryBudgetRatio = 0.2
+	}
+	if p.RetryBudgetBurst <= 0 {
+		p.RetryBudgetBurst = 10
+	}
+	p.Breaker = p.Breaker.Normalise()
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.sleep == nil {
+		p.sleep = func(d time.Duration, done <-chan struct{}) bool {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return true
+			case <-done:
+				return false
+			}
+		}
+	}
+	if p.now == nil {
+		p.now = time.Now
+	}
+	return p
+}
+
+// WithSleep returns a copy of p using fn to sleep between retries —
+// deterministic tests pass a no-op that records requested durations.
+// fn receives the backoff and a channel closed on cancellation; it
+// reports false if the sleep was cut short.
+func (p Policy) WithSleep(fn func(d time.Duration, done <-chan struct{}) bool) Policy {
+	p.sleep = fn
+	return p
+}
+
+// WithClock returns a copy of p using fn as the time source (breaker
+// cooldowns); deterministic tests pass a manual clock.
+func (p Policy) WithClock(fn func() time.Time) Policy {
+	p.now = fn
+	return p
+}
+
+// lockedRand is a seeded rand.Rand safe for concurrent use.
+type lockedRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	return &lockedRand{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (l *lockedRand) Float64() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Float64()
+}
+
+// backoffFor computes the jittered exponential backoff for the retry
+// following attempt n (0-based): base·2ⁿ capped at max, scaled by a
+// uniformly random factor in [0.5, 1.0) ("equal jitter") so synchronised
+// clients de-synchronise without ever retrying immediately.
+func backoffFor(base, max time.Duration, attempt int, rng *lockedRand) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return time.Duration(float64(d) * (0.5 + 0.5*rng.Float64()))
+}
+
+// Budget is a retry budget: it admits retries only while the cumulative
+// retry count stays within burst + ratio·requests. Unlike a pure token
+// bucket it needs no clock, so tests are exactly reproducible.
+type Budget struct {
+	mu       sync.Mutex
+	ratio    float64
+	burst    int
+	requests int
+	retries  int
+}
+
+// NewBudget returns a budget admitting burst retries up front plus
+// ratio·requests over the lifetime of the transport.
+func NewBudget(ratio float64, burst int) *Budget {
+	return &Budget{ratio: ratio, burst: burst}
+}
+
+// Request records one first attempt.
+func (b *Budget) Request() {
+	b.mu.Lock()
+	b.requests++
+	b.mu.Unlock()
+}
+
+// Allow reports whether one more retry fits the budget, consuming it.
+func (b *Budget) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.fitsLocked() {
+		return false
+	}
+	b.retries++
+	return true
+}
+
+// fitsLocked reports whether one more retry fits; the caller holds b.mu.
+// The ratio-funded allowance is floored so a fractional ratio never leaks
+// an extra retry beyond the burst.
+func (b *Budget) fitsLocked() bool {
+	return b.retries < b.burst+int(b.ratio*float64(b.requests))
+}
+
+// Peek reports whether one more retry would fit, without consuming it.
+func (b *Budget) Peek() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fitsLocked()
+}
+
+// Spent returns the retries consumed so far.
+func (b *Budget) Spent() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.retries
+}

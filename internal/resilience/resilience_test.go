@@ -1,0 +1,157 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// manualClock is a deterministic time source tests advance by hand.
+type manualClock struct {
+	t time.Time
+}
+
+func (c *manualClock) now() time.Time              { return c.t }
+func (c *manualClock) advance(d time.Duration)     { c.t = c.t.Add(d) }
+
+func TestBreakerStateMachine(t *testing.T) {
+	clock := &manualClock{t: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 3,
+		Cooldown:         time.Second,
+		HalfOpenProbes:   1,
+		SuccessesToClose: 2,
+	}, clock.now)
+
+	if got := b.State(); got != Closed {
+		t.Fatalf("initial state = %v, want closed", got)
+	}
+	// Failures below the threshold keep it closed; a success resets.
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker rejected a call")
+		}
+		b.RecordFailure()
+	}
+	b.Allow()
+	b.RecordSuccess()
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after reset = %v, want closed", got)
+	}
+
+	// Three consecutive failures trip it.
+	for i := 0; i < 3; i++ {
+		b.Allow()
+		b.RecordFailure()
+	}
+	if got := b.State(); got != Open {
+		t.Fatalf("state after threshold = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call before cooldown")
+	}
+
+	// Cooldown elapses: half-open admits exactly one probe.
+	clock.advance(time.Second)
+	if got := b.State(); got != HalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", got)
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker rejected the probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+
+	// Failed probe re-opens.
+	b.RecordFailure()
+	if got := b.State(); got != Open {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+
+	// Heal: two successful probes (SuccessesToClose=2) close it.
+	clock.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open rejected first healing probe")
+	}
+	b.RecordSuccess()
+	if got := b.State(); got != HalfOpen {
+		t.Fatalf("state after one success = %v, want half-open (needs 2)", got)
+	}
+	if !b.Allow() {
+		t.Fatal("half-open rejected second healing probe")
+	}
+	b.RecordSuccess()
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after recovery = %v, want closed", got)
+	}
+
+	opens, rejections := b.Stats()
+	if opens != 2 {
+		t.Errorf("opens = %d, want 2", opens)
+	}
+	if rejections == 0 {
+		t.Error("expected fast-failed calls to be counted")
+	}
+}
+
+func TestRetryBudget(t *testing.T) {
+	b := NewBudget(0.5, 2)
+	// Burst admits the first two retries with zero requests seen.
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("burst retries rejected")
+	}
+	if b.Allow() {
+		t.Fatal("retry admitted beyond burst with no requests")
+	}
+	// Four requests buy two more retries at ratio 0.5.
+	for i := 0; i < 4; i++ {
+		b.Request()
+	}
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("ratio-funded retries rejected")
+	}
+	if b.Allow() {
+		t.Fatal("retry admitted beyond ratio")
+	}
+	if got := b.Spent(); got != 4 {
+		t.Errorf("spent = %d, want 4", got)
+	}
+}
+
+func TestBackoffJitterDeterministicAndBounded(t *testing.T) {
+	rng := newLockedRand(42)
+	base, max := 10*time.Millisecond, 80*time.Millisecond
+	prevRun := []time.Duration{}
+	for attempt := 0; attempt < 6; attempt++ {
+		d := backoffFor(base, max, attempt, rng)
+		// Equal jitter keeps each delay within [cap/2, cap).
+		cap := base << uint(attempt)
+		if cap > max {
+			cap = max
+		}
+		if d < cap/2 || d >= cap {
+			t.Errorf("attempt %d: backoff %v outside [%v, %v)", attempt, d, cap/2, cap)
+		}
+		prevRun = append(prevRun, d)
+	}
+	// Same seed → same stream.
+	rng2 := newLockedRand(42)
+	for attempt := 0; attempt < 6; attempt++ {
+		if d := backoffFor(base, max, attempt, rng2); d != prevRun[attempt] {
+			t.Fatalf("attempt %d: non-deterministic backoff %v != %v", attempt, d, prevRun[attempt])
+		}
+	}
+}
+
+func TestPolicyNormaliseDefaults(t *testing.T) {
+	p := Policy{}.Normalise()
+	if p.MaxAttempts != 3 || p.BaseBackoff <= 0 || p.MaxBackoff <= 0 {
+		t.Errorf("unnormalised retry defaults: %+v", p)
+	}
+	if p.Breaker.FailureThreshold != 5 || p.Breaker.Cooldown <= 0 {
+		t.Errorf("unnormalised breaker defaults: %+v", p.Breaker)
+	}
+	if p.RetryBudgetRatio != 0.2 || p.RetryBudgetBurst != 10 {
+		t.Errorf("unnormalised budget defaults: %+v", p)
+	}
+}

@@ -1,0 +1,232 @@
+package resilience
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// IdempotentHeader marks a request as safe to replay even though its
+// method is not inherently safe. Qurator's service fabric funnels QA
+// invocations, enrichment lookups and SPARQL queries through POST (the
+// shared Envelope contract), so the client annotates the calls it knows
+// are read-only or set-semantic; annotation writes are never marked.
+const IdempotentHeader = "X-Qurator-Idempotent"
+
+// MarkIdempotent flags req as replayable by the resilient transport.
+func MarkIdempotent(req *http.Request) { req.Header.Set(IdempotentHeader, "true") }
+
+// IsIdempotent reports whether the transport may retry req: inherently
+// safe methods, or requests explicitly marked with MarkIdempotent.
+func IsIdempotent(req *http.Request) bool {
+	switch req.Method {
+	case http.MethodGet, http.MethodHead, http.MethodOptions:
+		return true
+	}
+	return req.Header.Get(IdempotentHeader) == "true"
+}
+
+// maxBufferedBody caps how much response body the transport buffers while
+// verifying the read completes — the same ceiling the service fabric
+// applies to envelopes.
+const maxBufferedBody = 64 << 20
+
+// ExhaustedError reports a call that failed after the transport spent
+// every attempt it was willing to make.
+type ExhaustedError struct {
+	Endpoint string
+	Attempts int
+	Err      error
+}
+
+func (e *ExhaustedError) Error() string {
+	return fmt.Sprintf("resilience: %s failed after %d attempt(s): %v", e.Endpoint, e.Attempts, e.Err)
+}
+
+func (e *ExhaustedError) Unwrap() error { return e.Err }
+
+// Transport is the resilient http.RoundTripper: per-endpoint circuit
+// breakers, jittered exponential backoff under a retry budget, deadline
+// propagation, and full-body buffering so truncated responses surface as
+// retryable transport errors instead of downstream decode failures.
+type Transport struct {
+	base   http.RoundTripper
+	policy Policy
+	rng    *lockedRand
+	budget *Budget
+
+	mu       sync.Mutex
+	breakers map[string]*Breaker
+}
+
+// NewTransport wraps base (nil = http.DefaultTransport) with the policy.
+func NewTransport(base http.RoundTripper, p Policy) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	p = p.Normalise()
+	return &Transport{
+		base:     base,
+		policy:   p,
+		rng:      newLockedRand(p.Seed),
+		budget:   NewBudget(p.RetryBudgetRatio, p.RetryBudgetBurst),
+		breakers: make(map[string]*Breaker),
+	}
+}
+
+// endpointKey groups requests per logical dependency: one breaker per
+// method+host+path, so a broken QA service does not open the breaker of
+// its healthy neighbours on the same host.
+func endpointKey(req *http.Request) string {
+	return req.Method + " " + req.URL.Host + req.URL.Path
+}
+
+// breaker returns (creating if needed) the endpoint's breaker.
+func (t *Transport) breaker(key string) *Breaker {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b, ok := t.breakers[key]
+	if !ok {
+		b = NewBreaker(t.policy.Breaker, t.policy.now)
+		t.breakers[key] = b
+	}
+	return b
+}
+
+// BreakerFor exposes the endpoint's breaker ("METHOD host/path") for
+// observability and tests; nil if the endpoint was never called.
+func (t *Transport) BreakerFor(key string) *Breaker {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.breakers[key]
+}
+
+// BreakerStates snapshots every endpoint's effective breaker state.
+func (t *Transport) BreakerStates() map[string]BreakerState {
+	t.mu.Lock()
+	keys := make([]string, 0, len(t.breakers))
+	for k := range t.breakers {
+		keys = append(keys, k)
+	}
+	t.mu.Unlock()
+	out := make(map[string]BreakerState, len(keys))
+	for _, k := range keys {
+		out[k] = t.breaker(k).State()
+	}
+	return out
+}
+
+// Budget exposes the transport's retry budget.
+func (t *Transport) Budget() *Budget { return t.budget }
+
+// retryableStatus reports whether an HTTP status indicates a transient
+// server-side condition worth retrying.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests,
+		http.StatusBadGateway,
+		http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return code >= 500 && code != http.StatusNotImplemented
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	key := endpointKey(req)
+	br := t.breaker(key)
+	idempotent := IsIdempotent(req)
+	maxAttempts := t.policy.MaxAttempts
+	if !idempotent {
+		// Non-idempotent calls get exactly one attempt: a lost response
+		// may hide a committed write, and replaying it is not ours to
+		// decide. Higher layers that know their operation's semantics
+		// (set-semantic annotation puts) re-invoke through workflow.Retry.
+		maxAttempts = 1
+	}
+	t.budget.Request()
+
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			if !t.budget.Allow() {
+				break // budget exhausted: fail with the last error
+			}
+			d := backoffFor(t.policy.BaseBackoff, t.policy.MaxBackoff, attempt-1, t.rng)
+			if !t.policy.sleep(d, req.Context().Done()) {
+				return nil, &ExhaustedError{Endpoint: key, Attempts: attempt, Err: req.Context().Err()}
+			}
+		}
+		if !br.Allow() {
+			lastErr = &OpenError{Endpoint: key}
+			continue // the backoff above may outlive the cooldown
+		}
+		resp, err := t.attempt(req)
+		if err != nil {
+			br.RecordFailure()
+			lastErr = err
+			continue
+		}
+		if retryableStatus(resp.StatusCode) {
+			br.RecordFailure()
+			lastErr = fmt.Errorf("resilience: %s returned %s", key, resp.Status)
+			if attempt == maxAttempts-1 || !t.budget.Peek() {
+				// Out of attempts: hand the actual response to the caller
+				// so status-specific handling still works.
+				return resp, nil
+			}
+			resp.Body.Close()
+			continue
+		}
+		br.RecordSuccess()
+		return resp, nil
+	}
+	return nil, &ExhaustedError{Endpoint: key, Attempts: maxAttempts, Err: lastErr}
+}
+
+// attempt performs one try: clones the request (replaying the body via
+// GetBody), applies the per-attempt deadline, and buffers the response
+// body so truncation is detected here, where it can still be retried.
+func (t *Transport) attempt(req *http.Request) (*http.Response, error) {
+	ctx := req.Context()
+	cancel := context.CancelFunc(func() {})
+	if t.policy.AttemptTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, t.policy.AttemptTimeout)
+	}
+	r := req.Clone(ctx)
+	if req.Body != nil && req.GetBody != nil {
+		body, err := req.GetBody()
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		r.Body = body
+	}
+	resp, err := t.base.RoundTrip(r)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	// Buffer the body: a mid-body connection reset becomes a retryable
+	// error now instead of an XML decode failure later. The cancel must
+	// not fire before the body is consumed, hence the read happens here.
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBufferedBody))
+	resp.Body.Close()
+	cancel()
+	if err != nil {
+		return nil, fmt.Errorf("resilience: reading response body: %w", err)
+	}
+	if resp.ContentLength > 0 && int64(len(data)) < resp.ContentLength {
+		return nil, fmt.Errorf("resilience: truncated response body: got %d of %d bytes",
+			len(data), resp.ContentLength)
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(data))
+	resp.ContentLength = int64(len(data))
+	return resp, nil
+}
+
+var _ http.RoundTripper = (*Transport)(nil)

@@ -1,0 +1,267 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// scriptedBase is a RoundTripper whose per-call outcomes are scripted:
+// "ok", "err", or "5xx". It counts calls so tests can assert exactly how
+// many attempts reached the wire.
+type scriptedBase struct {
+	script []string
+	calls  atomic.Int64
+	bodies []string // optional per-call body for "ok"
+}
+
+func (s *scriptedBase) RoundTrip(req *http.Request) (*http.Response, error) {
+	n := int(s.calls.Add(1)) - 1
+	outcome := "ok"
+	if n < len(s.script) {
+		outcome = s.script[n]
+	}
+	switch outcome {
+	case "err":
+		return nil, fmt.Errorf("scripted transport error %d", n)
+	case "5xx":
+		return &http.Response{
+			StatusCode: http.StatusServiceUnavailable,
+			Status:     "503 Service Unavailable",
+			Body:       io.NopCloser(strings.NewReader("overloaded")),
+			Request:    req,
+		}, nil
+	default:
+		body := "payload"
+		if n < len(s.bodies) && s.bodies[n] != "" {
+			body = s.bodies[n]
+		}
+		return &http.Response{
+			StatusCode:    http.StatusOK,
+			Status:        "200 OK",
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	}
+}
+
+// instantPolicy retries without sleeping and with a manual clock, so
+// transport tests are instantaneous and exactly reproducible.
+func instantPolicy(p Policy, clock *manualClock) Policy {
+	if clock == nil {
+		clock = &manualClock{t: time.Unix(0, 0)}
+	}
+	return p.WithSleep(func(time.Duration, <-chan struct{}) bool { return true }).WithClock(clock.now)
+}
+
+func get(t *testing.T, rt http.RoundTripper, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt.RoundTrip(req)
+}
+
+func TestTransportRetriesTransientErrors(t *testing.T) {
+	base := &scriptedBase{script: []string{"err", "5xx", "ok"}}
+	tr := NewTransport(base, instantPolicy(Policy{MaxAttempts: 3}, nil))
+	resp, err := get(t, tr, "http://qa.example/services/score")
+	if err != nil {
+		t.Fatalf("RoundTrip: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 after retries", resp.StatusCode)
+	}
+	if got := base.calls.Load(); got != 3 {
+		t.Errorf("wire attempts = %d, want 3", got)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "payload" {
+		t.Errorf("body = %q", body)
+	}
+}
+
+func TestTransportExhaustsAttempts(t *testing.T) {
+	base := &scriptedBase{script: []string{"err", "err", "err", "err"}}
+	tr := NewTransport(base, instantPolicy(Policy{MaxAttempts: 3}, nil))
+	_, err := get(t, tr, "http://qa.example/services/score")
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("err = %v, want *ExhaustedError", err)
+	}
+	if ex.Attempts != 3 || base.calls.Load() != 3 {
+		t.Errorf("attempts = %d (wire %d), want 3", ex.Attempts, base.calls.Load())
+	}
+}
+
+func TestTransportNeverRetriesNonIdempotentWrites(t *testing.T) {
+	base := &scriptedBase{script: []string{"err", "ok"}}
+	tr := NewTransport(base, instantPolicy(Policy{MaxAttempts: 5}, nil))
+	req, _ := http.NewRequestWithContext(context.Background(), http.MethodPost,
+		"http://repo.example/repositories/default/annotations", strings.NewReader("<Annotations/>"))
+	if _, err := tr.RoundTrip(req); err == nil {
+		t.Fatal("unmarked POST should fail on first error, not retry")
+	}
+	if got := base.calls.Load(); got != 1 {
+		t.Fatalf("non-idempotent write reached the wire %d times, want exactly 1", got)
+	}
+
+	// The same POST marked idempotent IS retried.
+	base2 := &scriptedBase{script: []string{"err", "ok"}}
+	tr2 := NewTransport(base2, instantPolicy(Policy{MaxAttempts: 5}, nil))
+	req2, _ := http.NewRequestWithContext(context.Background(), http.MethodPost,
+		"http://qa.example/services/score", strings.NewReader("<Envelope/>"))
+	MarkIdempotent(req2)
+	resp, err := tr2.RoundTrip(req2)
+	if err != nil {
+		t.Fatalf("marked POST: %v", err)
+	}
+	resp.Body.Close()
+	if got := base2.calls.Load(); got != 2 {
+		t.Errorf("marked POST attempts = %d, want 2", got)
+	}
+}
+
+func TestTransportBreakerOpensAndRecovers(t *testing.T) {
+	clock := &manualClock{t: time.Unix(0, 0)}
+	// Plenty of scripted failures, then recovery.
+	script := make([]string, 0, 16)
+	for i := 0; i < 6; i++ {
+		script = append(script, "err")
+	}
+	base := &scriptedBase{script: script}
+	tr := NewTransport(base, instantPolicy(Policy{
+		MaxAttempts: 1, // isolate the breaker from the retry loop
+		Breaker:     BreakerConfig{FailureThreshold: 3, Cooldown: time.Second},
+	}, clock))
+	url := "http://qa.example/services/score"
+	key := "GET qa.example/services/score"
+
+	for i := 0; i < 3; i++ {
+		if _, err := get(t, tr, url); err == nil {
+			t.Fatal("scripted failure succeeded")
+		}
+	}
+	if got := tr.BreakerFor(key).State(); got != Open {
+		t.Fatalf("breaker state = %v, want open after 3 failures", got)
+	}
+	// While open, calls fail fast without touching the wire.
+	wireBefore := base.calls.Load()
+	_, err := get(t, tr, url)
+	if !errors.Is(err, ErrOpen) {
+		t.Fatalf("err = %v, want breaker-open", err)
+	}
+	if base.calls.Load() != wireBefore {
+		t.Error("open breaker let a call reach the wire")
+	}
+
+	// Cooldown elapses; the endpoint has healed (script exhausted → ok):
+	// the half-open probe succeeds and the breaker closes.
+	clock.advance(time.Second)
+	base.script = nil
+	resp, err := get(t, tr, url)
+	if err != nil {
+		t.Fatalf("probe after cooldown: %v", err)
+	}
+	resp.Body.Close()
+	if got := tr.BreakerFor(key).State(); got != Closed {
+		t.Fatalf("breaker state = %v, want closed after successful probe", got)
+	}
+}
+
+func TestTransportDetectsTruncatedBody(t *testing.T) {
+	// First response claims 100 bytes but carries 7; second is intact.
+	truncated := &http.Response{
+		StatusCode:    http.StatusOK,
+		Status:        "200 OK",
+		Body:          io.NopCloser(strings.NewReader("partial")),
+		ContentLength: 100,
+	}
+	calls := 0
+	base := roundTripFunc(func(req *http.Request) (*http.Response, error) {
+		calls++
+		if calls == 1 {
+			truncated.Request = req
+			return truncated, nil
+		}
+		return &http.Response{
+			StatusCode:    http.StatusOK,
+			Status:        "200 OK",
+			Body:          io.NopCloser(strings.NewReader("complete")),
+			ContentLength: 8,
+			Request:       req,
+		}, nil
+	})
+	tr := NewTransport(base, instantPolicy(Policy{MaxAttempts: 2}, nil))
+	resp, err := get(t, tr, "http://qa.example/services/score")
+	if err != nil {
+		t.Fatalf("RoundTrip: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "complete" {
+		t.Errorf("body = %q, want the retried complete response", body)
+	}
+	if calls != 2 {
+		t.Errorf("wire attempts = %d, want 2 (truncation retried)", calls)
+	}
+}
+
+func TestTransportHonoursRetryBudget(t *testing.T) {
+	base := &scriptedBase{script: []string{
+		"err", "err", "err", "err", "err", "err", "err", "err", "err", "err",
+	}}
+	tr := NewTransport(base, instantPolicy(Policy{
+		MaxAttempts:      4,
+		RetryBudgetRatio: 0.001, // effectively burst-only
+		RetryBudgetBurst: 1,
+	}, nil))
+	if _, err := get(t, tr, "http://qa.example/services/score"); err == nil {
+		t.Fatal("expected failure")
+	}
+	// 1 first attempt + 1 budgeted retry = 2 wire calls, not 4.
+	if got := base.calls.Load(); got != 2 {
+		t.Fatalf("wire attempts = %d, want 2 under exhausted budget", got)
+	}
+	if got := tr.Budget().Spent(); got != 1 {
+		t.Errorf("budget spent = %d, want 1", got)
+	}
+}
+
+func TestTransportDeadlinePropagation(t *testing.T) {
+	blocked := make(chan struct{})
+	base := roundTripFunc(func(req *http.Request) (*http.Response, error) {
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-blocked:
+			return nil, fmt.Errorf("unreachable")
+		}
+	})
+	tr := NewTransport(base, Policy{MaxAttempts: 3, AttemptTimeout: 10 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, "http://qa.example/x", nil)
+	start := time.Now()
+	_, err := tr.RoundTrip(req)
+	close(blocked)
+	if err == nil {
+		t.Fatal("expected deadline failure")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline did not propagate: took %v", elapsed)
+	}
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(req *http.Request) (*http.Response, error) { return f(req) }

@@ -1,0 +1,58 @@
+package services
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzUnmarshalEnvelope feeds malformed and adversarial envelope XML into
+// the full decode path — parse, annotation-map decode, group decode,
+// re-marshal — and requires that none of it panics. This is the message
+// every fabric component accepts from the network; the chaos harness
+// corrupts exactly these bytes in flight.
+func FuzzUnmarshalEnvelope(f *testing.F) {
+	seeds := []string{
+		// A healthy envelope.
+		`<Envelope service="score"><Config><param name="repositoryRef" value="cache"/></Config>` +
+			`<DataSet><item uri="urn:lsid:test.org:item:1"/></DataSet>` +
+			`<AnnotationMap><entry item="urn:lsid:test.org:item:1" key="urn:k" kind="float" value="0.5"/></AnnotationMap></Envelope>`,
+		// A fault response.
+		`<Envelope service="score"><Error>boom</Error></Envelope>`,
+		// Splitter groups.
+		`<Envelope operation="split"><Group name="high"><DataSet><item uri="urn:a"/></DataSet></Group>` +
+			`<Group name="default"><DataSet/></Group></Envelope>`,
+		// The chaos transport's corruption shape: brackets stripped, NUL appended.
+		"Envelope serviceDataSetitem uri=\"urn:a\"/DataSet/Envelope\x00<unclosed",
+		// Truncated mid-element.
+		`<Envelope><DataSet><item uri="urn:lsid:te`,
+		// Empty-URI item, bad kinds, bad numbers.
+		`<Envelope><DataSet><item uri=""/></DataSet></Envelope>`,
+		`<Envelope><AnnotationMap><entry item="urn:a" key="urn:k" kind="float" value="not-a-number"/></AnnotationMap></Envelope>`,
+		`<Envelope><AnnotationMap><entry item="urn:a" key="urn:k" kind="martian" value="x"/></AnnotationMap></Envelope>`,
+		// Deep nesting and entity-ish noise.
+		strings.Repeat("<Group>", 40) + strings.Repeat("</Group>", 40),
+		`<Envelope>&lt;&gt;&amp;&#x0;</Envelope>`,
+		``,
+		`<`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := UnmarshalEnvelope(data)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		// Exercise every downstream decode a fabric component would run.
+		if m, err := e.Map(); err == nil && m != nil {
+			_ = m.Len()
+			_ = m.Keys()
+		}
+		if groups, err := e.GroupMaps(); err == nil {
+			for _, g := range groups {
+				_ = g.Items()
+			}
+		}
+		_, _ = e.Marshal()
+	})
+}

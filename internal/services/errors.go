@@ -1,0 +1,47 @@
+package services
+
+import "fmt"
+
+// Typed client-side errors. The remote-repository and service-invocation
+// paths previously collapsed every failure into an opaque string (or
+// worse, a silent empty result); these types let callers — the resilience
+// layer, degraded-mode routing, and tests — distinguish a service that
+// answered badly from a wire that failed.
+
+// StatusError reports a non-2xx HTTP response from a Qurator host.
+type StatusError struct {
+	Method string
+	Path   string
+	Status int
+	Body   string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("services: %s %s: status %d: %s", e.Method, e.Path, e.Status, e.Body)
+}
+
+// DecodeError reports a response body that could not be parsed — a
+// malformed envelope, truncated XML, or a mid-body connection reset
+// surfacing as an unexpected EOF.
+type DecodeError struct {
+	Path string
+	Err  error
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("services: decoding response from %s: %v", e.Path, e.Err)
+}
+
+func (e *DecodeError) Unwrap() error { return e.Err }
+
+// FaultError reports a service-level fault: the remote service ran and
+// answered with an Error envelope. Distinct from transport failures —
+// retrying a fault re-runs the same broken computation.
+type FaultError struct {
+	Service string
+	Message string
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("services: %s fault: %s", e.Service, e.Message)
+}

@@ -8,7 +8,10 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
+
+	"qurator/internal/resilience"
 )
 
 // Handler serves a registry over HTTP:
@@ -74,19 +77,69 @@ func Handler(reg *Registry) http.Handler {
 type Client struct {
 	// BaseURL is the host root, e.g. "http://localhost:9090".
 	BaseURL string
-	// HTTPClient defaults to a client with a 30s timeout.
+	// HTTPClient, when set, overrides the shared default client (which
+	// reuses one transport and its connection pool across all Clients).
 	HTTPClient *http.Client
 }
+
+// defaultHTTPClient is shared by every Client without an explicit
+// HTTPClient: one transport, one connection pool — a fresh client per
+// call would dial a new connection every time and defeat keep-alive.
+var (
+	defaultHTTPOnce   sync.Once
+	defaultHTTPClient *http.Client
+)
 
 func (c *Client) httpClient() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
 	}
-	return &http.Client{Timeout: 30 * time.Second}
+	defaultHTTPOnce.Do(func() {
+		defaultHTTPClient = &http.Client{Timeout: 30 * time.Second}
+	})
+	return defaultHTTPClient
 }
 
-// Invoke calls the named remote service.
+// NewResilientClient returns a Client whose HTTP transport retries
+// transient failures with jittered backoff under a retry budget, breaks
+// the circuit per endpoint, and propagates deadlines — the production
+// fabric client. base is the underlying RoundTripper (nil =
+// http.DefaultTransport; tests inject a chaos transport here).
+func NewResilientClient(baseURL string, policy resilience.Policy, base http.RoundTripper) *Client {
+	return &Client{
+		BaseURL: baseURL,
+		HTTPClient: &http.Client{
+			Transport: resilience.NewTransport(base, policy),
+			Timeout:   2 * time.Minute, // outer bound; per-attempt deadlines live in the policy
+		},
+	}
+}
+
+// ResilientTransport returns the client's resilience.Transport when it
+// has one (for breaker observability), else nil.
+func (c *Client) ResilientTransport() *resilience.Transport {
+	if c.HTTPClient == nil {
+		return nil
+	}
+	t, _ := c.HTTPClient.Transport.(*resilience.Transport)
+	return t
+}
+
+// Invoke calls the named remote service. The invocation is not marked
+// replayable — use InvokeIdempotent for calls known to be side-effect
+// free (or set-semantic), which the resilient transport may then retry.
 func (c *Client) Invoke(ctx context.Context, name string, req *Envelope) (*Envelope, error) {
+	return c.invoke(ctx, name, req, false)
+}
+
+// InvokeIdempotent is Invoke for calls the caller knows are safe to
+// replay: QA assertions, enrichment lookups, filters and splits — every
+// fabric operation except annotation writes.
+func (c *Client) InvokeIdempotent(ctx context.Context, name string, req *Envelope) (*Envelope, error) {
+	return c.invoke(ctx, name, req, true)
+}
+
+func (c *Client) invoke(ctx context.Context, name string, req *Envelope, idempotent bool) (*Envelope, error) {
 	data, err := req.Marshal()
 	if err != nil {
 		return nil, err
@@ -97,6 +150,9 @@ func (c *Client) Invoke(ctx context.Context, name string, req *Envelope) (*Envel
 		return nil, err
 	}
 	httpReq.Header.Set("Content-Type", "application/xml")
+	if idempotent {
+		resilience.MarkIdempotent(httpReq)
+	}
 	httpResp, err := c.httpClient().Do(httpReq)
 	if err != nil {
 		return nil, fmt.Errorf("services: invoking %s: %w", url, err)
@@ -104,20 +160,21 @@ func (c *Client) Invoke(ctx context.Context, name string, req *Envelope) (*Envel
 	defer httpResp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(httpResp.Body, 64<<20))
 	if err != nil {
-		return nil, err
+		return nil, &DecodeError{Path: url, Err: err}
 	}
 	switch httpResp.StatusCode {
 	case http.StatusOK, http.StatusUnprocessableEntity:
 		resp, err := UnmarshalEnvelope(body)
 		if err != nil {
-			return nil, err
+			return nil, &DecodeError{Path: url, Err: err}
 		}
 		if resp.Error != "" {
-			return nil, fmt.Errorf("services: %s fault: %s", name, resp.Error)
+			return nil, &FaultError{Service: name, Message: resp.Error}
 		}
 		return resp, nil
 	default:
-		return nil, fmt.Errorf("services: %s returned %s: %s", url, httpResp.Status, strings.TrimSpace(string(body)))
+		return nil, &StatusError{Method: http.MethodPost, Path: url,
+			Status: httpResp.StatusCode, Body: strings.TrimSpace(string(body))}
 	}
 }
 
@@ -162,7 +219,16 @@ type remoteService struct {
 // Describe implements QualityService.
 func (r *remoteService) Describe() Info { return r.info }
 
-// Invoke implements QualityService.
+// Invoke implements QualityService. Assertion, enrichment and action
+// invocations are pure functions of their envelope and are marked
+// replayable for the resilient transport; annotation invocations write
+// to repositories and are never replayed at the transport layer (a lost
+// response may hide a committed write — only the application, which
+// knows annotation puts are set-semantic, may re-invoke, via
+// workflow.Retry).
 func (r *remoteService) Invoke(ctx context.Context, req *Envelope) (*Envelope, error) {
-	return r.client.Invoke(ctx, r.info.Name, req)
+	if r.info.Kind == KindAnnotation {
+		return r.client.Invoke(ctx, r.info.Name, req)
+	}
+	return r.client.InvokeIdempotent(ctx, r.info.Name, req)
 }

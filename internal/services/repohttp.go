@@ -4,14 +4,17 @@ import (
 	"bytes"
 	"context"
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 
 	"qurator/internal/annotstore"
 	"qurator/internal/evidence"
 	"qurator/internal/rdf"
+	"qurator/internal/resilience"
 	"qurator/internal/sparql"
 )
 
@@ -319,6 +322,28 @@ type RemoteRepository struct {
 	client     *Client
 	name       string
 	persistent bool
+
+	mu      sync.Mutex
+	lastErr error
+}
+
+// setErr records a failure from a Store method whose signature cannot
+// carry an error (Get, Enrich, Items, Len, Clear), so callers can
+// distinguish "no annotation" from "the wire failed".
+func (r *RemoteRepository) setErr(err error) {
+	r.mu.Lock()
+	r.lastErr = err
+	r.mu.Unlock()
+}
+
+// LastError returns the most recent transport/decode failure seen by an
+// error-less Store method (typed: *StatusError, *DecodeError, or a
+// wrapped transport error), or nil. Reading does not clear it; a
+// subsequent successful call does.
+func (r *RemoteRepository) LastError() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastErr
 }
 
 // NewRemoteRepository returns a store proxy for a named repository on the
@@ -356,16 +381,23 @@ func (c *Client) getXML(ctx context.Context, path string, v any) error {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("services: GET %s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
+		return &StatusError{Method: http.MethodGet, Path: path,
+			Status: resp.StatusCode, Body: strings.TrimSpace(string(body))}
 	}
-	return xml.NewDecoder(resp.Body).Decode(v)
+	if err := xml.NewDecoder(resp.Body).Decode(v); err != nil {
+		return &DecodeError{Path: path, Err: err}
+	}
+	return nil
 }
 
 func (c *Client) url(path string) string {
 	return strings.TrimSuffix(c.BaseURL, "/") + path
 }
 
-func (c *Client) do(ctx context.Context, method, path string, body []byte, wantStatus int) ([]byte, error) {
+// do performs one request; idempotent marks it replayable for the
+// resilient transport (reads and set-semantic deletes — never annotation
+// writes).
+func (c *Client) do(ctx context.Context, method, path string, body []byte, wantStatus int, idempotent bool) ([]byte, error) {
 	var reader io.Reader
 	if body != nil {
 		reader = bytes.NewReader(body)
@@ -377,6 +409,9 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, wantS
 	if body != nil {
 		req.Header.Set("Content-Type", "application/xml")
 	}
+	if idempotent {
+		resilience.MarkIdempotent(req)
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, err
@@ -384,10 +419,11 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, wantS
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
-		return nil, err
+		return nil, &DecodeError{Path: path, Err: err}
 	}
 	if resp.StatusCode != wantStatus {
-		return data, fmt.Errorf("services: %s %s: %s: %s", method, path, resp.Status, strings.TrimSpace(string(data)))
+		return data, &StatusError{Method: method, Path: path,
+			Status: resp.StatusCode, Body: strings.TrimSpace(string(data))}
 	}
 	return data, nil
 }
@@ -398,7 +434,8 @@ func (r *RemoteRepository) Name() string { return r.name }
 // Persistent implements annotstore.Store.
 func (r *RemoteRepository) Persistent() bool { return r.persistent }
 
-// Put implements annotstore.Store.
+// Put implements annotstore.Store. The write is deliberately not marked
+// idempotent: the transport must never replay it (see remoteService).
 func (r *RemoteRepository) Put(a annotstore.Annotation) error {
 	batch := AnnotationsXML{Annotations: []AnnotationXML{encodeAnnotation(a)}}
 	body, err := xml.Marshal(batch)
@@ -406,26 +443,37 @@ func (r *RemoteRepository) Put(a annotstore.Annotation) error {
 		return err
 	}
 	_, err = r.client.do(context.Background(), http.MethodPost,
-		"/repositories/"+r.name+"/annotations", body, http.StatusOK)
+		"/repositories/"+r.name+"/annotations", body, http.StatusOK, false)
 	return err
 }
 
-// Get implements annotstore.Store.
+// Get implements annotstore.Store. A "no" answer caused by a transport
+// or decode failure (rather than an absent annotation) is recorded and
+// retrievable via LastError.
 func (r *RemoteRepository) Get(item evidence.Item, typ rdf.Term) (evidence.Value, bool) {
 	path := "/repositories/" + r.name + "/annotation?item=" + queryEscape(item.Value()) +
 		"&type=" + queryEscape(typ.Value())
-	data, err := r.client.do(context.Background(), http.MethodGet, path, nil, http.StatusOK)
+	data, err := r.client.do(context.Background(), http.MethodGet, path, nil, http.StatusOK, true)
 	if err != nil {
+		var se *StatusError
+		if errors.As(err, &se) && se.Status == http.StatusNotFound {
+			r.setErr(nil) // a clean "no such annotation" answer
+		} else {
+			r.setErr(err)
+		}
 		return evidence.Null, false
 	}
 	var x AnnotationXML
 	if err := xml.Unmarshal(data, &x); err != nil {
+		r.setErr(&DecodeError{Path: path, Err: err})
 		return evidence.Null, false
 	}
 	v, err := decodeValue(x.Kind, x.Value)
 	if err != nil {
+		r.setErr(&DecodeError{Path: path, Err: err})
 		return evidence.Null, false
 	}
+	r.setErr(nil)
 	return v, true
 }
 
@@ -439,21 +487,26 @@ func (r *RemoteRepository) Enrich(m *evidence.Map, types []rdf.Term) int {
 	req.Config.Set("types", strings.Join(typeStrs, ","))
 	body, err := req.Marshal()
 	if err != nil {
+		r.setErr(err)
 		return 0
 	}
-	data, err := r.client.do(context.Background(), http.MethodPost,
-		"/repositories/"+r.name+"/enrich", body, http.StatusOK)
+	path := "/repositories/" + r.name + "/enrich"
+	data, err := r.client.do(context.Background(), http.MethodPost, path, body, http.StatusOK, true)
 	if err != nil {
+		r.setErr(err)
 		return 0
 	}
 	resp, err := UnmarshalEnvelope(data)
 	if err != nil {
+		r.setErr(&DecodeError{Path: path, Err: err})
 		return 0
 	}
 	enriched, err := resp.Map()
 	if err != nil {
+		r.setErr(&DecodeError{Path: path, Err: err})
 		return 0
 	}
+	r.setErr(nil)
 	n := 0
 	for _, item := range enriched.Items() {
 		for _, typ := range types {
@@ -470,8 +523,10 @@ func (r *RemoteRepository) Enrich(m *evidence.Map, types []rdf.Term) int {
 func (r *RemoteRepository) Items() []evidence.Item {
 	var ds DataSet
 	if err := r.client.getXML(context.Background(), "/repositories/"+r.name+"/items", &ds); err != nil {
+		r.setErr(err)
 		return nil
 	}
+	r.setErr(nil)
 	out := make([]evidence.Item, len(ds.Items))
 	for i, it := range ds.Items {
 		out[i] = rdf.IRI(it.URI)
@@ -485,8 +540,10 @@ func (r *RemoteRepository) Len() int {
 		Repos []RepoInfo `xml:"Repository"`
 	}
 	if err := r.client.getXML(context.Background(), "/repositories", &list); err != nil {
+		r.setErr(err)
 		return 0
 	}
+	r.setErr(nil)
 	for _, info := range list.Repos {
 		if info.Name == r.name {
 			return info.Len
@@ -495,22 +552,25 @@ func (r *RemoteRepository) Len() int {
 	return 0
 }
 
-// Clear implements annotstore.Store.
+// Clear implements annotstore.Store. Clearing is set-semantic (clearing
+// twice equals clearing once), so the call is marked replayable.
 func (r *RemoteRepository) Clear() {
-	r.client.do(context.Background(), http.MethodDelete,
-		"/repositories/"+r.name+"/annotations", nil, http.StatusNoContent)
+	_, err := r.client.do(context.Background(), http.MethodDelete,
+		"/repositories/"+r.name+"/annotations", nil, http.StatusNoContent, true)
+	r.setErr(err)
 }
 
-// Query implements annotstore.Store.
+// Query implements annotstore.Store. SPARQL evaluation is read-only, so
+// the call is marked replayable.
 func (r *RemoteRepository) Query(query string) (*sparql.Result, error) {
-	data, err := r.client.do(context.Background(), http.MethodPost,
-		"/repositories/"+r.name+"/sparql", []byte(query), http.StatusOK)
+	path := "/repositories/" + r.name + "/sparql"
+	data, err := r.client.do(context.Background(), http.MethodPost, path, []byte(query), http.StatusOK, true)
 	if err != nil {
 		return nil, err
 	}
 	var x ResultsXML
 	if err := xml.Unmarshal(data, &x); err != nil {
-		return nil, err
+		return nil, &DecodeError{Path: path, Err: err}
 	}
 	return decodeResults(x)
 }

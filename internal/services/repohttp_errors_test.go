@@ -1,0 +1,169 @@
+package services
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"qurator/internal/annotstore"
+	"qurator/internal/evidence"
+	"qurator/internal/ontology"
+	"qurator/internal/rdf"
+)
+
+// These tests pin the repository proxy's behaviour when the far side
+// misbehaves: every failure mode must surface as a typed error —
+// *StatusError for non-2xx answers, *DecodeError for malformed or
+// truncated bodies — either on the method's own error return or, for
+// the error-less annotstore.Store methods, via LastError. A wire
+// failure must never be silently indistinguishable from "no data".
+
+func brokenServer(t *testing.T, handler http.HandlerFunc) *Client {
+	t.Helper()
+	srv := httptest.NewServer(handler)
+	t.Cleanup(srv.Close)
+	return &Client{BaseURL: srv.URL}
+}
+
+func sampleAnnotation() annotstore.Annotation {
+	return annotstore.Annotation{
+		Item: item(0), Type: ontology.HitRatio, Value: evidence.Float(0.5),
+	}
+}
+
+func TestRemoteRepositoryNon2xxSurfacesStatusError(t *testing.T) {
+	client := brokenServer(t, func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "backend on fire", http.StatusInternalServerError)
+	})
+	remote := NewRemoteRepository(client, "default", true)
+
+	var se *StatusError
+
+	if _, ok := remote.Get(item(0), ontology.HitRatio); ok {
+		t.Error("Get against a 500 server should miss")
+	}
+	if err := remote.LastError(); !errors.As(err, &se) || se.Status != 500 {
+		t.Errorf("Get LastError = %v, want *StatusError with status 500", err)
+	}
+
+	if err := remote.Put(sampleAnnotation()); !errors.As(err, &se) || se.Status != 500 {
+		t.Errorf("Put error = %v, want *StatusError with status 500", err)
+	}
+
+	m := evidence.NewMap(item(0))
+	if n := remote.Enrich(m, []rdf.Term{ontology.HitRatio}); n != 0 {
+		t.Errorf("Enrich against a 500 server added %d", n)
+	}
+	if err := remote.LastError(); !errors.As(err, &se) {
+		t.Errorf("Enrich LastError = %v, want *StatusError", err)
+	}
+
+	if got := remote.Items(); got != nil {
+		t.Errorf("Items against a 500 server = %v", got)
+	}
+	if err := remote.LastError(); !errors.As(err, &se) {
+		t.Errorf("Items LastError = %v, want *StatusError", err)
+	}
+
+	if n := remote.Len(); n != 0 {
+		t.Errorf("Len against a 500 server = %d", n)
+	}
+	if _, err := remote.Query("ASK { ?a ?b ?c . }"); !errors.As(err, &se) {
+		t.Errorf("Query error = %v, want *StatusError", err)
+	}
+	if _, err := client.ScavengeRepositories(context.Background()); !errors.As(err, &se) {
+		t.Errorf("ScavengeRepositories error = %v, want *StatusError", err)
+	}
+}
+
+func TestRemoteRepositoryMalformedXMLSurfacesDecodeError(t *testing.T) {
+	client := brokenServer(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/xml")
+		io.WriteString(w, `<Annotati{{{ not xml at all`)
+	})
+	remote := NewRemoteRepository(client, "default", true)
+
+	var de *DecodeError
+
+	if _, ok := remote.Get(item(0), ontology.HitRatio); ok {
+		t.Error("Get of garbage XML should miss")
+	}
+	if err := remote.LastError(); !errors.As(err, &de) {
+		t.Errorf("Get LastError = %v, want *DecodeError", err)
+	}
+
+	m := evidence.NewMap(item(0))
+	if n := remote.Enrich(m, []rdf.Term{ontology.HitRatio}); n != 0 {
+		t.Errorf("Enrich of garbage XML added %d", n)
+	}
+	if err := remote.LastError(); !errors.As(err, &de) {
+		t.Errorf("Enrich LastError = %v, want *DecodeError", err)
+	}
+
+	if _, err := remote.Query("ASK { ?a ?b ?c . }"); !errors.As(err, &de) {
+		t.Errorf("Query error = %v, want *DecodeError", err)
+	}
+	if _, err := client.ScavengeRepositories(context.Background()); !errors.As(err, &de) {
+		t.Errorf("ScavengeRepositories error = %v, want *DecodeError", err)
+	}
+}
+
+func TestRemoteRepositoryMidBodyResetSurfacesDecodeError(t *testing.T) {
+	// The handler promises 4096 bytes, writes 16, and returns; the server
+	// tears the connection down mid-body and the client's read ends in an
+	// unexpected EOF. That must surface as a typed decode failure, not an
+	// empty-but-"successful" result.
+	client := brokenServer(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Length", "4096")
+		w.Header().Set("Content-Type", "application/xml")
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "<Annotations><an")
+	})
+	remote := NewRemoteRepository(client, "default", true)
+
+	if _, ok := remote.Get(item(0), ontology.HitRatio); ok {
+		t.Error("Get over a reset connection should miss")
+	}
+	err := remote.LastError()
+	var de *DecodeError
+	if !errors.As(err, &de) {
+		t.Fatalf("Get LastError = %v, want *DecodeError", err)
+	}
+	if !errors.Is(de.Err, io.ErrUnexpectedEOF) {
+		t.Errorf("underlying cause = %v, want unexpected EOF", de.Err)
+	}
+
+	if _, err := remote.Query("ASK { ?a ?b ?c . }"); !errors.As(err, &de) {
+		t.Errorf("Query error = %v, want *DecodeError", err)
+	}
+}
+
+func TestRemoteRepositoryCleanMissClearsLastError(t *testing.T) {
+	// A 404 on the annotation route is a real answer ("no such
+	// annotation"), not a failure: it must clear any sticky error so a
+	// recovered repository reads as healthy again.
+	fail := true
+	client := brokenServer(t, func(w http.ResponseWriter, r *http.Request) {
+		if fail {
+			http.Error(w, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		http.Error(w, "no such annotation", http.StatusNotFound)
+	})
+	remote := NewRemoteRepository(client, "default", true)
+
+	remote.Get(item(0), ontology.HitRatio)
+	if remote.LastError() == nil {
+		t.Fatal("503 should record an error")
+	}
+	fail = false
+	if _, ok := remote.Get(item(0), ontology.HitRatio); ok {
+		t.Error("404 should miss")
+	}
+	if err := remote.LastError(); err != nil {
+		t.Errorf("clean 404 miss should clear LastError, got %v", err)
+	}
+}

@@ -199,7 +199,7 @@ func TestRemoteAnnotatorWritesRemoteRepository(t *testing.T) {
 func TestRepositoryGraphDump(t *testing.T) {
 	_, client, done := remoteWorld(t)
 	defer done()
-	data, err := client.do(context.Background(), "GET", "/repositories/default/graph", nil, 200)
+	data, err := client.do(context.Background(), "GET", "/repositories/default/graph", nil, 200, true)
 	if err != nil {
 		t.Fatalf("graph dump: %v", err)
 	}

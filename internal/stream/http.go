@@ -29,6 +29,8 @@ type CompileFunc func(view string) (*compiler.Compiled, error)
 //	parallelism worker-pool degree (default 1)
 //	timeout     per-processor timeout, a Go duration (optional)
 //	partial     "drop" suppresses the final short window
+//	on-error    "skip" reports failed windows and keeps streaming
+//	            (default: the first failed window ends the stream)
 func Handler(compile CompileFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -126,5 +128,6 @@ func configFromQuery(r *http.Request) (Config, string, error) {
 		}
 	}
 	cfg.DropPartial = q.Get("partial") == "drop"
+	cfg.SkipFailedWindows = q.Get("on-error") == "skip"
 	return cfg, view, nil
 }

@@ -114,8 +114,10 @@ func WriteResults(w io.Writer, results <-chan WindowResult, flush func()) error 
 			Size    int                    `json:"size"`
 			Decided int                    `json:"decided"`
 			Partial bool                   `json:"partial,omitempty"`
+			Failed  bool                   `json:"failed,omitempty"`
+			Error   string                 `json:"error,omitempty"`
 			Stats   map[string]WindowStats `json:"stats,omitempty"`
-		}{res.Seq, res.Size, len(res.Decisions), res.Partial, res.Stats}
+		}{res.Seq, res.Size, len(res.Decisions), res.Partial, res.Failed, res.Error, res.Stats}
 		if err := enc.Encode(summary); err != nil {
 			return err
 		}

@@ -86,6 +86,12 @@ type WindowResult struct {
 	// Partial marks the final short window emitted when the input closes
 	// before a full window accumulated.
 	Partial bool `json:"partial,omitempty"`
+	// Failed marks a window whose enactment failed under
+	// SkipFailedWindows: its items were NOT decided (Decisions is empty)
+	// and Error carries the cause. The stream itself kept going.
+	Failed bool `json:"failed,omitempty"`
+	// Error is the enactment failure for a Failed window.
+	Error string `json:"error,omitempty"`
 	// Decisions holds one decision per newly-decided item.
 	Decisions []Decision `json:"decisions"`
 	// Stats maps annotation-map key IRIs (QA score tags, plus inline
@@ -115,6 +121,12 @@ type Config struct {
 	// inside the compiled workflow (stuck annotators fail the window
 	// instead of wedging the stream).
 	ProcessorTimeout time.Duration
+	// SkipFailedWindows keeps the stream alive through window enactment
+	// failures: instead of cancelling the whole pipeline on the first
+	// error, the failed window is reported as a WindowResult with Failed
+	// set (and no decisions) and later windows proceed. Off by default —
+	// a batch-faithful stream fails fast.
+	SkipFailedWindows bool
 }
 
 // Enactor runs a compiled quality view over unbounded item sequences.
@@ -227,10 +239,23 @@ func (e *Enactor) Run(ctx context.Context, in <-chan Item, out chan<- WindowResu
 			for j := range jobs {
 				res, err := e.enactWindow(ctx, j)
 				if err != nil {
-					if ctx.Err() == nil {
-						fail(err)
+					if ctx.Err() != nil {
+						return
 					}
-					return
+					if !e.cfg.SkipFailedWindows {
+						fail(err)
+						return
+					}
+					// Skip-and-report: the window's items go undecided,
+					// the stream lives on.
+					res = WindowResult{
+						Seq:       j.seq,
+						Size:      len(j.items),
+						Partial:   j.partial,
+						Failed:    true,
+						Error:     err.Error(),
+						Decisions: []Decision{},
+					}
 				}
 				select {
 				case results <- res:
@@ -308,11 +333,19 @@ func (e *Enactor) enactWindow(ctx context.Context, j windowJob) (WindowResult, e
 	}
 	cons := outputs[compiler.OutputAnnotations]
 
+	// Degraded quarantine enactments grow an extra output; surface it in
+	// the decisions so quarantined items are visibly parked rather than
+	// silently rejected.
+	outputOrder := e.plan.Outputs
+	if _, ok := outputs[compiler.QuarantineOutput]; ok {
+		outputOrder = append(append([]string(nil), outputOrder...), compiler.QuarantineOutput)
+	}
+
 	res := WindowResult{
 		Seq:       j.seq,
 		Size:      len(j.items),
 		Partial:   j.partial,
-		Decisions: Decide(j.items[j.decideFrom:], outputs, cons, e.plan.Outputs, j.seq),
+		Decisions: Decide(j.items[j.decideFrom:], outputs, cons, outputOrder, j.seq),
 		Stats:     j.stats,
 	}
 	// Window score statistics: one Welford pass over the enacted window

@@ -267,6 +267,65 @@ func TestEnactmentErrorCancelsRun(t *testing.T) {
 	}
 }
 
+func TestSkipFailedWindowsReportsAndContinues(t *testing.T) {
+	// Same poison as TestEnactmentErrorCancelsRun — items 4–7 blow up the
+	// annotator — but with SkipFailedWindows the stream survives: the
+	// poisoned window is reported failed-and-undecided, its neighbours
+	// decide normally, and Run returns clean.
+	failing := ops.AnnotatorFunc{
+		ClassIRI: ontology.ImprintOutputAnnotation,
+		Types:    identityAnnotator().Provides(),
+		Fn: func(items []evidence.Item, repo annotstore.Store) error {
+			for _, it := range items {
+				if idx := hitIndex(it); idx >= 4 && idx < 8 {
+					return fmt.Errorf("poison item %v", it)
+				}
+			}
+			return identityAnnotator().Annotate(items, repo)
+		},
+	}
+	c := compileViewXML(t, qvlang.PaperViewXML, failing)
+	e, err := stream.New(c, stream.Config{Window: 4, SkipFailedWindows: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan stream.Item)
+	out := make(chan stream.WindowResult)
+	done := make(chan error, 1)
+	go func() { done <- e.Run(context.Background(), in, out) }()
+	go func() {
+		defer close(in)
+		for i := 0; i < 12; i++ {
+			in <- stream.Item{ID: hit(i)}
+		}
+	}()
+	var results []stream.WindowResult
+	for r := range out {
+		results = append(results, r)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Run with SkipFailedWindows = %v, want nil", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d windows, want 3", len(results))
+	}
+	for i, r := range results {
+		if r.Seq != i {
+			t.Fatalf("window %d emitted at position %d", r.Seq, i)
+		}
+	}
+	bad := results[1]
+	if !bad.Failed || !strings.Contains(bad.Error, "poison") || len(bad.Decisions) != 0 || bad.Size != 4 {
+		t.Errorf("failed window = %+v, want Failed with the poison error and no decisions", bad)
+	}
+	for _, i := range []int{0, 2} {
+		r := results[i]
+		if r.Failed || len(r.Decisions) != 4 {
+			t.Errorf("healthy window %d = failed=%v decided=%d, want 4 decisions", r.Seq, r.Failed, len(r.Decisions))
+		}
+	}
+}
+
 func TestDuplicateArrivalRefreshesWithoutGrowth(t *testing.T) {
 	e, err := stream.New(compilePaperView(t), stream.Config{Window: 4})
 	if err != nil {

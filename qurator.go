@@ -25,6 +25,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"sync"
 
 	"qurator/internal/annotstore"
 	"qurator/internal/binding"
@@ -63,6 +64,14 @@ type (
 		// metadata accumulates RDF statements about deployed components,
 		// e.g. QA → quality-dimension classifications (paper §3).
 		metadata *rdf.Graph
+
+		// resilience, when set via SetResilience, makes remote clients
+		// fault-tolerant and compiled views degradable.
+		resilience *Resilience
+		// clients caches one HTTP client (connection pool + breakers)
+		// per scavenged host, guarded by mu.
+		mu      sync.Mutex
+		clients map[string]*services.Client
 	}
 
 	// Item identifies a data item (an LSID-wrapped URI).
@@ -192,6 +201,12 @@ func (f *Framework) CompileView(viewXML []byte) (*Compiled, error) {
 		Resolver:     &binding.Resolver{Local: f.Services},
 		Repositories: f.Repositories,
 	}
+	if r := f.resilience; r != nil {
+		c.RetryAttempts = r.RetryAttempts
+		c.RetryBackoff = r.RetryBackoff
+		c.ProcessorTimeout = r.ProcessorTimeout
+		c.Degraded = r.Degraded
+	}
 	compiled, err := c.Compile(resolved)
 	if err != nil {
 		return nil, err
@@ -255,7 +270,7 @@ func (f *Framework) Handler() http.Handler {
 // proxies for them to the local registry, and binds their operator
 // classes — Taverna's scavenger step (paper §6.1).
 func (f *Framework) Scavenge(ctx context.Context, baseURL string) (int, error) {
-	client := &services.Client{BaseURL: baseURL}
+	client := f.client(baseURL)
 	found, err := client.Scavenge(ctx)
 	if err != nil {
 		return 0, err
@@ -282,7 +297,7 @@ func (f *Framework) Scavenge(ctx context.Context, baseURL string) (int, error) {
 // same-named local stores — after this, views whose repositoryRef names a
 // remote store read and write it over HTTP.
 func (f *Framework) ScavengeRepositories(ctx context.Context, baseURL string) (int, error) {
-	client := &services.Client{BaseURL: baseURL}
+	client := f.client(baseURL)
 	repos, err := client.ScavengeRepositories(ctx)
 	if err != nil {
 		return 0, err
