@@ -11,6 +11,7 @@ package qurator
 //	go test -bench=. -benchmem .
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"sync"
@@ -26,6 +27,7 @@ import (
 	"qurator/internal/qvlang"
 	"qurator/internal/rdf"
 	"qurator/internal/stream"
+	"qurator/internal/telemetry"
 )
 
 // benchWorld builds the default (paper-scale) world once per test binary.
@@ -353,6 +355,16 @@ func BenchmarkStreamEnactment(b *testing.B) {
 				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "items/s")
 			})
 		}
+	}
+	// CI's bench smoke run doubles as the exposition check: after the
+	// stream metrics have been exercised, the registry must still render
+	// valid Prometheus text.
+	var buf bytes.Buffer
+	if err := telemetry.Default.WriteProm(&buf); err != nil {
+		b.Fatalf("WriteProm: %v", err)
+	}
+	if err := telemetry.ValidateExposition(&buf); err != nil {
+		b.Fatalf("/metrics exposition malformed: %v", err)
 	}
 }
 

@@ -8,16 +8,20 @@
 //	experiment -ablation threshold  # A3: filter-threshold sweep
 //	experiment -all          # everything
 //
-// Flags -seed, -spots, -db resize the world.
+// Flags -seed, -spots, -db resize the world. The Figure-7 run also
+// writes a benchmark record (per-phase wall-clock + a process metrics
+// snapshot) to -bench-out, seeding the bench trajectory.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"qurator/internal/ispider"
+	"qurator/internal/telemetry"
 )
 
 func main() {
@@ -27,6 +31,8 @@ func main() {
 	seed := flag.Int64("seed", 2006, "world seed")
 	spots := flag.Int("spots", 10, "number of protein spots")
 	dbSize := flag.Int("db", 120, "reference database size")
+	benchOut := flag.String("bench-out", "BENCH_fig7.json",
+		"write the Figure-7 benchmark record (timings + metrics) here; empty = off")
 	flag.Parse()
 
 	params := ispider.DefaultWorldParams()
@@ -41,7 +47,7 @@ func main() {
 	if *all {
 		runFigure1(world)
 		runFigure6(world)
-		runFigure7(world)
+		runFigure7(world, *benchOut)
 		runQAAblation(world)
 		runThresholdAblation(world)
 		runLearnedAblation(world)
@@ -54,7 +60,7 @@ func main() {
 	case *fig == 6:
 		runFigure6(world)
 	case *fig == 7 || (*fig == 0 && *ablation == ""):
-		runFigure7(world)
+		runFigure7(world, *benchOut)
 	case *ablation == "qa":
 		runQAAblation(world)
 	case *ablation == "threshold":
@@ -121,13 +127,59 @@ func runFigure6(world *ispider.World) {
 		len(out.Entries), out.Accepted.Len())
 }
 
-func runFigure7(world *ispider.World) {
-	res, err := ispider.RunFigure7(world)
+func runFigure7(world *ispider.World, benchOut string) {
+	res, timings, err := ispider.RunFigure7Timed(world)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Print(res.Format())
 	fmt.Println()
+	if benchOut == "" {
+		return
+	}
+	if err := writeBench(benchOut, world, res, timings); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchmark record written to %s\n\n", benchOut)
+}
+
+// writeBench records the Figure-7 run for the bench trajectory: world
+// parameters, per-phase wall-clock, headline result numbers, and the
+// process metrics snapshot (processor durations, service counters) the
+// run accumulated.
+func writeBench(path string, world *ispider.World, res *ispider.Figure7Result, t *ispider.Figure7Timings) error {
+	record := struct {
+		Experiment string              `json:"experiment"`
+		World      ispider.WorldParams `json:"world"`
+		PhasesMS   map[string]float64  `json:"phases_ms"`
+		Result     struct {
+			IdentificationsOriginal int     `json:"identificationsOriginal"`
+			IdentificationsKept     int     `json:"identificationsKept"`
+			TotalOriginal           int     `json:"termOccurrencesOriginal"`
+			TotalFiltered           int     `json:"termOccurrencesFiltered"`
+			RankDisplacement        float64 `json:"rankDisplacement"`
+		} `json:"result"`
+		Metrics []telemetry.MetricSnapshot `json:"metrics"`
+	}{
+		Experiment: "figure7",
+		World:      world.Params,
+		PhasesMS: map[string]float64{
+			"baseline":          float64(t.Baseline.Microseconds()) / 1000,
+			"quality_enactment": float64(t.QualityEnactment.Microseconds()) / 1000,
+			"ranking":           float64(t.Ranking.Microseconds()) / 1000,
+		},
+		Metrics: telemetry.Default.Snapshot(),
+	}
+	record.Result.IdentificationsOriginal = res.IdentificationsOriginal
+	record.Result.IdentificationsKept = res.IdentificationsKept
+	record.Result.TotalOriginal = res.TotalOriginal
+	record.Result.TotalFiltered = res.TotalFiltered
+	record.Result.RankDisplacement = res.RankDisplacement
+	data, err := json.MarshalIndent(record, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func runQAAblation(world *ispider.World) {

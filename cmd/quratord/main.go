@@ -7,12 +7,18 @@
 //
 //	quratord [-addr :9090] [-with-demo-annotator]
 //	         [-retries n] [-proc-timeout d] [-degraded mode]
-//	         [-flake-rate p] [-flake-latency d]
+//	         [-flake-rate p] [-flake-latency d] [-debug-addr :6060]
 //
 // The -retries/-proc-timeout/-degraded flags make the views enacted at
 // /stream/enact fault-tolerant (see qurator.Resilience); the -flake-*
 // flags do the opposite — they turn this instance into a deliberately
 // unreliable host for demonstrating a resilient client.
+//
+// Observability: GET /metrics serves the process registry in Prometheus
+// text format (processor durations, breaker states, retry counters,
+// stream window metrics, injected-fault counters); GET /debug/enactments
+// serves recent enactment span trees as JSON. -debug-addr starts a
+// second listener with net/http/pprof profiles.
 //
 // A second machine (or a second process) can then do:
 //
@@ -30,6 +36,7 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 
@@ -40,6 +47,19 @@ import (
 	"qurator/internal/ontology"
 	"qurator/internal/rdf"
 	"qurator/internal/stream"
+	"qurator/internal/telemetry"
+)
+
+// Chaos self-description: when this instance is deliberately flaky, the
+// injected faults show up on /metrics, so a resilience demo's server and
+// client tell one story.
+var (
+	chaosFaults = telemetry.Default.Counter(
+		"qurator_chaos_injected_faults_total",
+		"Requests answered 503 by the -flake-rate fault injector.")
+	chaosRate = telemetry.Default.Gauge(
+		"qurator_chaos_flake_rate",
+		"Configured -flake-rate probability (0 = fault injection off).")
 )
 
 func main() {
@@ -59,6 +79,8 @@ func main() {
 	flakeLatency := flag.Duration("flake-latency", 0,
 		"extra delay added to flaked requests before the 503")
 	flakeSeed := flag.Int64("flake-seed", 1, "seed for the flake RNG")
+	debugAddr := flag.String("debug-addr", "",
+		"serve net/http/pprof profiles on this second address (empty = off)")
 	flag.Parse()
 
 	mode, err := qurator.ParseDegradedMode(*degraded)
@@ -93,11 +115,27 @@ func main() {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.Handle("/stream/enact", stream.Handler(streamCompiler(f)))
+	mux.Handle("GET /metrics", telemetry.Default.Handler())
+	mux.Handle("GET /debug/enactments", telemetry.DebugHandler(telemetry.DefaultRecorder))
 
 	var handler http.Handler = mux
+	chaosRate.Set(*flakeRate)
 	if *flakeRate > 0 {
 		handler = flaky(handler, *flakeRate, *flakeLatency, *flakeSeed)
 		log.Printf("quratord: flaking %.0f%% of requests (latency %s)", *flakeRate*100, *flakeLatency)
+	}
+
+	if *debugAddr != "" {
+		go func() {
+			dm := http.NewServeMux()
+			dm.HandleFunc("/debug/pprof/", pprof.Index)
+			dm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			dm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			dm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			dm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			log.Printf("quratord: serving pprof on %s", *debugAddr)
+			log.Fatal(http.ListenAndServe(*debugAddr, dm))
+		}()
 	}
 
 	srv := &http.Server{
@@ -111,16 +149,19 @@ func main() {
 
 // flaky answers a seeded fraction of requests with 503 Service
 // Unavailable (a retryable status for resilient clients), optionally
-// after a delay — the server side of a fault-tolerance demo. /healthz is
-// spared so liveness checks stay honest.
+// after a delay — the server side of a fault-tolerance demo. /healthz
+// and the observability endpoints are spared so liveness checks and the
+// chaos counters themselves stay honest.
 func flaky(h http.Handler, rate float64, latency time.Duration, seed int64) http.Handler {
 	var mu sync.Mutex
 	rng := rand.New(rand.NewSource(seed))
+	spared := map[string]bool{"/healthz": true, "/metrics": true, "/debug/enactments": true}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		mu.Lock()
 		flake := rng.Float64() < rate
 		mu.Unlock()
-		if flake && r.URL.Path != "/healthz" {
+		if flake && !spared[r.URL.Path] {
+			chaosFaults.Inc()
 			time.Sleep(latency)
 			http.Error(w, "quratord: injected flake", http.StatusServiceUnavailable)
 			return

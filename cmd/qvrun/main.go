@@ -28,11 +28,17 @@
 // In -stream mode each stdin line is one item ({"item": uri, "evidence":
 // {...}}); decisions are written as NDJSON the moment their window
 // resolves, so qvrun composes with pipes over live feeds.
+//
+// -telemetry dumps the enactment's span tree(s) and a metrics snapshot
+// as one JSON document on stderr after the run, keeping stdout clean for
+// the data results. The root trace ID in the dump matches the q:traceID
+// recorded in the run's RDF provenance.
 package main
 
 import (
 	"context"
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -47,6 +53,7 @@ import (
 	"qurator/internal/ontology"
 	"qurator/internal/qvlang"
 	"qurator/internal/stream"
+	"qurator/internal/telemetry"
 )
 
 func main() {
@@ -71,6 +78,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	retryBackoff := fs.Duration("retry-backoff", 50*time.Millisecond, "initial sleep between service retries")
 	procTimeout := fs.Duration("proc-timeout", 0, "per-service invocation deadline (0 = none)")
 	degraded := fs.String("degraded", "off", "on service failure: off (abort), fail-closed, fail-open, or quarantine")
+	withTelemetry := fs.Bool("telemetry", false, "dump span tree + metrics snapshot as JSON on stderr after the run")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -122,13 +130,26 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// A private recorder keeps the dump scoped to exactly this run's
+	// traces (the metrics snapshot is process-wide by design).
+	ctx := context.Background()
+	var recorder *telemetry.Recorder
+	if *withTelemetry {
+		recorder = telemetry.NewRecorder(64)
+		ctx = telemetry.WithRecorder(ctx, recorder)
+	}
+
 	if *streaming {
-		return runStream(f, src, stream.Config{
+		code := runStream(ctx, f, src, stream.Config{
 			Window:            *window,
 			Slide:             *slide,
 			Parallelism:       *parallelism,
 			SkipFailedWindows: *skipFailed,
 		}, *override, stdin, stdout, stderr)
+		if recorder != nil {
+			dumpTelemetry(stderr, recorder)
+		}
+		return code
 	}
 
 	items, err := loadCSV(f, *dataPath)
@@ -165,7 +186,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 	}
 
-	out, err := compiled.Run(context.Background(), items)
+	out, err := compiled.Run(ctx, items)
+	if recorder != nil {
+		dumpTelemetry(stderr, recorder)
+	}
 	if err != nil {
 		return fail(stderr, err)
 	}
@@ -184,9 +208,20 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// dumpTelemetry writes the run's span trees plus a process metrics
+// snapshot as one JSON document.
+func dumpTelemetry(stderr io.Writer, rec *telemetry.Recorder) {
+	enc := json.NewEncoder(stderr)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Traces  []telemetry.TraceTree      `json:"traces"`
+		Metrics []telemetry.MetricSnapshot `json:"metrics"`
+	}{rec.Traces(0), telemetry.Default.Snapshot()})
+}
+
 // runStream enacts the view continuously over an NDJSON item stream:
 // stdin lines in, decision lines out, window by window.
-func runStream(f *qurator.Framework, viewXML []byte, cfg stream.Config, override string, stdin io.Reader, stdout, stderr io.Writer) int {
+func runStream(ctx context.Context, f *qurator.Framework, viewXML []byte, cfg stream.Config, override string, stdin io.Reader, stdout, stderr io.Writer) int {
 	compiled, err := f.CompileViewForStream(viewXML)
 	if err != nil {
 		return fail(stderr, err)
@@ -213,7 +248,7 @@ func runStream(f *qurator.Framework, viewXML []byte, cfg stream.Config, override
 	readErr := make(chan error, 1)
 	go func() { readErr <- stream.ReadItems(stdin, in) }()
 	runErr := make(chan error, 1)
-	go func() { runErr <- enactor.Run(context.Background(), in, results) }()
+	go func() { runErr <- enactor.Run(ctx, in, results) }()
 
 	writeError := stream.WriteResults(stdout, results, nil)
 	code := 0

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -202,5 +203,67 @@ func TestStreamModeMalformedInput(t *testing.T) {
 	}
 	if !strings.Contains(stderr, "NDJSON") {
 		t.Errorf("stderr = %s", stderr)
+	}
+}
+
+// TestTelemetryDump checks -telemetry writes a JSON telemetry record to
+// stderr: the run's span tree (rooted at the enactment span) plus a
+// process metrics snapshot, without disturbing the stdout contract.
+func TestTelemetryDump(t *testing.T) {
+	code, stdout, stderr := runQvrun(t, "", "-data", writeStrongWeakCSV(t), "-telemetry")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "accepted") {
+		t.Errorf("stdout lost the decision summary:\n%s", stdout)
+	}
+	var dump struct {
+		Traces []struct {
+			TraceID string `json:"traceID"`
+			Root    *struct {
+				Name     string            `json:"name"`
+				Children []json.RawMessage `json:"children"`
+			} `json:"root"`
+		} `json:"traces"`
+		Metrics []struct {
+			Name string `json:"name"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(stderr), &dump); err != nil {
+		t.Fatalf("stderr is not a JSON telemetry dump: %v\n%s", err, stderr)
+	}
+	if len(dump.Traces) != 1 {
+		t.Fatalf("dump has %d traces, want 1", len(dump.Traces))
+	}
+	tr := dump.Traces[0]
+	if tr.TraceID == "" || tr.Root == nil {
+		t.Fatalf("trace incomplete: %+v", tr)
+	}
+	if !strings.HasPrefix(tr.Root.Name, "enact:") {
+		t.Errorf("root span = %q, want enact:<view>", tr.Root.Name)
+	}
+	if len(tr.Root.Children) == 0 {
+		t.Error("root span has no children")
+	}
+	found := false
+	for _, m := range dump.Metrics {
+		if m.Name == "qurator_processor_duration_seconds" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("metrics snapshot lacks qurator_processor_duration_seconds")
+	}
+}
+
+// TestTelemetryOffKeepsStderrQuiet: without -telemetry a clean batch run
+// writes nothing to stderr.
+func TestTelemetryOffKeepsStderrQuiet(t *testing.T) {
+	code, _, stderr := runQvrun(t, "", "-data", writeStrongWeakCSV(t))
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if stderr != "" {
+		t.Errorf("stderr not empty: %s", stderr)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"qurator/internal/qvlang"
 	"qurator/internal/rdf"
 	"qurator/internal/services"
+	"qurator/internal/telemetry"
 	"qurator/internal/workflow"
 )
 
@@ -421,6 +422,10 @@ func (c *Compiled) OutputPorts() []string { return c.Workflow.OutputPorts() }
 // aborting, and undecided items are routed per the policy afterwards.
 func (c *Compiled) Execute(ctx context.Context, in workflow.Ports) (workflow.Ports, error) {
 	started := time.Now()
+	// The enactment span is the trace root for standalone runs and a
+	// child when the view is embedded (host workflow, streaming window);
+	// either way its trace ID lands in the provenance record below.
+	ctx, span := telemetry.StartSpan(ctx, "enact:"+c.Workflow.Name())
 	log, hasLog := FailureLogFrom(ctx)
 	if c.degraded != DegradeOff && !hasLog {
 		log = NewFailureLog()
@@ -428,11 +433,13 @@ func (c *Compiled) Execute(ctx context.Context, in workflow.Ports) (workflow.Por
 	}
 	out, err := c.Workflow.Execute(ctx, in)
 	if err != nil {
+		span.EndErr(err)
 		return nil, err
 	}
 	if c.degraded != DegradeOff {
 		c.applyDegradedRouting(out, log)
 	}
+	span.End()
 	if c.Provenance != nil {
 		rec := provenance.Record{
 			View:       c.Workflow.Name(),
@@ -440,6 +447,7 @@ func (c *Compiled) Execute(ctx context.Context, in workflow.Ports) (workflow.Por
 			Duration:   time.Since(started),
 			Outputs:    map[string]int{},
 			Conditions: c.Conditions(),
+			TraceID:    span.TraceID,
 		}
 		if m, ok := in[PortDataSet].(*evidence.Map); ok {
 			rec.InputSize = m.Len()

@@ -8,8 +8,16 @@ import (
 	"qurator/internal/evidence"
 	"qurator/internal/ontology"
 	"qurator/internal/rdf"
+	"qurator/internal/telemetry"
 	"qurator/internal/workflow"
 )
+
+// degradedFailures counts quality-service failures survived in degraded
+// mode, labelled by the failing processor.
+var degradedFailures = telemetry.Default.CounterVec(
+	"qurator_degraded_failures_total",
+	"Quality-service failures absorbed by degraded-mode enactment.",
+	"processor")
 
 // Degraded-mode enactment: when a quality service fails for good — the
 // resilient transport exhausted its retries, the circuit is open, the
@@ -95,6 +103,9 @@ type Failure struct {
 	// Items is the data set the processor was invoked over — the items
 	// whose evidence is now (partially) unknown.
 	Items []evidence.Item
+	// TraceID is the telemetry trace of the enactment that survived the
+	// failure, linking the log entry to its span tree.
+	TraceID string
 }
 
 // FailureLog collects the failures survived during one enactment. It is
@@ -172,12 +183,13 @@ func (d *degradeProcessor) Execute(ctx context.Context, in workflow.Ports) (work
 	if !ok {
 		return nil, err
 	}
-	f := Failure{Processor: d.inner.Name(), Err: err}
+	f := Failure{Processor: d.inner.Name(), Err: err, TraceID: telemetry.TraceIDFrom(ctx)}
 	m, _ := in[d.inPort].(*evidence.Map)
 	if m != nil {
 		f.Items = append([]evidence.Item(nil), m.Items()...)
 	}
 	log.add(f)
+	degradedFailures.With(d.inner.Name()).Inc()
 	switch d.pmode {
 	case modeAnnotator:
 		// Annotators have no data output; the evidence simply never

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Figure7Row is one GO term's entry in the paper's Figure 7: its
@@ -42,31 +43,59 @@ type Figure7Result struct {
 	RankDisplacement float64
 }
 
+// Figure7Timings is the per-phase wall-clock breakdown of a Figure-7
+// run, for the benchmark record cmd/experiment writes.
+type Figure7Timings struct {
+	// Baseline is the unfiltered Figure-1 analysis run.
+	Baseline time.Duration
+	// QualityEnactment covers compiling the view, embedding it into the
+	// host pipeline and enacting the filtered run.
+	QualityEnactment time.Duration
+	// Ranking is the GO-term ranking computation over both runs.
+	Ranking time.Duration
+}
+
 // RunFigure7 reproduces the §6.3 experiment: the 10-spot experiment is
 // analysed once through the plain Figure 1 workflow and once with the
 // embedded quality view whose filter keeps only top-quality protein IDs
 // (score above avg + stddev, i.e. class q:high), then GO terms are ranked
 // by the kept/original occurrence ratio.
 func RunFigure7(world *World) (*Figure7Result, error) {
+	res, _, err := RunFigure7Timed(world)
+	return res, err
+}
+
+// RunFigure7Timed is RunFigure7 with a per-phase timing breakdown.
+func RunFigure7Timed(world *World) (*Figure7Result, *Figure7Timings, error) {
+	t := &Figure7Timings{}
+	began := time.Now()
 	baseline, err := RunBaseline(world)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	t.Baseline = time.Since(began)
+
+	began = time.Now()
 	pipeline, err := BuildPipeline(world, "")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// §6.3: "a filter action set to save only the top quality protein
 	// IDs, i.e., those with a score higher than the average + standard
 	// deviation" — exactly class q:high of the three-way classifier.
 	if err := pipeline.Compiled.SetFilterCondition("filter top k score", "ScoreClass in q:high"); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	filtered, err := pipeline.Run(context.Background())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return BuildFigure7(baseline, filtered), nil
+	t.QualityEnactment = time.Since(began)
+
+	began = time.Now()
+	res := BuildFigure7(baseline, filtered)
+	t.Ranking = time.Since(began)
+	return res, t, nil
 }
 
 // BuildFigure7 computes the figure from a baseline and a filtered run.

@@ -14,6 +14,7 @@
 //	<run>  q:inputSize     n
 //	<run>  q:outputSize    <output node> (name + size)
 //	<run>  q:usedCondition <condition node> (action + expression)
+//	<run>  q:traceID       "telemetry trace id" (when recorded)
 package provenance
 
 import (
@@ -39,6 +40,7 @@ var (
 	propCondition = ontology.Q("usedCondition")
 	propCondAct   = ontology.Q("conditionAction")
 	propCondExpr  = ontology.Q("conditionExpression")
+	propTrace     = ontology.Q("traceID")
 )
 
 // Record describes one quality-process execution.
@@ -55,6 +57,10 @@ type Record struct {
 	Outputs map[string]int
 	// Conditions maps action names to the condition text in force.
 	Conditions map[string]string
+	// TraceID is the telemetry trace of the enactment: the bridge from
+	// the provenance record (what the run decided) to the recorded span
+	// tree (how it behaved). Empty when telemetry was not in play.
+	TraceID string
 }
 
 // Log accumulates run records as RDF. Safe for concurrent use.
@@ -81,6 +87,9 @@ func (l *Log) Record(rec Record) rdf.Term {
 	g.MustAdd(rdf.T(run, propStarted, rdf.Literal(rec.Started.UTC().Format(time.RFC3339Nano))))
 	g.MustAdd(rdf.T(run, propDuration, rdf.Integer(rec.Duration.Milliseconds())))
 	g.MustAdd(rdf.T(run, propInputSize, rdf.Integer(int64(rec.InputSize))))
+	if rec.TraceID != "" {
+		g.MustAdd(rdf.T(run, propTrace, rdf.Literal(rec.TraceID)))
+	}
 	i := 0
 	for name, size := range rec.Outputs {
 		node := rdf.IRI(fmt.Sprintf("%s#output-%s", run.Value(), name))
@@ -156,6 +165,7 @@ func (l *Log) LastRun() (Record, bool) {
 	if n, ok := l.graph.FirstObject(run, propInputSize).Int(); ok {
 		rec.InputSize = int(n)
 	}
+	rec.TraceID = l.graph.FirstObject(run, propTrace).Value()
 	for _, node := range l.graph.Objects(run, propOutput) {
 		name := l.graph.FirstObject(node, propOutName).Value()
 		if size, ok := l.graph.FirstObject(node, propOutSize).Int(); ok {

@@ -91,13 +91,37 @@ type Breaker struct {
 	cfg BreakerConfig
 	now func() time.Time
 
-	mu            sync.Mutex
-	state         BreakerState
-	failures      int // consecutive failures while closed
-	probes        int // in-flight probes while half-open
-	probeSuccess  int // successful probes this half-open episode
-	openedAt      time.Time
+	mu                sync.Mutex
+	state             BreakerState
+	failures          int // consecutive failures while closed
+	probes            int // in-flight probes while half-open
+	probeSuccess      int // successful probes this half-open episode
+	openedAt          time.Time
 	opens, rejections int
+	notify            func(from, to BreakerState)
+}
+
+// OnTransition registers fn to run on every state change (with from ≠
+// to), while the breaker's lock is held — fn must not call back into
+// the breaker. The transport uses it to keep state gauges and
+// transition counters current.
+func (b *Breaker) OnTransition(fn func(from, to BreakerState)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.notify = fn
+}
+
+// setStateLocked changes state and fires the transition hook; the
+// caller holds b.mu.
+func (b *Breaker) setStateLocked(to BreakerState) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	if b.notify != nil {
+		b.notify(from, to)
+	}
 }
 
 // NewBreaker returns a closed breaker. now may be nil (wall clock).
@@ -119,7 +143,7 @@ func (b *Breaker) Allow() bool {
 		return true
 	case Open:
 		if b.now().Sub(b.openedAt) >= b.cfg.Cooldown {
-			b.state = HalfOpen
+			b.setStateLocked(HalfOpen)
 			b.probes = 0
 			b.probeSuccess = 0
 			// fall through into the half-open admission check below
@@ -150,7 +174,7 @@ func (b *Breaker) RecordSuccess() {
 		b.probes--
 		b.probeSuccess++
 		if b.probeSuccess >= b.cfg.SuccessesToClose {
-			b.state = Closed
+			b.setStateLocked(Closed)
 			b.failures = 0
 		}
 	}
@@ -174,7 +198,7 @@ func (b *Breaker) RecordFailure() {
 
 // trip opens the breaker; the caller holds b.mu.
 func (b *Breaker) trip() {
-	b.state = Open
+	b.setStateLocked(Open)
 	b.openedAt = b.now()
 	b.failures = 0
 	b.opens++

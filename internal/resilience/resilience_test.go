@@ -10,8 +10,8 @@ type manualClock struct {
 	t time.Time
 }
 
-func (c *manualClock) now() time.Time              { return c.t }
-func (c *manualClock) advance(d time.Duration)     { c.t = c.t.Add(d) }
+func (c *manualClock) now() time.Time          { return c.t }
+func (c *manualClock) advance(d time.Duration) { c.t = c.t.Add(d) }
 
 func TestBreakerStateMachine(t *testing.T) {
 	clock := &manualClock{t: time.Unix(0, 0)}

@@ -1,0 +1,114 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"qurator/internal/resilience/chaos"
+)
+
+// TestBreakerTelemetryUnderChaos drives one endpoint's breaker through
+// closed → open → half-open → open → half-open → closed with a chaos
+// outage and asserts the telemetry series — state gauge, transition
+// counters, attempt/retry/rejection counters — track every move. The
+// endpoint key embeds the httptest port, so the series are unique to
+// this test even on the shared default registry.
+func TestBreakerTelemetryUnderChaos(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	clock := &manualClock{t: time.Unix(0, 0)}
+	injector := chaos.New(http.DefaultTransport, chaos.Config{Seed: 1})
+	injector.SetDown(true)
+	tr := NewTransport(injector, Policy{
+		MaxAttempts: 2,
+		Breaker: BreakerConfig{
+			FailureThreshold: 3,
+			Cooldown:         time.Second,
+			HalfOpenProbes:   1,
+			SuccessesToClose: 1,
+		},
+	}.WithClock(clock.now).WithSleep(
+		func(time.Duration, <-chan struct{}) bool { return true }))
+
+	call := func() error {
+		req, err := http.NewRequestWithContext(context.Background(), http.MethodGet, srv.URL, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := tr.RoundTrip(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		return err
+	}
+	req, _ := http.NewRequest(http.MethodGet, srv.URL, nil)
+	key := endpointKey(req)
+	gauge := rtBreakerState.With(key)
+
+	assert := func(step string, wantGauge BreakerState, wantClosed, wantOpen, wantHalfOpen, wantAttempts, wantRetries, wantRejections uint64) {
+		t.Helper()
+		if got := gauge.Value(); got != float64(wantGauge) {
+			t.Errorf("%s: breaker state gauge = %v, want %v (%s)", step, got, float64(wantGauge), wantGauge)
+		}
+		for _, c := range []struct {
+			name string
+			got  uint64
+			want uint64
+		}{
+			{"transitions{to=closed}", rtBreakerTransitions.With(key, Closed.String()).Value(), wantClosed},
+			{"transitions{to=open}", rtBreakerTransitions.With(key, Open.String()).Value(), wantOpen},
+			{"transitions{to=half-open}", rtBreakerTransitions.With(key, HalfOpen.String()).Value(), wantHalfOpen},
+			{"attempts", rtAttempts.With(key).Value(), wantAttempts},
+			{"retries", rtRetries.With(key).Value(), wantRetries},
+			{"rejections", rtBreakerRejections.With(key).Value(), wantRejections},
+		} {
+			if c.got != c.want {
+				t.Errorf("%s: %s = %d, want %d", step, c.name, c.got, c.want)
+			}
+		}
+	}
+
+	// Call 1: two failed attempts (one retry) — breaker stays closed.
+	if err := call(); err == nil {
+		t.Fatal("call 1 succeeded during outage")
+	}
+	assert("after call 1", Closed, 0, 0, 0, 2, 1, 0)
+
+	// Call 2: third consecutive failure trips the breaker open; the
+	// retry is admitted by the budget but fast-failed by the breaker.
+	if err := call(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("call 2: err = %v, want breaker-open", err)
+	}
+	assert("after call 2 (tripped)", Open, 0, 1, 0, 3, 2, 1)
+
+	// Call 3: cooldown elapses, the half-open probe fails and re-opens
+	// the breaker; the retry is again fast-failed.
+	clock.advance(time.Second)
+	if err := call(); err == nil {
+		t.Fatal("call 3 succeeded during outage")
+	}
+	assert("after call 3 (failed probe)", Open, 0, 2, 1, 4, 3, 2)
+
+	// Call 4: the outage ends, the next probe succeeds and closes the
+	// breaker again.
+	injector.SetDown(false)
+	clock.advance(time.Second)
+	if err := call(); err != nil {
+		t.Fatalf("call 4 after recovery: %v", err)
+	}
+	assert("after call 4 (healed)", Closed, 1, 2, 2, 5, 3, 2)
+
+	// The attempt-duration histogram saw exactly the admitted attempts.
+	if got := rtAttemptDuration.With(key).Count(); got != 5 {
+		t.Errorf("attempt duration observations = %d, want 5", got)
+	}
+}

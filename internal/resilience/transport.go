@@ -7,6 +7,38 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"time"
+
+	"qurator/internal/telemetry"
+)
+
+// Resilience metrics, labelled by endpoint ("METHOD host/path" — one
+// series per logical dependency, same granularity as the breakers).
+var (
+	rtAttempts = telemetry.Default.CounterVec(
+		"qurator_resilience_attempts_total",
+		"HTTP attempts made through the resilient transport.",
+		"endpoint")
+	rtRetries = telemetry.Default.CounterVec(
+		"qurator_resilience_retries_total",
+		"Attempts beyond the first that the retry budget admitted.",
+		"endpoint")
+	rtAttemptDuration = telemetry.Default.HistogramVec(
+		"qurator_resilience_attempt_duration_seconds",
+		"Wall-clock time of one HTTP attempt, including body buffering.",
+		nil, "endpoint")
+	rtBreakerState = telemetry.Default.GaugeVec(
+		"qurator_resilience_breaker_state",
+		"Breaker position: 0 closed, 1 open, 2 half-open.",
+		"endpoint")
+	rtBreakerTransitions = telemetry.Default.CounterVec(
+		"qurator_resilience_breaker_transitions_total",
+		"Breaker state changes, labelled by the state entered.",
+		"endpoint", "to")
+	rtBreakerRejections = telemetry.Default.CounterVec(
+		"qurator_resilience_breaker_rejections_total",
+		"Calls fast-failed by an open (or probe-saturated) breaker.",
+		"endpoint")
 )
 
 // IdempotentHeader marks a request as safe to replay even though its
@@ -91,6 +123,12 @@ func (t *Transport) breaker(key string) *Breaker {
 	b, ok := t.breakers[key]
 	if !ok {
 		b = NewBreaker(t.policy.Breaker, t.policy.now)
+		gauge := rtBreakerState.With(key)
+		gauge.Set(float64(Closed))
+		b.OnTransition(func(_, to BreakerState) {
+			gauge.Set(float64(to))
+			rtBreakerTransitions.With(key, to.String()).Inc()
+		})
 		t.breakers[key] = b
 	}
 	return b
@@ -156,16 +194,21 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 			if !t.budget.Allow() {
 				break // budget exhausted: fail with the last error
 			}
+			rtRetries.With(key).Inc()
 			d := backoffFor(t.policy.BaseBackoff, t.policy.MaxBackoff, attempt-1, t.rng)
 			if !t.policy.sleep(d, req.Context().Done()) {
 				return nil, &ExhaustedError{Endpoint: key, Attempts: attempt, Err: req.Context().Err()}
 			}
 		}
 		if !br.Allow() {
+			rtBreakerRejections.With(key).Inc()
 			lastErr = &OpenError{Endpoint: key}
 			continue // the backoff above may outlive the cooldown
 		}
+		rtAttempts.With(key).Inc()
+		began := time.Now()
 		resp, err := t.attempt(req)
+		rtAttemptDuration.With(key).Observe(time.Since(began).Seconds())
 		if err != nil {
 			br.RecordFailure()
 			lastErr = err

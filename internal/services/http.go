@@ -12,7 +12,15 @@ import (
 	"time"
 
 	"qurator/internal/resilience"
+	"qurator/internal/telemetry"
 )
+
+// svcRequests counts service invocations on the serving side, labelled
+// by service and outcome (ok, fault, not_found, bad_request, error).
+var svcRequests = telemetry.Default.CounterVec(
+	"qurator_service_requests_total",
+	"Service fabric invocations by service and outcome.",
+	"service", "outcome")
 
 // Handler serves a registry over HTTP:
 //
@@ -38,16 +46,19 @@ func Handler(reg *Registry) http.Handler {
 		name := r.PathValue("name")
 		svc, ok := reg.Get(name)
 		if !ok {
+			svcRequests.With(name, "not_found").Inc()
 			http.Error(w, fmt.Sprintf("unknown service %q", name), http.StatusNotFound)
 			return
 		}
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
 		if err != nil {
+			svcRequests.With(name, "bad_request").Inc()
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 		req, err := UnmarshalEnvelope(body)
 		if err != nil {
+			svcRequests.With(name, "bad_request").Inc()
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
@@ -55,6 +66,7 @@ func Handler(reg *Registry) http.Handler {
 		if err != nil {
 			// Faults travel as envelopes with an Error element, so
 			// clients distinguish service faults from transport failures.
+			svcRequests.With(name, "fault").Inc()
 			fault := &Envelope{Service: name, Error: err.Error()}
 			w.Header().Set("Content-Type", "application/xml")
 			w.WriteHeader(http.StatusUnprocessableEntity)
@@ -64,9 +76,11 @@ func Handler(reg *Registry) http.Handler {
 		}
 		data, err := resp.Marshal()
 		if err != nil {
+			svcRequests.With(name, "error").Inc()
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
+		svcRequests.With(name, "ok").Inc()
 		w.Header().Set("Content-Type", "application/xml")
 		w.Write(data)
 	})

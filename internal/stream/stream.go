@@ -31,7 +31,34 @@ import (
 
 	"qurator/internal/compiler"
 	"qurator/internal/evidence"
+	"qurator/internal/telemetry"
 	"qurator/internal/workflow"
+)
+
+// Streaming metrics, labelled by view (workflow) name. Lag is measured
+// from window fire to in-order emission, so it includes queueing, the
+// enactment itself, and any reorder stall behind a slower predecessor.
+var (
+	streamItems = telemetry.Default.CounterVec(
+		"qurator_stream_items_total",
+		"Items ingested from the input stream.",
+		"view")
+	streamWindows = telemetry.Default.CounterVec(
+		"qurator_stream_windows_total",
+		"Windows by outcome: ok, skipped (SkipFailedWindows), or failed.",
+		"view", "status")
+	streamQueueDepth = telemetry.Default.GaugeVec(
+		"qurator_stream_queue_depth",
+		"Fired windows waiting for a worker.",
+		"view")
+	streamWindowLag = telemetry.Default.HistogramVec(
+		"qurator_stream_window_lag_seconds",
+		"Time from window fire to in-order result emission.",
+		nil, "view")
+	streamWindowDuration = telemetry.Default.HistogramVec(
+		"qurator_stream_window_duration_seconds",
+		"Wall-clock time of one window enactment.",
+		nil, "view")
 )
 
 // Item is one arriving data item: its identity plus optional inline
@@ -94,6 +121,9 @@ type WindowResult struct {
 	Error string `json:"error,omitempty"`
 	// Decisions holds one decision per newly-decided item.
 	Decisions []Decision `json:"decisions"`
+	// firedAt is when the windower fired the window; the enactor uses it
+	// to observe end-to-end window lag at emission time.
+	firedAt time.Time
 	// Stats maps annotation-map key IRIs (QA score tags, plus inline
 	// numeric evidence types) to their window statistics. Tag statistics
 	// are computed from the enacted window; evidence statistics are
@@ -173,8 +203,17 @@ func (e *Enactor) Config() Config { return e.cfg }
 // closes out before returning. The first enactment error cancels the
 // whole pipeline and is returned; a parent-context cancellation returns
 // the context's error.
-func (e *Enactor) Run(ctx context.Context, in <-chan Item, out chan<- WindowResult) error {
+func (e *Enactor) Run(ctx context.Context, in <-chan Item, out chan<- WindowResult) (err error) {
 	defer close(out)
+	view := e.compiled.Name()
+	// One root span covers the whole stream, so every window enactment
+	// below joins a single trace.
+	ctx, streamSpan := telemetry.StartSpan(ctx, "stream:"+view)
+	streamSpan.SetAttr("view", view)
+	defer func() { streamSpan.EndErr(err) }()
+	queueDepth := streamQueueDepth.With(view)
+	defer queueDepth.Set(0)
+
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -211,14 +250,17 @@ func (e *Enactor) Run(ctx context.Context, in <-chan Item, out chan<- WindowResu
 					if j := w.flush(); j != nil && !e.cfg.DropPartial {
 						select {
 						case jobs <- *j:
+							queueDepth.Add(1)
 						case <-ctx.Done():
 						}
 					}
 					return
 				}
+				streamItems.With(view).Inc()
 				if j := w.push(it); j != nil {
 					select {
 					case jobs <- *j:
+						queueDepth.Add(1)
 					case <-ctx.Done():
 						return
 					}
@@ -237,17 +279,22 @@ func (e *Enactor) Run(ctx context.Context, in <-chan Item, out chan<- WindowResu
 		go func() {
 			defer workerWG.Done()
 			for j := range jobs {
+				queueDepth.Add(-1)
+				began := time.Now()
 				res, err := e.enactWindow(ctx, j)
+				streamWindowDuration.With(view).Observe(time.Since(began).Seconds())
 				if err != nil {
 					if ctx.Err() != nil {
 						return
 					}
 					if !e.cfg.SkipFailedWindows {
+						streamWindows.With(view, "failed").Inc()
 						fail(err)
 						return
 					}
 					// Skip-and-report: the window's items go undecided,
 					// the stream lives on.
+					streamWindows.With(view, "skipped").Inc()
 					res = WindowResult{
 						Seq:       j.seq,
 						Size:      len(j.items),
@@ -255,7 +302,10 @@ func (e *Enactor) Run(ctx context.Context, in <-chan Item, out chan<- WindowResu
 						Failed:    true,
 						Error:     err.Error(),
 						Decisions: []Decision{},
+						firedAt:   j.firedAt,
 					}
+				} else {
+					streamWindows.With(view, "ok").Inc()
 				}
 				select {
 				case results <- res:
@@ -290,6 +340,9 @@ func (e *Enactor) Run(ctx context.Context, in <-chan Item, out chan<- WindowResu
 			select {
 			case out <- r:
 				next++
+				if !r.firedAt.IsZero() {
+					streamWindowLag.With(view).Observe(time.Since(r.firedAt).Seconds())
+				}
 			case <-ctx.Done():
 			}
 			if ctx.Err() != nil {
@@ -314,11 +367,15 @@ type windowJob struct {
 	decideFrom int
 	partial    bool
 	stats      map[string]WindowStats
+	firedAt    time.Time
 }
 
 // enactWindow runs one window through the compiled workflow and derives
 // the newly-decided items' decisions plus the window tag statistics.
-func (e *Enactor) enactWindow(ctx context.Context, j windowJob) (WindowResult, error) {
+func (e *Enactor) enactWindow(ctx context.Context, j windowJob) (_ WindowResult, err error) {
+	ctx, span := telemetry.StartSpan(ctx, fmt.Sprintf("window:%d", j.seq))
+	span.SetAttr("size", fmt.Sprint(len(j.items)))
+	defer func() { span.EndErr(err) }()
 	ports, err := e.compiled.Execute(ctx, workflow.Ports{compiler.PortDataSet: j.m})
 	if err != nil {
 		return WindowResult{}, fmt.Errorf("stream: window %d: %w", j.seq, err)
@@ -347,6 +404,7 @@ func (e *Enactor) enactWindow(ctx context.Context, j windowJob) (WindowResult, e
 		Partial:   j.partial,
 		Decisions: Decide(j.items[j.decideFrom:], outputs, cons, outputOrder, j.seq),
 		Stats:     j.stats,
+		firedAt:   j.firedAt,
 	}
 	// Window score statistics: one Welford pass over the enacted window
 	// per QA tag — O(1) per (item, tag).

@@ -1,6 +1,8 @@
 package stream
 
 import (
+	"time"
+
 	"qurator/internal/evidence"
 )
 
@@ -84,6 +86,7 @@ func (w *windower) fire(partial bool) *windowJob {
 		decideFrom: len(items) - w.undecided,
 		partial:    partial,
 		stats:      w.snapshotStats(),
+		firedAt:    time.Now(),
 	}
 	w.seq++
 	w.undecided = 0

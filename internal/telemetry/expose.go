@@ -1,0 +1,203 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteProm renders the registry in the Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE headers, then one sample line per
+// series, families in registration order, series in first-use order.
+func (r *Registry) WriteProm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		fams = append(fams, r.fams[name])
+	}
+	r.mu.RUnlock()
+	for _, f := range fams {
+		if err := f.writeProm(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func (f *family) writeProm(w *bufio.Writer) error {
+	f.mu.RLock()
+	snap := make([]*series, 0, len(f.order))
+	for _, key := range f.order {
+		snap = append(snap, f.series[key])
+	}
+	f.mu.RUnlock()
+	if len(snap) == 0 {
+		return nil
+	}
+	if f.help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+	for _, s := range snap {
+		switch f.typ {
+		case typeCounter:
+			fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(f.labels, s.labelValues, "", ""), s.c.Value())
+		case typeGauge:
+			fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(f.labels, s.labelValues, "", ""), formatFloat(s.g.Value()))
+		case typeHistogram:
+			cum := uint64(0)
+			for i, bound := range s.h.bounds {
+				cum += s.h.counts[i].Load()
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+					labelString(f.labels, s.labelValues, "le", formatFloat(bound)), cum)
+			}
+			cum += s.h.counts[len(s.h.bounds)].Load()
+			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+				labelString(f.labels, s.labelValues, "le", "+Inf"), cum)
+			fmt.Fprintf(w, "%s_sum%s %s\n", f.name,
+				labelString(f.labels, s.labelValues, "", ""), formatFloat(s.h.Sum()))
+			fmt.Fprintf(w, "%s_count%s %d\n", f.name,
+				labelString(f.labels, s.labelValues, "", ""), s.h.Count())
+		}
+	}
+	return nil
+}
+
+// labelString renders {k="v",...}, with an optional extra pair (the
+// histogram "le" label), or "" when there are no labels at all.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(extraValue)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+
+// Handler serves the registry as GET /metrics in Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "telemetry: GET /metrics", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if req.Method == http.MethodHead {
+			return
+		}
+		_ = r.WriteProm(w)
+	})
+}
+
+// BucketCount is one cumulative histogram bucket in a snapshot.
+type BucketCount struct {
+	UpperBound float64 `json:"le"`
+	Count      uint64  `json:"count"`
+}
+
+// SeriesSnapshot is one labelled series' frozen state.
+type SeriesSnapshot struct {
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   float64           `json:"value"`
+	Count   uint64            `json:"count,omitempty"`
+	Sum     float64           `json:"sum,omitempty"`
+	Buckets []BucketCount     `json:"buckets,omitempty"`
+}
+
+// MetricSnapshot is one family's frozen state.
+type MetricSnapshot struct {
+	Name   string           `json:"name"`
+	Type   string           `json:"type"`
+	Help   string           `json:"help,omitempty"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// Snapshot freezes every family for JSON serialisation (qvrun
+// -telemetry, BENCH records). Families are sorted by name, series by
+// label values, so snapshots diff cleanly.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		fams = append(fams, r.fams[name])
+	}
+	r.mu.RUnlock()
+	out := make([]MetricSnapshot, 0, len(fams))
+	for _, f := range fams {
+		f.mu.RLock()
+		ms := MetricSnapshot{Name: f.name, Type: f.typ, Help: f.help}
+		for _, key := range f.order {
+			s := f.series[key]
+			ss := SeriesSnapshot{}
+			if len(f.labels) > 0 {
+				ss.Labels = make(map[string]string, len(f.labels))
+				for i, l := range f.labels {
+					ss.Labels[l] = s.labelValues[i]
+				}
+			}
+			switch f.typ {
+			case typeCounter:
+				ss.Value = float64(s.c.Value())
+			case typeGauge:
+				ss.Value = s.g.Value()
+			case typeHistogram:
+				ss.Count = s.h.Count()
+				ss.Sum = s.h.Sum()
+				ss.Value = ss.Sum
+				cum := uint64(0)
+				for i, bound := range s.h.bounds {
+					cum += s.h.counts[i].Load()
+					ss.Buckets = append(ss.Buckets, BucketCount{UpperBound: bound, Count: cum})
+				}
+			}
+			ms.Series = append(ms.Series, ss)
+		}
+		f.mu.RUnlock()
+		sort.Slice(ms.Series, func(a, b int) bool {
+			return labelKey(seriesValues(ms.Series[a], f.labels)) < labelKey(seriesValues(ms.Series[b], f.labels))
+		})
+		out = append(out, ms)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
+}
+
+func seriesValues(s SeriesSnapshot, labels []string) []string {
+	values := make([]string, len(labels))
+	for i, l := range labels {
+		values[i] = s.Labels[l]
+	}
+	return values
+}

@@ -1,0 +1,294 @@
+// Package telemetry is Qurator's observability layer: a process-wide
+// metrics registry (atomic counters, gauges and fixed-bucket histograms
+// with Prometheus text-format exposition) plus lightweight spans
+// (trace-ID/span-ID, parent linkage, attributes) propagated through
+// context.Context and collected into per-trace trees.
+//
+// The paper's central claim is that quality views make data-quality
+// processing inspectable (§7: provenance answers "which condition
+// produced the 18-item result?"); this package extends that
+// inspectability from *what* an enactment decided to *how* it behaved —
+// per-processor latencies, breaker states, retry spend, window lag — and
+// links the two worlds by stamping each enactment's trace ID into its
+// RDF provenance record (q:traceID).
+//
+// Everything is stdlib-only and safe for concurrent use. Metric
+// mutation on the hot path is one atomic op (two for histograms); the
+// registry lock is touched only when a new series materialises.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down (stored as float64 bits).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta (CAS loop; contention-tolerant).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DefBuckets are the default histogram bucket upper bounds, in seconds —
+// the classic latency spread from 1ms to 10s.
+var DefBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// Histogram counts observations into fixed cumulative buckets.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; +Inf is implicit
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose upper bound admits v (le is inclusive).
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	h.count.Add(1)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// metric type names (also the Prometheus TYPE spellings).
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// series is one labelled instance within a family.
+type series struct {
+	labelValues []string
+	c           *Counter
+	g           *Gauge
+	h           *Histogram
+}
+
+// family is one named metric with a fixed label schema.
+type family struct {
+	name    string
+	help    string
+	typ     string
+	labels  []string
+	buckets []float64 // histograms only
+
+	mu     sync.RWMutex
+	series map[string]*series
+	order  []string
+}
+
+// labelKey joins label values into a map key; 0xff never appears in
+// sane label values so collisions require deliberately hostile input.
+func labelKey(values []string) string { return strings.Join(values, "\xff") }
+
+func (f *family) get(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("telemetry: metric %s expects %d label value(s), got %d",
+			f.name, len(f.labels), len(values)))
+	}
+	key := labelKey(values)
+	f.mu.RLock()
+	s := f.series[key]
+	f.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s = f.series[key]; s != nil {
+		return s
+	}
+	s = &series{labelValues: append([]string(nil), values...)}
+	switch f.typ {
+	case typeCounter:
+		s.c = &Counter{}
+	case typeGauge:
+		s.g = &Gauge{}
+	case typeHistogram:
+		s.h = &Histogram{bounds: f.buckets, counts: make([]atomic.Uint64, len(f.buckets)+1)}
+	}
+	f.series[key] = s
+	f.order = append(f.order, key)
+	return s
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ fam *family }
+
+// With returns the counter for the given label values (created on first
+// use).
+func (v *CounterVec) With(values ...string) *Counter { return v.fam.get(values).c }
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ fam *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.fam.get(values).g }
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ fam *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.fam.get(values).h }
+
+// Registry holds metric families. The zero value is not usable; call
+// NewRegistry (or use Default).
+type Registry struct {
+	mu    sync.RWMutex
+	fams  map[string]*family
+	order []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// Default is the process-wide registry every instrumented layer writes
+// to and quratord's /metrics exposes.
+var Default = NewRegistry()
+
+// validName reports whether s is a legal Prometheus metric/label name.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// register returns the named family, creating it on first registration.
+// Registering an existing name with a different type, label schema or
+// bucket layout panics — metric identity is a programming contract.
+func (r *Registry) register(name, help, typ string, buckets []float64, labels []string) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l) || strings.Contains(l, ":") {
+			panic(fmt.Sprintf("telemetry: invalid label name %q for metric %s", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.typ != typ || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("telemetry: metric %s re-registered as %s with %d label(s), was %s with %d",
+				name, typ, len(labels), f.typ, len(f.labels)))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("telemetry: metric %s re-registered with label %q, was %q",
+					name, labels[i], f.labels[i]))
+			}
+		}
+		return f
+	}
+	if typ == typeHistogram {
+		if len(buckets) == 0 {
+			buckets = DefBuckets
+		}
+		if !sort.Float64sAreSorted(buckets) {
+			panic(fmt.Sprintf("telemetry: histogram %s buckets are not ascending", name))
+		}
+		buckets = append([]float64(nil), buckets...)
+	}
+	f := &family{
+		name: name, help: help, typ: typ,
+		labels:  append([]string(nil), labels...),
+		buckets: buckets,
+		series:  make(map[string]*series),
+	}
+	r.fams[name] = f
+	r.order = append(r.order, name)
+	return f
+}
+
+// Counter returns (registering if needed) an unlabelled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterVec(name, help).With()
+}
+
+// CounterVec returns (registering if needed) a labelled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{fam: r.register(name, help, typeCounter, nil, labels)}
+}
+
+// Gauge returns (registering if needed) an unlabelled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.GaugeVec(name, help).With()
+}
+
+// GaugeVec returns (registering if needed) a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{fam: r.register(name, help, typeGauge, nil, labels)}
+}
+
+// Histogram returns (registering if needed) an unlabelled histogram.
+// nil buckets select DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.HistogramVec(name, help, buckets).With()
+}
+
+// HistogramVec returns (registering if needed) a labelled histogram
+// family. nil buckets select DefBuckets.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{fam: r.register(name, help, typeHistogram, buckets, labels)}
+}

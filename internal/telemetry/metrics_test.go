@@ -1,0 +1,193 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("test_gauge", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestCounterVecSeriesIdentity(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("requests_total", "", "endpoint")
+	v.With("a").Inc()
+	v.With("a").Inc()
+	v.With("b").Inc()
+	if got := v.With("a").Value(); got != 2 {
+		t.Fatalf("series a = %d, want 2", got)
+	}
+	if got := v.With("b").Value(); got != 1 {
+		t.Fatalf("series b = %d, want 1", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); math.Abs(got-55.65) > 1e-9 {
+		t.Fatalf("sum = %v, want 55.65", got)
+	}
+	// le is inclusive: 0.1 lands in the first bucket.
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestRegisterIdempotentAndConflicts(t *testing.T) {
+	r := NewRegistry()
+	a := r.CounterVec("dup_total", "", "x")
+	b := r.CounterVec("dup_total", "", "x")
+	a.With("1").Inc()
+	if got := b.With("1").Value(); got != 1 {
+		t.Fatalf("re-registration returned a different family")
+	}
+	mustPanic(t, "type conflict", func() { r.Gauge("dup_total", "") })
+	mustPanic(t, "label conflict", func() { r.CounterVec("dup_total", "", "y") })
+	mustPanic(t, "bad name", func() { r.Counter("9bad", "") })
+	mustPanic(t, "bad label", func() { r.CounterVec("ok_total", "", "9bad") })
+	mustPanic(t, "label arity", func() { a.With("1", "2") })
+	mustPanic(t, "unsorted buckets", func() { r.Histogram("h_seconds", "", []float64{1, 0.5}) })
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestConcurrentMetricMutation(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("conc_total", "", "worker")
+	h := r.Histogram("conc_seconds", "", nil)
+	g := r.Gauge("conc_gauge", "")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			label := string(rune('a' + w%4))
+			for i := 0; i < 1000; i++ {
+				v.With(label).Inc()
+				h.Observe(0.001)
+				g.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total uint64
+	for _, l := range []string{"a", "b", "c", "d"} {
+		total += v.With(l).Value()
+	}
+	if total != 8000 {
+		t.Fatalf("counter total = %d, want 8000", total)
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+	if g.Value() != 8000 {
+		t.Fatalf("gauge = %v, want 8000", g.Value())
+	}
+}
+
+func TestWritePromAndRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("qurator_requests_total", "requests served", "endpoint", "outcome").
+		With("/services/x", "ok").Add(3)
+	r.Gauge("qurator_breaker_state", "0 closed 1 open").Set(1)
+	h := r.HistogramVec("qurator_latency_seconds", "latency", []float64{0.01, 0.1}, "op")
+	h.With("enact").Observe(0.005)
+	h.With("enact").Observe(0.5)
+	r.CounterVec("qurator_weird_total", "", "v").With(`quo"te\back` + "\nnl").Inc()
+
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`qurator_requests_total{endpoint="/services/x",outcome="ok"} 3`,
+		"# TYPE qurator_latency_seconds histogram",
+		`qurator_latency_seconds_bucket{op="enact",le="0.01"} 1`,
+		`qurator_latency_seconds_bucket{op="enact",le="+Inf"} 2`,
+		`qurator_latency_seconds_count{op="enact"} 2`,
+		`qurator_weird_total{v="quo\"te\\back\nnl"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("round-trip validation failed: %v\n%s", err, out)
+	}
+}
+
+func TestValidateExpositionRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad value":        "m_total notanumber\n",
+		"bad type":         "# TYPE m_total widget\nm_total 1\n",
+		"dup type":         "# TYPE m_total counter\n# TYPE m_total counter\nm_total 1\n",
+		"type after use":   "m_total 1\n# TYPE m_total counter\n",
+		"unclosed labels":  "m_total{a=\"b\" 1\n",
+		"dup label":        "m_total{a=\"1\",a=\"2\"} 1\n",
+		"no samples":       "# TYPE m_total counter\n",
+		"bucket disorder":  "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"0.5\"} 3\nh_sum 1\nh_count 2\n",
+		"bucket decrease":  "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 5\n",
+		"suffix non-histo": "# TYPE h histogram\n# TYPE x_total counter\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\nx_total_bucket{le=\"1\"} 1\n",
+	}
+	for name, doc := range cases {
+		if err := ValidateExposition(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: expected validation error for:\n%s", name, doc)
+		}
+	}
+	if err := ValidateExposition(strings.NewReader(
+		"# HELP ok_total fine\n# TYPE ok_total counter\nok_total{a=\"b\"} 1 1712345678\n")); err != nil {
+		t.Errorf("valid doc rejected: %v", err)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("z_total", "", "k").With("v").Add(7)
+	h := r.Histogram("a_seconds", "", []float64{1})
+	h.Observe(0.5)
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].Name != "a_seconds" || snap[1].Name != "z_total" {
+		t.Fatalf("snapshot order/content wrong: %+v", snap)
+	}
+	if snap[1].Series[0].Labels["k"] != "v" || snap[1].Series[0].Value != 7 {
+		t.Fatalf("counter series wrong: %+v", snap[1].Series)
+	}
+	hs := snap[0].Series[0]
+	if hs.Count != 1 || hs.Sum != 0.5 || len(hs.Buckets) != 1 || hs.Buckets[0].Count != 1 {
+		t.Fatalf("histogram series wrong: %+v", hs)
+	}
+}

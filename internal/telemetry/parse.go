@@ -1,0 +1,298 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition parses a Prometheus text-format (0.0.4) document
+// and reports the first malformed line. It is the round-trip check the
+// CI benchmark smoke runs over /metrics output: every HELP/TYPE header
+// must be well-formed and precede its samples, every sample line must
+// parse as name{labels} value, histogram samples must belong to a
+// declared histogram family, and cumulative bucket counts must be
+// non-decreasing.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	types := map[string]string{} // family → declared TYPE
+	helped := map[string]bool{}  // family → HELP seen
+	sampled := map[string]bool{} // family → sample seen
+	lastBucket := map[string]struct {
+		cum uint64
+		le  float64
+	}{} // per bucket-series prefix: monotonicity check
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := validateComment(line, types, helped, sampled); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam, suffix := familyOf(name, types)
+		if typ, ok := types[fam]; ok {
+			if suffix != "" && typ != typeHistogram {
+				return fmt.Errorf("line %d: sample %s has histogram suffix but %s is a %s", lineNo, name, fam, typ)
+			}
+			if typ == typeHistogram {
+				switch suffix {
+				case "_bucket":
+					le, ok := labels["le"]
+					if !ok {
+						return fmt.Errorf("line %d: histogram bucket %s lacks an le label", lineNo, name)
+					}
+					if err := checkBucket(line, le, value, labels, lastBucket); err != nil {
+						return fmt.Errorf("line %d: %w", lineNo, err)
+					}
+				case "_sum", "_count", "":
+				default:
+					return fmt.Errorf("line %d: unknown histogram sample %s", lineNo, name)
+				}
+			}
+		}
+		sampled[fam] = true
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for fam := range types {
+		if !sampled[fam] {
+			return fmt.Errorf("family %s declares a TYPE but exposes no samples", fam)
+		}
+	}
+	return nil
+}
+
+// familyOf strips a histogram suffix when the base name is a declared
+// histogram family.
+func familyOf(name string, types map[string]string) (fam, suffix string) {
+	for _, s := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, s)
+		if base != name && types[base] == typeHistogram {
+			return base, s
+		}
+	}
+	return name, ""
+}
+
+func validateComment(line string, types map[string]string, helped, sampled map[string]bool) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		return fmt.Errorf("malformed comment %q", line)
+	}
+	switch fields[1] {
+	case "HELP":
+		name := fields[2]
+		if !validName(name) {
+			return fmt.Errorf("HELP for invalid metric name %q", name)
+		}
+		if helped[name] {
+			return fmt.Errorf("duplicate HELP for %s", name)
+		}
+		helped[name] = true
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], fields[3]
+		if !validName(name) {
+			return fmt.Errorf("TYPE for invalid metric name %q", name)
+		}
+		switch typ {
+		case typeCounter, typeGauge, typeHistogram, "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown TYPE %q for %s", typ, name)
+		}
+		if _, dup := types[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %s", name)
+		}
+		if sampled[name] {
+			return fmt.Errorf("TYPE for %s appears after its samples", name)
+		}
+		types[name] = typ
+	default:
+		// Free-form comments are legal.
+	}
+	return nil
+}
+
+// parseSample parses `name{k="v",...} value` (timestamp suffixes are
+// accepted and ignored).
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return "", nil, 0, fmt.Errorf("sample line %q does not start with a metric name", line)
+	}
+	name = line[:i]
+	labels = map[string]string{}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, err := parseLabels(rest, labels)
+		if err != nil {
+			return "", nil, 0, fmt.Errorf("sample %s: %w", name, err)
+		}
+		rest = rest[end:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("sample %s: want value [timestamp], got %q", name, strings.TrimSpace(rest))
+	}
+	value, err = parsePromFloat(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("sample %s: bad value %q", name, fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", nil, 0, fmt.Errorf("sample %s: bad timestamp %q", name, fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels parses a {k="v",...} block starting at s[0] == '{',
+// returning the index just past the closing brace.
+func parseLabels(s string, out map[string]string) (int, error) {
+	i := 1 // past '{'
+	for {
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label block")
+		}
+		if s[i] == '}' {
+			return i + 1, nil
+		}
+		start := i
+		for i < len(s) && isNameChar(s[i], i == start) && s[i] != ':' {
+			i++
+		}
+		if i == start {
+			return 0, fmt.Errorf("empty label name at %q", s[i:])
+		}
+		key := s[start:i]
+		if i >= len(s) || s[i] != '=' {
+			return 0, fmt.Errorf("label %s lacks '='", key)
+		}
+		i++
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("label %s value is not quoted", key)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return 0, fmt.Errorf("unterminated value for label %s", key)
+			}
+			if s[i] == '\\' {
+				if i+1 >= len(s) {
+					return 0, fmt.Errorf("dangling escape in label %s", key)
+				}
+				switch s[i+1] {
+				case '\\', '"':
+					val.WriteByte(s[i+1])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, fmt.Errorf("bad escape \\%c in label %s", s[i+1], key)
+				}
+				i += 2
+				continue
+			}
+			if s[i] == '"' {
+				i++
+				break
+			}
+			val.WriteByte(s[i])
+			i++
+		}
+		if _, dup := out[key]; dup {
+			return 0, fmt.Errorf("duplicate label %s", key)
+		}
+		out[key] = val.String()
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+func parsePromFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	case "NaN":
+		return strconv.ParseFloat("NaN", 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+// checkBucket enforces cumulative-bucket monotonicity per series (same
+// labels modulo le), keyed by the sample line's label set minus le.
+func checkBucket(line, le string, value float64, labels map[string]string, last map[string]struct {
+	cum uint64
+	le  float64
+}) error {
+	bound, err := parsePromFloat(le)
+	if err != nil {
+		return fmt.Errorf("bad le %q", le)
+	}
+	var keyParts []string
+	for k, v := range labels {
+		if k == "le" {
+			continue
+		}
+		keyParts = append(keyParts, k+"="+v)
+	}
+	// Prefix with the metric name so distinct histograms don't collide.
+	name := line[:strings.IndexAny(line, "{ ")]
+	key := name + "\xff" + labelKey(sortedCopy(keyParts))
+	prev, seen := last[key]
+	if seen {
+		if bound < prev.le {
+			return fmt.Errorf("bucket le=%s out of order (after le=%v)", le, prev.le)
+		}
+		if uint64(value) < prev.cum {
+			return fmt.Errorf("bucket le=%s count %v below previous cumulative %d", le, value, prev.cum)
+		}
+	}
+	last[key] = struct {
+		cum uint64
+		le  float64
+	}{cum: uint64(value), le: bound}
+	return nil
+}
+
+func sortedCopy(s []string) []string {
+	out := append([]string(nil), s...)
+	for i := 1; i < len(out); i++ { // insertion sort; label sets are tiny
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

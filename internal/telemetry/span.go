@@ -1,0 +1,350 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// SpanData is one finished span: the JSON-serialisable record a
+// Recorder retains and /debug/enactments serves.
+type SpanData struct {
+	TraceID  string            `json:"traceID"`
+	SpanID   string            `json:"spanID"`
+	ParentID string            `json:"parentID,omitempty"`
+	Name     string            `json:"name"`
+	Start    time.Time         `json:"start"`
+	End      time.Time         `json:"end"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Err      string            `json:"error,omitempty"`
+}
+
+// Duration is the span's wall-clock time.
+func (d SpanData) Duration() time.Duration { return d.End.Sub(d.Start) }
+
+// MarshalJSON adds a derived durationMillis field so span trees read
+// without client-side arithmetic.
+func (d SpanData) MarshalJSON() ([]byte, error) {
+	type alias SpanData
+	return json.Marshal(struct {
+		alias
+		DurationMillis float64 `json:"durationMillis"`
+	}{alias(d), float64(d.Duration()) / float64(time.Millisecond)})
+}
+
+// Span is an in-flight operation: started with StartSpan, finished with
+// End/EndErr (exactly once; later calls are no-ops). All methods are
+// safe for concurrent use.
+type Span struct {
+	// TraceID groups every span of one enactment; SpanID identifies this
+	// span; ParentID links the tree. Immutable after StartSpan.
+	TraceID, SpanID, ParentID string
+	// Name describes the operation ("enact:view", a processor name, …).
+	Name string
+	// Start is the span's start time.
+	Start time.Time
+
+	rec *Recorder
+
+	mu    sync.Mutex
+	attrs map[string]string
+	ended bool
+	data  SpanData
+}
+
+// idRng feeds trace/span IDs; math/rand is plenty — IDs only need to be
+// unique within a debugging session, not unguessable.
+var idRng = struct {
+	sync.Mutex
+	*rand.Rand
+}{Rand: rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(os.Getpid())<<32))}
+
+func newID() string {
+	idRng.Lock()
+	defer idRng.Unlock()
+	return fmt.Sprintf("%016x", idRng.Uint64())
+}
+
+type spanCtxKey struct{}
+type recorderCtxKey struct{}
+
+// WithRecorder directs spans started under ctx (and their descendants)
+// to rec instead of DefaultRecorder — qvrun -telemetry uses a private
+// recorder so its dump holds exactly its own enactment.
+func WithRecorder(ctx context.Context, rec *Recorder) context.Context {
+	return context.WithValue(ctx, recorderCtxKey{}, rec)
+}
+
+// SpanFrom returns the active span of the context, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// TraceIDFrom returns the active trace ID of the context, or "".
+func TraceIDFrom(ctx context.Context) string {
+	if s := SpanFrom(ctx); s != nil {
+		return s.TraceID
+	}
+	return ""
+}
+
+// StartSpan begins a span named name. If the context carries an active
+// span the new span joins its trace as a child; otherwise a fresh trace
+// starts, delivered (on End) to the context's recorder or, absent one,
+// to DefaultRecorder. The returned context carries the new span.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	s := &Span{Name: name, SpanID: newID(), Start: time.Now()}
+	if parent := SpanFrom(ctx); parent != nil {
+		s.TraceID, s.ParentID, s.rec = parent.TraceID, parent.SpanID, parent.rec
+	} else {
+		s.TraceID = newID()
+		if rec, ok := ctx.Value(recorderCtxKey{}).(*Recorder); ok {
+			s.rec = rec
+		} else {
+			s.rec = DefaultRecorder
+		}
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// SetAttr attaches a key/value attribute to the span.
+func (s *Span) SetAttr(key, value string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]string)
+	}
+	s.attrs[key] = value
+}
+
+// End finishes the span successfully and returns its record.
+func (s *Span) End() SpanData { return s.EndErr(nil) }
+
+// EndErr finishes the span, recording err (nil = success), delivers it
+// to the recorder, and returns its record. Only the first call takes
+// effect; later calls return the original record.
+func (s *Span) EndErr(err error) SpanData {
+	s.mu.Lock()
+	if s.ended {
+		d := s.data
+		s.mu.Unlock()
+		return d
+	}
+	s.ended = true
+	s.data = SpanData{
+		TraceID: s.TraceID, SpanID: s.SpanID, ParentID: s.ParentID,
+		Name: s.Name, Start: s.Start, End: time.Now(), Attrs: s.attrs,
+	}
+	if err != nil {
+		s.data.Err = err.Error()
+	}
+	d := s.data
+	rec := s.rec
+	s.mu.Unlock()
+	if rec != nil {
+		rec.record(d)
+	}
+	return d
+}
+
+// traceEntry accumulates one trace's finished spans.
+type traceEntry struct {
+	spans   []SpanData
+	dropped int
+	done    bool // the root span (no parent) has ended
+}
+
+// Recorder retains the spans of the most recent traces, bounded in both
+// trace count and spans per trace, for /debug/enactments and qvrun
+// -telemetry. Safe for concurrent use.
+type Recorder struct {
+	mu        sync.Mutex
+	maxTraces int
+	maxSpans  int
+	traces    map[string]*traceEntry
+	order     []string // trace IDs, oldest first
+}
+
+// DefaultRecorder is where spans land when no recorder is attached to
+// the context — the process-wide ring quratord's /debug/enactments
+// serves.
+var DefaultRecorder = NewRecorder(64)
+
+// NewRecorder returns a recorder retaining up to maxTraces traces
+// (min 1) of up to 2048 spans each.
+func NewRecorder(maxTraces int) *Recorder {
+	if maxTraces < 1 {
+		maxTraces = 1
+	}
+	return &Recorder{
+		maxTraces: maxTraces,
+		maxSpans:  2048,
+		traces:    make(map[string]*traceEntry),
+	}
+}
+
+func (r *Recorder) record(d SpanData) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.traces[d.TraceID]
+	if e == nil {
+		for len(r.order) >= r.maxTraces {
+			delete(r.traces, r.order[0])
+			r.order = r.order[1:]
+		}
+		e = &traceEntry{}
+		r.traces[d.TraceID] = e
+		r.order = append(r.order, d.TraceID)
+	}
+	if len(e.spans) >= r.maxSpans {
+		e.dropped++
+	} else {
+		e.spans = append(e.spans, d)
+	}
+	if d.ParentID == "" {
+		e.done = true
+	}
+}
+
+// SpanTree is a span with its children nested, children ordered by
+// start time.
+type SpanTree struct {
+	SpanData
+	Children []*SpanTree `json:"children,omitempty"`
+}
+
+// MarshalJSON splices the children into the span's own JSON object.
+// Without it the embedded SpanData's marshaller would be promoted and
+// the children silently dropped.
+func (t *SpanTree) MarshalJSON() ([]byte, error) {
+	span, err := json.Marshal(t.SpanData)
+	if err != nil || len(t.Children) == 0 {
+		return span, err
+	}
+	kids, err := json.Marshal(t.Children)
+	if err != nil {
+		return nil, err
+	}
+	buf := append(span[:len(span)-1], `,"children":`...)
+	buf = append(buf, kids...)
+	return append(buf, '}'), nil
+}
+
+// TraceTree is one trace assembled into span trees.
+type TraceTree struct {
+	TraceID string `json:"traceID"`
+	// Root is the parentless span's tree; nil while the root is still
+	// running (its children may already have finished).
+	Root *SpanTree `json:"root,omitempty"`
+	// Orphans are finished spans whose parent has not (yet) finished.
+	Orphans []*SpanTree `json:"orphans,omitempty"`
+	// DroppedSpans counts spans discarded past the per-trace cap.
+	DroppedSpans int `json:"droppedSpans,omitempty"`
+	// Complete reports whether the root span has ended.
+	Complete bool `json:"complete"`
+}
+
+func buildTree(id string, e *traceEntry) TraceTree {
+	t := TraceTree{TraceID: id, DroppedSpans: e.dropped, Complete: e.done}
+	nodes := make(map[string]*SpanTree, len(e.spans))
+	for _, d := range e.spans {
+		nodes[d.SpanID] = &SpanTree{SpanData: d}
+	}
+	for _, n := range nodes {
+		switch {
+		case n.ParentID == "":
+			t.Root = n
+		case nodes[n.ParentID] != nil:
+			parent := nodes[n.ParentID]
+			parent.Children = append(parent.Children, n)
+		default:
+			t.Orphans = append(t.Orphans, n)
+		}
+	}
+	for _, n := range nodes {
+		sort.Slice(n.Children, func(a, b int) bool {
+			return n.Children[a].Start.Before(n.Children[b].Start)
+		})
+	}
+	sort.Slice(t.Orphans, func(a, b int) bool { return t.Orphans[a].Start.Before(t.Orphans[b].Start) })
+	return t
+}
+
+// Traces returns up to n recent traces, newest first (n <= 0 = all).
+func (r *Recorder) Traces(n int) []TraceTree {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n <= 0 || n > len(r.order) {
+		n = len(r.order)
+	}
+	out := make([]TraceTree, 0, n)
+	for i := len(r.order) - 1; i >= 0 && len(out) < n; i-- {
+		id := r.order[i]
+		out = append(out, buildTree(id, r.traces[id]))
+	}
+	return out
+}
+
+// Trace returns one trace's tree by ID.
+func (r *Recorder) Trace(id string) (TraceTree, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.traces[id]
+	if !ok {
+		return TraceTree{}, false
+	}
+	return buildTree(id, e), true
+}
+
+// Len returns the number of retained traces.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.traces)
+}
+
+// DebugHandler serves the recorder's recent traces as JSON:
+//
+//	GET /debug/enactments            → {"traces":[...]} (newest first)
+//	GET /debug/enactments?n=5        → at most 5 traces
+//	GET /debug/enactments?trace=<id> → that trace only (404 if unknown)
+func DebugHandler(rec *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "telemetry: GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if id := req.URL.Query().Get("trace"); id != "" {
+			t, ok := rec.Trace(id)
+			if !ok {
+				http.Error(w, fmt.Sprintf("telemetry: unknown trace %q", id), http.StatusNotFound)
+				return
+			}
+			_ = enc.Encode(t)
+			return
+		}
+		n := 20
+		if s := req.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil {
+				n = v
+			}
+		}
+		_ = enc.Encode(struct {
+			Traces []TraceTree `json:"traces"`
+		}{rec.Traces(n)})
+	})
+}

@@ -1,0 +1,233 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestStartSpanParentLinkage(t *testing.T) {
+	rec := NewRecorder(4)
+	ctx := WithRecorder(context.Background(), rec)
+	ctx, root := StartSpan(ctx, "root")
+	if root.TraceID == "" || root.SpanID == "" || root.ParentID != "" {
+		t.Fatalf("bad root identifiers: %+v", root)
+	}
+	if got := TraceIDFrom(ctx); got != root.TraceID {
+		t.Fatalf("TraceIDFrom = %q, want %q", got, root.TraceID)
+	}
+	cctx, child := StartSpan(ctx, "child")
+	if child.TraceID != root.TraceID || child.ParentID != root.SpanID {
+		t.Fatalf("child not linked: %+v", child)
+	}
+	_, grand := StartSpan(cctx, "grand")
+	if grand.ParentID != child.SpanID {
+		t.Fatalf("grandchild parent = %q, want %q", grand.ParentID, child.SpanID)
+	}
+	grand.End()
+	child.End()
+	root.SetAttr("view", "paper")
+	root.EndErr(errors.New("boom"))
+
+	tree, ok := rec.Trace(root.TraceID)
+	if !ok {
+		t.Fatal("trace not recorded")
+	}
+	if !tree.Complete || tree.Root == nil || tree.Root.Name != "root" {
+		t.Fatalf("bad tree: %+v", tree)
+	}
+	if tree.Root.Err != "boom" || tree.Root.Attrs["view"] != "paper" {
+		t.Fatalf("root data wrong: %+v", tree.Root.SpanData)
+	}
+	if len(tree.Root.Children) != 1 || tree.Root.Children[0].Name != "child" {
+		t.Fatalf("children wrong: %+v", tree.Root.Children)
+	}
+	if len(tree.Root.Children[0].Children) != 1 || tree.Root.Children[0].Children[0].Name != "grand" {
+		t.Fatalf("grandchildren wrong")
+	}
+}
+
+func TestEndIdempotentAndDuration(t *testing.T) {
+	_, s := StartSpan(WithRecorder(context.Background(), NewRecorder(1)), "x")
+	d1 := s.End()
+	d2 := s.EndErr(errors.New("late"))
+	if d2.Err != "" || d1.End != d2.End {
+		t.Fatalf("second End mutated span: %+v vs %+v", d1, d2)
+	}
+	if d1.Duration() < 0 {
+		t.Fatalf("negative duration")
+	}
+	b, err := json.Marshal(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "durationMillis") {
+		t.Fatalf("marshal lacks durationMillis: %s", b)
+	}
+}
+
+func TestRecorderEviction(t *testing.T) {
+	rec := NewRecorder(2)
+	ctx := WithRecorder(context.Background(), rec)
+	var ids []string
+	for i := 0; i < 3; i++ {
+		_, s := StartSpan(ctx, fmt.Sprintf("t%d", i))
+		ids = append(ids, s.TraceID)
+		s.End()
+	}
+	if rec.Len() != 2 {
+		t.Fatalf("recorder holds %d traces, want 2", rec.Len())
+	}
+	if _, ok := rec.Trace(ids[0]); ok {
+		t.Fatal("oldest trace not evicted")
+	}
+	traces := rec.Traces(0)
+	if len(traces) != 2 || traces[0].TraceID != ids[2] || traces[1].TraceID != ids[1] {
+		t.Fatalf("Traces order wrong: %+v", traces)
+	}
+}
+
+func TestRecorderSpanCapAndOrphans(t *testing.T) {
+	rec := NewRecorder(1)
+	rec.maxSpans = 2
+	ctx := WithRecorder(context.Background(), rec)
+	ctx, root := StartSpan(ctx, "root")
+	for i := 0; i < 3; i++ {
+		_, c := StartSpan(ctx, fmt.Sprintf("c%d", i))
+		c.End()
+	}
+	// Root never ends in-window view: children c0/c1 kept, c2 dropped.
+	tree, ok := rec.Trace(root.TraceID)
+	if !ok {
+		t.Fatal("trace missing")
+	}
+	if tree.Complete || tree.Root != nil {
+		t.Fatalf("incomplete trace misreported: %+v", tree)
+	}
+	if len(tree.Orphans) != 2 || tree.DroppedSpans != 1 {
+		t.Fatalf("orphans=%d dropped=%d, want 2/1", len(tree.Orphans), tree.DroppedSpans)
+	}
+}
+
+func TestDefaultRecorderFallback(t *testing.T) {
+	_, s := StartSpan(context.Background(), "default-bound")
+	s.End()
+	if _, ok := DefaultRecorder.Trace(s.TraceID); !ok {
+		t.Fatal("span without recorder context did not reach DefaultRecorder")
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	rec := NewRecorder(64)
+	ctx := WithRecorder(context.Background(), rec)
+	ctx, root := StartSpan(ctx, "root")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, s := StartSpan(ctx, fmt.Sprintf("w%d", i))
+			s.SetAttr("i", fmt.Sprint(i))
+			s.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	tree, _ := rec.Trace(root.TraceID)
+	if len(tree.Root.Children) != 16 {
+		t.Fatalf("children = %d, want 16", len(tree.Root.Children))
+	}
+}
+
+func TestDebugHandler(t *testing.T) {
+	rec := NewRecorder(8)
+	ctx := WithRecorder(context.Background(), rec)
+	ctx, root := StartSpan(ctx, "enact:paper")
+	_, c := StartSpan(ctx, "proc")
+	c.End()
+	root.End()
+
+	h := DebugHandler(rec)
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("GET", "/debug/enactments", nil))
+	var body struct {
+		Traces []TraceTree `json:"traces"`
+	}
+	if err := json.Unmarshal(rw.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rw.Body)
+	}
+	if len(body.Traces) != 1 || body.Traces[0].Root.Name != "enact:paper" {
+		t.Fatalf("unexpected body: %s", rw.Body)
+	}
+
+	rw = httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("GET", "/debug/enactments?trace="+root.TraceID, nil))
+	if rw.Code != 200 {
+		t.Fatalf("by-id status = %d", rw.Code)
+	}
+	rw = httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("GET", "/debug/enactments?trace=nope", nil))
+	if rw.Code != 404 {
+		t.Fatalf("unknown trace status = %d, want 404", rw.Code)
+	}
+	rw = httptest.NewRecorder()
+	h.ServeHTTP(rw, httptest.NewRequest("POST", "/debug/enactments", nil))
+	if rw.Code != 405 {
+		t.Fatalf("POST status = %d, want 405", rw.Code)
+	}
+}
+
+func TestRegistryHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("handler_total", "x").Inc()
+	rw := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rw, httptest.NewRequest("GET", "/metrics", nil))
+	if rw.Code != 200 || !strings.Contains(rw.Body.String(), "handler_total 1") {
+		t.Fatalf("bad /metrics response %d: %s", rw.Code, rw.Body)
+	}
+	if ct := rw.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if err := ValidateExposition(strings.NewReader(rw.Body.String())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpanTreeJSONKeepsChildren guards against the embedded SpanData
+// marshaller being promoted and dropping the nested children.
+func TestSpanTreeJSONKeepsChildren(t *testing.T) {
+	rec := NewRecorder(4)
+	ctx := WithRecorder(context.Background(), rec)
+	ctx, root := StartSpan(ctx, "root")
+	_, child := StartSpan(ctx, "child")
+	child.End()
+	root.End()
+
+	tree, ok := rec.Trace(root.TraceID)
+	if !ok {
+		t.Fatal("trace not recorded")
+	}
+	data, err := json.Marshal(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Root struct {
+			Name     string `json:"name"`
+			Children []struct {
+				Name string `json:"name"`
+			} `json:"children"`
+		} `json:"root"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("round-trip: %v\n%s", err, data)
+	}
+	if decoded.Root.Name != "root" || len(decoded.Root.Children) != 1 || decoded.Root.Children[0].Name != "child" {
+		t.Fatalf("children lost in JSON: %s", data)
+	}
+}

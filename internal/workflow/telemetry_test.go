@@ -1,0 +1,95 @@
+package workflow
+
+import (
+	"context"
+	"testing"
+
+	"qurator/internal/telemetry"
+)
+
+// TestTraceEventsSpanBacked checks the enactment trace and the telemetry
+// layer tell one story: every trace event carries the run's trace ID, a
+// span ID, and span-derived timestamps, and the recorded span tree has
+// the workflow span as root with one child per processor invocation.
+func TestTraceEventsSpanBacked(t *testing.T) {
+	w := New("traced")
+	w.MustAddProcessor(constant("one", 1))
+	w.MustAddProcessor(constant("two", 2))
+	w.MustAddProcessor(adder("add"))
+	w.MustAddLink(Link{"one", "out", "add", "a"})
+	w.MustAddLink(Link{"two", "out", "add", "b"})
+	if err := w.BindOutput("result", "add", "sum"); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := telemetry.NewRecorder(4)
+	ctx := telemetry.WithRecorder(context.Background(), rec)
+	_, trace, err := w.RunTrace(ctx, nil)
+	if err != nil {
+		t.Fatalf("RunTrace: %v", err)
+	}
+
+	if trace.TraceID == "" {
+		t.Fatal("trace has no telemetry trace ID")
+	}
+	if len(trace.Events) != 3 {
+		t.Fatalf("trace has %d events, want 3", len(trace.Events))
+	}
+	seenSpans := map[string]bool{}
+	for _, e := range trace.Events {
+		if e.TraceID != trace.TraceID {
+			t.Errorf("event %q trace = %q, want %q", e.Processor, e.TraceID, trace.TraceID)
+		}
+		if e.SpanID == "" || seenSpans[e.SpanID] {
+			t.Errorf("event %q span ID %q missing or reused", e.Processor, e.SpanID)
+		}
+		seenSpans[e.SpanID] = true
+		if e.Start.IsZero() || e.End.IsZero() || e.End.Before(e.Start) {
+			t.Errorf("event %q has inconsistent timestamps [%v, %v]", e.Processor, e.Start, e.End)
+		}
+		if e.Duration() < 0 {
+			t.Errorf("event %q has negative duration", e.Processor)
+		}
+	}
+
+	tree, ok := rec.Trace(trace.TraceID)
+	if !ok {
+		t.Fatalf("recorder has no trace %s", trace.TraceID)
+	}
+	if tree.Root == nil || tree.Root.Name != "workflow:traced" {
+		t.Fatalf("root span = %+v, want workflow:traced", tree.Root)
+	}
+	if len(tree.Root.Children) != 3 {
+		t.Fatalf("workflow span has %d children, want 3 processor spans", len(tree.Root.Children))
+	}
+	for _, child := range tree.Root.Children {
+		if !seenSpans[child.SpanID] {
+			t.Errorf("recorded span %q (%s) not referenced by any trace event", child.Name, child.SpanID)
+		}
+	}
+}
+
+// TestTraceEventDurationMatchesSpan checks a processor's trace event and
+// its recorded span report identical timestamps.
+func TestTraceEventDurationMatchesSpan(t *testing.T) {
+	w := New("timed")
+	w.MustAddProcessor(constant("src", 7))
+	if err := w.BindOutput("v", "src", "out"); err != nil {
+		t.Fatal(err)
+	}
+	rec := telemetry.NewRecorder(4)
+	ctx := telemetry.WithRecorder(context.Background(), rec)
+	_, trace, err := w.RunTrace(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := trace.Events[0]
+	tree, ok := rec.Trace(trace.TraceID)
+	if !ok || tree.Root == nil || len(tree.Root.Children) != 1 {
+		t.Fatalf("unexpected recorded tree for %s", trace.TraceID)
+	}
+	span := tree.Root.Children[0]
+	if !span.Start.Equal(e.Start) || !span.End.Equal(e.End) {
+		t.Errorf("span [%v, %v] != event [%v, %v]", span.Start, span.End, e.Start, e.End)
+	}
+}

@@ -18,6 +18,26 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"qurator/internal/telemetry"
+)
+
+// Enactment metrics: every processor invocation lands here, labelled by
+// workflow and processor, so /metrics answers "which node is slow?"
+// without reading traces.
+var (
+	procDuration = telemetry.Default.HistogramVec(
+		"qurator_processor_duration_seconds",
+		"Wall-clock time of one processor invocation.",
+		nil, "workflow", "processor")
+	procFires = telemetry.Default.CounterVec(
+		"qurator_processor_fires_total",
+		"Processor invocations, successful or not.",
+		"workflow", "processor")
+	procFailures = telemetry.Default.CounterVec(
+		"qurator_processor_failures_total",
+		"Processor invocations that returned an error or panicked.",
+		"workflow", "processor")
 )
 
 // Data is a value transferred along a data link. Processors agree on
@@ -338,16 +358,29 @@ func (w *Workflow) Validate() error {
 	return nil
 }
 
-// Event is one entry of an enactment trace.
+// Event is one entry of an enactment trace. Its timestamps come from
+// the processor's telemetry span, so trace events and recorded span
+// trees agree to the nanosecond.
 type Event struct {
 	Processor string
 	Start     time.Time
 	End       time.Time
 	Err       error
+	// TraceID and SpanID tie the event to the telemetry span recorded
+	// for this invocation.
+	TraceID string
+	SpanID  string
 }
+
+// Duration is the event's wall-clock time.
+func (e Event) Duration() time.Duration { return e.End.Sub(e.Start) }
 
 // Trace records one enactment.
 type Trace struct {
+	// TraceID is the telemetry trace every event of this enactment
+	// belongs to.
+	TraceID string
+
 	mu     sync.Mutex
 	Events []Event
 }
@@ -399,7 +432,10 @@ func (w *Workflow) RunTrace(ctx context.Context, in Ports) (Ports, *Trace, error
 		}
 	}
 
-	ctx, cancel := context.WithCancel(ctx)
+	spanCtx, wfSpan := telemetry.StartSpan(ctx, "workflow:"+w.name)
+	wfSpan.SetAttr("workflow", w.name)
+
+	ctx, cancel := context.WithCancel(spanCtx)
 	defer cancel()
 
 	type procState struct {
@@ -430,7 +466,7 @@ func (w *Workflow) RunTrace(ctx context.Context, in Ports) (Ports, *Trace, error
 		wg       sync.WaitGroup
 		firstErr error
 		results  = make(map[string]Ports, len(w.procs))
-		trace    = &Trace{}
+		trace    = &Trace{TraceID: wfSpan.TraceID}
 	)
 
 	setErrLocked := func(err error) {
@@ -487,7 +523,8 @@ func (w *Workflow) RunTrace(ctx context.Context, in Ports) (Ports, *Trace, error
 		if ctx.Err() != nil {
 			return
 		}
-		ev := Event{Processor: name, Start: time.Now()}
+		procCtx, span := telemetry.StartSpan(ctx, name)
+		span.SetAttr("workflow", w.name)
 		outputs, err := func() (out Ports, err error) {
 			// A panicking processor must not take down the enactor (it
 			// may be hosting many enactments); panics become errors.
@@ -496,17 +533,24 @@ func (w *Workflow) RunTrace(ctx context.Context, in Ports) (Ports, *Trace, error
 					err = fmt.Errorf("workflow %s: processor %q panicked: %v", w.name, name, r)
 				}
 			}()
-			execCtx := ctx
+			execCtx := procCtx
 			if w.procTimeout > 0 {
 				var cancel context.CancelFunc
-				execCtx, cancel = context.WithTimeout(ctx, w.procTimeout)
+				execCtx, cancel = context.WithTimeout(procCtx, w.procTimeout)
 				defer cancel()
 			}
 			return w.procs[name].Execute(execCtx, inputs)
 		}()
-		ev.End = time.Now()
-		ev.Err = err
-		trace.add(ev)
+		sd := span.EndErr(err)
+		procFires.With(w.name, name).Inc()
+		procDuration.With(w.name, name).Observe(sd.Duration().Seconds())
+		if err != nil {
+			procFailures.With(w.name, name).Inc()
+		}
+		trace.add(Event{
+			Processor: name, Start: sd.Start, End: sd.End, Err: err,
+			TraceID: sd.TraceID, SpanID: sd.SpanID,
+		})
 		mu.Lock()
 		defer mu.Unlock()
 		if err != nil {
@@ -535,6 +579,7 @@ func (w *Workflow) RunTrace(ctx context.Context, in Ports) (Ports, *Trace, error
 	mu.Lock()
 	defer mu.Unlock()
 	if firstErr != nil {
+		wfSpan.EndErr(firstErr)
 		return nil, trace, firstErr
 	}
 	// Collect workflow-level outputs.
@@ -542,14 +587,19 @@ func (w *Workflow) RunTrace(ctx context.Context, in Ports) (Ports, *Trace, error
 	for name, ref := range w.outputs {
 		ports, ok := results[ref.proc]
 		if !ok {
-			return nil, trace, fmt.Errorf("workflow %s: output %q source %q never ran", w.name, name, ref.proc)
+			err := fmt.Errorf("workflow %s: output %q source %q never ran", w.name, name, ref.proc)
+			wfSpan.EndErr(err)
+			return nil, trace, err
 		}
 		v, ok := ports[ref.port]
 		if !ok {
-			return nil, trace, fmt.Errorf("workflow %s: output %q: processor %q produced no %q port",
+			err := fmt.Errorf("workflow %s: output %q: processor %q produced no %q port",
 				w.name, name, ref.proc, ref.port)
+			wfSpan.EndErr(err)
+			return nil, trace, err
 		}
 		out[name] = v
 	}
+	wfSpan.End()
 	return out, trace, nil
 }

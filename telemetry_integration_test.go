@@ -1,0 +1,87 @@
+package qurator
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"qurator/internal/telemetry"
+)
+
+// TestEnactmentTraceInProvenance is the observability acceptance test:
+// enacting the §5.1 paper view under a trace recorder yields a span
+// tree (enactment → workflow → processors) whose root trace ID is
+// queryable back out of the RDF provenance log via q:traceID — the
+// bridge from the paper's provenance model to live telemetry.
+func TestEnactmentTraceInProvenance(t *testing.T) {
+	f, items := deployTestWorld(t)
+	rec := telemetry.NewRecorder(8)
+	ctx := telemetry.WithRecorder(context.Background(), rec)
+
+	compiled, err := f.CompileView([]byte(PaperViewXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compiled.Run(ctx, items); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	traces := rec.Traces(0)
+	if len(traces) != 1 {
+		t.Fatalf("recorded %d traces, want 1", len(traces))
+	}
+	tree := traces[0]
+	if tree.Root == nil {
+		t.Fatalf("trace %s has no root span (orphans: %d)", tree.TraceID, len(tree.Orphans))
+	}
+	if !strings.HasPrefix(tree.Root.Name, "enact:") {
+		t.Errorf("root span = %q, want enact:<view>", tree.Root.Name)
+	}
+	var wf *telemetry.SpanTree
+	for _, child := range tree.Root.Children {
+		if strings.HasPrefix(child.Name, "workflow:") {
+			wf = child
+		}
+	}
+	if wf == nil {
+		t.Fatalf("no workflow span under root; children: %v", spanNames(tree.Root.Children))
+	}
+	if len(wf.Children) == 0 {
+		t.Error("workflow span has no processor child spans")
+	}
+	for _, proc := range wf.Children {
+		if proc.TraceID != tree.TraceID {
+			t.Errorf("processor span %q in trace %s, want %s", proc.Name, proc.TraceID, tree.TraceID)
+		}
+		if proc.End.Before(proc.Start) {
+			t.Errorf("processor span %q ends before it starts", proc.Name)
+		}
+	}
+
+	// The trace ID is queryable from the provenance graph.
+	res, err := f.Provenance.Query(`PREFIX q: <http://qurator.org/iq#>
+		SELECT ?t WHERE { ?run q:traceID ?t . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bindings) != 1 {
+		t.Fatalf("q:traceID query returned %d rows, want 1", len(res.Bindings))
+	}
+	if got := res.Bindings[0]["t"].Value(); got != tree.TraceID {
+		t.Errorf("provenance q:traceID = %q, want recorder root trace %q", got, tree.TraceID)
+	}
+
+	// And LastRun round-trips it through the Record struct.
+	last, ok := f.Provenance.LastRun()
+	if !ok || last.TraceID != tree.TraceID {
+		t.Errorf("LastRun trace = %q, %v; want %q", last.TraceID, ok, tree.TraceID)
+	}
+}
+
+func spanNames(trees []*telemetry.SpanTree) []string {
+	names := make([]string, len(trees))
+	for i := range trees {
+		names[i] = trees[i].Name
+	}
+	return names
+}
