@@ -24,6 +24,7 @@ import (
 	"qurator/internal/ontology"
 	"qurator/internal/ops"
 	"qurator/internal/qa"
+	"qurator/internal/qcache"
 	"qurator/internal/qvlang"
 	"qurator/internal/rdf"
 	"qurator/internal/stream"
@@ -388,5 +389,65 @@ func BenchmarkViewCompilation(b *testing.B) {
 		if _, err := f.CompileView(src); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkDataPlane measures the enactment data plane over the Figure-7
+// pipeline: serial invocation vs shard-parallel fan-out vs fan-out plus
+// the content-addressed response cache. Each sub-benchmark enacts the full
+// embedded workflow; cached runs report their hit rate, and the exposition
+// check keeps the shard/cache counters valid on /metrics.
+func BenchmarkDataPlane(b *testing.B) {
+	w := mustWorld(b)
+	for _, cfg := range []struct {
+		name  string
+		shard int
+		cache bool
+	}{
+		{"serial", 0, false},
+		{"shard2", 2, false},
+		{"shard4", 4, false},
+		{"shard4cache", 4, true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var cache *qcache.Cache
+			if cfg.cache {
+				cache = qcache.New(qcache.Options{Name: "bench-" + cfg.name})
+			}
+			p, err := ispider.BuildPipelineWith(w, ispider.PipelineOptions{
+				ShardSize: cfg.shard,
+				Cache:     cache,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := p.Compiled.SetFilterCondition("filter top k score", "ScoreClass in q:high"); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var out *ispider.RunOutput
+			for i := 0; i < b.N; i++ {
+				out, err = p.Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(out.Accepted.Len()), "accepted")
+			if cache != nil {
+				s := cache.Stats()
+				if total := s.Hits + s.Misses; total > 0 {
+					b.ReportMetric(100*float64(s.Hits)/float64(total), "hit%")
+				}
+			}
+			var buf bytes.Buffer
+			if err := telemetry.Default.WriteProm(&buf); err != nil {
+				b.Fatalf("WriteProm: %v", err)
+			}
+			if err := telemetry.ValidateExposition(&buf); err != nil {
+				b.Fatalf("/metrics exposition malformed: %v", err)
+			}
+		})
 	}
 }

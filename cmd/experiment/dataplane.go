@@ -1,0 +1,188 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"qurator/internal/ispider"
+	"qurator/internal/qcache"
+	"qurator/internal/telemetry"
+)
+
+// The data-plane experiment compares serial, sharded and sharded+cached
+// enactment of the §5.1 view embedded in the Figure-1 host workflow, over
+// one identical world. It is the Figure-7 wall-clock story re-told along
+// the shard-count axis, with a built-in tripwire: any configuration whose
+// outputs are not bit-identical to the serial run fails the experiment.
+
+// dataPlaneConfig is one point on the shard/cache grid.
+type dataPlaneConfig struct {
+	Name        string `json:"name"`
+	ShardSize   int    `json:"shardSize"`
+	MaxInflight int    `json:"maxInflight"`
+	Cache       bool   `json:"cache"`
+}
+
+// dataPlaneRun is the measured outcome for one configuration.
+type dataPlaneRun struct {
+	dataPlaneConfig
+	// RunsMS are per-repeat wall-clock times, in run order: with a cache,
+	// the first entry is the cold run and the rest are warm.
+	RunsMS []float64 `json:"runs_ms"`
+	BestMS float64   `json:"best_ms"`
+	MeanMS float64   `json:"mean_ms"`
+	// CacheHits/CacheMisses total over all repeats (zero without -cache).
+	CacheHits   uint64 `json:"cacheHits"`
+	CacheMisses uint64 `json:"cacheMisses"`
+	// Accepted is the number of identifications surviving the view —
+	// identical across configurations by construction.
+	Accepted int `json:"accepted"`
+}
+
+// dataPlaneRecord is the BENCH_dataplane.json schema.
+type dataPlaneRecord struct {
+	Experiment string                     `json:"experiment"`
+	World      ispider.WorldParams        `json:"world"`
+	Repeats    int                        `json:"repeats"`
+	Configs    []dataPlaneRun             `json:"configs"`
+	Equivalent bool                       `json:"equivalent"`
+	Metrics    []telemetry.MetricSnapshot `json:"metrics"`
+}
+
+func dataPlaneGrid() []dataPlaneConfig {
+	return []dataPlaneConfig{
+		{Name: "serial"},
+		{Name: "shard2", ShardSize: 2},
+		{Name: "shard4", ShardSize: 4},
+		{Name: "shard8", ShardSize: 8},
+		{Name: "shard4+cache", ShardSize: 4, Cache: true},
+	}
+}
+
+// fingerprint canonically encodes one run's outputs: the accepted
+// annotation map plus the GO-term counts.
+func fingerprint(out *ispider.RunOutput) (string, error) {
+	var b bytes.Buffer
+	if err := out.Accepted.WriteCanonical(&b); err != nil {
+		return "", err
+	}
+	terms := make([]string, 0, len(out.TermCounts))
+	for t := range out.TermCounts {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	for _, t := range terms {
+		fmt.Fprintf(&b, "%s=%d;", t, out.TermCounts[t])
+	}
+	return b.String(), nil
+}
+
+// measureDataPlane runs the full grid and assembles the benchmark record.
+func measureDataPlane(world *ispider.World, repeats int) (*dataPlaneRecord, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	record := &dataPlaneRecord{
+		Experiment: "dataplane",
+		World:      world.Params,
+		Repeats:    repeats,
+		Equivalent: true,
+	}
+	var serialPrint string
+	for _, cfg := range dataPlaneGrid() {
+		var cache *qcache.Cache
+		if cfg.Cache {
+			cache = qcache.New(qcache.Options{Name: "exp-" + cfg.Name})
+		}
+		p, err := ispider.BuildPipelineWith(world, ispider.PipelineOptions{
+			ShardSize:   cfg.ShardSize,
+			MaxInflight: cfg.MaxInflight,
+			Cache:       cache,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// The distribution-relative condition, as in the Figure 6/7 runs.
+		if err := p.Compiled.SetFilterCondition("filter top k score", "ScoreClass in q:high"); err != nil {
+			return nil, err
+		}
+		run := dataPlaneRun{dataPlaneConfig: cfg, RunsMS: make([]float64, 0, repeats)}
+		for r := 0; r < repeats; r++ {
+			start := time.Now()
+			out, err := p.Run(context.Background())
+			if err != nil {
+				return nil, fmt.Errorf("config %s run %d: %w", cfg.Name, r, err)
+			}
+			ms := float64(time.Since(start).Microseconds()) / 1000
+			run.RunsMS = append(run.RunsMS, ms)
+			print, err := fingerprint(out)
+			if err != nil {
+				return nil, err
+			}
+			if serialPrint == "" {
+				serialPrint = print
+			} else if print != serialPrint {
+				record.Equivalent = false
+			}
+			run.Accepted = out.Accepted.Len()
+		}
+		run.BestMS = run.RunsMS[0]
+		for _, ms := range run.RunsMS {
+			if ms < run.BestMS {
+				run.BestMS = ms
+			}
+			run.MeanMS += ms
+		}
+		run.MeanMS /= float64(len(run.RunsMS))
+		if cache != nil {
+			s := cache.Stats()
+			run.CacheHits, run.CacheMisses = s.Hits, s.Misses
+		}
+		record.Configs = append(record.Configs, run)
+	}
+	record.Metrics = telemetry.Default.Snapshot()
+	return record, nil
+}
+
+func writeDataPlaneRecord(path string, record *dataPlaneRecord) error {
+	data, err := json.MarshalIndent(record, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func runDataPlane(world *ispider.World, benchOut string, repeats int) {
+	record, err := measureDataPlane(world, repeats)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("Data plane — shard-parallel invocation and response caching (§5.1 view over the Figure-1 world)")
+	fmt.Printf("%-14s %8s %8s %6s %10s %10s %9s\n",
+		"config", "best ms", "mean ms", "kept", "hits", "misses", "hit rate")
+	for _, run := range record.Configs {
+		rate := "-"
+		if run.CacheHits+run.CacheMisses > 0 {
+			rate = fmt.Sprintf("%.0f%%", 100*float64(run.CacheHits)/float64(run.CacheHits+run.CacheMisses))
+		}
+		fmt.Printf("%-14s %8.2f %8.2f %6d %10d %10d %9s\n",
+			run.Name, run.BestMS, run.MeanMS, run.Accepted, run.CacheHits, run.CacheMisses, rate)
+	}
+	if !record.Equivalent {
+		fatal(fmt.Errorf("data-plane outputs diverged from the serial enactment"))
+	}
+	fmt.Println("all configurations bit-identical to serial enactment")
+	if benchOut == "" {
+		fmt.Println()
+		return
+	}
+	if err := writeDataPlaneRecord(benchOut, record); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchmark record written to %s\n\n", benchOut)
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"qurator/internal/ispider"
+)
+
+func smallWorld(t *testing.T) *ispider.World {
+	t.Helper()
+	params := ispider.DefaultWorldParams()
+	params.SpotCount = 4
+	params.DBSize = 40
+	world, err := ispider.BuildWorld(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return world
+}
+
+// TestDataPlaneRecordSchema runs the grid over a small world and checks
+// the BENCH_dataplane.json record is well-formed: every field the bench
+// trajectory consumes is present, no unknown fields sneak in, and the
+// equivalence tripwire reports bit-identical outputs.
+func TestDataPlaneRecordSchema(t *testing.T) {
+	world := smallWorld(t)
+	record, err := measureDataPlane(world, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !record.Equivalent {
+		t.Fatal("sharded/cached configurations diverged from serial enactment")
+	}
+	if record.Experiment != "dataplane" {
+		t.Fatalf("experiment = %q", record.Experiment)
+	}
+	if len(record.Configs) != len(dataPlaneGrid()) {
+		t.Fatalf("%d configs, want %d", len(record.Configs), len(dataPlaneGrid()))
+	}
+	var sawSerial, sawSharded, sawCached bool
+	for _, run := range record.Configs {
+		if len(run.RunsMS) != record.Repeats {
+			t.Errorf("config %s: %d runs, want %d", run.Name, len(run.RunsMS), record.Repeats)
+		}
+		for _, ms := range run.RunsMS {
+			if ms < 0 {
+				t.Errorf("config %s: negative wall-clock %f", run.Name, ms)
+			}
+		}
+		if run.BestMS > run.MeanMS {
+			t.Errorf("config %s: best %f > mean %f", run.Name, run.BestMS, run.MeanMS)
+		}
+		if run.Accepted != record.Configs[0].Accepted {
+			t.Errorf("config %s accepted %d items, serial accepted %d",
+				run.Name, run.Accepted, record.Configs[0].Accepted)
+		}
+		switch {
+		case run.ShardSize == 0 && !run.Cache:
+			sawSerial = true
+		case run.Cache:
+			sawCached = true
+			if run.CacheHits == 0 {
+				t.Errorf("config %s: repeated runs produced no cache hits", run.Name)
+			}
+		case run.ShardSize > 1:
+			sawSharded = true
+		}
+	}
+	if !sawSerial || !sawSharded || !sawCached {
+		t.Fatalf("grid must cover serial, sharded and cached configurations: %+v", record.Configs)
+	}
+
+	// The on-disk record round-trips strictly: unknown fields in the file
+	// (schema drift) fail the decode.
+	path := filepath.Join(t.TempDir(), "BENCH_dataplane.json")
+	if err := writeDataPlaneRecord(path, record); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var back dataPlaneRecord
+	if err := dec.Decode(&back); err != nil {
+		t.Fatalf("strict decode of %s: %v", path, err)
+	}
+	if back.Experiment != record.Experiment || len(back.Configs) != len(record.Configs) {
+		t.Fatal("record did not round-trip")
+	}
+}

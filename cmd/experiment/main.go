@@ -6,6 +6,7 @@
 //	experiment -fig 7        # Figure 7: GO-term significance ranking (default)
 //	experiment -ablation qa  # A2: QA choice precision/recall
 //	experiment -ablation threshold  # A3: filter-threshold sweep
+//	experiment -dataplane    # serial vs sharded vs cached enactment
 //	experiment -all          # everything
 //
 // Flags -seed, -spots, -db resize the world. The Figure-7 run also
@@ -33,6 +34,11 @@ func main() {
 	dbSize := flag.Int("db", 120, "reference database size")
 	benchOut := flag.String("bench-out", "BENCH_fig7.json",
 		"write the Figure-7 benchmark record (timings + metrics) here; empty = off")
+	dataplane := flag.Bool("dataplane", false,
+		"run the data-plane experiment: serial vs sharded vs cached enactment of the quality view")
+	dataplaneOut := flag.String("dataplane-out", "BENCH_dataplane.json",
+		"write the data-plane benchmark record here; empty = off")
+	repeats := flag.Int("repeats", 3, "repeats per data-plane configuration")
 	flag.Parse()
 
 	params := ispider.DefaultWorldParams()
@@ -48,6 +54,7 @@ func main() {
 		runFigure1(world)
 		runFigure6(world)
 		runFigure7(world, *benchOut)
+		runDataPlane(world, *dataplaneOut, *repeats)
 		runQAAblation(world)
 		runThresholdAblation(world)
 		runLearnedAblation(world)
@@ -55,6 +62,8 @@ func main() {
 		return
 	}
 	switch {
+	case *dataplane:
+		runDataPlane(world, *dataplaneOut, *repeats)
 	case *fig == 1:
 		runFigure1(world)
 	case *fig == 6:

@@ -7,12 +7,16 @@
 //
 //	quratord [-addr :9090] [-with-demo-annotator]
 //	         [-retries n] [-proc-timeout d] [-degraded mode]
+//	         [-shard-size n] [-max-inflight n] [-cache] [-cache-entries n] [-cache-ttl d]
 //	         [-flake-rate p] [-flake-latency d] [-debug-addr :6060]
 //
 // The -retries/-proc-timeout/-degraded flags make the views enacted at
 // /stream/enact fault-tolerant (see qurator.Resilience); the -flake-*
 // flags do the opposite — they turn this instance into a deliberately
-// unreliable host for demonstrating a resilient client.
+// unreliable host for demonstrating a resilient client. The
+// -shard-size/-cache flags configure the enactment data plane
+// (qurator.DataPlane): shard fan-out and cache hit/miss counters land on
+// /metrics.
 //
 // Observability: GET /metrics serves the process registry in Prometheus
 // text format (processor durations, breaker states, retry counters,
@@ -74,6 +78,14 @@ func main() {
 		"per-service invocation deadline inside enacted views (0 = none)")
 	degraded := flag.String("degraded", "off",
 		"on service failure during /stream/enact: off (abort the window), fail-closed, fail-open, or quarantine")
+	shardSize := flag.Int("shard-size", 0,
+		"split item-scoped service invocations inside enacted views into shards of at most N items (0 = serial)")
+	maxInflight := flag.Int("max-inflight", 0,
+		"concurrent shard invocations per processor (0 = GOMAXPROCS)")
+	useCache := flag.Bool("cache", false,
+		"memoise pure service responses content-addressed across enactments and stream windows")
+	cacheEntries := flag.Int("cache-entries", 0, "response-cache LRU bound (0 = 4096)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "response-cache entry expiry (0 = none)")
 	flakeRate := flag.Float64("flake-rate", 0,
 		"probability in [0,1] that a request is answered 503 — simulate an unreliable host for resilience demos")
 	flakeLatency := flag.Duration("flake-latency", 0,
@@ -98,6 +110,15 @@ func main() {
 			RetryBackoff:     *retryBackoff,
 			ProcessorTimeout: *procTimeout,
 			Degraded:         mode,
+		})
+	}
+	if *shardSize > 0 || *useCache {
+		f.SetDataPlane(qurator.DataPlane{
+			ShardSize:    *shardSize,
+			MaxInflight:  *maxInflight,
+			Cache:        *useCache,
+			CacheEntries: *cacheEntries,
+			CacheTTL:     *cacheTTL,
 		})
 	}
 	if *withDemo {

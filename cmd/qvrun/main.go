@@ -78,6 +78,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	retryBackoff := fs.Duration("retry-backoff", 50*time.Millisecond, "initial sleep between service retries")
 	procTimeout := fs.Duration("proc-timeout", 0, "per-service invocation deadline (0 = none)")
 	degraded := fs.String("degraded", "off", "on service failure: off (abort), fail-closed, fail-open, or quarantine")
+	shardSize := fs.Int("shard-size", 0, "split item-scoped service invocations into shards of at most N items, invoked concurrently (0 = serial)")
+	maxInflight := fs.Int("max-inflight", 0, "concurrent shard invocations per processor (0 = GOMAXPROCS)")
+	useCache := fs.Bool("cache", false, "memoise pure service responses (QAs, filter/split) content-addressed across runs and windows")
+	cacheEntries := fs.Int("cache-entries", 0, "response-cache LRU bound (0 = 4096)")
+	cacheTTL := fs.Duration("cache-ttl", 0, "response-cache entry expiry (0 = none)")
 	withTelemetry := fs.Bool("telemetry", false, "dump span tree + metrics snapshot as JSON on stderr after the run")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -117,6 +122,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			RetryBackoff:     *retryBackoff,
 			ProcessorTimeout: *procTimeout,
 			Degraded:         mode,
+		})
+	}
+	if *shardSize > 0 || *useCache {
+		f.SetDataPlane(qurator.DataPlane{
+			ShardSize:    *shardSize,
+			MaxInflight:  *maxInflight,
+			Cache:        *useCache,
+			CacheEntries: *cacheEntries,
+			CacheTTL:     *cacheTTL,
 		})
 	}
 	if *scavenge != "" {

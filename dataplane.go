@@ -1,0 +1,71 @@
+package qurator
+
+import (
+	"time"
+
+	"qurator/internal/qcache"
+)
+
+// DataPlane configures the enactment data plane: how service invocations
+// shard over data items and whether pure-response invocations are served
+// from a content-addressed cache. The zero value is today's behaviour —
+// one whole-map envelope per invocation, no cache.
+//
+//   - Sharding: with ShardSize > 0, every invocation of an item-scoped
+//     service (services.ScopeItem — QAs that declare ops.ItemWise,
+//     enrichment, annotators, actions) is split into item shards of at
+//     most ShardSize, fanned out over at most MaxInflight workers, and
+//     merged in order. Collection-scoped services (e.g. the §5.1
+//     statistical classifier) always receive the whole map, so sharded
+//     enactment stays bit-identical to serial enactment.
+//   - Caching: with Cache set, QA-assertion and filter/split-action
+//     responses are memoised under digest(service, operation, config,
+//     shard payload) with LRU+TTL bounds and singleflight coalescing.
+//     Enrichment (reads mutable repositories) and annotators (write
+//     them) are never cached.
+type DataPlane struct {
+	// ShardSize is the maximum items per shard (0 = no sharding).
+	ShardSize int
+	// MaxInflight bounds concurrent shard invocations per processor
+	// (0 = GOMAXPROCS).
+	MaxInflight int
+	// Cache enables the content-addressed response cache.
+	Cache bool
+	// CacheEntries bounds the cache LRU (0 = 4096).
+	CacheEntries int
+	// CacheTTL expires cache entries (0 = no expiry).
+	CacheTTL time.Duration
+}
+
+// CacheStats is a snapshot of the response cache's counters.
+type CacheStats = qcache.Stats
+
+// SetDataPlane installs a data-plane configuration: subsequent
+// CompileView calls emit sharded (and, when enabled, cached) processors.
+// Already-compiled views are unaffected. The cache is created here and
+// shared by every view the framework compiles afterwards, so repeated
+// runs and overlapping stream windows hit it across enactments.
+func (f *Framework) SetDataPlane(d DataPlane) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dataplane = &d
+	f.cache = nil
+	if d.Cache {
+		f.cache = qcache.New(qcache.Options{
+			Name:       "dataplane",
+			MaxEntries: d.CacheEntries,
+			TTL:        d.CacheTTL,
+		})
+	}
+}
+
+// CacheStats snapshots the framework's response cache; ok is false when
+// no cache is enabled.
+func (f *Framework) CacheStats() (s CacheStats, ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.cache == nil {
+		return CacheStats{}, false
+	}
+	return f.cache.Stats(), true
+}

@@ -1,0 +1,179 @@
+package qurator
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"qurator/internal/stream"
+)
+
+func canonicalOutputs(t *testing.T, out map[string]*Map) map[string]string {
+	t.Helper()
+	enc := make(map[string]string, len(out))
+	for name, m := range out {
+		var b bytes.Buffer
+		if err := m.WriteCanonical(&b); err != nil {
+			t.Fatal(err)
+		}
+		enc[name] = b.String()
+	}
+	return enc
+}
+
+// TestDataPlaneEquivalence pins the framework-level guarantee: enacting
+// the §5.1 view through SetDataPlane (any shard size, cache on or off)
+// yields outputs bit-identical to the default serial enactment.
+func TestDataPlaneEquivalence(t *testing.T) {
+	serial, items := deployTestWorld(t)
+	want, err := serial.ExecuteView(context.Background(), []byte(PaperViewXML), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEnc := canonicalOutputs(t, want)
+
+	for _, shardSize := range []int{1, 2, 3, 7, 100} {
+		for _, cached := range []bool{false, true} {
+			f, its := deployTestWorld(t)
+			f.SetDataPlane(DataPlane{ShardSize: shardSize, MaxInflight: 3, Cache: cached})
+			got, err := f.ExecuteView(context.Background(), []byte(PaperViewXML), its)
+			if err != nil {
+				t.Fatalf("shard=%d cache=%v: %v", shardSize, cached, err)
+			}
+			gotEnc := canonicalOutputs(t, got)
+			if len(gotEnc) != len(wantEnc) {
+				t.Fatalf("shard=%d cache=%v: %d outputs, want %d", shardSize, cached, len(gotEnc), len(wantEnc))
+			}
+			for name, enc := range wantEnc {
+				if gotEnc[name] != enc {
+					t.Errorf("shard=%d cache=%v: output %q diverged from serial enactment",
+						shardSize, cached, name)
+				}
+			}
+		}
+	}
+}
+
+// TestFrameworkCacheStats re-runs one compiled view over the same data
+// and checks the shared response cache reports the reuse.
+func TestFrameworkCacheStats(t *testing.T) {
+	f, items := deployTestWorld(t)
+	if _, ok := f.CacheStats(); ok {
+		t.Fatal("CacheStats should report no cache before SetDataPlane")
+	}
+	f.SetDataPlane(DataPlane{ShardSize: 2, Cache: true})
+	compiled, err := f.CompileView([]byte(PaperViewXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Repositories.ClearCaches()
+	first, err := compiled.Run(context.Background(), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, ok := f.CacheStats()
+	if !ok {
+		t.Fatal("CacheStats should report the data-plane cache")
+	}
+	if s1.Misses == 0 || s1.Entries == 0 {
+		t.Fatalf("first run should populate the cache: %+v", s1)
+	}
+	second, err := compiled.Run(context.Background(), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := f.CacheStats()
+	if s2.Hits == 0 {
+		t.Fatalf("second identical run should hit: %+v", s2)
+	}
+	if s2.Misses != s1.Misses {
+		t.Fatalf("second identical run missed: %d → %d misses", s1.Misses, s2.Misses)
+	}
+	firstEnc, secondEnc := canonicalOutputs(t, first), canonicalOutputs(t, second)
+	for name, enc := range firstEnc {
+		if secondEnc[name] != enc {
+			t.Errorf("output %q changed between identical cached runs", name)
+		}
+	}
+}
+
+// streamDecisions enacts the paper view over the framework's test items
+// as a sliding-window stream and returns item → joined outputs.
+func streamDecisions(t *testing.T, f *Framework, items []Item) map[string]string {
+	t.Helper()
+	compiled, err := f.CompileViewForStream([]byte(PaperViewXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := stream.New(compiled, stream.Config{Window: 4, Slide: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan stream.Item)
+	out := make(chan stream.WindowResult)
+	go func() {
+		defer close(in)
+		for _, it := range items {
+			in <- stream.Item{ID: it}
+		}
+	}()
+	done := make(chan error, 1)
+	go func() { done <- e.Run(context.Background(), in, out) }()
+	decisions := make(map[string]string)
+	for r := range out {
+		for _, d := range r.Decisions {
+			decisions[d.Item] = strings.Join(d.Outputs, ",")
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("stream run: %v", err)
+	}
+	return decisions
+}
+
+// TestStreamSlidingWindowsHitCache: with sliding windows, consecutive
+// windows share items whose evidence has not changed — per-item shards of
+// the pure stages answer from the cache instead of re-invoking the
+// service, and decisions stay identical to the uncached stream.
+func TestStreamSlidingWindowsHitCache(t *testing.T) {
+	plain, items := deployTestWorld(t)
+	want := streamDecisions(t, plain, items)
+
+	f, its := deployTestWorld(t)
+	f.SetDataPlane(DataPlane{ShardSize: 1, Cache: true})
+	got := streamDecisions(t, f, its)
+
+	if len(got) != len(want) {
+		t.Fatalf("decided %d items, want %d", len(got), len(want))
+	}
+	for item, outputs := range want {
+		if got[item] != outputs {
+			t.Errorf("item %s decided %q, want %q", item, got[item], outputs)
+		}
+	}
+	s, ok := f.CacheStats()
+	if !ok {
+		t.Fatal("data-plane cache missing")
+	}
+	if s.Hits == 0 {
+		t.Fatalf("overlapping windows produced no cache hits: %+v", s)
+	}
+}
+
+// TestDataPlaneDefaultsAreSerial: a zero DataPlane (or none at all) keeps
+// today's behaviour — no sharding, no cache.
+func TestDataPlaneDefaultsAreSerial(t *testing.T) {
+	f, items := deployTestWorld(t)
+	f.SetDataPlane(DataPlane{})
+	out, err := f.ExecuteView(context.Background(), []byte(PaperViewXML), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["filter_top_k_score:accepted"] == nil {
+		t.Fatalf("outputs = %v", out)
+	}
+	if _, ok := f.CacheStats(); ok {
+		t.Fatal("zero DataPlane must not create a cache")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"qurator/internal/condition"
 	"qurator/internal/evidence"
 	"qurator/internal/provenance"
+	"qurator/internal/qcache"
 	"qurator/internal/qvlang"
 	"qurator/internal/rdf"
 	"qurator/internal/services"
@@ -43,6 +44,27 @@ type Compiler struct {
 	// Degraded selects what happens when a quality service fails for
 	// good (see DegradedMode); DegradeOff aborts the enactment.
 	Degraded DegradedMode
+
+	// ShardSize, when > 0, splits every item-scoped service invocation
+	// into shards of at most this many items, invoked concurrently and
+	// merged in order (see dataplane.go). 0 keeps the serial whole-map
+	// invocation.
+	ShardSize int
+	// MaxInflight bounds concurrent shard invocations per processor
+	// (GOMAXPROCS when 0).
+	MaxInflight int
+	// Cache, when non-nil, memoises pure-response service invocations
+	// (QA assertions, filter/split actions) content-addressed by
+	// (service, operation, config, shard payload).
+	Cache *qcache.Cache
+}
+
+// dataplane copies the Compiler's data-plane settings onto a processor.
+func (c *Compiler) dataplane(p *serviceProcessor) *serviceProcessor {
+	p.shardSize = c.ShardSize
+	p.maxInflight = c.MaxInflight
+	p.cache = c.Cache
+	return p
 }
 
 // Compiled is a quality workflow produced from a view, with handles for
@@ -137,7 +159,7 @@ func (c *Compiler) Compile(r *qvlang.Resolved) (*Compiled, error) {
 			inPort: PortDataSet,
 		}
 		p.config.Set("repositoryRef", ann.Provides[0].Repository)
-		if err := wf.AddProcessor(c.guard(p)); err != nil {
+		if err := wf.AddProcessor(c.guard(c.dataplane(p))); err != nil {
 			return nil, err
 		}
 		if err := wf.BindInput(PortDataSet, name, PortDataSet); err != nil {
@@ -158,7 +180,7 @@ func (c *Compiler) Compile(r *qvlang.Resolved) (*Compiled, error) {
 	for _, ev := range sortedEvidence(r.EvidenceRepo) {
 		de.config.Set(services.SourceParam(ev), r.EvidenceRepo[ev])
 	}
-	if err := wf.AddProcessor(c.guard(de)); err != nil {
+	if err := wf.AddProcessor(c.guard(c.dataplane(de))); err != nil {
 		return nil, err
 	}
 	if err := wf.BindInput(PortDataSet, ProcEnrichment, PortDataSet); err != nil {
@@ -185,7 +207,7 @@ func (c *Compiler) Compile(r *qvlang.Resolved) (*Compiled, error) {
 			inPort: PortAnnotations,
 			outs:   []string{PortAnnotations},
 		}
-		if err := wf.AddProcessor(c.guard(p)); err != nil {
+		if err := wf.AddProcessor(c.guard(c.dataplane(p))); err != nil {
 			return nil, err
 		}
 		if err := wf.AddLink(workflow.Link{
@@ -263,7 +285,7 @@ func (c *Compiler) Compile(r *qvlang.Resolved) (*Compiled, error) {
 			p.outs = append(p.outs, PortDefault)
 			outputs = p.outs
 		}
-		if err := wf.AddProcessor(p); err != nil {
+		if err := wf.AddProcessor(c.dataplane(p)); err != nil {
 			return nil, err
 		}
 		if err := wf.AddLink(workflow.Link{

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"qurator/internal/evidence"
+	"qurator/internal/qcache"
 	"qurator/internal/services"
 	"qurator/internal/workflow"
 )
@@ -56,6 +57,14 @@ type serviceProcessor struct {
 	mu     sync.RWMutex
 	config services.Config
 	op     string
+
+	// Data plane (see dataplane.go). shardSize > 0 splits item-scoped
+	// inputs into shards of at most that many items, fanned out over at
+	// most maxInflight workers (GOMAXPROCS when 0). cache, when non-nil,
+	// memoises pure-response invocations content-addressed.
+	shardSize   int
+	maxInflight int
+	cache       *qcache.Cache
 }
 
 func (p *serviceProcessor) Name() string         { return p.name }
@@ -84,10 +93,7 @@ func (p *serviceProcessor) Execute(ctx context.Context, in workflow.Ports) (work
 		return nil, fmt.Errorf("compiler: processor %q expects *evidence.Map on %q, got %T",
 			p.name, p.inPort, in[p.inPort])
 	}
-	req := services.NewEnvelope(m)
-	req.Config = p.snapshotConfig()
-	req.Operation = p.op
-	resp, err := p.svc.Invoke(ctx, req)
+	resps, err := p.invokeShards(ctx, p.shardInput(m), p.snapshotConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -96,25 +102,13 @@ func (p *serviceProcessor) Execute(ctx context.Context, in workflow.Ports) (work
 		// Annotators only write to a repository; no data output.
 		return workflow.Ports{}, nil
 	case modeEnrichment, modeAssertion, modeFilter:
-		out, err := resp.Map()
+		out, err := p.mergeMapResponses(resps)
 		if err != nil {
 			return nil, err
 		}
 		return workflow.Ports{p.outs[0]: out}, nil
 	case modeSplit:
-		groups, err := resp.GroupMaps()
-		if err != nil {
-			return nil, err
-		}
-		ports := workflow.Ports{}
-		for _, name := range p.outs {
-			g, ok := groups[name]
-			if !ok {
-				g = evidence.NewMap()
-			}
-			ports[name] = g
-		}
-		return ports, nil
+		return p.mergeSplitResponses(resps)
 	default:
 		return nil, fmt.Errorf("compiler: processor %q has unknown mode", p.name)
 	}

@@ -1,7 +1,9 @@
 package evidence
 
 import (
+	"encoding/binary"
 	"fmt"
+	"io"
 	"math"
 	"sort"
 	"strings"
@@ -61,9 +63,20 @@ func (m *Map) HasItem(it Item) bool {
 	return ok
 }
 
-// Items returns the data set in order. The caller must not mutate the
-// returned slice.
-func (m *Map) Items() []Item { return m.order }
+// Items returns a copy of the data set in order. Callers may freely keep
+// or mutate the returned slice; it never aliases the map's internal
+// order, so concurrent readers of aliased views (the shard-parallel data
+// plane shares maps across goroutines) cannot corrupt each other's
+// iteration order.
+func (m *Map) Items() []Item {
+	if len(m.order) == 0 {
+		return nil
+	}
+	return append([]Item(nil), m.order...)
+}
+
+// ItemAt returns the item at position i in the data set order.
+func (m *Map) ItemAt(i int) Item { return m.order[i] }
 
 // Len returns the number of data items.
 func (m *Map) Len() int { return len(m.order) }
@@ -192,6 +205,99 @@ func (m *Map) Merge(other *Map) {
 			m.Set(it, k, v)
 		}
 	}
+}
+
+// Shard splits the map into order-preserving item shards of at most size
+// items each, carrying the items' full evidence rows. Concatenating the
+// shards in order (MergeShards) reconstructs the map exactly. A size ≤ 0,
+// or one no smaller than the data set, yields a single shard aliasing m
+// itself — the serial fast path costs nothing. Shards are independent
+// copies, safe to hand to concurrent workers.
+func (m *Map) Shard(size int) []*Map {
+	if size <= 0 || len(m.order) <= size {
+		return []*Map{m}
+	}
+	shards := make([]*Map, 0, (len(m.order)+size-1)/size)
+	for start := 0; start < len(m.order); start += size {
+		end := start + size
+		if end > len(m.order) {
+			end = len(m.order)
+		}
+		shards = append(shards, m.Project(m.order[start:end]))
+	}
+	return shards
+}
+
+// MergeShards concatenates item shards back into one map, preserving
+// shard order and each shard's internal item order — the inverse of
+// Shard for disjoint shards. Evidence conflicts (only possible when the
+// shards overlap) resolve last-shard-wins, matching Merge.
+func MergeShards(shards []*Map) *Map {
+	if len(shards) == 1 {
+		return shards[0]
+	}
+	out := NewMap()
+	for _, s := range shards {
+		if s != nil {
+			out.Merge(s)
+		}
+	}
+	return out
+}
+
+// WriteCanonical writes a deterministic, collision-free byte encoding of
+// the map: the item list in order, then each item's evidence row with
+// keys sorted, every field length-prefixed. Two maps produce the same
+// encoding iff they carry the same items in the same order with the same
+// evidence — the payload encoding behind content-addressed cache keys
+// (internal/qcache).
+func (m *Map) WriteCanonical(w io.Writer) error {
+	var scratch [binary.MaxVarintLen64]byte
+	writeBytes := func(s string) error {
+		n := binary.PutUvarint(scratch[:], uint64(len(s)))
+		if _, err := w.Write(scratch[:n]); err != nil {
+			return err
+		}
+		_, err := io.WriteString(w, s)
+		return err
+	}
+	writeInt := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := w.Write(scratch[:n])
+		return err
+	}
+	if err := writeInt(uint64(len(m.order))); err != nil {
+		return err
+	}
+	for _, it := range m.order {
+		if err := writeBytes(it.String()); err != nil {
+			return err
+		}
+	}
+	for _, it := range m.order {
+		row := m.values[it]
+		keys := make([]Key, 0, len(row))
+		for k := range row {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return rdf.CompareTerms(keys[i], keys[j]) < 0 })
+		if err := writeInt(uint64(len(keys))); err != nil {
+			return err
+		}
+		for _, k := range keys {
+			v := row[k]
+			if err := writeBytes(k.String()); err != nil {
+				return err
+			}
+			if err := writeBytes(v.Kind().String()); err != nil {
+				return err
+			}
+			if err := writeBytes(v.String()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // FloatColumn returns the values of key for every item that has a numeric

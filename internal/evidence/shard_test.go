@@ -1,0 +1,153 @@
+package evidence
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"qurator/internal/rdf"
+)
+
+func buildMap(n int) *Map {
+	m := NewMap()
+	for i := 0; i < n; i++ {
+		it := rdf.IRI(fmt.Sprintf("urn:item:%03d", i))
+		m.AddItem(it)
+		m.Set(it, rdf.IRI("urn:score"), Float(float64(i)/10))
+		if i%3 == 0 {
+			m.Set(it, rdf.IRI("urn:label"), String_(fmt.Sprintf("l%d", i)))
+		}
+	}
+	return m
+}
+
+func mapsEqual(a, b *Map) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	ai, bi := a.Items(), b.Items()
+	for i := range ai {
+		if ai[i] != bi[i] {
+			return false
+		}
+	}
+	var ab, bb bytes.Buffer
+	if err := a.WriteCanonical(&ab); err != nil {
+		return false
+	}
+	if err := b.WriteCanonical(&bb); err != nil {
+		return false
+	}
+	return bytes.Equal(ab.Bytes(), bb.Bytes())
+}
+
+func TestItemsReturnsCopy(t *testing.T) {
+	m := buildMap(4)
+	items := m.Items()
+	items[0], items[1] = items[1], items[0] // a hostile caller mutates
+	fresh := m.Items()
+	if fresh[0] != rdf.IRI("urn:item:000") || fresh[1] != rdf.IRI("urn:item:001") {
+		t.Fatal("mutating the Items() result corrupted the map's internal order")
+	}
+	if m.ItemAt(0) != rdf.IRI("urn:item:000") {
+		t.Fatal("ItemAt disagrees with insertion order")
+	}
+	if buildMap(0).Items() != nil {
+		t.Fatal("empty map should return nil items")
+	}
+}
+
+func TestShardMergeRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 5, 10, 17} {
+		for _, size := range []int{-1, 0, 1, 2, 3, 7, 16, 100} {
+			m := buildMap(n)
+			shards := m.Shard(size)
+			if size <= 0 || n <= size {
+				if len(shards) != 1 || shards[0] != m {
+					t.Fatalf("n=%d size=%d: serial fast path must alias the input", n, size)
+				}
+			} else {
+				want := (n + size - 1) / size
+				if len(shards) != want {
+					t.Fatalf("n=%d size=%d: %d shards, want %d", n, size, len(shards), want)
+				}
+				total := 0
+				for i, s := range shards {
+					if s.Len() == 0 {
+						t.Fatalf("n=%d size=%d: shard %d is empty", n, size, i)
+					}
+					if s.Len() > size {
+						t.Fatalf("n=%d size=%d: shard %d has %d items", n, size, i, s.Len())
+					}
+					total += s.Len()
+				}
+				if total != n {
+					t.Fatalf("n=%d size=%d: shards cover %d items", n, size, total)
+				}
+			}
+			merged := MergeShards(shards)
+			if !mapsEqual(m, merged) {
+				t.Fatalf("n=%d size=%d: shard→merge round trip changed the map", n, size)
+			}
+		}
+	}
+}
+
+func TestShardsAreIndependentCopies(t *testing.T) {
+	m := buildMap(6)
+	shards := m.Shard(2)
+	shards[0].Set(shards[0].ItemAt(0), rdf.IRI("urn:extra"), Int(1))
+	if m.Has(m.ItemAt(0), rdf.IRI("urn:extra")) {
+		t.Fatal("writing a shard leaked into the source map")
+	}
+}
+
+func TestMergeShardsSkipsNil(t *testing.T) {
+	m := buildMap(4)
+	shards := m.Shard(2)
+	merged := MergeShards([]*Map{shards[0], nil, shards[1]})
+	if !mapsEqual(m, merged) {
+		t.Fatal("nil shards must be skipped without disturbing order")
+	}
+}
+
+func TestWriteCanonicalDiscriminates(t *testing.T) {
+	enc := func(m *Map) string {
+		var b bytes.Buffer
+		if err := m.WriteCanonical(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	base := buildMap(5)
+	if enc(base) != enc(buildMap(5)) {
+		t.Fatal("equal maps must encode identically")
+	}
+	if enc(base) == enc(buildMap(6)) {
+		t.Fatal("different item sets must encode differently")
+	}
+	mutated := buildMap(5)
+	mutated.Set(mutated.ItemAt(2), rdf.IRI("urn:score"), Float(99))
+	if enc(base) == enc(mutated) {
+		t.Fatal("different evidence must encode differently")
+	}
+	// Same cells arriving in a different item order: distinct encodings
+	// (order is significant — ranked lists).
+	a, b := NewMap(), NewMap()
+	x, y := rdf.IRI("urn:x"), rdf.IRI("urn:y")
+	a.AddItem(x)
+	a.AddItem(y)
+	b.AddItem(y)
+	b.AddItem(x)
+	if enc(a) == enc(b) {
+		t.Fatal("item order must be significant")
+	}
+	// Value kind is encoded: Int(1) vs Float(1) vs String "1".
+	i1, f1, s1 := NewMap(x), NewMap(x), NewMap(x)
+	i1.Set(x, y, Int(1))
+	f1.Set(x, y, Float(1))
+	s1.Set(x, y, String_("1"))
+	if enc(i1) == enc(f1) || enc(i1) == enc(s1) || enc(f1) == enc(s1) {
+		t.Fatal("value kinds must be distinguished")
+	}
+}

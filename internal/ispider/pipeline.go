@@ -13,6 +13,7 @@ import (
 	"qurator/internal/ontology"
 	"qurator/internal/proteomics"
 	"qurator/internal/qa"
+	"qurator/internal/qcache"
 	"qurator/internal/qvlang"
 	"qurator/internal/services"
 	"qurator/internal/workflow"
@@ -74,9 +75,28 @@ type RunOutput struct {
 	TermCounts map[string]int
 }
 
+// PipelineOptions parameterises BuildPipelineWith beyond the view source.
+type PipelineOptions struct {
+	// ViewXML is the quality view (default: the paper's §5.1 view).
+	ViewXML string
+	// ShardSize/MaxInflight/Cache configure the enactment data plane —
+	// see compiler.Compiler. Zero values keep serial, uncached enactment.
+	ShardSize   int
+	MaxInflight int
+	Cache       *qcache.Cache
+}
+
 // BuildPipeline compiles the quality view and embeds it into the Figure 1
 // host workflow. viewXML defaults to the paper's §5.1 view.
 func BuildPipeline(world *World, viewXML string) (*Pipeline, error) {
+	return BuildPipelineWith(world, PipelineOptions{ViewXML: viewXML})
+}
+
+// BuildPipelineWith is BuildPipeline with data-plane options — the hook
+// the Figure-7 data-plane benchmarks use to compare serial, sharded and
+// cached enactment over one identical world.
+func BuildPipelineWith(world *World, opts PipelineOptions) (*Pipeline, error) {
+	viewXML := opts.ViewXML
 	if viewXML == "" {
 		viewXML = qvlang.PaperViewXML
 	}
@@ -133,6 +153,9 @@ func BuildPipeline(world *World, viewXML string) (*Pipeline, error) {
 		Bindings:     p.Bindings,
 		Resolver:     &binding.Resolver{Local: p.Services},
 		Repositories: p.Repos,
+		ShardSize:    opts.ShardSize,
+		MaxInflight:  opts.MaxInflight,
+		Cache:        opts.Cache,
 	}
 	p.Compiled, err = comp.Compile(resolved)
 	if err != nil {

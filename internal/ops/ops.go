@@ -39,6 +39,25 @@ type QualityAssertion interface {
 	Assert(m *evidence.Map) error
 }
 
+// ItemWise is an optional interface for QualityAssertion implementations
+// that declare their decision for each item depends only on that item's
+// evidence row — never on the rest of the collection. The enactment data
+// plane may shard item-wise operators across workers without changing
+// their output; collection-scoped operators (e.g. the §5.1 classifier,
+// whose thresholds derive from the whole score distribution) must see the
+// entire map at once. Operators that do not implement ItemWise are
+// treated as collection-scoped — the conservative default.
+type ItemWise interface {
+	ItemWise() bool
+}
+
+// IsItemWise reports whether v declares itself item-wise via the ItemWise
+// interface; absent a declaration it returns false (collection scope).
+func IsItemWise(v any) bool {
+	iw, ok := v.(ItemWise)
+	return ok && iw.ItemWise()
+}
+
 // Annotator is the Annotation operator type: it computes a new association
 // map of evidence values for its declared evidence types and stores it in
 // a repository. Annotators are user-defined, domain- AND data-specific

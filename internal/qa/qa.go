@@ -48,6 +48,10 @@ func (s *Score) Requires() []rdf.Term { return s.Inputs }
 // Provides implements ops.QualityAssertion.
 func (s *Score) Provides() []rdf.Term { return []rdf.Term{s.Tag} }
 
+// ItemWise implements ops.ItemWise: each item's score is a function of
+// its own evidence vector only, so scoring shards freely.
+func (s *Score) ItemWise() bool { return true }
+
 // Assert implements ops.QualityAssertion.
 func (s *Score) Assert(m *evidence.Map) error {
 	if s.Fn == nil {
@@ -187,6 +191,11 @@ func (c *StatClassifier) Provides() []rdf.Term {
 	}
 	return out
 }
+
+// ItemWise implements ops.ItemWise: the classifier is collection-scoped —
+// its avg±stddev thresholds derive from the whole run's score
+// distribution (§5.1), so sharding it would change every label.
+func (c *StatClassifier) ItemWise() bool { return false }
 
 // Assert implements ops.QualityAssertion. Items whose score cannot be
 // computed receive no class assignment.

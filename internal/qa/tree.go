@@ -82,6 +82,10 @@ func validateNode(n *TreeNode, depth int) error {
 	return validateNode(n.False, depth+1)
 }
 
+// ItemWise implements ops.ItemWise: each item walks the tree over its own
+// evidence row, so classification shards freely.
+func (d *DecisionTree) ItemWise() bool { return true }
+
 // Assert implements ops.QualityAssertion.
 func (d *DecisionTree) Assert(m *evidence.Map) error {
 	if err := d.Validate(); err != nil {

@@ -1,0 +1,240 @@
+package qcache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"qurator/internal/evidence"
+	"qurator/internal/rdf"
+)
+
+func TestQCacheHitMiss(t *testing.T) {
+	c := New(Options{Name: "t-hitmiss"})
+	ctx := context.Background()
+	calls := 0
+	compute := func() (any, error) { calls++; return "value", nil }
+
+	v, out, err := c.GetOrCompute(ctx, "k", compute)
+	if err != nil || v != "value" || out != Miss {
+		t.Fatalf("first lookup: got (%v, %v, %v), want (value, Miss, nil)", v, out, err)
+	}
+	v, out, err = c.GetOrCompute(ctx, "k", compute)
+	if err != nil || v != "value" || out != Hit {
+		t.Fatalf("second lookup: got (%v, %v, %v), want (value, Hit, nil)", v, out, err)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", s)
+	}
+}
+
+func TestQCacheErrorsNotCached(t *testing.T) {
+	c := New(Options{Name: "t-errors"})
+	ctx := context.Background()
+	calls := 0
+	boom := errors.New("boom")
+	compute := func() (any, error) {
+		calls++
+		if calls == 1 {
+			return nil, boom
+		}
+		return "recovered", nil
+	}
+	if _, _, err := c.GetOrCompute(ctx, "k", compute); !errors.Is(err, boom) {
+		t.Fatalf("first lookup error = %v, want boom", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("error was cached: %d entries", c.Len())
+	}
+	v, out, err := c.GetOrCompute(ctx, "k", compute)
+	if err != nil || v != "recovered" || out != Miss {
+		t.Fatalf("retry: got (%v, %v, %v), want (recovered, Miss, nil)", v, out, err)
+	}
+}
+
+func TestQCacheLRUEviction(t *testing.T) {
+	c := New(Options{Name: "t-lru", MaxEntries: 2})
+	ctx := context.Background()
+	put := func(k string) {
+		t.Helper()
+		if _, _, err := c.GetOrCompute(ctx, k, func() (any, error) { return k, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("a")
+	put("b")
+	// Touch "a" so "b" is the LRU victim.
+	if _, out, _ := c.GetOrCompute(ctx, "a", nil); out != Hit {
+		t.Fatalf("touch a: outcome %v, want Hit", out)
+	}
+	put("c")
+	if c.Len() != 2 {
+		t.Fatalf("entries = %d, want 2", c.Len())
+	}
+	if _, out, _ := c.GetOrCompute(ctx, "a", func() (any, error) { return "a", nil }); out != Hit {
+		t.Fatalf("a should have survived, outcome %v", out)
+	}
+	if _, out, _ := c.GetOrCompute(ctx, "b", func() (any, error) { return "b", nil }); out != Miss {
+		t.Fatalf("b should have been evicted, outcome %v", out)
+	}
+	if s := c.Stats(); s.Evictions == 0 {
+		t.Fatalf("stats = %+v, want evictions > 0", s)
+	}
+}
+
+func TestQCacheTTLExpiry(t *testing.T) {
+	c := New(Options{Name: "t-ttl", TTL: time.Nanosecond})
+	ctx := context.Background()
+	if _, out, _ := c.GetOrCompute(ctx, "k", func() (any, error) { return 1, nil }); out != Miss {
+		t.Fatalf("first: %v, want Miss", out)
+	}
+	time.Sleep(time.Millisecond)
+	if _, out, _ := c.GetOrCompute(ctx, "k", func() (any, error) { return 2, nil }); out != Miss {
+		t.Fatalf("expired entry served: %v, want Miss", out)
+	}
+}
+
+func TestQCacheSingleflight(t *testing.T) {
+	c := New(Options{Name: "t-flight"})
+	ctx := context.Background()
+	const waiters = 8
+	gate := make(chan struct{})
+	callCount := 0
+	var mu sync.Mutex
+
+	var wg sync.WaitGroup
+	results := make([]Outcome, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, out, err := c.GetOrCompute(ctx, "k", func() (any, error) {
+				mu.Lock()
+				callCount++
+				mu.Unlock()
+				<-gate
+				return "shared", nil
+			})
+			if err != nil || v != "shared" {
+				t.Errorf("waiter %d: (%v, %v)", i, v, err)
+			}
+			results[i] = out
+		}(i)
+	}
+	// Let the goroutines pile up behind the in-flight compute, then open.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if callCount != 1 {
+		t.Fatalf("compute ran %d times, want 1 (singleflight)", callCount)
+	}
+	misses := 0
+	for _, out := range results {
+		if out == Miss {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Fatalf("%d Miss outcomes, want exactly 1 (rest coalesced/hit)", misses)
+	}
+}
+
+func TestQCacheCoalescedWaiterHonoursContext(t *testing.T) {
+	c := New(Options{Name: "t-ctxwait"})
+	gate := make(chan struct{})
+	defer close(gate)
+	go c.GetOrCompute(context.Background(), "k", func() (any, error) {
+		<-gate
+		return "late", nil
+	})
+	// Wait until the entry is in flight.
+	deadline := time.Now().Add(time.Second)
+	for c.Stats().Misses == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("compute never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.GetOrCompute(ctx, "k", nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter got %v, want context.Canceled", err)
+	}
+}
+
+func TestKeyLengthPrefixing(t *testing.T) {
+	a := NewKey().Str("ab").Str("c").Sum()
+	b := NewKey().Str("a").Str("bc").Sum()
+	if a == b {
+		t.Fatal("field boundaries must affect the digest")
+	}
+	if x, y := NewKey().Str("x").Sum(), NewKey().Str("x").Sum(); x != y {
+		t.Fatal("identical inputs must digest identically")
+	}
+}
+
+func TestKeyMapDigest(t *testing.T) {
+	mk := func(items ...string) *evidence.Map {
+		m := evidence.NewMap()
+		for i, it := range items {
+			item := rdf.IRI(it)
+			m.AddItem(item)
+			m.Set(item, rdf.IRI("urn:k"), evidence.Float(float64(i)))
+		}
+		return m
+	}
+	same1 := NewKey().Map(mk("urn:a", "urn:b")).Sum()
+	same2 := NewKey().Map(mk("urn:a", "urn:b")).Sum()
+	if same1 != same2 {
+		t.Fatal("equal maps must digest identically")
+	}
+	reordered := NewKey().Map(mk("urn:b", "urn:a")).Sum()
+	if same1 == reordered {
+		t.Fatal("item order must affect the digest")
+	}
+	m := mk("urn:a", "urn:b")
+	m.Set(rdf.IRI("urn:a"), rdf.IRI("urn:k2"), evidence.String_("v"))
+	changed := NewKey().Map(m).Sum()
+	if same1 == changed {
+		t.Fatal("evidence content must affect the digest")
+	}
+}
+
+func TestQCacheConcurrentMixedKeys(t *testing.T) {
+	c := New(Options{Name: "t-race", MaxEntries: 8})
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%16)
+				v, _, err := c.GetOrCompute(ctx, key, func() (any, error) { return key, nil })
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				if v != key {
+					t.Errorf("goroutine %d: got %v for %s", g, v, key)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 8 {
+		t.Fatalf("LRU bound violated: %d entries", c.Len())
+	}
+}

@@ -26,6 +26,21 @@ const (
 	KindAction     Kind = "action"
 )
 
+// Scope declares how much of the data set a service must see per
+// invocation. Item-scoped services compute each item's result from that
+// item's evidence row alone, so the data plane may shard their input into
+// item chunks and merge the responses without changing the output.
+// Collection-scoped services (e.g. the §5.1 statistical classifier, whose
+// thresholds derive from the whole score distribution) must receive the
+// entire map in one envelope.
+type Scope string
+
+// Service scopes.
+const (
+	ScopeItem       Scope = "item"
+	ScopeCollection Scope = "collection"
+)
+
 // Info describes a deployed service — the WSDL-surrogate the registry and
 // scavenger exchange.
 type Info struct {
@@ -35,6 +50,10 @@ type Info struct {
 	Type string `xml:"type,attr"`
 	// Kind is the abstract operator kind.
 	Kind Kind `xml:"kind,attr"`
+	// Scope declares the sharding contract; empty means ScopeCollection
+	// (the conservative default — never shard a service that did not
+	// declare item scope).
+	Scope Scope `xml:"scope,attr,omitempty"`
 	// Inputs and Outputs list evidence types / tags (IRIs).
 	Inputs  []string `xml:"input,omitempty"`
 	Outputs []string `xml:"output,omitempty"`
@@ -55,6 +74,18 @@ func iriStrings(terms []rdf.Term) []string {
 	return out
 }
 
+// scopeOf derives a service's scope from its operator: an ops.ItemWise
+// declaration wins; otherwise def applies.
+func scopeOf(op any, def Scope) Scope {
+	if iw, ok := op.(ops.ItemWise); ok {
+		if iw.ItemWise() {
+			return ScopeItem
+		}
+		return ScopeCollection
+	}
+	return def
+}
+
 // AssertionService exposes an ops.QualityAssertion as a service: the
 // request carries the enriched annotation map; the response carries the
 // map augmented with the QA's tags/classifications.
@@ -66,9 +97,13 @@ type AssertionService struct {
 // Describe implements QualityService.
 func (s *AssertionService) Describe() Info {
 	return Info{
-		Name:    s.ServiceName,
-		Type:    s.QA.Class().Value(),
-		Kind:    KindAssertion,
+		Name: s.ServiceName,
+		Type: s.QA.Class().Value(),
+		Kind: KindAssertion,
+		// QAs are collection-scoped unless they declare otherwise
+		// (ops.ItemWise) — classification thresholds may derive from the
+		// whole distribution.
+		Scope:   scopeOf(s.QA, ScopeCollection),
 		Inputs:  iriStrings(s.QA.Requires()),
 		Outputs: iriStrings(s.QA.Provides()),
 	}
@@ -102,9 +137,14 @@ type AnnotatorService struct {
 // Describe implements QualityService.
 func (s *AnnotatorService) Describe() Info {
 	return Info{
-		Name:    s.ServiceName,
-		Type:    s.Annotator.Class().Value(),
-		Kind:    KindAnnotation,
+		Name: s.ServiceName,
+		Type: s.Annotator.Class().Value(),
+		Kind: KindAnnotation,
+		// Annotators are arbitrary user code over the whole batch (an
+		// AnnotatorFunc may key evidence off batch position), so the
+		// conservative default is collection scope; a genuinely item-wise
+		// annotator opts into sharding via ops.ItemWise.
+		Scope:   scopeOf(s.Annotator, ScopeCollection),
 		Outputs: iriStrings(s.Annotator.Provides()),
 	}
 }
@@ -143,7 +183,8 @@ type EnrichmentService struct {
 
 // Describe implements QualityService.
 func (s *EnrichmentService) Describe() Info {
-	return Info{Name: s.ServiceName, Type: ontology.Q("DataEnrichment").Value(), Kind: KindEnrichment}
+	// Enrichment fetches stored values keyed (d, e) — strictly per item.
+	return Info{Name: s.ServiceName, Type: ontology.Q("DataEnrichment").Value(), Kind: KindEnrichment, Scope: ScopeItem}
 }
 
 // SourceParam builds the config parameter name associating an evidence
@@ -195,7 +236,8 @@ type ActionService struct {
 
 // Describe implements QualityService.
 func (s *ActionService) Describe() Info {
-	return Info{Name: s.ServiceName, Type: ontology.Q("Action").Value(), Kind: KindAction}
+	// Filter and split conditions evaluate one item's evidence at a time.
+	return Info{Name: s.ServiceName, Type: ontology.Q("Action").Value(), Kind: KindAction, Scope: ScopeItem}
 }
 
 // VarParam builds the config parameter name binding a condition

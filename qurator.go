@@ -36,6 +36,7 @@ import (
 	"qurator/internal/ops"
 	"qurator/internal/provenance"
 	"qurator/internal/qa"
+	"qurator/internal/qcache"
 	"qurator/internal/qvlang"
 	"qurator/internal/rdf"
 	"qurator/internal/services"
@@ -68,6 +69,11 @@ type (
 		// resilience, when set via SetResilience, makes remote clients
 		// fault-tolerant and compiled views degradable.
 		resilience *Resilience
+		// dataplane, when set via SetDataPlane, makes compiled views
+		// shard service invocations; cache is the shared response cache
+		// (nil unless DataPlane.Cache).
+		dataplane *DataPlane
+		cache     *qcache.Cache
 		// clients caches one HTTP client (connection pool + breakers)
 		// per scavenged host, guarded by mu.
 		mu      sync.Mutex
@@ -206,6 +212,11 @@ func (f *Framework) CompileView(viewXML []byte) (*Compiled, error) {
 		c.RetryBackoff = r.RetryBackoff
 		c.ProcessorTimeout = r.ProcessorTimeout
 		c.Degraded = r.Degraded
+	}
+	if d := f.dataplane; d != nil {
+		c.ShardSize = d.ShardSize
+		c.MaxInflight = d.MaxInflight
+		c.Cache = f.cache
 	}
 	compiled, err := c.Compile(resolved)
 	if err != nil {
