@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"qurator/internal/annotstore"
 	"qurator/internal/condition"
@@ -23,10 +24,12 @@ import (
 	"qurator/internal/ispider"
 	"qurator/internal/ontology"
 	"qurator/internal/ops"
+	"qurator/internal/provenance"
 	"qurator/internal/qa"
 	"qurator/internal/qcache"
 	"qurator/internal/qvlang"
 	"qurator/internal/rdf"
+	"qurator/internal/sparql"
 	"qurator/internal/stream"
 	"qurator/internal/telemetry"
 )
@@ -367,6 +370,86 @@ func BenchmarkStreamEnactment(b *testing.B) {
 	if err := telemetry.ValidateExposition(&buf); err != nil {
 		b.Fatalf("/metrics exposition malformed: %v", err)
 	}
+}
+
+// sparqlBenchLog builds the provenance log for the query-engine benchmark
+// once per binary: 100k runs (10k under -short), ~14 triples per run, in
+// the paper's exploration-loop shape.
+var sparqlBenchLog = sync.OnceValue(func() *provenance.Log {
+	n := 100000
+	if testing.Short() {
+		n = 10000
+	}
+	l := provenance.NewLog()
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		l.Record(provenance.Record{
+			View:      fmt.Sprintf("view-%d", i%7),
+			Started:   base.Add(time.Duration(i) * time.Second),
+			Duration:  time.Duration(1+i%250) * time.Millisecond,
+			InputSize: 50 + i%400,
+			Outputs:   map[string]int{"accept": i % 40, "review": i % 11},
+			Conditions: map[string]string{
+				"accept": fmt.Sprintf("ScoreClass in q:high; threshold=%d", i%5),
+			},
+		})
+	}
+	return l
+})
+
+// BenchmarkSPARQLProvenance measures the metadata-plane query engine over
+// a 100k-run provenance log (10k under -short). The clone-materialize
+// sub-benchmark is the seed Log.Query path: a deep per-query copy of the
+// graph feeding the materializing evaluator. The snapshot-stream
+// sub-benchmark is the production path: an O(1) copy-on-write snapshot
+// feeding the streaming, cardinality-planned evaluator. Compare ns/op —
+// the acceptance bar is a ≥10x gap.
+func BenchmarkSPARQLProvenance(b *testing.B) {
+	log := sparqlBenchLog()
+	graph := log.Graph()
+	query := fmt.Sprintf(
+		`SELECT ?run ?name ?size WHERE { ?run <%susedView> "view-3" . ?run <%sproducedOutput> ?o . ?o <%soutputName> ?name . ?o <%soutputSize> ?size . }`,
+		ontology.QuratorNS, ontology.QuratorNS, ontology.QuratorNS, ontology.QuratorNS)
+
+	want, err := log.Query(query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wantRows := len(want.Bindings)
+	if wantRows == 0 {
+		b.Fatal("benchmark query returned no rows")
+	}
+
+	b.Run("clone-materialize", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g := rdf.NewGraph()
+			for _, t := range graph.Triples() {
+				g.MustAdd(t)
+			}
+			res, err := sparql.ExecBaseline(g.Snapshot(), query)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Bindings) != wantRows {
+				b.Fatalf("rows = %d, want %d", len(res.Bindings), wantRows)
+			}
+		}
+		b.ReportMetric(float64(wantRows), "rows")
+	})
+	b.Run("snapshot-stream", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := log.Query(query)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Bindings) != wantRows {
+				b.Fatalf("rows = %d, want %d", len(res.Bindings), wantRows)
+			}
+		}
+		b.ReportMetric(float64(wantRows), "rows")
+	})
 }
 
 // BenchmarkViewCompilation measures the pure view-compilation cost

@@ -7,6 +7,7 @@
 //	experiment -ablation qa  # A2: QA choice precision/recall
 //	experiment -ablation threshold  # A3: filter-threshold sweep
 //	experiment -dataplane    # serial vs sharded vs cached enactment
+//	experiment -sparql       # metadata-plane query engine: clone vs snapshot
 //	experiment -all          # everything
 //
 // Flags -seed, -spots, -db resize the world. The Figure-7 run also
@@ -39,6 +40,11 @@ func main() {
 	dataplaneOut := flag.String("dataplane-out", "BENCH_dataplane.json",
 		"write the data-plane benchmark record here; empty = off")
 	repeats := flag.Int("repeats", 3, "repeats per data-plane configuration")
+	sparqlRun := flag.Bool("sparql", false,
+		"run the metadata-plane query experiment: clone-per-query vs snapshot + streaming evaluation")
+	sparqlRuns := flag.Int("sparql-runs", 20000, "provenance runs in the SPARQL experiment's log")
+	sparqlOut := flag.String("sparql-out", "BENCH_sparql.json",
+		"write the SPARQL benchmark record here; empty = off")
 	flag.Parse()
 
 	params := ispider.DefaultWorldParams()
@@ -55,6 +61,7 @@ func main() {
 		runFigure6(world)
 		runFigure7(world, *benchOut)
 		runDataPlane(world, *dataplaneOut, *repeats)
+		runSPARQL(*sparqlRuns, *repeats, *sparqlOut)
 		runQAAblation(world)
 		runThresholdAblation(world)
 		runLearnedAblation(world)
@@ -64,6 +71,8 @@ func main() {
 	switch {
 	case *dataplane:
 		runDataPlane(world, *dataplaneOut, *repeats)
+	case *sparqlRun:
+		runSPARQL(*sparqlRuns, *repeats, *sparqlOut)
 	case *fig == 1:
 		runFigure1(world)
 	case *fig == 6:

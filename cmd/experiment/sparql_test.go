@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSPARQLRecordSchema runs the query experiment over a small provenance
+// log and checks the BENCH_sparql.json record is well-formed: the
+// equivalence tripwire holds, every query ran, timings are sane, and the
+// on-disk record round-trips strictly. It asserts only a conservative
+// speedup floor (>1x minimum over a tiny log) — the ≥10x headline claim is
+// BenchmarkSPARQLProvenance's job, over a 100k-run log.
+func TestSPARQLRecordSchema(t *testing.T) {
+	record, err := measureSPARQL(1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !record.Equivalent {
+		t.Fatal("streaming evaluator diverged from the materializing baseline")
+	}
+	if record.Experiment != "sparql" {
+		t.Fatalf("experiment = %q", record.Experiment)
+	}
+	if record.Runs != 1000 || record.Triples < record.Runs {
+		t.Fatalf("runs = %d, triples = %d", record.Runs, record.Triples)
+	}
+	if len(record.Queries) != len(sparqlQueries()) {
+		t.Fatalf("%d queries, want %d", len(record.Queries), len(sparqlQueries()))
+	}
+	for _, qr := range record.Queries {
+		if qr.Rows == 0 {
+			t.Errorf("query %s returned no rows — the world no longer exercises it", qr.Name)
+		}
+		if qr.CloneMS < 0 || qr.SnapshotMS < 0 || qr.StreamMS < 0 {
+			t.Errorf("query %s: negative wall-clock", qr.Name)
+		}
+		if qr.Speedup <= 0 {
+			t.Errorf("query %s: speedup = %f", qr.Name, qr.Speedup)
+		}
+	}
+	// Conservative floor: even on a small log, skipping the deep copy and
+	// planning by cardinality must not be slower than clone+materialize.
+	if record.MinSpeedup < 1 {
+		t.Errorf("min speedup = %.2f, want >= 1", record.MinSpeedup)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_sparql.json")
+	if err := writeJSON(path, record); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var back sparqlRecord
+	if err := dec.Decode(&back); err != nil {
+		t.Fatalf("strict decode of %s: %v", path, err)
+	}
+	if back.Experiment != record.Experiment || len(back.Queries) != len(record.Queries) {
+		t.Fatal("record did not round-trip")
+	}
+}

@@ -32,6 +32,13 @@
 // POST /stream/enact?view=paper enacts a quality view continuously over
 // an NDJSON item stream (see internal/stream): decisions flush back
 // window by window while the request body is still being produced.
+//
+// POST /query runs SPARQL over the metadata plane: run provenance
+// ({"target":"provenance"}) or an annotation repository
+// ({"target":"annotations:default"}). Queries evaluate against O(1)
+// copy-on-write snapshots, so even slow exploratory queries never stall
+// enactments writing provenance or annotations; latency and snapshot age
+// land on /metrics.
 package main
 
 import (
@@ -136,6 +143,7 @@ func main() {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.Handle("/stream/enact", stream.Handler(streamCompiler(f)))
+	mux.Handle("POST /query", f.QueryHandler())
 	mux.Handle("GET /metrics", telemetry.Default.Handler())
 	mux.Handle("GET /debug/enactments", telemetry.DebugHandler(telemetry.DefaultRecorder))
 

@@ -245,11 +245,20 @@ func (r *Repository) Clear() {
 }
 
 // Query runs a SPARQL query against the annotation graph — the paper's
-// primary access path (§5). The caller sees a read-only snapshot.
+// primary access path (§5). Evaluation runs over an O(1) snapshot, so an
+// arbitrarily long query never blocks writers (Put/Clear/Load).
 func (r *Repository) Query(query string) (*sparql.Result, error) {
+	return sparql.Exec(r.Snapshot(), query)
+}
+
+// Snapshot returns an immutable O(1) view of the annotation graph. The
+// repository lock is held only long enough to read the graph pointer
+// (Load swaps it); snapshot reads themselves are lock-free.
+func (r *Repository) Snapshot() *rdf.Snapshot {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return sparql.Exec(r.graph, query)
+	g := r.graph
+	r.mu.RUnlock()
+	return g.Snapshot()
 }
 
 // Graph returns a snapshot copy of the underlying RDF graph.

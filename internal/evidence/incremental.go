@@ -27,6 +27,30 @@ func (m *Map) RemoveItem(it Item) bool {
 	return true
 }
 
+// RemoveFirst removes the n oldest items (the order prefix) and their
+// evidence rows in one pass, returning the removed items in order. It is
+// the ordered-eviction API for sliding windows: one call is O(map size)
+// total, where evicting the prefix via n RemoveItem calls would re-base
+// the index n times (O(n · map size)).
+func (m *Map) RemoveFirst(n int) []Item {
+	if n <= 0 {
+		return nil
+	}
+	if n > len(m.order) {
+		n = len(m.order)
+	}
+	removed := append([]Item(nil), m.order[:n]...)
+	for _, it := range removed {
+		delete(m.index, it)
+		delete(m.values, it)
+	}
+	m.order = append(m.order[:0], m.order[n:]...)
+	for i, it := range m.order {
+		m.index[it] = i
+	}
+	return removed
+}
+
 // SetRow appends an item together with its evidence row in one call — the
 // streaming append: a live window Amap grows one arriving item at a time
 // without rebuilding. Null values are skipped.

@@ -125,15 +125,21 @@ func (l *Log) Len() int {
 	return l.seq
 }
 
-// Query runs a SPARQL query against the provenance graph.
+// Query runs a SPARQL query against an O(1) snapshot of the provenance
+// graph: evaluation holds no lock, so a long query never blocks Record.
 func (l *Log) Query(query string) (*sparql.Result, error) {
-	l.mu.Lock()
-	g := l.graph.Clone()
-	l.mu.Unlock()
-	return sparql.Exec(g, query)
+	return sparql.Exec(l.Snapshot(), query)
 }
 
-// Graph returns a snapshot of the provenance graph.
+// Snapshot returns an immutable O(1) view of the provenance graph.
+func (l *Log) Snapshot() *rdf.Snapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.graph.Snapshot()
+}
+
+// Graph returns an independent copy of the provenance graph (O(1),
+// copy-on-write).
 func (l *Log) Graph() *rdf.Graph {
 	l.mu.Lock()
 	defer l.mu.Unlock()

@@ -36,33 +36,63 @@ func (t Triple) Validate() error {
 }
 
 // Graph is an in-memory RDF graph with three-way indexing (SPO, POS, OSP)
-// for efficient pattern matching. All methods are safe for concurrent use.
+// for efficient pattern matching, per-position cardinality statistics for
+// query planning, and O(1) copy-on-write snapshots (Snapshot, Clone). All
+// methods are safe for concurrent use.
 //
 // The zero value is not ready to use; call NewGraph.
 type Graph struct {
 	mu sync.RWMutex
-	// spo indexes subject → predicate → object set; pos and osp are the
-	// rotations used to answer patterns with unbound subjects.
-	spo map[Term]map[Term]map[Term]struct{}
-	pos map[Term]map[Term]map[Term]struct{}
-	osp map[Term]map[Term]map[Term]struct{}
-	n   int
+	v  view
+	// gen is the current write generation. Index nodes stamped with an
+	// older generation are shared with at least one Snapshot or Clone and
+	// are copied (never mutated in place) the first time a write touches
+	// them.
+	gen uint64
+	// sealed records that the current generation's nodes are shared with
+	// a Snapshot or Clone; the next write bumps gen and forks the roots.
+	sealed bool
 }
 
 // NewGraph returns an empty graph.
 func NewGraph() *Graph {
-	return &Graph{
-		spo: make(map[Term]map[Term]map[Term]struct{}),
-		pos: make(map[Term]map[Term]map[Term]struct{}),
-		osp: make(map[Term]map[Term]map[Term]struct{}),
-	}
+	return &Graph{v: newView()}
 }
 
 // Len returns the number of triples in the graph.
 func (g *Graph) Len() int {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	return g.n
+	return g.v.n
+}
+
+// Snapshot returns an immutable point-in-time view of the graph in O(1).
+// Snapshot reads take no locks, so an arbitrarily long read (e.g. a SPARQL
+// evaluation) never blocks writers; subsequent writes to the graph copy
+// the index nodes they touch instead of mutating shared state.
+func (g *Graph) Snapshot() *Snapshot {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.sealed = true
+	return newSnapshot(g.v)
+}
+
+// prepWrite makes the current view privately writable: if a Snapshot or
+// Clone shares the current generation, the generation advances and the
+// root maps are forked. Inner index nodes fork lazily as writes touch
+// them. Callers must hold g.mu.
+func (g *Graph) prepWrite() {
+	if !g.sealed {
+		return
+	}
+	g.gen++
+	g.sealed = false
+	g.v.spo = forkRoot(g.v.spo)
+	g.v.pos = forkRoot(g.v.pos)
+	g.v.osp = forkRoot(g.v.osp)
+	g.v.subjN = forkCounts(g.v.subjN)
+	g.v.predN = forkCounts(g.v.predN)
+	g.v.objN = forkCounts(g.v.objN)
 }
 
 // Add inserts a triple. It returns true if the triple was not already
@@ -73,13 +103,21 @@ func (g *Graph) Add(t Triple) (bool, error) {
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if !index(g.spo, t.Subject, t.Predicate, t.Object) {
-		return false, nil
+	g.prepWrite()
+	return g.addLocked(t), nil
+}
+
+func (g *Graph) addLocked(t Triple) bool {
+	if !addIdx(g.v.spo, g.gen, t.Subject, t.Predicate, t.Object) {
+		return false
 	}
-	index(g.pos, t.Predicate, t.Object, t.Subject)
-	index(g.osp, t.Object, t.Subject, t.Predicate)
-	g.n++
-	return true, nil
+	addIdx(g.v.pos, g.gen, t.Predicate, t.Object, t.Subject)
+	addIdx(g.v.osp, g.gen, t.Object, t.Subject, t.Predicate)
+	g.v.subjN[t.Subject]++
+	g.v.predN[t.Predicate]++
+	g.v.objN[t.Object]++
+	g.v.n++
+	return true
 }
 
 // MustAdd inserts a triple and panics on malformed input. It is intended
@@ -92,24 +130,44 @@ func (g *Graph) MustAdd(t Triple) {
 
 // AddAll inserts all triples, stopping at the first malformed one.
 func (g *Graph) AddAll(ts []Triple) error {
+	_, err := g.AddBatch(ts)
+	return err
+}
+
+// AddBatch inserts all triples under a single lock acquisition — the bulk
+// load path for large graphs (provenance logs, parsed files). It returns
+// the number of triples actually added (duplicates are skipped); on a
+// malformed triple it stops and returns the count added so far.
+func (g *Graph) AddBatch(ts []Triple) (int, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.prepWrite()
+	added := 0
 	for _, t := range ts {
-		if _, err := g.Add(t); err != nil {
-			return err
+		if err := t.Validate(); err != nil {
+			return added, err
+		}
+		if g.addLocked(t) {
+			added++
 		}
 	}
-	return nil
+	return added, nil
 }
 
 // Remove deletes a triple, reporting whether it was present.
 func (g *Graph) Remove(t Triple) bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if !unindex(g.spo, t.Subject, t.Predicate, t.Object) {
+	g.prepWrite()
+	if !delIdx(g.v.spo, g.gen, t.Subject, t.Predicate, t.Object) {
 		return false
 	}
-	unindex(g.pos, t.Predicate, t.Object, t.Subject)
-	unindex(g.osp, t.Object, t.Subject, t.Predicate)
-	g.n--
+	delIdx(g.v.pos, g.gen, t.Predicate, t.Object, t.Subject)
+	delIdx(g.v.osp, g.gen, t.Object, t.Subject, t.Predicate)
+	decCount(g.v.subjN, t.Subject)
+	decCount(g.v.predN, t.Predicate)
+	decCount(g.v.objN, t.Object)
+	g.v.n--
 	return true
 }
 
@@ -117,25 +175,15 @@ func (g *Graph) Remove(t Triple) bool {
 func (g *Graph) Has(t Triple) bool {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	if m, ok := g.spo[t.Subject]; ok {
-		if mm, ok := m[t.Predicate]; ok {
-			_, ok := mm[t.Object]
-			return ok
-		}
-	}
-	return false
+	return g.v.has(t)
 }
 
 // Match returns all triples matching the pattern; zero Terms act as
 // wildcards. Results are returned in deterministic (sorted) order.
 func (g *Graph) Match(s, p, o Term) []Triple {
-	var out []Triple
-	g.ForEachMatch(s, p, o, func(t Triple) bool {
-		out = append(out, t)
-		return true
-	})
-	sortTriples(out)
-	return out
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v.match(s, p, o)
 }
 
 // Count returns the number of triples matching the pattern.
@@ -145,122 +193,56 @@ func (g *Graph) Count(s, p, o Term) int {
 	return n
 }
 
+// Cardinality returns the exact number of triples matching the pattern in
+// O(1), from the index statistics — the planner-facing complement of
+// Count, which walks the matches.
+func (g *Graph) Cardinality(s, p, o Term) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v.cardinality(s, p, o)
+}
+
+// Stats returns the graph-level index statistics.
+func (g *Graph) Stats() DatasetStats {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v.stats()
+}
+
 // ForEachMatch calls fn for every triple matching the pattern (zero Terms
 // are wildcards) until fn returns false. Iteration order is unspecified;
 // use Match for deterministic order. The graph must not be mutated from
-// within fn.
+// within fn; for reads that must coexist with writers, iterate a
+// Snapshot instead.
 func (g *Graph) ForEachMatch(s, p, o Term, fn func(Triple) bool) {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-
-	emit := func(t Triple) bool { return fn(t) }
-
-	switch {
-	case !s.IsZero() && !p.IsZero() && !o.IsZero():
-		if m, ok := g.spo[s]; ok {
-			if mm, ok := m[p]; ok {
-				if _, ok := mm[o]; ok {
-					emit(T(s, p, o))
-				}
-			}
-		}
-	case !s.IsZero() && !p.IsZero():
-		if m, ok := g.spo[s]; ok {
-			for obj := range m[p] {
-				if !emit(T(s, p, obj)) {
-					return
-				}
-			}
-		}
-	case !s.IsZero() && !o.IsZero():
-		if m, ok := g.osp[o]; ok {
-			for pred := range m[s] {
-				if !emit(T(s, pred, o)) {
-					return
-				}
-			}
-		}
-	case !p.IsZero() && !o.IsZero():
-		if m, ok := g.pos[p]; ok {
-			for subj := range m[o] {
-				if !emit(T(subj, p, o)) {
-					return
-				}
-			}
-		}
-	case !s.IsZero():
-		if m, ok := g.spo[s]; ok {
-			for pred, objs := range m {
-				for obj := range objs {
-					if !emit(T(s, pred, obj)) {
-						return
-					}
-				}
-			}
-		}
-	case !p.IsZero():
-		if m, ok := g.pos[p]; ok {
-			for obj, subjs := range m {
-				for subj := range subjs {
-					if !emit(T(subj, p, obj)) {
-						return
-					}
-				}
-			}
-		}
-	case !o.IsZero():
-		if m, ok := g.osp[o]; ok {
-			for subj, preds := range m {
-				for pred := range preds {
-					if !emit(T(subj, pred, o)) {
-						return
-					}
-				}
-			}
-		}
-	default:
-		for subj, m := range g.spo {
-			for pred, objs := range m {
-				for obj := range objs {
-					if !emit(T(subj, pred, obj)) {
-						return
-					}
-				}
-			}
-		}
-	}
+	g.v.forEachMatch(s, p, o, fn)
 }
 
 // Subjects returns the distinct subjects of triples matching (·, p, o),
 // in sorted order.
 func (g *Graph) Subjects(p, o Term) []Term {
-	seen := make(map[Term]struct{})
-	g.ForEachMatch(Term{}, p, o, func(t Triple) bool {
-		seen[t.Subject] = struct{}{}
-		return true
-	})
-	return sortedTerms(seen)
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v.subjects(p, o)
 }
 
 // Objects returns the distinct objects of triples matching (s, p, ·),
 // in sorted order.
 func (g *Graph) Objects(s, p Term) []Term {
-	seen := make(map[Term]struct{})
-	g.ForEachMatch(s, p, Term{}, func(t Triple) bool {
-		seen[t.Object] = struct{}{}
-		return true
-	})
-	return sortedTerms(seen)
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v.objects(s, p)
 }
 
-// FirstObject returns the first object of (s, p, ·) in sorted order, or a
-// zero Term if none exists. It is the idiom for functional properties.
+// FirstObject returns the least object of (s, p, ·) in term order, or a
+// zero Term if none exists. It is the idiom for functional properties,
+// and runs as a single O(k) min-scan over the k objects.
 func (g *Graph) FirstObject(s, p Term) Term {
-	objs := g.Objects(s, p)
-	if len(objs) == 0 {
-		return Term{}
-	}
-	return objs[0]
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v.firstObject(s, p)
 }
 
 // Triples returns a sorted snapshot of every triple in the graph.
@@ -272,64 +254,147 @@ func (g *Graph) Triples() []Triple {
 func (g *Graph) Clear() {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	g.spo = make(map[Term]map[Term]map[Term]struct{})
-	g.pos = make(map[Term]map[Term]map[Term]struct{})
-	g.osp = make(map[Term]map[Term]map[Term]struct{})
-	g.n = 0
+	// Fresh maps, never shared: outstanding snapshots keep the old ones.
+	g.v = newView()
+	g.sealed = false
 }
 
 // Merge adds every triple of other into g.
 func (g *Graph) Merge(other *Graph) {
-	for _, t := range other.Triples() {
-		g.MustAdd(t)
+	if other == g {
+		return
 	}
+	snap := other.Snapshot()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.prepWrite()
+	snap.v.forEachMatch(Term{}, Term{}, Term{}, func(t Triple) bool {
+		g.addLocked(t)
+		return true
+	})
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns an independent copy of the graph in O(1): the copy shares
+// the current index nodes copy-on-write, so writes on either side fork
+// the nodes they touch and neither graph observes the other's mutations.
 func (g *Graph) Clone() *Graph {
-	out := NewGraph()
-	out.Merge(g)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.sealed = true
+	return &Graph{v: g.v, gen: g.gen, sealed: true}
+}
+
+// ---- generation-tagged copy-on-write index nodes ----
+
+// midMap is the middle level of one index rotation (e.g. predicate →
+// object set under a subject). leafSet is the innermost term set. Both
+// carry the write generation that owns them: a node whose gen differs
+// from the graph's current gen is shared with a snapshot and is forked
+// before mutation.
+type midMap struct {
+	gen uint64
+	m   map[Term]*leafSet
+}
+
+type leafSet struct {
+	gen uint64
+	m   map[Term]struct{}
+}
+
+func (n *midMap) fork(gen uint64) *midMap {
+	m := make(map[Term]*leafSet, len(n.m))
+	for k, v := range n.m {
+		m[k] = v
+	}
+	return &midMap{gen: gen, m: m}
+}
+
+func (n *leafSet) fork(gen uint64) *leafSet {
+	m := make(map[Term]struct{}, len(n.m))
+	for k := range n.m {
+		m[k] = struct{}{}
+	}
+	return &leafSet{gen: gen, m: m}
+}
+
+func forkRoot(root map[Term]*midMap) map[Term]*midMap {
+	out := make(map[Term]*midMap, len(root))
+	for k, v := range root {
+		out[k] = v
+	}
 	return out
 }
 
-func index(idx map[Term]map[Term]map[Term]struct{}, a, b, c Term) bool {
-	m, ok := idx[a]
-	if !ok {
-		m = make(map[Term]map[Term]struct{})
-		idx[a] = m
+func forkCounts(c map[Term]int) map[Term]int {
+	out := make(map[Term]int, len(c))
+	for k, v := range c {
+		out[k] = v
 	}
-	mm, ok := m[b]
-	if !ok {
-		mm = make(map[Term]struct{})
-		m[b] = mm
+	return out
+}
+
+func addIdx(root map[Term]*midMap, gen uint64, a, b, c Term) bool {
+	mid, ok := root[a]
+	switch {
+	case !ok:
+		mid = &midMap{gen: gen, m: make(map[Term]*leafSet, 1)}
+		root[a] = mid
+	case mid.gen != gen:
+		mid = mid.fork(gen)
+		root[a] = mid
 	}
-	if _, ok := mm[c]; ok {
+	leaf, ok := mid.m[b]
+	switch {
+	case !ok:
+		leaf = &leafSet{gen: gen, m: make(map[Term]struct{}, 1)}
+		mid.m[b] = leaf
+	case leaf.gen != gen:
+		leaf = leaf.fork(gen)
+		mid.m[b] = leaf
+	}
+	if _, ok := leaf.m[c]; ok {
 		return false
 	}
-	mm[c] = struct{}{}
+	leaf.m[c] = struct{}{}
 	return true
 }
 
-func unindex(idx map[Term]map[Term]map[Term]struct{}, a, b, c Term) bool {
-	m, ok := idx[a]
+func delIdx(root map[Term]*midMap, gen uint64, a, b, c Term) bool {
+	mid, ok := root[a]
 	if !ok {
 		return false
 	}
-	mm, ok := m[b]
+	leaf, ok := mid.m[b]
 	if !ok {
 		return false
 	}
-	if _, ok := mm[c]; !ok {
+	if _, ok := leaf.m[c]; !ok {
 		return false
 	}
-	delete(mm, c)
-	if len(mm) == 0 {
-		delete(m, b)
-		if len(m) == 0 {
-			delete(idx, a)
+	if mid.gen != gen {
+		mid = mid.fork(gen)
+		root[a] = mid
+	}
+	if leaf = mid.m[b]; leaf.gen != gen {
+		leaf = leaf.fork(gen)
+		mid.m[b] = leaf
+	}
+	delete(leaf.m, c)
+	if len(leaf.m) == 0 {
+		delete(mid.m, b)
+		if len(mid.m) == 0 {
+			delete(root, a)
 		}
 	}
 	return true
+}
+
+func decCount(c map[Term]int, t Term) {
+	if c[t] <= 1 {
+		delete(c, t)
+	} else {
+		c[t]--
+	}
 }
 
 func termLess(a, b Term) bool {

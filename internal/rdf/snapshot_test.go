@@ -1,0 +1,343 @@
+package rdf
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func snapTriple(i int) Triple {
+	return T(
+		IRI(fmt.Sprintf("http://example.org/s%d", i%97)),
+		IRI(fmt.Sprintf("http://example.org/p%d", i%7)),
+		Integer(int64(i)),
+	)
+}
+
+func buildSnapGraph(t testing.TB, n int) *Graph {
+	t.Helper()
+	g := NewGraph()
+	ts := make([]Triple, 0, n)
+	for i := 0; i < n; i++ {
+		ts = append(ts, snapTriple(i))
+	}
+	if added, err := g.AddBatch(ts); err != nil || added != n {
+		t.Fatalf("AddBatch = (%d, %v), want (%d, nil)", added, err, n)
+	}
+	return g
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	g := buildSnapGraph(t, 500)
+	snap := g.Snapshot()
+	before := snap.Triples()
+
+	// Mutate the live graph in every way a writer can.
+	extra := T(IRI("http://example.org/new"), IRI(RDFType), Literal("added"))
+	g.MustAdd(extra)
+	if !g.Remove(snapTriple(0)) {
+		t.Fatal("Remove(existing) = false")
+	}
+	if _, err := g.AddBatch([]Triple{snapTriple(1000), snapTriple(1001)}); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := snap.Triples(); !reflect.DeepEqual(got, before) {
+		t.Fatalf("snapshot changed after graph writes: %d triples, was %d", len(got), len(before))
+	}
+	if snap.Has(extra) {
+		t.Fatal("snapshot sees triple added after Snapshot()")
+	}
+	if !snap.Has(snapTriple(0)) {
+		t.Fatal("snapshot lost triple removed from the live graph")
+	}
+	if !g.Has(extra) || g.Has(snapTriple(0)) {
+		t.Fatal("live graph does not reflect its own writes")
+	}
+}
+
+func TestSnapshotAfterClear(t *testing.T) {
+	g := buildSnapGraph(t, 50)
+	snap := g.Snapshot()
+	g.Clear()
+	if g.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", g.Len())
+	}
+	if snap.Len() != 50 {
+		t.Fatalf("snapshot Len after Clear = %d, want 50", snap.Len())
+	}
+}
+
+func TestSnapshotTakenAndAge(t *testing.T) {
+	g := buildSnapGraph(t, 1)
+	snap := g.Snapshot()
+	if snap.Taken().IsZero() {
+		t.Fatal("Taken is zero")
+	}
+	if snap.Age() < 0 {
+		t.Fatalf("Age = %v", snap.Age())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := buildSnapGraph(t, 300)
+	c := g.Clone()
+	if c.Len() != g.Len() {
+		t.Fatalf("clone Len = %d, want %d", c.Len(), g.Len())
+	}
+
+	// Writes on either side must be invisible to the other.
+	gOnly := T(IRI("http://example.org/g-only"), IRI(RDFType), Literal("g"))
+	cOnly := T(IRI("http://example.org/c-only"), IRI(RDFType), Literal("c"))
+	g.MustAdd(gOnly)
+	c.MustAdd(cOnly)
+	g.Remove(snapTriple(1))
+	c.Remove(snapTriple(2))
+
+	if c.Has(gOnly) || g.Has(cOnly) {
+		t.Fatal("clone and original share writes")
+	}
+	if !c.Has(snapTriple(1)) || !g.Has(snapTriple(2)) {
+		t.Fatal("removal leaked between clone and original")
+	}
+
+	// A clone of a clone must also be independent.
+	cc := c.Clone()
+	c.MustAdd(T(IRI("http://example.org/c2"), IRI(RDFType), Literal("x")))
+	if cc.Has(T(IRI("http://example.org/c2"), IRI(RDFType), Literal("x"))) {
+		t.Fatal("second-level clone shares writes")
+	}
+}
+
+func TestCloneMatchesTriples(t *testing.T) {
+	g := buildSnapGraph(t, 120)
+	c := g.Clone()
+	if !reflect.DeepEqual(c.Triples(), g.Triples()) {
+		t.Fatal("clone triples differ from original")
+	}
+}
+
+func TestCardinalityAndStats(t *testing.T) {
+	g := NewGraph()
+	s1, s2 := IRI("http://example.org/a"), IRI("http://example.org/b")
+	p1, p2 := IRI("http://example.org/p"), IRI("http://example.org/q")
+	o1, o2, o3 := Literal("x"), Literal("y"), Literal("z")
+	for _, tr := range []Triple{
+		T(s1, p1, o1), T(s1, p1, o2), T(s1, p2, o3),
+		T(s2, p1, o1),
+	} {
+		g.MustAdd(tr)
+	}
+
+	var zero Term
+	cases := []struct {
+		s, p, o Term
+		want    int
+	}{
+		{zero, zero, zero, 4},
+		{s1, zero, zero, 3},
+		{s2, zero, zero, 1},
+		{zero, p1, zero, 3},
+		{zero, p2, zero, 1},
+		{zero, zero, o1, 2},
+		{zero, zero, o3, 1},
+		{s1, p1, zero, 2},
+		{zero, p1, o1, 2},
+		{s1, zero, o2, 1},
+		{s1, p1, o1, 1},
+		{s1, p1, o3, 0},
+		{IRI("http://example.org/none"), zero, zero, 0},
+	}
+	for _, c := range cases {
+		if got := g.Cardinality(c.s, c.p, c.o); got != c.want {
+			t.Errorf("Cardinality(%v,%v,%v) = %d, want %d", c.s, c.p, c.o, got, c.want)
+		}
+		// Cardinality must agree with Count (which walks matches) and be
+		// preserved by snapshots.
+		if got := g.Count(c.s, c.p, c.o); got != c.want {
+			t.Errorf("Count(%v,%v,%v) = %d, want %d", c.s, c.p, c.o, got, c.want)
+		}
+		if got := g.Snapshot().Cardinality(c.s, c.p, c.o); got != c.want {
+			t.Errorf("Snapshot.Cardinality(%v,%v,%v) = %d, want %d", c.s, c.p, c.o, got, c.want)
+		}
+	}
+
+	want := DatasetStats{Triples: 4, Subjects: 2, Predicates: 2, Objects: 3}
+	if got := g.Stats(); got != want {
+		t.Fatalf("Stats = %+v, want %+v", got, want)
+	}
+	if got := g.Snapshot().Stats(); got != want {
+		t.Fatalf("Snapshot.Stats = %+v, want %+v", got, want)
+	}
+
+	// Stats must track removals, including dropping terms whose last
+	// triple disappears.
+	g.Remove(T(s2, p1, o1))
+	want = DatasetStats{Triples: 3, Subjects: 1, Predicates: 2, Objects: 3}
+	if got := g.Stats(); got != want {
+		t.Fatalf("Stats after Remove = %+v, want %+v", got, want)
+	}
+	if got := g.Cardinality(zero, zero, o1); got != 1 {
+		t.Fatalf("Cardinality(o1) after Remove = %d, want 1", got)
+	}
+}
+
+func TestAddBatch(t *testing.T) {
+	g := NewGraph()
+	a := T(IRI("http://example.org/a"), IRI(RDFType), Literal("x"))
+	b := T(IRI("http://example.org/b"), IRI(RDFType), Literal("y"))
+	added, err := g.AddBatch([]Triple{a, b, a})
+	if err != nil || added != 2 {
+		t.Fatalf("AddBatch = (%d, %v), want (2, nil)", added, err)
+	}
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", g.Len())
+	}
+
+	// A malformed triple stops the batch and reports the count so far.
+	bad := T(Literal("not-a-subject"), IRI(RDFType), Literal("z"))
+	c := T(IRI("http://example.org/c"), IRI(RDFType), Literal("z"))
+	added, err = g.AddBatch([]Triple{c, bad, a})
+	if err == nil || added != 1 {
+		t.Fatalf("AddBatch with malformed = (%d, %v), want (1, err)", added, err)
+	}
+	if !g.Has(c) {
+		t.Fatal("triple before the malformed one was not added")
+	}
+}
+
+func TestFirstObjectMinScan(t *testing.T) {
+	g := NewGraph()
+	s, p := IRI("http://example.org/s"), IRI("http://example.org/p")
+	if got := g.FirstObject(s, p); !got.IsZero() {
+		t.Fatalf("FirstObject on empty = %v, want zero", got)
+	}
+	for _, v := range []string{"delta", "alpha", "charlie", "bravo"} {
+		g.MustAdd(T(s, p, Literal(v)))
+	}
+	g.MustAdd(T(s, IRI("http://example.org/other"), Literal("aaa")))
+	if got, want := g.FirstObject(s, p), Literal("alpha"); got != want {
+		t.Fatalf("FirstObject = %v, want %v", got, want)
+	}
+	// IRIs sort before literals under term order (kind-major).
+	g.MustAdd(T(s, p, IRI("http://example.org/zzz")))
+	if got, want := g.FirstObject(s, p), IRI("http://example.org/zzz"); got != want {
+		t.Fatalf("FirstObject with IRI object = %v, want %v", got, want)
+	}
+	if got := g.Snapshot().FirstObject(s, p); got != IRI("http://example.org/zzz") {
+		t.Fatalf("Snapshot.FirstObject = %v", got)
+	}
+}
+
+// TestWriterNotBlockedBySnapshotRead proves the core isolation property
+// deterministically: a writer completes while a snapshot iteration is
+// parked mid-stream. With the old Clone/RLock designs the writer would
+// deadlock or wait for the reader to finish.
+func TestWriterNotBlockedBySnapshotRead(t *testing.T) {
+	g := buildSnapGraph(t, 100)
+	snap := g.Snapshot()
+
+	readerEntered := make(chan struct{})
+	writerDone := make(chan struct{})
+	release := make(chan struct{})
+
+	go func() {
+		first := true
+		snap.ForEachMatch(Term{}, Term{}, Term{}, func(Triple) bool {
+			if first {
+				first = false
+				close(readerEntered)
+				<-release // park mid-iteration while the writer runs
+			}
+			return true
+		})
+	}()
+
+	<-readerEntered
+	go func() {
+		g.MustAdd(T(IRI("http://example.org/while-reading"), IRI(RDFType), Literal("w")))
+		close(writerDone)
+	}()
+
+	select {
+	case <-writerDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("writer blocked by an in-flight snapshot read")
+	}
+	close(release)
+}
+
+// TestConcurrentSnapshotReadsAndWrites exercises the copy-on-write paths
+// under the race detector: many writers mutating while snapshot readers
+// iterate concurrently.
+func TestConcurrentSnapshotReadsAndWrites(t *testing.T) {
+	g := buildSnapGraph(t, 200)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tr := snapTriple(10_000 + w*1000 + i%500)
+				g.MustAdd(tr)
+				g.Remove(tr)
+			}
+		}(w)
+	}
+
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				snap := g.Snapshot()
+				n := 0
+				snap.ForEachMatch(Term{}, Term{}, Term{}, func(Triple) bool { n++; return true })
+				if n != snap.Len() {
+					t.Errorf("snapshot iterated %d triples, Len says %d", n, snap.Len())
+					return
+				}
+			}
+		}()
+	}
+
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+func TestTermAppendKey(t *testing.T) {
+	// Terms that are pairwise distinct but have colliding naive
+	// concatenations must produce distinct keys.
+	terms := []Term{
+		IRI("ab"), Literal("ab"), Blank("ab"),
+		Literal("a"), Literal("b"),
+		TypedLiteral("a", "b"),
+		TypedLiteral("1", XSDInteger), TypedLiteral("1", XSDDouble),
+		LangLiteral("ab", "en"), LangLiteral("ab", "de"), Literal("aben"),
+		{},
+	}
+	seen := make(map[string]Term)
+	for _, tm := range terms {
+		k := string(tm.AppendKey(nil))
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("AppendKey collision between %v and %v: %q", prev, tm, k)
+		}
+		seen[k] = tm
+	}
+	// Appending must extend, not replace.
+	buf := []byte("prefix")
+	out := IRI("x").AppendKey(buf)
+	if string(out[:6]) != "prefix" {
+		t.Fatalf("AppendKey clobbered prefix: %q", out)
+	}
+}

@@ -184,6 +184,22 @@ func (t Term) Bool() (bool, bool) {
 	return b, true
 }
 
+// AppendKey appends a compact, collision-free encoding of the term to buf
+// and returns the extended slice. It is the allocation-light alternative
+// to String() for building composite dedup keys (e.g. SPARQL DISTINCT):
+// each field is length-prefixed so distinct terms never collide.
+func (t Term) AppendKey(buf []byte) []byte {
+	buf = append(buf, byte(t.kind))
+	buf = strconv.AppendUint(buf, uint64(len(t.value)), 10)
+	buf = append(buf, ':')
+	buf = append(buf, t.value...)
+	buf = strconv.AppendUint(buf, uint64(len(t.datatype)), 10)
+	buf = append(buf, ':')
+	buf = append(buf, t.datatype...)
+	buf = append(buf, t.lang...)
+	return buf
+}
+
 // String renders the term in N-Triples syntax.
 func (t Term) String() string {
 	switch t.kind {

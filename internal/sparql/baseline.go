@@ -1,0 +1,243 @@
+package sparql
+
+import "qurator/internal/rdf"
+
+// ExecBaseline parses and executes a query with the materializing
+// reference evaluator: every stage builds a full []Binding before the
+// next runs, patterns are ordered by boundness only, and each pattern
+// match clones its input binding. It is kept as the correctness oracle
+// for the streaming evaluator (see the equivalence property test) and as
+// the comparison baseline in benchmarks; production paths use Exec.
+func ExecBaseline(d rdf.Dataset, query string) (*Result, error) {
+	q, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return q.ExecBaseline(d)
+}
+
+// ExecBaseline executes the parsed query with the materializing
+// reference evaluator. See ExecBaseline for when to use it.
+func (q *Query) ExecBaseline(d rdf.Dataset) (*Result, error) {
+	sols, err := evalGroup(d, q.Where, []Binding{{}})
+	if err != nil {
+		return nil, err
+	}
+	if q.Form == FormAsk {
+		return &Result{Ok: len(sols) > 0}, nil
+	}
+
+	vars := q.Vars
+	if len(vars) == 0 {
+		vars = collectVars(q.Where)
+	}
+
+	// Project.
+	projected := make([]Binding, len(sols))
+	for i, sol := range sols {
+		row := make(Binding, len(vars))
+		for _, v := range vars {
+			if t, ok := sol[v]; ok {
+				row[v] = t
+			}
+		}
+		projected[i] = row
+	}
+
+	if q.Distinct {
+		projected = distinct(vars, projected)
+	}
+
+	if len(q.OrderBy) > 0 {
+		sortBindings(projected, q.OrderBy)
+	} else {
+		// Deterministic default order keyed on projected values, so
+		// repeated queries over the same graph return identical rows.
+		sortBindings(projected, defaultOrder(vars))
+	}
+
+	// OFFSET/LIMIT.
+	if q.Offset > 0 {
+		if q.Offset >= len(projected) {
+			projected = nil
+		} else {
+			projected = projected[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(projected) {
+		projected = projected[:q.Limit]
+	}
+
+	return &Result{Vars: vars, Bindings: projected}, nil
+}
+
+func distinct(vars []string, rows []Binding) []Binding {
+	seen := make(map[string]struct{}, len(rows))
+	var key []byte
+	out := rows[:0]
+	for _, row := range rows {
+		key = key[:0]
+		for _, v := range vars {
+			key = row[v].AppendKey(key)
+			key = append(key, 0)
+		}
+		if _, ok := seen[string(key)]; ok {
+			continue
+		}
+		seen[string(key)] = struct{}{}
+		out = append(out, row)
+	}
+	return out
+}
+
+// evalGroup evaluates a group graph pattern, extending each input binding.
+func evalGroup(d rdf.Dataset, group *GroupPattern, input []Binding) ([]Binding, error) {
+	if group == nil {
+		return input, nil
+	}
+	sols := input
+
+	// Order triple patterns greedily by boundness for join efficiency:
+	// patterns with more constants (or already-bound variables) first.
+	patterns := append([]TriplePattern(nil), group.Patterns...)
+	boundVars := map[string]bool{}
+	for _, b := range input {
+		for v := range b {
+			boundVars[v] = true
+		}
+	}
+	orderPatterns(patterns, boundVars)
+
+	for _, tp := range patterns {
+		var next []Binding
+		for _, b := range sols {
+			matches := matchPattern(d, tp, b)
+			next = append(next, matches...)
+		}
+		sols = next
+		if len(sols) == 0 {
+			break
+		}
+	}
+
+	// UNION blocks: each solution is joined with the union of alternatives.
+	for _, alts := range group.Unions {
+		var next []Binding
+		for _, alt := range alts {
+			branch, err := evalGroup(d, alt, sols)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, branch...)
+		}
+		sols = next
+	}
+
+	// OPTIONAL blocks: left join.
+	for _, opt := range group.Optionals {
+		var next []Binding
+		for _, b := range sols {
+			extended, err := evalGroup(d, opt, []Binding{b})
+			if err != nil {
+				return nil, err
+			}
+			if len(extended) == 0 {
+				next = append(next, b)
+			} else {
+				next = append(next, extended...)
+			}
+		}
+		sols = next
+	}
+
+	// FILTERs eliminate solutions (errors count as elimination).
+	for _, f := range group.Filters {
+		var kept []Binding
+		for _, b := range sols {
+			v, err := f.Eval(b)
+			if err != nil {
+				continue
+			}
+			ok, err := v.EffectiveBool()
+			if err != nil || !ok {
+				continue
+			}
+			kept = append(kept, b)
+		}
+		sols = kept
+	}
+	return sols, nil
+}
+
+func orderPatterns(patterns []TriplePattern, bound map[string]bool) {
+	score := func(tp TriplePattern, bound map[string]bool) int {
+		s := 0
+		for _, pt := range []PatternTerm{tp.S, tp.P, tp.O} {
+			if !pt.IsVar() || bound[pt.Var] {
+				s++
+			}
+		}
+		return s
+	}
+	// Greedy selection: repeatedly pick the most-bound remaining pattern,
+	// then mark its variables bound.
+	b := make(map[string]bool, len(bound))
+	for k, v := range bound {
+		b[k] = v
+	}
+	for i := range patterns {
+		best, bestScore := i, -1
+		for j := i; j < len(patterns); j++ {
+			if sc := score(patterns[j], b); sc > bestScore {
+				best, bestScore = j, sc
+			}
+		}
+		patterns[i], patterns[best] = patterns[best], patterns[i]
+		for _, pt := range []PatternTerm{patterns[i].S, patterns[i].P, patterns[i].O} {
+			if pt.IsVar() {
+				b[pt.Var] = true
+			}
+		}
+	}
+}
+
+func matchPattern(d rdf.Dataset, tp TriplePattern, b Binding) []Binding {
+	resolve := func(pt PatternTerm) (rdf.Term, string) {
+		if !pt.IsVar() {
+			return pt.Term, ""
+		}
+		if t, ok := b[pt.Var]; ok {
+			return t, ""
+		}
+		return rdf.Term{}, pt.Var
+	}
+	s, sv := resolve(tp.S)
+	p, pv := resolve(tp.P)
+	o, ov := resolve(tp.O)
+
+	var out []Binding
+	d.ForEachMatch(s, p, o, func(t rdf.Triple) bool {
+		nb := b.Clone()
+		ok := true
+		bindVar := func(name string, val rdf.Term) {
+			if name == "" {
+				return
+			}
+			if prev, exists := nb[name]; exists {
+				if prev != val {
+					ok = false
+				}
+				return
+			}
+			nb[name] = val
+		}
+		bindVar(sv, t.Subject)
+		bindVar(pv, t.Predicate)
+		bindVar(ov, t.Object)
+		if ok {
+			out = append(out, nb)
+		}
+		return true
+	})
+	return out
+}

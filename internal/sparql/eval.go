@@ -17,23 +17,38 @@ type Result struct {
 	Ok bool
 }
 
-// Exec parses and executes a query against the graph.
-func Exec(g *rdf.Graph, query string) (*Result, error) {
+// Exec parses and executes a query against the dataset. Passing a live
+// *rdf.Graph is safe and cheap: Exec takes an O(1) snapshot first, so
+// evaluation is lock-free and never blocks the graph's writers.
+func Exec(d rdf.Dataset, query string) (*Result, error) {
 	q, err := Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return q.Exec(g)
+	return q.Exec(d)
 }
 
-// Exec executes the parsed query against the graph.
-func (q *Query) Exec(g *rdf.Graph) (*Result, error) {
-	sols, err := evalGroup(g, q.Where, []Binding{{}})
-	if err != nil {
-		return nil, err
+// Exec executes the parsed query against the dataset with the streaming
+// evaluator: triple patterns are ordered by estimated cardinality (index
+// statistics), then joined by a push pipeline that binds in place and
+// backtracks — solutions stream through union/optional/filter stages one
+// at a time instead of materializing a []Binding between every stage.
+func (q *Query) Exec(d rdf.Dataset) (*Result, error) {
+	// Snapshot live graphs so evaluation holds no lock: long queries must
+	// not block writers, and nested pattern iteration must not re-enter
+	// the graph's RWMutex.
+	if g, ok := d.(*rdf.Graph); ok {
+		d = g.Snapshot()
 	}
+	plan := planGroup(d, q.Where, nil)
+
 	if q.Form == FormAsk {
-		return &Result{Ok: len(sols) > 0}, nil
+		found := false
+		plan.run(d, Binding{}, func(Binding) bool {
+			found = true
+			return false // first solution answers ASK; stop the scan
+		})
+		return &Result{Ok: found}, nil
 	}
 
 	vars := q.Vars
@@ -41,43 +56,57 @@ func (q *Query) Exec(g *rdf.Graph) (*Result, error) {
 		vars = collectVars(q.Where)
 	}
 
-	// Project.
-	projected := make([]Binding, len(sols))
-	for i, sol := range sols {
+	// Project each streamed solution into a fresh row (the pipeline's
+	// binding map is reused), deduplicating inline under DISTINCT.
+	var rows []Binding
+	var seen map[string]struct{}
+	var key []byte
+	if q.Distinct {
+		seen = make(map[string]struct{})
+	}
+	plan.run(d, Binding{}, func(b Binding) bool {
 		row := make(Binding, len(vars))
 		for _, v := range vars {
-			if t, ok := sol[v]; ok {
+			if t, ok := b[v]; ok {
 				row[v] = t
 			}
 		}
-		projected[i] = row
-	}
-
-	if q.Distinct {
-		projected = distinct(vars, projected)
-	}
+		if q.Distinct {
+			key = key[:0]
+			for _, v := range vars {
+				key = row[v].AppendKey(key)
+				key = append(key, 0)
+			}
+			if _, dup := seen[string(key)]; dup {
+				return true
+			}
+			seen[string(key)] = struct{}{}
+		}
+		rows = append(rows, row)
+		return true
+	})
 
 	if len(q.OrderBy) > 0 {
-		sortBindings(projected, q.OrderBy)
+		sortBindings(rows, q.OrderBy)
 	} else {
 		// Deterministic default order keyed on projected values, so
 		// repeated queries over the same graph return identical rows.
-		sortBindings(projected, defaultOrder(vars))
+		sortBindings(rows, defaultOrder(vars))
 	}
 
 	// OFFSET/LIMIT.
 	if q.Offset > 0 {
-		if q.Offset >= len(projected) {
-			projected = nil
+		if q.Offset >= len(rows) {
+			rows = nil
 		} else {
-			projected = projected[q.Offset:]
+			rows = rows[q.Offset:]
 		}
 	}
-	if q.Limit >= 0 && q.Limit < len(projected) {
-		projected = projected[:q.Limit]
+	if q.Limit >= 0 && q.Limit < len(rows) {
+		rows = rows[:q.Limit]
 	}
 
-	return &Result{Vars: vars, Bindings: projected}, nil
+	return &Result{Vars: vars, Bindings: rows}, nil
 }
 
 func defaultOrder(vars []string) []OrderKey {
@@ -86,23 +115,6 @@ func defaultOrder(vars []string) []OrderKey {
 		keys[i] = OrderKey{Var: v}
 	}
 	return keys
-}
-
-func distinct(vars []string, rows []Binding) []Binding {
-	seen := make(map[string]struct{}, len(rows))
-	out := rows[:0]
-	for _, row := range rows {
-		key := ""
-		for _, v := range vars {
-			key += row[v].String() + "\x00"
-		}
-		if _, ok := seen[key]; ok {
-			continue
-		}
-		seen[key] = struct{}{}
-		out = append(out, row)
-	}
-	return out
 }
 
 func sortBindings(rows []Binding, keys []OrderKey) {
@@ -182,161 +194,9 @@ func collectVars(g *GroupPattern) []string {
 	return order
 }
 
-// evalGroup evaluates a group graph pattern, extending each input binding.
-func evalGroup(g *rdf.Graph, group *GroupPattern, input []Binding) ([]Binding, error) {
-	if group == nil {
-		return input, nil
-	}
-	sols := input
-
-	// Order triple patterns greedily by boundness for join efficiency:
-	// patterns with more constants (or already-bound variables) first.
-	patterns := append([]TriplePattern(nil), group.Patterns...)
-	boundVars := map[string]bool{}
-	for _, b := range input {
-		for v := range b {
-			boundVars[v] = true
-		}
-	}
-	orderPatterns(patterns, boundVars)
-
-	for _, tp := range patterns {
-		var next []Binding
-		for _, b := range sols {
-			matches := matchPattern(g, tp, b)
-			next = append(next, matches...)
-		}
-		sols = next
-		if len(sols) == 0 {
-			break
-		}
-	}
-
-	// UNION blocks: each solution is joined with the union of alternatives.
-	for _, alts := range group.Unions {
-		var next []Binding
-		for _, alt := range alts {
-			branch, err := evalGroup(g, alt, sols)
-			if err != nil {
-				return nil, err
-			}
-			next = append(next, branch...)
-		}
-		sols = next
-	}
-
-	// OPTIONAL blocks: left join.
-	for _, opt := range group.Optionals {
-		var next []Binding
-		for _, b := range sols {
-			extended, err := evalGroup(g, opt, []Binding{b})
-			if err != nil {
-				return nil, err
-			}
-			if len(extended) == 0 {
-				next = append(next, b)
-			} else {
-				next = append(next, extended...)
-			}
-		}
-		sols = next
-	}
-
-	// FILTERs eliminate solutions (errors count as elimination).
-	for _, f := range group.Filters {
-		var kept []Binding
-		for _, b := range sols {
-			v, err := f.Eval(b)
-			if err != nil {
-				continue
-			}
-			ok, err := v.EffectiveBool()
-			if err != nil || !ok {
-				continue
-			}
-			kept = append(kept, b)
-		}
-		sols = kept
-	}
-	return sols, nil
-}
-
-func orderPatterns(patterns []TriplePattern, bound map[string]bool) {
-	score := func(tp TriplePattern, bound map[string]bool) int {
-		s := 0
-		for _, pt := range []PatternTerm{tp.S, tp.P, tp.O} {
-			if !pt.IsVar() || bound[pt.Var] {
-				s++
-			}
-		}
-		return s
-	}
-	// Greedy selection: repeatedly pick the most-bound remaining pattern,
-	// then mark its variables bound.
-	b := make(map[string]bool, len(bound))
-	for k, v := range bound {
-		b[k] = v
-	}
-	for i := range patterns {
-		best, bestScore := i, -1
-		for j := i; j < len(patterns); j++ {
-			if sc := score(patterns[j], b); sc > bestScore {
-				best, bestScore = j, sc
-			}
-		}
-		patterns[i], patterns[best] = patterns[best], patterns[i]
-		for _, pt := range []PatternTerm{patterns[i].S, patterns[i].P, patterns[i].O} {
-			if pt.IsVar() {
-				b[pt.Var] = true
-			}
-		}
-	}
-}
-
-func matchPattern(g *rdf.Graph, tp TriplePattern, b Binding) []Binding {
-	resolve := func(pt PatternTerm) (rdf.Term, string) {
-		if !pt.IsVar() {
-			return pt.Term, ""
-		}
-		if t, ok := b[pt.Var]; ok {
-			return t, ""
-		}
-		return rdf.Term{}, pt.Var
-	}
-	s, sv := resolve(tp.S)
-	p, pv := resolve(tp.P)
-	o, ov := resolve(tp.O)
-
-	var out []Binding
-	g.ForEachMatch(s, p, o, func(t rdf.Triple) bool {
-		nb := b.Clone()
-		ok := true
-		bindVar := func(name string, val rdf.Term) {
-			if name == "" {
-				return
-			}
-			if prev, exists := nb[name]; exists {
-				if prev != val {
-					ok = false
-				}
-				return
-			}
-			nb[name] = val
-		}
-		bindVar(sv, t.Subject)
-		bindVar(pv, t.Predicate)
-		bindVar(ov, t.Object)
-		if ok {
-			out = append(out, nb)
-		}
-		return true
-	})
-	return out
-}
-
 // MustExec is Exec that panics on error; for statically-known queries.
-func MustExec(g *rdf.Graph, query string) *Result {
-	r, err := Exec(g, query)
+func MustExec(d rdf.Dataset, query string) *Result {
+	r, err := Exec(d, query)
 	if err != nil {
 		panic(fmt.Sprintf("sparql: %v", err))
 	}

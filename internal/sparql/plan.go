@@ -1,0 +1,244 @@
+package sparql
+
+import (
+	"math"
+
+	"qurator/internal/rdf"
+)
+
+// groupPlan is the executable form of a GroupPattern: triple patterns
+// reordered by estimated cardinality, with sub-groups planned recursively.
+// A plan is built once per Exec against one dataset's statistics and then
+// driven as a push pipeline (see run): solutions flow pattern → union →
+// optional → filter one at a time, never materializing intermediate
+// binding sets.
+type groupPlan struct {
+	patterns  []TriplePattern
+	unions    [][]*groupPlan
+	optionals []*groupPlan
+	filters   []Expr
+}
+
+// planGroup orders the group's triple patterns with a cardinality-aware
+// greedy: at each step it picks the remaining pattern with the lowest
+// estimated match count given which variables are bound so far. Constants
+// use the dataset's exact index cardinalities; bound variables discount
+// by the number of distinct terms in that position (uniform-selectivity
+// assumption). This replaces boundness-only ordering, which treats a
+// bound low-selectivity predicate the same as a bound primary key.
+func planGroup(d rdf.Dataset, g *GroupPattern, bound map[string]bool) *groupPlan {
+	p := &groupPlan{}
+	if g == nil {
+		return p
+	}
+	p.filters = g.Filters
+
+	st := d.Stats()
+	remaining := append([]TriplePattern(nil), g.Patterns...)
+	b := make(map[string]bool, len(bound))
+	for k, v := range bound {
+		b[k] = v
+	}
+	p.patterns = make([]TriplePattern, 0, len(remaining))
+	for len(remaining) > 0 {
+		best, bestCost := 0, math.Inf(1)
+		for j, tp := range remaining {
+			if c := estimateCost(d, st, tp, b); c < bestCost {
+				best, bestCost = j, c
+			}
+		}
+		tp := remaining[best]
+		p.patterns = append(p.patterns, tp)
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		markVars(tp, b)
+	}
+
+	for _, alts := range g.Unions {
+		planned := make([]*groupPlan, len(alts))
+		for i, alt := range alts {
+			planned[i] = planGroup(d, alt, b)
+		}
+		p.unions = append(p.unions, planned)
+		// Variables bound inside any alternative may be bound for later
+		// stages; treating them as bound only affects cost estimates.
+		for _, alt := range alts {
+			markGroupVars(alt, b)
+		}
+	}
+	for _, opt := range g.Optionals {
+		p.optionals = append(p.optionals, planGroup(d, opt, b))
+	}
+	return p
+}
+
+// estimateCost predicts how many triples the pattern will match given
+// the currently bound variables. Constants are exact (index statistics);
+// each bound-variable position divides by the number of distinct terms
+// in that position, assuming uniform selectivity.
+func estimateCost(d rdf.Dataset, st rdf.DatasetStats, tp TriplePattern, bound map[string]bool) float64 {
+	var s, p, o rdf.Term
+	if !tp.S.IsVar() {
+		s = tp.S.Term
+	}
+	if !tp.P.IsVar() {
+		p = tp.P.Term
+	}
+	if !tp.O.IsVar() {
+		o = tp.O.Term
+	}
+	card := float64(d.Cardinality(s, p, o))
+	if tp.S.IsVar() && bound[tp.S.Var] {
+		card /= fmax1(st.Subjects)
+	}
+	if tp.P.IsVar() && bound[tp.P.Var] {
+		card /= fmax1(st.Predicates)
+	}
+	if tp.O.IsVar() && bound[tp.O.Var] {
+		card /= fmax1(st.Objects)
+	}
+	return card
+}
+
+func fmax1(n int) float64 {
+	if n < 1 {
+		return 1
+	}
+	return float64(n)
+}
+
+func markVars(tp TriplePattern, bound map[string]bool) {
+	for _, pt := range []PatternTerm{tp.S, tp.P, tp.O} {
+		if pt.IsVar() {
+			bound[pt.Var] = true
+		}
+	}
+}
+
+func markGroupVars(g *GroupPattern, bound map[string]bool) {
+	for _, tp := range g.Patterns {
+		markVars(tp, bound)
+	}
+	for _, alts := range g.Unions {
+		for _, alt := range alts {
+			markGroupVars(alt, bound)
+		}
+	}
+	// Optionals may leave their variables unbound; ignore them for
+	// planning purposes.
+}
+
+// run drives the plan over one input binding, calling emit for every
+// solution. The binding map is shared down the pipeline and restored on
+// backtrack, so emit must copy anything it keeps. Returning false from
+// emit stops the evaluation (ASK early exit); run propagates the stop.
+func (p *groupPlan) run(d rdf.Dataset, b Binding, emit func(Binding) bool) bool {
+	return p.scan(d, 0, b, emit)
+}
+
+// scan joins pattern i onward by binding each match in place, recursing,
+// and unbinding on the way out — no per-match binding clone, no
+// intermediate solution slice.
+func (p *groupPlan) scan(d rdf.Dataset, i int, b Binding, emit func(Binding) bool) bool {
+	if i == len(p.patterns) {
+		return p.unionStage(d, 0, b, emit)
+	}
+	tp := p.patterns[i]
+	s, sv := resolvePattern(tp.S, b)
+	pr, pv := resolvePattern(tp.P, b)
+	o, ov := resolvePattern(tp.O, b)
+
+	cont := true
+	d.ForEachMatch(s, pr, o, func(t rdf.Triple) bool {
+		ok := true
+		// bind records the name if this frame bound it, "" if the value
+		// was already pinned (constant, outer binding, or an earlier
+		// position of this same pattern — which must then agree).
+		bind := func(name string, val rdf.Term) string {
+			if name == "" || !ok {
+				return ""
+			}
+			if prev, exists := b[name]; exists {
+				if prev != val {
+					ok = false
+				}
+				return ""
+			}
+			b[name] = val
+			return name
+		}
+		n1 := bind(sv, t.Subject)
+		n2 := bind(pv, t.Predicate)
+		n3 := bind(ov, t.Object)
+		if ok && !p.scan(d, i+1, b, emit) {
+			cont = false
+		}
+		for _, n := range [3]string{n3, n2, n1} {
+			if n != "" {
+				delete(b, n)
+			}
+		}
+		return cont
+	})
+	return cont
+}
+
+// unionStage feeds the solution through union block u onward: each
+// alternative's solutions continue down the pipeline in branch order.
+func (p *groupPlan) unionStage(d rdf.Dataset, u int, b Binding, emit func(Binding) bool) bool {
+	if u == len(p.unions) {
+		return p.optionalStage(d, 0, b, emit)
+	}
+	for _, alt := range p.unions[u] {
+		if !alt.run(d, b, func(b2 Binding) bool {
+			return p.unionStage(d, u+1, b2, emit)
+		}) {
+			return false
+		}
+	}
+	return true
+}
+
+// optionalStage left-joins optional block i onward: if the optional
+// produces no solutions the input passes through unextended.
+func (p *groupPlan) optionalStage(d rdf.Dataset, i int, b Binding, emit func(Binding) bool) bool {
+	if i == len(p.optionals) {
+		return p.filterStage(b, emit)
+	}
+	matched := false
+	if !p.optionals[i].run(d, b, func(b2 Binding) bool {
+		matched = true
+		return p.optionalStage(d, i+1, b2, emit)
+	}) {
+		return false
+	}
+	if !matched {
+		return p.optionalStage(d, i+1, b, emit)
+	}
+	return true
+}
+
+// filterStage applies the group's filters; an erroring or false filter
+// drops the solution (evaluation continues).
+func (p *groupPlan) filterStage(b Binding, emit func(Binding) bool) bool {
+	for _, f := range p.filters {
+		v, err := f.Eval(b)
+		if err != nil {
+			return true
+		}
+		ok, err := v.EffectiveBool()
+		if err != nil || !ok {
+			return true
+		}
+	}
+	return emit(b)
+}
+
+func resolvePattern(pt PatternTerm, b Binding) (rdf.Term, string) {
+	if !pt.IsVar() {
+		return pt.Term, ""
+	}
+	if t, ok := b[pt.Var]; ok {
+		return t, ""
+	}
+	return rdf.Term{}, pt.Var
+}

@@ -96,15 +96,18 @@ func (w *windower) fire(partial bool) *windowJob {
 	if partial || evict > w.live.Len() {
 		evict = w.live.Len()
 	}
-	for i := 0; i < evict; i++ {
-		old := w.live.Items()[0]
+	// items is already an arrival-ordered copy of the window, so downdate
+	// the accumulators from its prefix (the old loop called Items() — a
+	// full copy — once per evicted item) and drop the prefix in a single
+	// ordered eviction, keeping a fire O(window) instead of O(window²).
+	for _, old := range items[:evict] {
 		for k, acc := range w.accs {
 			if f, ok := w.live.Get(old, k).AsFloat(); ok {
 				acc.Remove(f)
 			}
 		}
-		w.live.RemoveItem(old)
 	}
+	w.live.RemoveFirst(evict)
 	return j
 }
 

@@ -1,0 +1,86 @@
+package stream
+
+import (
+	"fmt"
+	"testing"
+
+	"qurator/internal/evidence"
+	"qurator/internal/rdf"
+)
+
+// BenchmarkWindowEviction is the regression benchmark for the quadratic
+// fire: eviction used to call w.live.Items() (a full copy of the window)
+// once per evicted item, making each fire O(window²). A fire is now
+// O(window), reusing the snapshot it already took.
+func BenchmarkWindowEviction(b *testing.B) {
+	key := evidence.Key(rdf.IRI("urn:q:HitRatio"))
+	for _, size := range []int{256, 1024, 4096} {
+		b.Run(fmt.Sprintf("window=%d", size), func(b *testing.B) {
+			items := make([]Item, 2*size)
+			for i := range items {
+				items[i] = Item{
+					ID:       evidence.Item(rdf.IRI(fmt.Sprintf("urn:item:%d", i))),
+					Evidence: map[evidence.Key]evidence.Value{key: evidence.Float(float64(i))},
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				w := newWindower(size, size)
+				fires := 0
+				for _, it := range items {
+					if j := w.push(it); j != nil {
+						fires++
+						if len(j.items) != size {
+							b.Fatalf("fire carried %d items, want %d", len(j.items), size)
+						}
+					}
+				}
+				if fires != 2 {
+					b.Fatalf("fires = %d, want 2", fires)
+				}
+				if w.live.Len() != 0 {
+					b.Fatalf("live window not emptied: %d", w.live.Len())
+				}
+			}
+		})
+	}
+}
+
+// TestFireEvictsOldestSlide pins the eviction semantics the benchmark
+// relies on: after a sliding fire, the oldest Slide items are gone and
+// the accumulator reflects only the survivors.
+func TestFireEvictsOldestSlide(t *testing.T) {
+	key := evidence.Key(rdf.IRI("urn:q:HitRatio"))
+	w := newWindower(4, 2)
+	var jobs []*windowJob
+	for i := 0; i < 6; i++ {
+		it := Item{
+			ID:       evidence.Item(rdf.IRI(fmt.Sprintf("urn:item:%d", i))),
+			Evidence: map[evidence.Key]evidence.Value{key: evidence.Float(float64(i))},
+		}
+		if j := w.push(it); j != nil {
+			jobs = append(jobs, j)
+		}
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("fires = %d, want 2", len(jobs))
+	}
+	// After the second fire (window items 2..5, slide 2) items 2 and 3
+	// are evicted; 4 and 5 remain as context.
+	if w.live.Len() != 2 {
+		t.Fatalf("live window = %d items, want 2", w.live.Len())
+	}
+	for _, gone := range []int{0, 1, 2, 3} {
+		if w.live.HasItem(evidence.Item(rdf.IRI(fmt.Sprintf("urn:item:%d", gone)))) {
+			t.Errorf("item %d should have been evicted", gone)
+		}
+	}
+	acc := w.accs[key]
+	if acc.N() != 2 {
+		t.Fatalf("accumulator N = %d, want 2 (survivors only)", acc.N())
+	}
+	if got, want := acc.Mean(), (4.0+5.0)/2; got != want {
+		t.Errorf("accumulator mean = %v, want %v", got, want)
+	}
+}

@@ -41,8 +41,10 @@ func (r *Retry) OutputPorts() []string { return r.Inner.OutputPorts() }
 func (r *Retry) Execute(ctx context.Context, in Ports) (Ports, error) {
 	var lastErr error
 	backoff := r.Backoff
+	attempts := 0
 	for attempt := 1; attempt <= r.Attempts; attempt++ {
 		out, err := r.Inner.Execute(ctx, in)
+		attempts = attempt
 		if err == nil {
 			return out, nil
 		}
@@ -59,6 +61,8 @@ func (r *Retry) Execute(ctx context.Context, in Ports) (Ports, error) {
 			backoff *= 2
 		}
 	}
+	// Report the attempts actually made: a run cut short by cancellation
+	// must not claim the full configured attempt count.
 	return nil, fmt.Errorf("workflow: processor %q failed after %d attempts: %w",
-		r.Inner.Name(), r.Attempts, lastErr)
+		r.Inner.Name(), attempts, lastErr)
 }

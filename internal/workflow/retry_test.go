@@ -68,6 +68,30 @@ func TestRetryDoesNotRetryCancellation(t *testing.T) {
 	}
 }
 
+// TestRetryReportsActualAttempts is the regression test for the error
+// message: when the loop breaks early on cancellation, the error must
+// report the attempts actually made, not the configured maximum.
+func TestRetryReportsActualAttempts(t *testing.T) {
+	var calls int32
+	p := &Func{
+		PName: "cancelled",
+		Fn: func(ctx context.Context, _ Ports) (Ports, error) {
+			if atomic.AddInt32(&calls, 1) >= 2 {
+				return nil, context.Canceled
+			}
+			return nil, errors.New("transient fault")
+		},
+	}
+	r := WithRetry(p, 5, 0)
+	_, err := r.Execute(context.Background(), nil)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "after 2 attempts") {
+		t.Errorf("err = %v, want it to report 2 attempts (made), not 5 (configured)", err)
+	}
+}
+
 func TestRetryPreservesInterface(t *testing.T) {
 	p := adder("add")
 	r := WithRetry(p, 2, time.Millisecond)

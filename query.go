@@ -1,0 +1,185 @@
+package qurator
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"qurator/internal/annotstore"
+	"qurator/internal/sparql"
+	"qurator/internal/telemetry"
+)
+
+// Metadata-plane query metrics. Snapshot age is the staleness of the
+// snapshot handed to the evaluator — near zero in steady state, since
+// snapshots are taken per query in O(1).
+var (
+	queryDuration = telemetry.Default.HistogramVec(
+		"qurator_query_duration_seconds",
+		"SPARQL query latency over the metadata plane.",
+		nil, "target")
+	queryTotal = telemetry.Default.CounterVec(
+		"qurator_queries_total",
+		"Metadata-plane queries by target and outcome.",
+		"target", "status")
+	querySnapshotAge = telemetry.Default.Gauge(
+		"qurator_query_snapshot_age_seconds",
+		"Age of the most recent metadata snapshot when its query started.")
+)
+
+// QueryRequest is the body of POST /query: a SPARQL query plus the
+// metadata graph to run it against.
+type QueryRequest struct {
+	// Target selects the graph: "provenance" (default) or
+	// "annotations" / "annotations:<repository>" (default repository
+	// "default").
+	Target string `json:"target"`
+	// Query is the SPARQL text (SELECT or ASK).
+	Query string `json:"query"`
+}
+
+// QueryResponse is the JSON result of POST /query.
+type QueryResponse struct {
+	Target string `json:"target"`
+	// Vars and Rows carry SELECT results; terms render in N-Triples
+	// syntax. Unbound variables are omitted from their row.
+	Vars []string            `json:"vars,omitempty"`
+	Rows []map[string]string `json:"rows,omitempty"`
+	// Ok carries the ASK answer.
+	Ok *bool `json:"ok,omitempty"`
+	// DurationMillis is the evaluation wall-clock time.
+	DurationMillis float64 `json:"durationMillis"`
+}
+
+// QueryHandler serves POST /query: SPARQL over the metadata plane — run
+// provenance and quality annotations, "queried the same way as data"
+// (paper §5). Queries evaluate over O(1) copy-on-write snapshots, so a
+// slow query never blocks enactments writing provenance or annotations.
+func (f *Framework) QueryHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "query: POST a JSON {target, query} body", http.StatusMethodNotAllowed)
+			return
+		}
+		var req QueryRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, fmt.Sprintf("query: bad request body: %v", err), http.StatusBadRequest)
+			return
+		}
+		if strings.TrimSpace(req.Query) == "" {
+			http.Error(w, "query: empty query", http.StatusBadRequest)
+			return
+		}
+		if req.Target == "" {
+			req.Target = "provenance"
+		}
+
+		q, err := sparql.Parse(req.Query)
+		if err != nil {
+			queryTotal.With(targetLabel(req.Target), "error").Inc()
+			http.Error(w, "query: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+
+		start := time.Now()
+		res, err := f.runParsedQuery(req.Target, q, req.Query)
+		elapsed := time.Since(start)
+		if err != nil {
+			status := http.StatusBadRequest
+			if _, ok := err.(*unknownTargetError); ok {
+				status = http.StatusNotFound
+			}
+			queryTotal.With(targetLabel(req.Target), "error").Inc()
+			http.Error(w, "query: "+err.Error(), status)
+			return
+		}
+		queryTotal.With(targetLabel(req.Target), "ok").Inc()
+
+		resp := QueryResponse{Target: req.Target, DurationMillis: float64(elapsed.Microseconds()) / 1e3}
+		if q.Form == sparql.FormAsk {
+			ok := res.Ok
+			resp.Ok = &ok
+		} else {
+			resp.Vars = res.Vars
+			resp.Rows = make([]map[string]string, len(res.Bindings))
+			for i, b := range res.Bindings {
+				row := make(map[string]string, len(b))
+				for v, t := range b {
+					row[v] = t.String()
+				}
+				resp.Rows[i] = row
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(&resp)
+	})
+}
+
+type unknownTargetError struct{ target string }
+
+func (e *unknownTargetError) Error() string {
+	return fmt.Sprintf("unknown query target %q", e.target)
+}
+
+func targetLabel(target string) string {
+	switch {
+	case target == "provenance":
+		return "provenance"
+	case target == "annotations" || strings.HasPrefix(target, "annotations:"):
+		return "annotations"
+	default:
+		return "unknown"
+	}
+}
+
+// RunQuery executes a SPARQL query against a metadata target —
+// "provenance", or "annotations[:<repository>]" — recording the query
+// metrics. It is the programmatic core of the POST /query endpoint.
+func (f *Framework) RunQuery(target, query string) (*sparql.Result, error) {
+	q, err := sparql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return f.runParsedQuery(target, q, query)
+}
+
+func (f *Framework) runParsedQuery(target string, q *sparql.Query, text string) (*sparql.Result, error) {
+	start := time.Now()
+	switch {
+	case target == "provenance":
+		snap := f.Provenance.Snapshot()
+		querySnapshotAge.Set(snap.Age().Seconds())
+		res, err := q.Exec(snap)
+		queryDuration.With("provenance").Observe(time.Since(start).Seconds())
+		return res, err
+
+	case target == "annotations" || strings.HasPrefix(target, "annotations:"):
+		name := strings.TrimPrefix(strings.TrimPrefix(target, "annotations"), ":")
+		if name == "" {
+			name = "default"
+		}
+		store, ok := f.Repository(name)
+		if !ok {
+			return nil, &unknownTargetError{target: target}
+		}
+		var (
+			res *sparql.Result
+			err error
+		)
+		if repo, ok := store.(*annotstore.Repository); ok {
+			snap := repo.Snapshot()
+			querySnapshotAge.Set(snap.Age().Seconds())
+			res, err = q.Exec(snap)
+		} else {
+			// Remote stores evaluate on their own host.
+			res, err = store.Query(text)
+		}
+		queryDuration.With("annotations").Observe(time.Since(start).Seconds())
+		return res, err
+
+	default:
+		return nil, &unknownTargetError{target: target}
+	}
+}

@@ -1,0 +1,143 @@
+package qurator
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"qurator/internal/evidence"
+	"qurator/internal/provenance"
+	"qurator/internal/rdf"
+)
+
+func queryTestFramework(t *testing.T) *Framework {
+	t.Helper()
+	f := New()
+	for i := 0; i < 5; i++ {
+		f.Provenance.Record(provenance.Record{
+			View:       "paper-view",
+			Started:    time.Now(),
+			Duration:   time.Duration(i) * time.Millisecond,
+			InputSize:  10 * (i + 1),
+			Outputs:    map[string]int{"accept": i},
+			Conditions: map[string]string{"accept": "confidence > 0.5"},
+		})
+	}
+	repo, _ := f.Repository("default")
+	if err := repo.Put(Annotation{
+		Item:  evidence.Item(rdf.IRI("urn:item:1")),
+		Type:  Q("HitRatio"),
+		Value: evidence.Float(0.8),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func postQuery(t *testing.T, h http.Handler, body string) (*httptest.ResponseRecorder, *QueryResponse) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		return rec, nil
+	}
+	var resp QueryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("bad response JSON: %v\n%s", err, rec.Body.String())
+	}
+	return rec, &resp
+}
+
+func TestQueryHandlerProvenance(t *testing.T) {
+	f := queryTestFramework(t)
+	h := f.QueryHandler()
+
+	rec, resp := postQuery(t, h, `{
+		"target": "provenance",
+		"query": "SELECT ?run ?view WHERE { ?run <http://qurator.org/iq#usedView> ?view . }"
+	}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if len(resp.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(resp.Rows))
+	}
+	for _, row := range resp.Rows {
+		if row["view"] != `"paper-view"` {
+			t.Errorf("row view = %q", row["view"])
+		}
+	}
+}
+
+func TestQueryHandlerAnnotations(t *testing.T) {
+	f := queryTestFramework(t)
+	h := f.QueryHandler()
+
+	rec, resp := postQuery(t, h, `{
+		"target": "annotations:default",
+		"query": "SELECT ?item WHERE { ?item <http://qurator.org/iq#containsEvidence> ?n . }"
+	}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if len(resp.Rows) != 1 || resp.Rows[0]["item"] != "<urn:item:1>" {
+		t.Fatalf("rows = %v", resp.Rows)
+	}
+
+	// Bare "annotations" defaults to the "default" repository.
+	rec, resp = postQuery(t, h, `{
+		"target": "annotations",
+		"query": "ASK { <urn:item:1> <http://qurator.org/iq#containsEvidence> ?n . }"
+	}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.Ok == nil || !*resp.Ok {
+		t.Fatalf("ASK response = %+v, want ok=true", resp)
+	}
+}
+
+func TestQueryHandlerErrors(t *testing.T) {
+	f := queryTestFramework(t)
+	h := f.QueryHandler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/query", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d", rec.Code)
+	}
+
+	rec, _ = postQuery(t, h, `{"target": "annotations:nope", "query": "ASK { ?s ?p ?o . }"}`)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown repository status = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	rec, _ = postQuery(t, h, `{"target": "provenance", "query": "SELECT WHERE"}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("parse-error status = %d", rec.Code)
+	}
+
+	rec, _ = postQuery(t, h, `{"target": "provenance", "query": "   "}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("empty-query status = %d", rec.Code)
+	}
+}
+
+func TestRunQueryMetrics(t *testing.T) {
+	f := queryTestFramework(t)
+	before := queryDuration.With("provenance").Count()
+	res, err := f.RunQuery("provenance",
+		"SELECT ?run WHERE { ?run <http://qurator.org/iq#inputSize> ?n . FILTER (?n > 25) }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bindings) != 3 {
+		t.Fatalf("rows = %d, want 3 (inputSize 30, 40, 50)", len(res.Bindings))
+	}
+	if got := queryDuration.With("provenance").Count(); got != before+1 {
+		t.Errorf("duration histogram count = %d, want %d", got, before+1)
+	}
+}
