@@ -1,0 +1,216 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"qurator/internal/qcube"
+	"qurator/internal/sparql"
+	"qurator/internal/telemetry"
+)
+
+// The cube experiment measures the daQ quality cube's pre-aggregated
+// rollups against the representation they summarise: raw daq:Observation
+// facts in an RDF graph sliced by a SPARQL scan, with the aggregate
+// folded caller-side. An equivalence tripwire asserts that every cube
+// slice matches the scan's count/sum/min/max before the speedup is
+// reported.
+
+// cubeQueryRun is the measured outcome for one slice shape.
+type cubeQueryRun struct {
+	Name  string `json:"name"`
+	Count int64  `json:"count"`
+	// CubeUS is the rollup path: O(windows) merge, no graph touch.
+	CubeUS float64 `json:"cube_us"`
+	// SPARQLUS is the baseline: pattern-match the full graph, fold rows.
+	SPARQLUS float64 `json:"sparql_us"`
+	Speedup  float64 `json:"speedup"`
+}
+
+// cubeRecord is the BENCH_cube.json schema.
+type cubeRecord struct {
+	Experiment   string         `json:"experiment"`
+	Observations int            `json:"observations"`
+	Triples      int            `json:"triples"`
+	WindowMS     int64          `json:"window_ms"`
+	Repeats      int            `json:"repeats"`
+	Queries      []cubeQueryRun `json:"queries"`
+	// MinSpeedup/MeanSpeedup summarize cube-vs-scan across slice shapes.
+	MinSpeedup  float64                    `json:"min_speedup"`
+	MeanSpeedup float64                    `json:"mean_speedup"`
+	Equivalent  bool                       `json:"equivalent"`
+	Metrics     []telemetry.MetricSnapshot `json:"metrics"`
+}
+
+var cubeT0 = time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+
+// genCubeObservations emits n quality observations across a
+// metrics × sources grid, spread over a day — the shape a long-lived
+// Qurator deployment accumulates from annotation traffic.
+func genCubeObservations(n, nMetrics, nSources int, spread time.Duration, seed int64) []qcube.Observation {
+	rng := rand.New(rand.NewSource(seed))
+	obs := make([]qcube.Observation, n)
+	for i := range obs {
+		obs[i] = qcube.Observation{
+			Metric:     fmt.Sprintf("http://qurator.org/iq#Metric%d", rng.Intn(nMetrics)),
+			ComputedOn: fmt.Sprintf("urn:lsid:qurator:source:%d", rng.Intn(nSources)),
+			Agent:      "http://qurator.org/iq#ImprintAnnotation",
+			Value:      rng.Float64(),
+			At:         cubeT0.Add(time.Duration(rng.Int63n(int64(spread)))),
+		}
+	}
+	return obs
+}
+
+// scanAgg folds a SPARQL row set into count/sum/min/max — the caller-side
+// aggregation the cube's rollups make unnecessary.
+func scanAgg(res *sparql.Result, q qcube.SliceQuery) (qcube.Agg, error) {
+	var a qcube.Agg
+	for _, b := range res.Bindings {
+		o, err := qcube.FromTerms(q.Metric, q.Source, b["value"], b["ts"])
+		if err != nil {
+			return a, err
+		}
+		if a.Count == 0 || o.Value < a.Min {
+			a.Min = o.Value
+		}
+		if a.Count == 0 || o.Value > a.Max {
+			a.Max = o.Value
+		}
+		a.Count++
+		a.Sum += o.Value
+	}
+	return a, nil
+}
+
+func cubeAggEqual(a, b qcube.Agg) bool {
+	const eps = 1e-9
+	return a.Count == b.Count &&
+		math.Abs(a.Sum-b.Sum) < eps*(1+math.Abs(a.Sum)) &&
+		math.Abs(a.Min-b.Min) < eps && math.Abs(a.Max-b.Max) < eps
+}
+
+func measureCube(n, repeats int) (*cubeRecord, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	const window = time.Minute
+	obs := genCubeObservations(n, 4, 20, 24*time.Hour, 2006)
+	cube := qcube.New(window)
+	for _, o := range obs {
+		cube.Observe(o)
+	}
+	graph, err := qcube.ObservationsToGraph(obs)
+	if err != nil {
+		return nil, err
+	}
+	record := &cubeRecord{
+		Experiment:   "cube",
+		Observations: n,
+		Triples:      graph.Len(),
+		WindowMS:     window.Milliseconds(),
+		Repeats:      repeats,
+		Equivalent:   true,
+	}
+
+	// Window-aligned bounds make the cube's bucket-granular range and the
+	// scan's raw-timestamp FILTER select identical observations.
+	metric := obs[0].Metric
+	source := obs[0].ComputedOn
+	queries := []struct {
+		name string
+		q    qcube.SliceQuery
+	}{
+		{"metric-all-time", qcube.SliceQuery{Metric: metric}},
+		{"metric-range", qcube.SliceQuery{
+			Metric: metric,
+			From:   cubeT0.Add(2 * time.Hour).Truncate(window),
+			To:     cubeT0.Add(20 * time.Hour).Truncate(window),
+		}},
+		{"cell-all-time", qcube.SliceQuery{Metric: metric, Source: source}},
+		{"cell-range", qcube.SliceQuery{
+			Metric: metric, Source: source,
+			From: cubeT0.Add(2 * time.Hour).Truncate(window),
+			To:   cubeT0.Add(20 * time.Hour).Truncate(window),
+		}},
+	}
+
+	for _, qc := range queries {
+		run := cubeQueryRun{Name: qc.name}
+		var slice qcube.SliceResult
+
+		cubeUS, err := timeBest(repeats, func() error {
+			slice = cube.Slice(qc.q)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		run.CubeUS = cubeUS * 1000 // timeBest reports ms
+
+		query := qcube.SliceSPARQL(qc.q)
+		var scan qcube.Agg
+		sparqlUS, err := timeBest(repeats, func() error {
+			res, err := sparql.Exec(graph, query)
+			if err != nil {
+				return err
+			}
+			scan, err = scanAgg(res, qc.q)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("query %s: %w", qc.name, err)
+		}
+		run.SPARQLUS = sparqlUS * 1000
+
+		if !cubeAggEqual(slice.Agg, scan) {
+			record.Equivalent = false
+		}
+		if slice.Agg.Count == 0 {
+			return nil, fmt.Errorf("query %s: degenerate slice selected nothing", qc.name)
+		}
+		run.Count = slice.Agg.Count
+		if run.CubeUS > 0 {
+			run.Speedup = run.SPARQLUS / run.CubeUS
+		}
+		record.Queries = append(record.Queries, run)
+	}
+
+	for i, qr := range record.Queries {
+		if i == 0 || qr.Speedup < record.MinSpeedup {
+			record.MinSpeedup = qr.Speedup
+		}
+		record.MeanSpeedup += qr.Speedup
+	}
+	record.MeanSpeedup /= float64(len(record.Queries))
+	record.Metrics = telemetry.Default.Snapshot()
+	return record, nil
+}
+
+func runCube(n, repeats int, benchOut string) {
+	record, err := measureCube(n, repeats)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("Quality cube — pre-aggregated rollups vs SPARQL scan (%d observations, %d triples)\n",
+		record.Observations, record.Triples)
+	fmt.Printf("%-16s %8s %12s %14s %9s\n", "slice", "count", "cube µs", "sparql µs", "speedup")
+	for _, qr := range record.Queries {
+		fmt.Printf("%-16s %8d %12.1f %14.1f %8.1fx\n",
+			qr.Name, qr.Count, qr.CubeUS, qr.SPARQLUS, qr.Speedup)
+	}
+	if !record.Equivalent {
+		fatal(fmt.Errorf("cube slices diverged from the SPARQL scan aggregates"))
+	}
+	fmt.Println("all slices identical to the scan baseline")
+	if benchOut == "" {
+		fmt.Println()
+		return
+	}
+	if err := writeJSON(benchOut, record); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchmark record written to %s\n\n", benchOut)
+}

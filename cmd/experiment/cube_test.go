@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCubeRecordSchema runs the cube experiment over a small observation
+// set and checks the BENCH_cube.json record is well-formed: the
+// equivalence tripwire holds, every slice shape selected something,
+// timings are sane, and the on-disk record round-trips strictly. It
+// asserts only a conservative speedup floor (>1x over a tiny set) — the
+// ≥10x headline claim is the CI durability job's full-size run.
+func TestCubeRecordSchema(t *testing.T) {
+	record, err := measureCube(5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !record.Equivalent {
+		t.Fatal("cube slices diverged from the SPARQL scan aggregates")
+	}
+	if record.Experiment != "cube" {
+		t.Fatalf("experiment = %q", record.Experiment)
+	}
+	if record.Observations != 5000 || record.Triples < record.Observations {
+		t.Fatalf("observations = %d, triples = %d", record.Observations, record.Triples)
+	}
+	if len(record.Queries) != 4 {
+		t.Fatalf("%d queries, want 4", len(record.Queries))
+	}
+	for _, qr := range record.Queries {
+		if qr.Count == 0 {
+			t.Errorf("slice %s selected nothing — the world no longer exercises it", qr.Name)
+		}
+		if qr.CubeUS < 0 || qr.SPARQLUS < 0 {
+			t.Errorf("slice %s: negative wall-clock", qr.Name)
+		}
+		if qr.Speedup <= 0 {
+			t.Errorf("slice %s: speedup = %f", qr.Name, qr.Speedup)
+		}
+	}
+	// Conservative floor: reading a rollup must not be slower than
+	// scanning the raw observation graph, even at small scale.
+	if record.MinSpeedup < 1 {
+		t.Errorf("min speedup = %.2f, want >= 1", record.MinSpeedup)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_cube.json")
+	if err := writeJSON(path, record); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var back cubeRecord
+	if err := dec.Decode(&back); err != nil {
+		t.Fatalf("strict decode of %s: %v", path, err)
+	}
+	if back.Experiment != record.Experiment || len(back.Queries) != len(record.Queries) {
+		t.Fatal("record did not round-trip")
+	}
+}

@@ -8,6 +8,7 @@
 //	experiment -ablation threshold  # A3: filter-threshold sweep
 //	experiment -dataplane    # serial vs sharded vs cached enactment
 //	experiment -sparql       # metadata-plane query engine: clone vs snapshot
+//	experiment -cube         # quality cube: rollup slices vs SPARQL scans
 //	experiment -all          # everything
 //
 // Flags -seed, -spots, -db resize the world. The Figure-7 run also
@@ -45,6 +46,11 @@ func main() {
 	sparqlRuns := flag.Int("sparql-runs", 20000, "provenance runs in the SPARQL experiment's log")
 	sparqlOut := flag.String("sparql-out", "BENCH_sparql.json",
 		"write the SPARQL benchmark record here; empty = off")
+	cubeRun := flag.Bool("cube", false,
+		"run the quality-cube experiment: pre-aggregated rollup slices vs SPARQL scans over raw daQ observations")
+	cubeObs := flag.Int("cube-obs", 100_000, "observations in the cube experiment")
+	cubeOut := flag.String("cube-out", "BENCH_cube.json",
+		"write the cube benchmark record here; empty = off")
 	flag.Parse()
 
 	params := ispider.DefaultWorldParams()
@@ -62,6 +68,7 @@ func main() {
 		runFigure7(world, *benchOut)
 		runDataPlane(world, *dataplaneOut, *repeats)
 		runSPARQL(*sparqlRuns, *repeats, *sparqlOut)
+		runCube(*cubeObs, *repeats, *cubeOut)
 		runQAAblation(world)
 		runThresholdAblation(world)
 		runLearnedAblation(world)
@@ -73,6 +80,8 @@ func main() {
 		runDataPlane(world, *dataplaneOut, *repeats)
 	case *sparqlRun:
 		runSPARQL(*sparqlRuns, *repeats, *sparqlOut)
+	case *cubeRun:
+		runCube(*cubeObs, *repeats, *cubeOut)
 	case *fig == 1:
 		runFigure1(world)
 	case *fig == 6:

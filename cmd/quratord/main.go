@@ -6,10 +6,21 @@
 // Usage:
 //
 //	quratord [-addr :9090] [-with-demo-annotator]
+//	         [-data-dir dir] [-fsync always|interval|never]
 //	         [-retries n] [-proc-timeout d] [-degraded mode]
 //	         [-shard-size n] [-max-inflight n] [-cache] [-cache-entries n] [-cache-ttl d]
 //	         [-flake-rate p] [-flake-latency d] [-debug-addr :6060]
 //
+// -data-dir turns on the durable metadata plane: the "default" annotation
+// repository and the provenance log are backed by WAL-plus-segment stores
+// under the directory, so a restarted quratord serves the same metadata
+// it shut down with. -fsync picks the WAL durability policy. On SIGINT or
+// SIGTERM the server drains in-flight requests, then flushes and closes
+// the stores before exiting.
+//
+// GET /cube serves the daQ-style quality cube: rollups of every numeric
+// annotation by metric, source and time window (?metric=, ?source=,
+// ?from=, ?to= select a slice).
 // The -retries/-proc-timeout/-degraded flags make the views enacted at
 // /stream/enact fault-tolerant (see qurator.Resilience); the -flake-*
 // flags do the opposite — they turn this instance into a deliberately
@@ -42,13 +53,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"qurator"
@@ -100,6 +115,10 @@ func main() {
 	flakeSeed := flag.Int64("flake-seed", 1, "seed for the flake RNG")
 	debugAddr := flag.String("debug-addr", "",
 		"serve net/http/pprof profiles on this second address (empty = off)")
+	dataDir := flag.String("data-dir", "",
+		"persist annotations and provenance in this directory (empty = memory only)")
+	fsync := flag.String("fsync", "interval",
+		"WAL durability with -data-dir: always, interval or never")
 	flag.Parse()
 
 	mode, err := qurator.ParseDegradedMode(*degraded)
@@ -108,6 +127,14 @@ func main() {
 	}
 
 	f := qurator.New()
+	if *dataDir != "" {
+		start := time.Now()
+		if err := f.EnablePersistence(qurator.Persistence{Dir: *dataDir, Fsync: *fsync}); err != nil {
+			log.Fatalf("quratord: %v", err)
+		}
+		log.Printf("quratord: durable metadata plane in %s (fsync=%s, recovered in %s)",
+			*dataDir, *fsync, time.Since(start).Round(time.Millisecond))
+	}
 	if err := f.DeployStandardLibrary(); err != nil {
 		log.Fatalf("quratord: %v", err)
 	}
@@ -144,6 +171,7 @@ func main() {
 	})
 	mux.Handle("/stream/enact", stream.Handler(streamCompiler(f)))
 	mux.Handle("POST /query", f.QueryHandler())
+	mux.Handle("GET /cube", f.CubeHandler())
 	mux.Handle("GET /metrics", telemetry.Default.Handler())
 	mux.Handle("GET /debug/enactments", telemetry.DebugHandler(telemetry.DefaultRecorder))
 
@@ -173,7 +201,32 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	log.Printf("quratord: serving Qurator services on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting connections,
+	// drain in-flight enactments (bounded), then flush and close the
+	// durable stores — a clean restart recovers from segments, not a WAL
+	// replay of everything since boot.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		log.Fatalf("quratord: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("quratord: shutting down, draining in-flight requests")
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("quratord: drain: %v", err)
+	}
+	if err := f.CloseMetadata(); err != nil {
+		log.Printf("quratord: closing metadata stores: %v", err)
+	} else if *dataDir != "" {
+		log.Printf("quratord: metadata stores flushed and closed")
+	}
 }
 
 // flaky answers a seeded fraction of requests with 503 Service

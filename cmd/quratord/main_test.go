@@ -1,0 +1,172 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildQuratord compiles the daemon once per test binary and returns the
+// executable path.
+func buildQuratord(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "quratord")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// freePort reserves an ephemeral TCP port and releases it for the daemon.
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// startDaemon launches quratord and waits for /healthz to come up.
+func startDaemon(t *testing.T, bin, addr string, extra ...string) *exec.Cmd {
+	t.Helper()
+	args := append([]string{"-addr", addr}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		res, err := http.Get(base + "/healthz")
+		if err == nil {
+			res.Body.Close()
+			if res.StatusCode == http.StatusOK {
+				return cmd
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+	t.Fatalf("quratord on %s never became healthy", addr)
+	return nil
+}
+
+// stopDaemon sends SIGTERM and waits for the graceful-shutdown path —
+// the flush that makes the restart test meaningful.
+func stopDaemon(t *testing.T, cmd *exec.Cmd) {
+	t.Helper()
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("quratord exit after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("quratord did not exit within 15s of SIGTERM")
+	}
+}
+
+// TestRestartPreservesMetadata drives the full durability story over
+// HTTP: annotate a running daemon, SIGTERM it, restart on the same
+// -data-dir, and read the annotation back from the recovered store.
+func TestRestartPreservesMetadata(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon; skipped in -short")
+	}
+	bin := buildQuratord(t)
+	dataDir := t.TempDir()
+
+	const (
+		item   = "urn:lsid:test:e2e:1"
+		typ    = "http://qurator.org/iq#HitRatio"
+		source = "http://qurator.org/iq#ImprintAnnotation"
+	)
+
+	addr := freePort(t)
+	cmd := startDaemon(t, bin, addr, "-data-dir", dataDir, "-fsync", "never")
+	base := "http://" + addr
+
+	body := fmt.Sprintf(
+		`<Annotations><annotation item=%q type=%q kind="float" value="0.77" source=%q/></Annotations>`,
+		item, typ, source)
+	res, err := http.Post(base+"/repositories/default/annotations", "application/xml",
+		strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("POST annotations: %d %s", res.StatusCode, out)
+	}
+
+	// The cube observed the numeric annotation while the daemon ran.
+	res, err = http.Get(base + "/cube?metric=" + url.QueryEscape(typ))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cubeOut, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK || !strings.Contains(string(cubeOut), `"count": 1`) {
+		t.Fatalf("GET /cube: %d %s", res.StatusCode, cubeOut)
+	}
+
+	stopDaemon(t, cmd)
+
+	// Restart on the same directory: the annotation must come back.
+	addr2 := freePort(t)
+	cmd2 := startDaemon(t, bin, addr2, "-data-dir", dataDir, "-fsync", "never")
+	defer stopDaemon(t, cmd2)
+
+	getURL := "http://" + addr2 + "/repositories/default/annotation?item=" +
+		url.QueryEscape(item) + "&type=" + url.QueryEscape(typ)
+	res, err = http.Get(getURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("GET annotation after restart: %d %s", res.StatusCode, got)
+	}
+	s := string(got)
+	if !strings.Contains(s, "0.77") || !strings.Contains(s, item) {
+		t.Fatalf("recovered annotation = %s, want value 0.77 for %s", s, item)
+	}
+
+	// The full graph (computedBy source triple included) also came back.
+	res, err = http.Get("http://" + addr2 + "/repositories/default/graph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	graph, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	// The dump uses prefixed Turtle, so match the local name.
+	if res.StatusCode != http.StatusOK ||
+		!strings.Contains(string(graph), "computedBy") ||
+		!strings.Contains(string(graph), "ImprintAnnotation") {
+		t.Fatalf("recovered graph lost the annotation source: %d\n%s", res.StatusCode, graph)
+	}
+}

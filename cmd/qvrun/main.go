@@ -8,6 +8,12 @@
 //	qvrun -view view.xml -data items.csv [-condition "expr"]
 //	qvrun -stream [-view view.xml] [-window 64] [-slide n] [-parallelism p] [-skip-failed] < items.ndjson
 //
+// With -data-dir the "default" annotation repository and the provenance
+// log persist in that directory across invocations: long-lived evidence
+// written by one run is readable by the next, and run provenance
+// accumulates. -fsync picks the WAL durability policy (always, interval,
+// never).
+//
 // Resilience flags (both modes): -retries N re-invokes a failed quality
 // service, -proc-timeout bounds each invocation, and -degraded selects
 // what happens when a service stays down — "fail-closed" rejects the
@@ -84,6 +90,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	cacheEntries := fs.Int("cache-entries", 0, "response-cache LRU bound (0 = 4096)")
 	cacheTTL := fs.Duration("cache-ttl", 0, "response-cache entry expiry (0 = none)")
 	withTelemetry := fs.Bool("telemetry", false, "dump span tree + metrics snapshot as JSON on stderr after the run")
+	dataDir := fs.String("data-dir", "", "persist annotations and provenance in this directory across runs (empty = memory only)")
+	fsyncPolicy := fs.String("fsync", "interval", "WAL durability with -data-dir: always, interval or never")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -111,6 +119,19 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 
 	f := qurator.New()
+	if *dataDir != "" {
+		// Durable metadata plane: evidence computed by one run (e.g.
+		// curation credibility) is already in the repository for the
+		// next, and every run's provenance accumulates queryably.
+		if err := f.EnablePersistence(qurator.Persistence{Dir: *dataDir, Fsync: *fsyncPolicy}); err != nil {
+			return fail(stderr, err)
+		}
+		defer func() {
+			if err := f.CloseMetadata(); err != nil {
+				fmt.Fprintln(stderr, "qvrun: closing metadata stores:", err)
+			}
+		}()
+	}
 	if *scavenge == "" {
 		if err := f.DeployStandardLibrary(); err != nil {
 			return fail(stderr, err)

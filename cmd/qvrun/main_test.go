@@ -267,3 +267,33 @@ func TestTelemetryOffKeepsStderrQuiet(t *testing.T) {
 		t.Errorf("stderr not empty: %s", stderr)
 	}
 }
+
+// TestDataDirPersistsAcrossRuns runs the same batch twice against one
+// -data-dir and checks the second process sees the first's metadata: the
+// provenance WAL/segment files exist and reopen cleanly.
+func TestDataDirPersistsAcrossRuns(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := writeStrongWeakCSV(t)
+	for i := 0; i < 2; i++ {
+		code, _, stderr := runQvrun(t, "", "-data", csvPath, "-data-dir", dir, "-fsync", "never")
+		if code != 0 {
+			t.Fatalf("run %d: exit = %d, stderr:\n%s", i, code, stderr)
+		}
+	}
+	f := qurator.New()
+	if err := f.EnablePersistence(qurator.Persistence{Dir: dir, Fsync: "never"}); err != nil {
+		t.Fatal(err)
+	}
+	defer f.CloseMetadata()
+	if n := f.Provenance.Len(); n != 2 {
+		t.Fatalf("recovered %d provenance runs, want 2", n)
+	}
+}
+
+func TestDataDirBadFsyncFails(t *testing.T) {
+	code, _, stderr := runQvrun(t, "",
+		"-data", writeStrongWeakCSV(t), "-data-dir", t.TempDir(), "-fsync", "sometimes")
+	if code != 1 || !strings.Contains(stderr, "fsync") {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+}

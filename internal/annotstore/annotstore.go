@@ -24,8 +24,10 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"qurator/internal/evidence"
+	"qurator/internal/mstore"
 	"qurator/internal/ontology"
 	"qurator/internal/rdf"
 	"qurator/internal/sparql"
@@ -76,7 +78,9 @@ type Store interface {
 }
 
 // Repository is an in-memory annotation store. All methods are safe for
-// concurrent use.
+// concurrent use. Attaching a durable backend with Persist makes every
+// mutation WAL-committed before it becomes visible; the read paths are
+// unchanged either way.
 type Repository struct {
 	name       string
 	persistent bool
@@ -85,6 +89,15 @@ type Repository struct {
 	graph *rdf.Graph
 	// model, when set, validates evidence types against the IQ ontology.
 	model *ontology.Ontology
+	// store, when set, is the durable backend; graph aliases store.Graph()
+	// so reads stay lock-free while writes go through the WAL.
+	store *mstore.Store
+	// observer, when set, is invoked (under the write lock) for every
+	// successful Put — the quality cube's feed.
+	observer func(Annotation, time.Time)
+	// lastErr records a store write failure on a path whose signature
+	// cannot return it (ExpireBefore); see Err.
+	lastErr error
 }
 
 // New returns an empty repository. persistent records the §4 distinction
@@ -135,22 +148,44 @@ func (r *Repository) Put(a Annotation) error {
 	}
 
 	node := evidenceNode(a.Item, a.Type)
+	at := nowUTC()
 	// Overwrite any previous value/source statements for this node.
-	for _, t := range r.graph.Match(node, rdf.Term{}, rdf.Term{}) {
-		r.graph.Remove(t)
-	}
+	dels := r.graph.Match(node, rdf.Term{}, rdf.Term{})
 	typeIRI := rdf.IRI(rdf.RDFType)
-	r.graph.MustAdd(rdf.T(a.Item, ontology.ContainsEvidence, node))
-	r.graph.MustAdd(rdf.T(node, typeIRI, a.Type))
-	r.graph.MustAdd(rdf.T(node, ontology.EvidenceValue, a.Value.ToTerm()))
+	adds := []rdf.Triple{
+		rdf.T(a.Item, ontology.ContainsEvidence, node),
+		rdf.T(node, typeIRI, a.Type),
+		rdf.T(node, ontology.EvidenceValue, a.Value.ToTerm()),
+		stampTriple(node, at),
+	}
 	if !a.Source.IsZero() {
-		r.graph.MustAdd(rdf.T(node, ontology.ComputedBy, a.Source))
+		adds = append(adds, rdf.T(node, ontology.ComputedBy, a.Source))
 	}
 	if !a.EntityClass.IsZero() {
-		r.graph.MustAdd(rdf.T(a.Item, typeIRI, a.EntityClass))
+		adds = append(adds, rdf.T(a.Item, typeIRI, a.EntityClass))
 	}
-	r.stampLocked(node)
+	if err := r.applyLocked(dels, adds); err != nil {
+		return err
+	}
+	if r.observer != nil {
+		r.observer(a, at)
+	}
 	return nil
+}
+
+// applyLocked is the single mutation choke point: deletes first, then
+// adds, through the durable store when one is attached (WAL-committed
+// before the graph changes) or straight into the graph otherwise. The
+// caller holds the write lock.
+func (r *Repository) applyLocked(dels, adds []rdf.Triple) error {
+	if r.store != nil {
+		return r.store.Apply(adds, dels)
+	}
+	for _, t := range dels {
+		r.graph.Remove(t)
+	}
+	_, err := r.graph.AddBatch(adds)
+	return err
 }
 
 // PutAll stores a batch of annotations, stopping at the first error.
@@ -238,9 +273,17 @@ func (r *Repository) Len() int {
 }
 
 // Clear removes every annotation; used between runs on cache repositories.
+// With a durable backend the clear is WAL-logged like any other mutation
+// (a store write failure is recorded in Err).
 func (r *Repository) Clear() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.store != nil {
+		if err := r.store.Clear(); err != nil {
+			r.lastErr = err
+		}
+		return
+	}
 	r.graph.Clear()
 }
 
@@ -283,7 +326,9 @@ func (r *Repository) Save(path string) error {
 	return rdf.SaveFile(path, r.graph)
 }
 
-// Load replaces the repository contents from an N-Triples file.
+// Load replaces the repository contents from an N-Triples file. With a
+// durable backend the replacement is logged as a clear plus a bulk add,
+// so it survives a restart like any other write.
 func (r *Repository) Load(path string) error {
 	g, err := rdf.LoadFile(path)
 	if err != nil {
@@ -291,8 +336,15 @@ func (r *Repository) Load(path string) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.graph = g
-	return nil
+	if r.store == nil {
+		r.graph = g
+		return nil
+	}
+	if err := r.store.Clear(); err != nil {
+		return err
+	}
+	_, err = r.store.AddBatch(g.Triples())
+	return err
 }
 
 // Registry maps the repository names referenced by quality views

@@ -44,11 +44,10 @@ func nowUTC() time.Time {
 	return clock().UTC()
 }
 
-// stampLocked records the write time on an evidence node; the caller
-// holds the repository lock and has already cleared the node's previous
-// statements.
-func (r *Repository) stampLocked(node rdf.Term) {
-	r.graph.MustAdd(rdf.T(node, recordedAt, rdf.Literal(nowUTC().Format(time.RFC3339Nano))))
+// stampTriple is the statement recording an evidence node's write time;
+// Put folds it into the same durable batch as the annotation itself.
+func stampTriple(node rdf.Term, at time.Time) rdf.Triple {
+	return rdf.T(node, recordedAt, rdf.Literal(at.Format(time.RFC3339Nano)))
 }
 
 // RecordedAt returns when the (item, type) annotation was written; the
@@ -89,11 +88,14 @@ func (r *Repository) ExpireBefore(cutoff time.Time) int {
 			victims = append(victims, target{t.Subject, node})
 		}
 	}
+	var dels []rdf.Triple
 	for _, v := range victims {
-		for _, t := range r.graph.Match(v.node, rdf.Term{}, rdf.Term{}) {
-			r.graph.Remove(t)
-		}
-		r.graph.Remove(rdf.T(v.item, ontology.ContainsEvidence, v.node))
+		dels = append(dels, r.graph.Match(v.node, rdf.Term{}, rdf.Term{})...)
+		dels = append(dels, rdf.T(v.item, ontology.ContainsEvidence, v.node))
+	}
+	if err := r.applyLocked(dels, nil); err != nil {
+		r.lastErr = err
+		return 0
 	}
 	return len(victims)
 }

@@ -1,0 +1,194 @@
+// Package mstore is the durable metadata plane: a write-ahead log feeding
+// immutable sorted segment files, with the copy-on-write rdf.Graph as the
+// lock-free in-memory read path. A Store survives process death — on Open
+// it rebuilds the graph by applying segments oldest-first and replaying
+// the WAL's committed batches — while reads keep the PR-5 snapshot
+// semantics: Snapshot() is O(1) and never blocks writers.
+//
+// On-disk layout (one directory per store):
+//
+//	NNNNNNNN.seg   immutable sorted segment (flush or compaction output)
+//	NNNNNNNN.wal   append-only write-ahead log (highest seq is active)
+//	*.tmp          in-flight writes, discarded on open
+//
+// Sequence numbers order recovery: files apply in ascending seq, segment
+// before WAL at equal seq. Replaying a WAL whose contents were already
+// flushed to a same-seq segment is harmless — batches are sequences of
+// set-membership writes, so re-applying them in order is idempotent.
+//
+// WAL record framing (little-endian):
+//
+//	u32 payloadLen | u32 crc32c(payload) | payload
+//
+// A payload is one op: opAdd/opDel carry an N-Triples statement, opClear
+// is empty, and opCommit carries the batch sequence number plus the op
+// count it commits. Ops buffer during replay and apply only when their
+// commit marker arrives intact — a torn tail (short record, zero length,
+// or CRC mismatch) ends replay cleanly at the last committed batch.
+package mstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"qurator/internal/rdf"
+)
+
+// WAL op kinds.
+const (
+	opAdd    byte = 1
+	opDel    byte = 2
+	opCommit byte = 3
+	opClear  byte = 4
+)
+
+// maxRecordLen bounds a single record's payload; anything larger in a
+// length header is a torn or garbage tail, not a real record (triples are
+// parsed from N-Triples lines capped far below this).
+const maxRecordLen = 8 << 20
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// frameRecord appends one length-prefixed, CRC-checksummed record to dst.
+func frameRecord(dst, payload []byte) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// errTornTail marks the clean end of a WAL: the bytes after the last
+// intact record are a partial write from a crash, not corruption.
+var errTornTail = fmt.Errorf("mstore: torn record tail")
+
+// recordScanner iterates framed records over an in-memory WAL image.
+type recordScanner struct {
+	data []byte
+	off  int
+}
+
+// next returns the next record payload. It returns (nil, nil) at a clean
+// end of input and errTornTail when the remaining bytes are a partial or
+// checksum-failing record.
+func (r *recordScanner) next() ([]byte, error) {
+	if r.off == len(r.data) {
+		return nil, nil
+	}
+	if len(r.data)-r.off < 8 {
+		return nil, errTornTail
+	}
+	n := binary.LittleEndian.Uint32(r.data[r.off : r.off+4])
+	sum := binary.LittleEndian.Uint32(r.data[r.off+4 : r.off+8])
+	if n == 0 || n > maxRecordLen {
+		return nil, errTornTail
+	}
+	if len(r.data)-r.off-8 < int(n) {
+		return nil, errTornTail
+	}
+	payload := r.data[r.off+8 : r.off+8+int(n)]
+	if crc32.Checksum(payload, crcTable) != sum {
+		return nil, errTornTail
+	}
+	r.off += 8 + int(n)
+	return payload, nil
+}
+
+// walOp is one decoded WAL operation.
+type walOp struct {
+	op     byte
+	triple rdf.Triple // opAdd, opDel
+	batch  uint64     // opCommit
+	count  uint32     // opCommit
+}
+
+// appendAddOp / appendDelOp / appendClearOp / appendCommitOp encode ops
+// into framed records.
+func appendTripleOp(dst []byte, op byte, t rdf.Triple) []byte {
+	line := t.String()
+	payload := make([]byte, 0, 1+len(line))
+	payload = append(payload, op)
+	payload = append(payload, line...)
+	return frameRecord(dst, payload)
+}
+
+func appendClearOp(dst []byte) []byte {
+	return frameRecord(dst, []byte{opClear})
+}
+
+func appendCommitOp(dst []byte, batch uint64, count uint32) []byte {
+	var payload [13]byte
+	payload[0] = opCommit
+	binary.LittleEndian.PutUint64(payload[1:9], batch)
+	binary.LittleEndian.PutUint32(payload[9:13], count)
+	return frameRecord(dst, payload[:])
+}
+
+// decodeOp parses one CRC-verified record payload. Malformed payloads
+// return an error (CRC-valid garbage means real corruption, not a torn
+// write) and never panic.
+func decodeOp(payload []byte) (walOp, error) {
+	if len(payload) == 0 {
+		return walOp{}, fmt.Errorf("mstore: empty record payload")
+	}
+	switch payload[0] {
+	case opAdd, opDel:
+		t, err := rdf.ParseTriple(string(payload[1:]))
+		if err != nil {
+			return walOp{}, fmt.Errorf("mstore: bad triple record: %w", err)
+		}
+		return walOp{op: payload[0], triple: t}, nil
+	case opClear:
+		if len(payload) != 1 {
+			return walOp{}, fmt.Errorf("mstore: clear record has %d trailing bytes", len(payload)-1)
+		}
+		return walOp{op: opClear}, nil
+	case opCommit:
+		if len(payload) != 13 {
+			return walOp{}, fmt.Errorf("mstore: commit record is %d bytes, want 13", len(payload))
+		}
+		return walOp{
+			op:    opCommit,
+			batch: binary.LittleEndian.Uint64(payload[1:9]),
+			count: binary.LittleEndian.Uint32(payload[9:13]),
+		}, nil
+	default:
+		return walOp{}, fmt.Errorf("mstore: unknown record op 0x%02x", payload[0])
+	}
+}
+
+// replayWAL scans a WAL image and delivers each committed batch, in
+// order, to apply. Ops after the last commit marker — or after the first
+// torn record — are discarded, matching the write path's contract that a
+// batch exists only once its commit record is durable. The returned
+// count is the number of ops applied; torn reports whether the file
+// ended in a partial record.
+func replayWAL(data []byte, apply func(ops []walOp)) (applied int, torn bool, err error) {
+	sc := recordScanner{data: data}
+	var pending []walOp
+	for {
+		payload, err := sc.next()
+		if err == errTornTail {
+			return applied, true, nil
+		}
+		if payload == nil {
+			return applied, false, nil
+		}
+		op, err := decodeOp(payload)
+		if err != nil {
+			return applied, false, err
+		}
+		if op.op != opCommit {
+			pending = append(pending, op)
+			continue
+		}
+		if int(op.count) != len(pending) {
+			return applied, false, fmt.Errorf("mstore: commit %d covers %d ops, found %d",
+				op.batch, op.count, len(pending))
+		}
+		apply(pending)
+		applied += len(pending)
+		pending = nil
+	}
+}

@@ -1,0 +1,208 @@
+package mstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"qurator/internal/rdf"
+)
+
+// Segment file format (little-endian):
+//
+//	"QSEG" | version u8 | flags u8 | delCount u32 | addCount u32
+//	delCount × (u32 len | N-Triples statement)
+//	addCount × (u32 len | N-Triples statement)
+//	crc32c u32 over everything above
+//
+// Applying a segment means: if the base flag is set, reset the graph;
+// then remove the deletes (tombstones for triples in older segments);
+// then insert the adds. Flush segments are deltas (base unset); clear
+// checkpoints and compaction outputs are base segments carrying the full
+// graph content, which lets recovery drop everything older even when a
+// crash left superseded files behind.
+
+const (
+	segMagic   = "QSEG"
+	segVersion = 1
+	segFlgBase = 1 << 0
+)
+
+// segmentMeta describes one on-disk segment.
+type segmentMeta struct {
+	seq   uint64
+	path  string
+	base  bool
+	dels  int
+	adds  int
+	bytes int64
+}
+
+func segPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%08d.seg", seq))
+}
+
+// encodeSegment renders the full segment image.
+func encodeSegment(base bool, dels, adds []rdf.Triple) []byte {
+	var b bytes.Buffer
+	b.WriteString(segMagic)
+	b.WriteByte(segVersion)
+	var flags byte
+	if base {
+		flags |= segFlgBase
+	}
+	b.WriteByte(flags)
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(dels)))
+	b.Write(n[:])
+	binary.LittleEndian.PutUint32(n[:], uint32(len(adds)))
+	b.Write(n[:])
+	writeTriple := func(t rdf.Triple) {
+		line := t.String()
+		binary.LittleEndian.PutUint32(n[:], uint32(len(line)))
+		b.Write(n[:])
+		b.WriteString(line)
+	}
+	for _, t := range dels {
+		writeTriple(t)
+	}
+	for _, t := range adds {
+		writeTriple(t)
+	}
+	binary.LittleEndian.PutUint32(n[:], crc32.Checksum(b.Bytes(), crcTable))
+	b.Write(n[:])
+	return b.Bytes()
+}
+
+// writeSegmentTmp writes a segment image to a temp file in dir and syncs
+// it, returning the temp path. The caller renames it into place (under
+// the store lock) once it is safe to publish.
+func writeSegmentTmp(dir string, seq uint64, base bool, dels, adds []rdf.Triple) (string, segmentMeta, error) {
+	sortTriples(dels)
+	sortTriples(adds)
+	img := encodeSegment(base, dels, adds)
+	tmp := segPath(dir, seq) + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return "", segmentMeta{}, fmt.Errorf("mstore: create segment: %w", err)
+	}
+	if _, err := f.Write(img); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", segmentMeta{}, fmt.Errorf("mstore: write segment: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", segmentMeta{}, fmt.Errorf("mstore: segment fsync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", segmentMeta{}, err
+	}
+	meta := segmentMeta{
+		seq: seq, path: segPath(dir, seq), base: base,
+		dels: len(dels), adds: len(adds), bytes: int64(len(img)),
+	}
+	return tmp, meta, nil
+}
+
+// publishSegment atomically renames a temp segment into place and syncs
+// the directory.
+func publishSegment(dir, tmp string, meta segmentMeta) error {
+	if err := os.Rename(tmp, meta.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("mstore: publish segment: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// writeSegment writes and publishes a segment in one step (the flush
+// path, which already holds the store lock).
+func writeSegment(dir string, seq uint64, base bool, dels, adds []rdf.Triple) (segmentMeta, error) {
+	tmp, meta, err := writeSegmentTmp(dir, seq, base, dels, adds)
+	if err != nil {
+		return segmentMeta{}, err
+	}
+	if err := publishSegment(dir, tmp, meta); err != nil {
+		return segmentMeta{}, err
+	}
+	return meta, nil
+}
+
+// readSegment loads and verifies a segment file. Any malformation —
+// short file, bad magic, failed checksum, unparsable triple — is an
+// error: segments are fsynced before the WAL that produced them is
+// deleted, so a damaged one is corruption, not a crash artifact.
+func readSegment(path string) (base bool, dels, adds []rdf.Triple, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, nil, nil, err
+	}
+	if len(data) < len(segMagic)+2+8+4 {
+		return false, nil, nil, fmt.Errorf("mstore: segment %s: truncated header", path)
+	}
+	if string(data[:4]) != segMagic {
+		return false, nil, nil, fmt.Errorf("mstore: segment %s: bad magic", path)
+	}
+	if data[4] != segVersion {
+		return false, nil, nil, fmt.Errorf("mstore: segment %s: unsupported version %d", path, data[4])
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(tail) {
+		return false, nil, nil, fmt.Errorf("mstore: segment %s: checksum mismatch", path)
+	}
+	base = data[5]&segFlgBase != 0
+	nDels := binary.LittleEndian.Uint32(data[6:10])
+	nAdds := binary.LittleEndian.Uint32(data[10:14])
+	off := 14
+	readTriples := func(n uint32) ([]rdf.Triple, error) {
+		out := make([]rdf.Triple, 0, n)
+		for i := uint32(0); i < n; i++ {
+			if len(body)-off < 4 {
+				return nil, fmt.Errorf("mstore: segment %s: truncated record", path)
+			}
+			l := int(binary.LittleEndian.Uint32(body[off : off+4]))
+			off += 4
+			if l > maxRecordLen || len(body)-off < l {
+				return nil, fmt.Errorf("mstore: segment %s: truncated record", path)
+			}
+			t, err := rdf.ParseTriple(string(body[off : off+l]))
+			if err != nil {
+				return nil, fmt.Errorf("mstore: segment %s: %w", path, err)
+			}
+			out = append(out, t)
+			off += l
+		}
+		return out, nil
+	}
+	if dels, err = readTriples(nDels); err != nil {
+		return false, nil, nil, err
+	}
+	if adds, err = readTriples(nAdds); err != nil {
+		return false, nil, nil, err
+	}
+	if off != len(body) {
+		return false, nil, nil, fmt.Errorf("mstore: segment %s: %d trailing bytes", path, len(body)-off)
+	}
+	return base, dels, adds, nil
+}
+
+// sortTriples orders triples by subject, predicate, object so segment
+// files are canonical for a given content.
+func sortTriples(ts []rdf.Triple) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		if c := rdf.CompareTerms(a.Subject, b.Subject); c != 0 {
+			return c < 0
+		}
+		if c := rdf.CompareTerms(a.Predicate, b.Predicate); c != 0 {
+			return c < 0
+		}
+		return rdf.CompareTerms(a.Object, b.Object) < 0
+	})
+}

@@ -1,0 +1,92 @@
+package mstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"qurator/internal/rdf"
+)
+
+// wal is the active write-ahead log file. All methods are called with the
+// store lock held.
+type wal struct {
+	f     *os.File
+	path  string
+	seq   uint64
+	bytes int64
+	buf   []byte // reused batch-encoding scratch
+}
+
+func walPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%08d.wal", seq))
+}
+
+// createWAL creates a fresh, empty WAL and syncs the directory so the
+// file survives a crash.
+func createWAL(dir string, seq uint64) (*wal, error) {
+	path := walPath(dir, seq)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("mstore: create wal: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &wal{f: f, path: path, seq: seq}, nil
+}
+
+// appendBatch encodes one batch — optional clear, deletes, adds, then the
+// commit marker — and appends it with a single write, so a crash tears at
+// most one batch and the commit marker is the last thing to land.
+func (w *wal) appendBatch(clear bool, dels, adds []rdf.Triple, batch uint64) error {
+	buf := w.buf[:0]
+	n := uint32(0)
+	if clear {
+		buf = appendClearOp(buf)
+		n++
+	}
+	for _, t := range dels {
+		buf = appendTripleOp(buf, opDel, t)
+		n++
+	}
+	for _, t := range adds {
+		buf = appendTripleOp(buf, opAdd, t)
+		n++
+	}
+	buf = appendCommitOp(buf, batch, n)
+	w.buf = buf[:0]
+	wrote, err := w.f.Write(buf)
+	w.bytes += int64(wrote)
+	if err != nil {
+		return fmt.Errorf("mstore: wal append: %w", err)
+	}
+	return nil
+}
+
+// sync flushes the WAL to stable storage.
+func (w *wal) sync() error {
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("mstore: wal fsync: %w", err)
+	}
+	return nil
+}
+
+func (w *wal) close() error {
+	return w.f.Close()
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("mstore: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("mstore: dir fsync: %w", err)
+	}
+	return nil
+}

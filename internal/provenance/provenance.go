@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"qurator/internal/mstore"
 	"qurator/internal/ontology"
 	"qurator/internal/rdf"
 	"qurator/internal/sparql"
@@ -63,11 +64,19 @@ type Record struct {
 	TraceID string
 }
 
-// Log accumulates run records as RDF. Safe for concurrent use.
+// Log accumulates run records as RDF. Safe for concurrent use. Attaching
+// a durable backend with Persist makes every record WAL-committed; on
+// reopen the run history — and the run numbering — continues where it
+// left off.
 type Log struct {
 	mu    sync.Mutex
 	graph *rdf.Graph
 	seq   int
+	// store, when set, is the durable backend; graph aliases store.Graph().
+	store *mstore.Store
+	// lastErr records a store write failure — Record's signature (kept
+	// stable for its compiler-side callers) cannot return one; see Err.
+	lastErr error
 }
 
 // NewLog returns an empty provenance log.
@@ -81,28 +90,38 @@ func (l *Log) Record(rec Record) rdf.Term {
 	defer l.mu.Unlock()
 	l.seq++
 	run := rdf.IRI(fmt.Sprintf("%srun/%d", ontology.QuratorNS, l.seq))
-	g := l.graph
-	g.MustAdd(rdf.T(run, rdf.IRI(rdf.RDFType), runClass))
-	g.MustAdd(rdf.T(run, propView, rdf.Literal(rec.View)))
-	g.MustAdd(rdf.T(run, propStarted, rdf.Literal(rec.Started.UTC().Format(time.RFC3339Nano))))
-	g.MustAdd(rdf.T(run, propDuration, rdf.Integer(rec.Duration.Milliseconds())))
-	g.MustAdd(rdf.T(run, propInputSize, rdf.Integer(int64(rec.InputSize))))
-	if rec.TraceID != "" {
-		g.MustAdd(rdf.T(run, propTrace, rdf.Literal(rec.TraceID)))
+	adds := []rdf.Triple{
+		rdf.T(run, rdf.IRI(rdf.RDFType), runClass),
+		rdf.T(run, propView, rdf.Literal(rec.View)),
+		rdf.T(run, propStarted, rdf.Literal(rec.Started.UTC().Format(time.RFC3339Nano))),
+		rdf.T(run, propDuration, rdf.Integer(rec.Duration.Milliseconds())),
+		rdf.T(run, propInputSize, rdf.Integer(int64(rec.InputSize))),
 	}
-	i := 0
+	if rec.TraceID != "" {
+		adds = append(adds, rdf.T(run, propTrace, rdf.Literal(rec.TraceID)))
+	}
 	for name, size := range rec.Outputs {
 		node := rdf.IRI(fmt.Sprintf("%s#output-%s", run.Value(), name))
-		g.MustAdd(rdf.T(run, propOutput, node))
-		g.MustAdd(rdf.T(node, propOutName, rdf.Literal(name)))
-		g.MustAdd(rdf.T(node, propOutSize, rdf.Integer(int64(size))))
-		i++
+		adds = append(adds,
+			rdf.T(run, propOutput, node),
+			rdf.T(node, propOutName, rdf.Literal(name)),
+			rdf.T(node, propOutSize, rdf.Integer(int64(size))))
 	}
 	for action, expr := range rec.Conditions {
 		node := rdf.IRI(fmt.Sprintf("%s#condition-%s", run.Value(), action))
-		g.MustAdd(rdf.T(run, propCondition, node))
-		g.MustAdd(rdf.T(node, propCondAct, rdf.Literal(action)))
-		g.MustAdd(rdf.T(node, propCondExpr, rdf.Literal(expr)))
+		adds = append(adds,
+			rdf.T(run, propCondition, node),
+			rdf.T(node, propCondAct, rdf.Literal(action)),
+			rdf.T(node, propCondExpr, rdf.Literal(expr)))
+	}
+	if l.store != nil {
+		if _, err := l.store.AddBatch(adds); err != nil {
+			l.lastErr = err
+		}
+	} else {
+		for _, t := range adds {
+			l.graph.MustAdd(t)
+		}
 	}
 	return run
 }

@@ -1,0 +1,251 @@
+package qcube
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"qurator/internal/sparql"
+)
+
+var t0 = time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+
+// genObservations produces a deterministic observation stream over
+// nMetrics × nSources spread across spread of wall-clock time.
+func genObservations(n, nMetrics, nSources int, spread time.Duration, seed int64) []Observation {
+	rng := rand.New(rand.NewSource(seed))
+	obs := make([]Observation, n)
+	for i := range obs {
+		obs[i] = Observation{
+			Metric:     fmt.Sprintf("http://qurator.org/iq#Metric%d", rng.Intn(nMetrics)),
+			ComputedOn: fmt.Sprintf("http://example.org/source/%d", rng.Intn(nSources)),
+			Agent:      "http://qurator.org/agent/test",
+			Value:      rng.Float64(),
+			At:         t0.Add(time.Duration(rng.Int63n(int64(spread)))),
+		}
+	}
+	return obs
+}
+
+// bruteSlice recomputes a slice from raw observations — the oracle the
+// incremental rollups must match.
+func bruteSlice(obs []Observation, q SliceQuery) Agg {
+	var a Agg
+	for _, o := range obs {
+		if q.Metric != "" && o.Metric != q.Metric {
+			continue
+		}
+		if q.Source != "" && o.ComputedOn != q.Source {
+			continue
+		}
+		// Match the cube's bucket-granular time semantics.
+		bucket := o.At.Truncate(DefaultWindow)
+		if !q.From.IsZero() && bucket.Before(q.From) {
+			continue
+		}
+		if !q.To.IsZero() && !bucket.Before(q.To) {
+			continue
+		}
+		a.observe(o.Value)
+	}
+	return a
+}
+
+func aggEqual(a, b Agg) bool {
+	const eps = 1e-9
+	if a.Count != b.Count {
+		return false
+	}
+	if a.Count == 0 {
+		return true
+	}
+	return math.Abs(a.Sum-b.Sum) < eps && a.Min == b.Min && a.Max == b.Max
+}
+
+func TestCubeMatchesBruteForce(t *testing.T) {
+	obs := genObservations(5000, 4, 10, 2*time.Hour, 1)
+	c := New(0)
+	for _, o := range obs {
+		c.Observe(o)
+	}
+	if c.Len() != 5000 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+
+	queries := []SliceQuery{
+		{}, // everything
+		{Metric: obs[0].Metric},
+		{Source: obs[0].ComputedOn},
+		{Metric: obs[0].Metric, Source: obs[0].ComputedOn},
+		{From: t0.Add(20 * time.Minute), To: t0.Add(80 * time.Minute)},
+		{Metric: obs[1].Metric, From: t0.Add(10 * time.Minute)},
+		{Source: obs[2].ComputedOn, To: t0.Add(time.Hour)},
+		{Metric: obs[3].Metric, Source: obs[3].ComputedOn,
+			From: t0.Add(5 * time.Minute), To: t0.Add(95 * time.Minute)},
+		{Metric: "http://qurator.org/iq#NoSuchMetric"},
+	}
+	for i, q := range queries {
+		got := c.Slice(q)
+		want := bruteSlice(obs, q)
+		if !aggEqual(got.Agg, want) {
+			t.Errorf("query %d (%+v): cube %+v, brute force %+v", i, q, got.Agg, want)
+		}
+		// Windows must sum back to the slice aggregate.
+		var sum Agg
+		for _, w := range got.Windows {
+			mergeAgg(&sum, w.Agg)
+		}
+		if !aggEqual(sum, got.Agg) {
+			t.Errorf("query %d: windows sum %+v != agg %+v", i, sum, got.Agg)
+		}
+		for j := 1; j < len(got.Windows); j++ {
+			if !got.Windows[j-1].Start.Before(got.Windows[j].Start) {
+				t.Errorf("query %d: windows out of order", i)
+			}
+		}
+	}
+}
+
+func TestCubeSummaryAndJSON(t *testing.T) {
+	c := New(time.Minute)
+	c.Observe(Observation{Metric: "m1", ComputedOn: "s1", Value: 0.5, At: t0})
+	c.Observe(Observation{Metric: "m1", ComputedOn: "s2", Value: 0.7, At: t0})
+	c.Observe(Observation{Metric: "m2", ComputedOn: "s1", Value: 0.1, At: t0.Add(time.Minute)})
+	// Invalid observations are dropped, not folded as zeros.
+	c.Observe(Observation{Metric: "", Value: 9, At: t0})
+	c.Observe(Observation{Metric: "m1", Value: 9}) // zero time
+
+	s := c.Summary()
+	if s.Observations != 3 || len(s.Metrics) != 2 || len(s.Sources) != 2 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if m1 := s.Metrics["m1"]; m1.Count != 2 || m1.Min != 0.5 || m1.Max != 0.7 {
+		t.Fatalf("m1 = %+v", m1)
+	}
+
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	total := decoded["total"].(map[string]any)
+	if total["mean"].(float64) == 0 {
+		t.Fatalf("marshalled Agg missing derived mean: %s", data)
+	}
+}
+
+func TestObservationRDFRoundTrip(t *testing.T) {
+	obs := genObservations(200, 3, 5, time.Hour, 2)
+	g, err := ObservationsToGraph(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every observation carries type/metric/value/timestamp/computedOn/
+	// agent — six triples.
+	if g.Len() != 6*len(obs) {
+		t.Fatalf("graph has %d triples, want %d", g.Len(), 6*len(obs))
+	}
+}
+
+// TestCubeSPARQLEquivalence cross-checks a cube slice against the same
+// aggregate computed by a SPARQL scan over the daQ graph — the
+// equivalence tripwire behind the -cube benchmark's speedup claim.
+func TestCubeSPARQLEquivalence(t *testing.T) {
+	obs := genObservations(3000, 4, 8, 90*time.Minute, 3)
+	c := New(0)
+	for _, o := range obs {
+		c.Observe(o)
+	}
+	g, err := ObservationsToGraph(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	metric := obs[0].Metric
+	source := obs[0].ComputedOn
+	from := t0.Add(10 * time.Minute).Truncate(DefaultWindow)
+	to := t0.Add(70 * time.Minute).Truncate(DefaultWindow)
+
+	res, err := sparql.Exec(g, SliceSPARQL(SliceQuery{
+		Metric: metric, Source: source, From: from, To: to,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scan Agg
+	for _, b := range res.Bindings {
+		o, err := FromTerms(metric, source, b["value"], b["ts"])
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Bucket-granular range semantics, like the cube.
+		bucket := o.At.Truncate(DefaultWindow)
+		if bucket.Before(from) || !bucket.Before(to) {
+			continue
+		}
+		scan.observe(o.Value)
+	}
+
+	cube := c.Slice(SliceQuery{Metric: metric, Source: source, From: from, To: to})
+	if !aggEqual(cube.Agg, scan) {
+		t.Fatalf("cube %+v != sparql scan %+v", cube.Agg, scan)
+	}
+	if cube.Agg.Count == 0 {
+		t.Fatal("degenerate test: slice selected no observations")
+	}
+}
+
+func BenchmarkCubeSlice(b *testing.B) {
+	obs := genObservations(100_000, 4, 20, 24*time.Hour, 4)
+	c := New(0)
+	for _, o := range obs {
+		c.Observe(o)
+	}
+	q := SliceQuery{
+		Metric: obs[0].Metric, Source: obs[0].ComputedOn,
+		From: t0.Add(2 * time.Hour), To: t0.Add(20 * time.Hour),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := c.Slice(q); r.Agg.Count == 0 {
+			b.Fatal("empty slice")
+		}
+	}
+}
+
+func BenchmarkSPARQLScanSlice(b *testing.B) {
+	obs := genObservations(100_000, 4, 20, 24*time.Hour, 4)
+	g, err := ObservationsToGraph(obs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := SliceQuery{
+		Metric: obs[0].Metric, Source: obs[0].ComputedOn,
+		From: t0.Add(2 * time.Hour), To: t0.Add(20 * time.Hour),
+	}
+	query := SliceSPARQL(q)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sparql.Exec(g, query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var a Agg
+		for _, bind := range res.Bindings {
+			o, err := FromTerms(q.Metric, q.Source, bind["value"], bind["ts"])
+			if err != nil {
+				b.Fatal(err)
+			}
+			a.observe(o.Value)
+		}
+		if a.Count == 0 {
+			b.Fatal("empty scan")
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package qcube
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"qurator/internal/rdf"
+)
+
+// daQ vocabulary terms used for the RDF rendering of observations.
+var (
+	// DaQObservation is the daq:Observation class.
+	DaQObservation = rdf.IRI(DaQNS + "Observation")
+	// DaQMetric links an observation to its metric.
+	DaQMetric = rdf.IRI(DaQNS + "metric")
+	// DaQComputedOn links an observation to the assessed resource.
+	DaQComputedOn = rdf.IRI(DaQNS + "computedOn")
+	// DaQValue carries the measured value.
+	DaQValue = rdf.IRI(DaQNS + "value")
+	// ObservedAtMillis is a Qurator extension carrying the observation
+	// time as integer epoch milliseconds. daQ proper uses dc:date with an
+	// xsd:dateTime literal; the integer form keeps time-range FILTERs in
+	// the numeric fragment our SPARQL evaluator optimises.
+	ObservedAtMillis = rdf.IRI("http://qurator.org/iq#observedAtMillis")
+	// AttributedTo names the computing agent (prov:wasAttributedTo).
+	AttributedTo = rdf.IRI("http://www.w3.org/ns/prov#wasAttributedTo")
+)
+
+// IRI returns the observation's IRI for the given ordinal: observations
+// are facts, so identity is positional, not content-derived.
+func obsIRI(n int) rdf.Term {
+	return rdf.IRI(fmt.Sprintf("http://qurator.org/obs/%d", n))
+}
+
+// Triples renders the observation as daQ RDF, using n as the
+// observation's ordinal identity.
+func (o Observation) Triples(n int) []rdf.Triple {
+	obs := obsIRI(n)
+	ts := []rdf.Triple{
+		rdf.T(obs, rdf.IRI(rdf.RDFType), DaQObservation),
+		rdf.T(obs, DaQMetric, rdf.IRI(o.Metric)),
+		rdf.T(obs, DaQValue, rdf.Double(o.Value)),
+		rdf.T(obs, ObservedAtMillis, rdf.Integer(o.At.UnixMilli())),
+	}
+	if o.ComputedOn != "" {
+		ts = append(ts, rdf.T(obs, DaQComputedOn, rdf.IRI(o.ComputedOn)))
+	}
+	if o.Agent != "" {
+		ts = append(ts, rdf.T(obs, AttributedTo, rdf.IRI(o.Agent)))
+	}
+	return ts
+}
+
+// ObservationsToGraph materialises observations into an RDF graph — the
+// raw-facts representation the cube's rollups summarise, used by the
+// cmd/experiment -cube benchmark as the SPARQL-scan baseline.
+func ObservationsToGraph(obs []Observation) (*rdf.Graph, error) {
+	g := rdf.NewGraph()
+	batch := make([]rdf.Triple, 0, 6*len(obs))
+	for i, o := range obs {
+		batch = append(batch, o.Triples(i)...)
+	}
+	if _, err := g.AddBatch(batch); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// SliceSPARQL renders the SPARQL query equivalent to a cube slice over
+// the daQ graph: bind every observation matching the metric/source
+// constants, project its value and timestamp, range-filter on the
+// timestamp. The evaluator has no aggregates, so callers fold the rows
+// themselves — which is exactly the cost the cube's rollups avoid.
+func SliceSPARQL(q SliceQuery) string {
+	var b strings.Builder
+	b.WriteString("PREFIX daq: <")
+	b.WriteString(DaQNS)
+	b.WriteString(">\nSELECT ?value ?ts WHERE {\n")
+	if q.Metric != "" {
+		fmt.Fprintf(&b, "  ?o daq:metric <%s> .\n", q.Metric)
+	}
+	if q.Source != "" {
+		fmt.Fprintf(&b, "  ?o daq:computedOn <%s> .\n", q.Source)
+	}
+	b.WriteString("  ?o daq:value ?value .\n")
+	fmt.Fprintf(&b, "  ?o <%s> ?ts .\n", ObservedAtMillis.Value())
+	var conds []string
+	if !q.From.IsZero() {
+		conds = append(conds, fmt.Sprintf("?ts >= %d", q.From.UnixMilli()))
+	}
+	if !q.To.IsZero() {
+		conds = append(conds, fmt.Sprintf("?ts < %d", q.To.UnixMilli()))
+	}
+	if len(conds) > 0 {
+		fmt.Fprintf(&b, "  FILTER (%s)\n", strings.Join(conds, " && "))
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// FromGraphRow reconstructs an observation from SPARQL bindings of
+// ?value and ?ts terms (the benchmark's scan side). Metric and source
+// come from the query constants.
+func FromTerms(metric, source string, value, ts rdf.Term) (Observation, error) {
+	v, ok := value.Float()
+	if !ok {
+		return Observation{}, fmt.Errorf("qcube: non-numeric daq:value %s", value)
+	}
+	ms, ok := ts.Int()
+	if !ok {
+		return Observation{}, fmt.Errorf("qcube: non-numeric timestamp %s", ts)
+	}
+	return Observation{
+		Metric:     metric,
+		ComputedOn: source,
+		Value:      v,
+		At:         time.UnixMilli(ms).UTC(),
+	}, nil
+}

@@ -1,0 +1,160 @@
+package qurator
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"path/filepath"
+	"time"
+
+	"qurator/internal/annotstore"
+	"qurator/internal/mstore"
+	"qurator/internal/qcube"
+)
+
+// Persistence configures the durable metadata plane: where annotation
+// and provenance graphs live on disk and how eagerly the write-ahead log
+// reaches stable storage.
+type Persistence struct {
+	// Dir is the data directory; the framework keeps the annotation
+	// store under Dir/annotations and the provenance log under
+	// Dir/provenance.
+	Dir string
+	// Fsync is the WAL durability policy: "always" (no committed write
+	// ever lost), "interval" (default; bounded loss, near-zero cost) or
+	// "never" (OS-paced).
+	Fsync string
+	// FsyncInterval overrides the background sync tick (default 100ms).
+	FsyncInterval time.Duration
+}
+
+// EnablePersistence attaches durable backends to the "default"
+// annotation repository and the provenance log. Metadata recovered from
+// the directory is visible immediately: annotations Put before a restart
+// answer Get/Query after it, and provenance run numbering continues
+// where it stopped. The "cache" repository stays memory-only — per-run
+// evidence is defined to die with the run (§4).
+func (f *Framework) EnablePersistence(p Persistence) error {
+	if p.Dir == "" {
+		return errors.New("qurator: persistence needs a data directory")
+	}
+	policy, err := mstore.ParseFsyncPolicy(p.Fsync)
+	if err != nil {
+		return err
+	}
+	opts := mstore.Options{Fsync: policy, FsyncInterval: p.FsyncInterval}
+	repo, ok := f.Repositories.Get("default")
+	if !ok {
+		return errors.New("qurator: no default repository")
+	}
+	local, ok := repo.(*annotstore.Repository)
+	if !ok {
+		return errors.New("qurator: default repository is not local; persistence needs a local store")
+	}
+	if err := local.Persist(filepath.Join(p.Dir, "annotations"), opts); err != nil {
+		return err
+	}
+	if err := f.Provenance.Persist(filepath.Join(p.Dir, "provenance"), opts); err != nil {
+		local.CloseStore()
+		return err
+	}
+	return nil
+}
+
+// FlushMetadata checkpoints every durable backend: WAL contents become
+// segments, so the next open recovers from sorted files instead of
+// replaying logs.
+func (f *Framework) FlushMetadata() error {
+	var firstErr error
+	for _, name := range f.Repositories.Names() {
+		repo, _ := f.Repositories.Get(name)
+		if local, ok := repo.(*annotstore.Repository); ok {
+			if err := local.Flush(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if err := f.Provenance.Flush(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// CloseMetadata flushes and closes every durable backend. The framework
+// keeps working in memory afterwards; call on shutdown.
+func (f *Framework) CloseMetadata() error {
+	var firstErr error
+	for _, name := range f.Repositories.Names() {
+		repo, _ := f.Repositories.Get(name)
+		if local, ok := repo.(*annotstore.Repository); ok {
+			if err := local.CloseStore(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if err := f.Provenance.CloseStore(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// Cube returns the framework's quality cube: daQ-style rollups of every
+// numeric annotation written to any repository, maintained incrementally
+// on write.
+func (f *Framework) Cube() *qcube.Cube { return f.cube }
+
+// observeRepository feeds a repository's writes into the quality cube:
+// each numeric annotation becomes a (metric, computedOn, timestamp,
+// agent) → value observation in daQ terms.
+func (f *Framework) observeRepository(r *annotstore.Repository) {
+	cube := f.cube
+	r.SetObserver(func(a annotstore.Annotation, at time.Time) {
+		v, ok := a.Value.AsFloat()
+		if !ok {
+			return // only numeric evidence aggregates
+		}
+		cube.Observe(qcube.Observation{
+			Metric:     a.Type.Value(),
+			ComputedOn: a.Item.Value(),
+			Agent:      a.Source.Value(),
+			Value:      v,
+			At:         at,
+		})
+	})
+}
+
+// CubeHandler serves the quality cube. GET /cube returns the summary
+// (per-metric and per-source rollups); adding ?metric=, ?source=,
+// ?from=, ?to= (RFC3339) returns the matching slice with its
+// time-bucketed windows.
+func (f *Framework) CubeHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		q := r.URL.Query()
+		sq := qcube.SliceQuery{Metric: q.Get("metric"), Source: q.Get("source")}
+		var err error
+		if v := q.Get("from"); v != "" {
+			if sq.From, err = time.Parse(time.RFC3339, v); err != nil {
+				http.Error(w, "bad from: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		if v := q.Get("to"); v != "" {
+			if sq.To, err = time.Parse(time.RFC3339, v); err != nil {
+				http.Error(w, "bad to: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if sq == (qcube.SliceQuery{}) {
+			enc.Encode(f.cube.Summary())
+			return
+		}
+		enc.Encode(f.cube.Slice(sq))
+	})
+}

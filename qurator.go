@@ -37,6 +37,7 @@ import (
 	"qurator/internal/provenance"
 	"qurator/internal/qa"
 	"qurator/internal/qcache"
+	"qurator/internal/qcube"
 	"qurator/internal/qvlang"
 	"qurator/internal/rdf"
 	"qurator/internal/services"
@@ -74,6 +75,9 @@ type (
 		// (nil unless DataPlane.Cache).
 		dataplane *DataPlane
 		cache     *qcache.Cache
+		// cube aggregates every numeric annotation written to a local
+		// repository into daQ-style quality rollups (see Cube).
+		cube *qcube.Cube
 		// clients caches one HTTP client (connection pool + breakers)
 		// per scavenged host, guarded by mu.
 		mu      sync.Mutex
@@ -104,7 +108,7 @@ type (
 // and "default" repositories, and empty service/binding registries.
 func New() *Framework {
 	model := ontology.NewIQModel()
-	return &Framework{
+	f := &Framework{
 		Model:        model,
 		Repositories: annotstore.NewRegistry(),
 		Services:     services.NewRegistry(),
@@ -112,7 +116,17 @@ func New() *Framework {
 		Library:      library.New(model),
 		Provenance:   provenance.NewLog(),
 		metadata:     rdf.NewGraph(),
+		cube:         qcube.New(0),
 	}
+	// Every local repository feeds the quality cube.
+	for _, name := range f.Repositories.Names() {
+		if repo, ok := f.Repositories.Get(name); ok {
+			if local, ok := repo.(*annotstore.Repository); ok {
+				f.observeRepository(local)
+			}
+		}
+	}
+	return f
 }
 
 // NewItem wraps an IRI string as a data item.
@@ -182,6 +196,7 @@ func (f *Framework) DeployStandardLibrary() error {
 // AddRepository registers an annotation repository under its name.
 func (f *Framework) AddRepository(name string, persistent bool) *Repository {
 	r := annotstore.New(name, persistent).WithModel(f.Model)
+	f.observeRepository(r)
 	f.Repositories.Add(r)
 	return r
 }
