@@ -9,7 +9,24 @@
 //	         [-data-dir dir] [-fsync always|interval|never]
 //	         [-retries n] [-proc-timeout d] [-degraded mode]
 //	         [-shard-size n] [-max-inflight n] [-cache] [-cache-entries n] [-cache-ttl d]
+//	         [-cluster] [-node-id id] [-advertise url] [-cluster-seeds urls]
+//	         [-heartbeat-interval d] [-drain-timeout d] [-scavenge-peers]
+//	         [-admit-rate r] [-admit-burst n] [-admit-max-inflight n]
 //	         [-flake-rate p] [-flake-latency d] [-debug-addr :6060]
+//
+// -cluster turns the process into one member of an enactment fleet (see
+// internal/cluster): it joins through -cluster-seeds, heartbeats its
+// peers, and owns a consistent-hash partition of /stream/enact work —
+// requests for partitions it does not own are proxied to their owner,
+// and every emitted window is journaled and replicated so a failover
+// replays decisions instead of re-emitting them. GET /cluster reports
+// membership and ring state (?key=K resolves an owner); GET /readyz is
+// the fleet-facing readiness probe (non-200 while joining or draining,
+// with per-check detail), while GET /healthz stays pure process
+// liveness. On SIGTERM a fleet member deregisters from the ring first,
+// then drains for at most -drain-timeout. The -admit-* flags put
+// per-tenant token-bucket admission control in front of /stream/enact:
+// shed requests answer 429 with a Retry-After hint.
 //
 // -data-dir turns on the durable metadata plane: the "default" annotation
 // repository and the provenance log are backed by WAL-plus-segment stores
@@ -62,12 +79,15 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"qurator"
 	"qurator/internal/annotstore"
+	"qurator/internal/cluster"
 	"qurator/internal/compiler"
 	"qurator/internal/evidence"
 	"qurator/internal/ontology"
@@ -119,6 +139,26 @@ func main() {
 		"persist annotations and provenance in this directory (empty = memory only)")
 	fsync := flag.String("fsync", "interval",
 		"WAL durability with -data-dir: always, interval or never")
+	clusterMode := flag.Bool("cluster", false,
+		"join an enactment fleet: partition /stream/enact by view across members")
+	nodeID := flag.String("node-id", "",
+		"stable fleet identity (default: the advertise address)")
+	advertise := flag.String("advertise", "",
+		"base URL peers reach this node at (default: http://<addr>)")
+	clusterSeeds := flag.String("cluster-seeds", "",
+		"comma-separated peer base URLs to join the fleet through")
+	heartbeatInterval := flag.Duration("heartbeat-interval", 500*time.Millisecond,
+		"fleet heartbeat probe period")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
+		"bound on draining in-flight requests at shutdown")
+	scavengePeers := flag.Bool("scavenge-peers", false,
+		"import the deployed services of every fleet peer as it is learned")
+	admitRate := flag.Float64("admit-rate", 0,
+		"admission control: stream enactments per second per tenant (0 = off)")
+	admitBurst := flag.Int("admit-burst", 0,
+		"admission control: token-bucket burst size (0 = rate rounded up)")
+	admitMaxInflight := flag.Int("admit-max-inflight", 0,
+		"admission control: concurrent enactment streams before shedding (0 = unbounded)")
 	flag.Parse()
 
 	mode, err := qurator.ParseDegradedMode(*degraded)
@@ -161,6 +201,88 @@ func main() {
 		}
 	}
 
+	// Fleet membership: the node owns a partition of /stream/enact and
+	// journals every emitted window for failover replay. The journal is
+	// provenance-backed, so with -data-dir it survives restarts.
+	var node *cluster.Node
+	if *clusterMode {
+		self := cluster.NodeInfo{ID: *nodeID, Addr: *advertise}
+		if self.Addr == "" {
+			host := *addr
+			if strings.HasPrefix(host, ":") {
+				host = "127.0.0.1" + host
+			}
+			self.Addr = "http://" + host
+		}
+		if self.ID == "" {
+			self.ID = strings.TrimPrefix(strings.TrimPrefix(self.Addr, "http://"), "https://")
+		}
+		cfg := cluster.Config{
+			Self:              self,
+			Seeds:             splitCSV(*clusterSeeds),
+			HeartbeatInterval: *heartbeatInterval,
+			Logf:              log.Printf,
+		}
+		if *scavengePeers {
+			cfg.Discover = func(ctx context.Context, baseURL string) error {
+				n, err := f.Scavenge(ctx, baseURL)
+				if err != nil {
+					return err
+				}
+				log.Printf("quratord: scavenged %d services from fleet peer %s", n, baseURL)
+				return nil
+			}
+		}
+		var err error
+		if node, err = cluster.NewNode(cfg); err != nil {
+			log.Fatalf("quratord: %v", err)
+		}
+		node.AttachJournal(cluster.NewJournal(f.Provenance))
+	}
+
+	// Streaming enactment, innermost-out: journaled windows, then fleet
+	// routing, then admission control at the front door.
+	var streamH http.Handler
+	if node != nil {
+		streamH = node.EnactHandler(stream.Handler(streamCompiler(f), stream.WithJournal(node.Journal())))
+	} else {
+		streamH = stream.Handler(streamCompiler(f))
+	}
+	if *admitRate > 0 || *admitMaxInflight > 0 {
+		adm := cluster.NewAdmission(cluster.AdmissionConfig{
+			RatePerTenant: *admitRate,
+			Burst:         float64(*admitBurst),
+			MaxInflight:   *admitMaxInflight,
+		})
+		streamH = adm.Wrap("/stream/enact", streamH)
+		log.Printf("quratord: admission control on /stream/enact (rate=%g/s burst=%d max-inflight=%d)",
+			*admitRate, *admitBurst, *admitMaxInflight)
+	}
+
+	// Readiness is distinct from liveness: /healthz answers "is the
+	// process up" (keep restarting me if not), /readyz answers "should
+	// the fleet route work here" (joining and draining nodes say no).
+	ready := cluster.NewReadiness()
+	if *dataDir != "" {
+		ready.Add("metadata", f.FlushMetadata)
+	}
+	if node != nil {
+		ready.Add("cluster", node.ReadinessCheck)
+	}
+	ready.Add("breakers", func() error {
+		var open []string
+		for ep, st := range f.BreakerStates() {
+			if st == "open" {
+				open = append(open, ep)
+			}
+		}
+		if len(open) > 0 {
+			sort.Strings(open)
+			return fmt.Errorf("open breakers: %s", strings.Join(open, ", "))
+		}
+		return nil
+	})
+
 	mux := http.NewServeMux()
 	mux.Handle("/services", f.Handler())
 	mux.Handle("/services/", f.Handler())
@@ -169,7 +291,12 @@ func main() {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	mux.Handle("/stream/enact", stream.Handler(streamCompiler(f)))
+	mux.Handle("GET /readyz", ready.Handler())
+	if node != nil {
+		mux.Handle("/cluster", node.Handler())
+		mux.Handle("/cluster/", node.Handler())
+	}
+	mux.Handle("/stream/enact", streamH)
 	mux.Handle("POST /query", f.QueryHandler())
 	mux.Handle("GET /cube", f.CubeHandler())
 	mux.Handle("GET /metrics", telemetry.Default.Handler())
@@ -202,23 +329,38 @@ func main() {
 	}
 	log.Printf("quratord: serving Qurator services on %s", *addr)
 
-	// Graceful shutdown: on SIGINT/SIGTERM stop accepting connections,
-	// drain in-flight enactments (bounded), then flush and close the
-	// durable stores — a clean restart recovers from segments, not a WAL
-	// replay of everything since boot.
+	// Graceful shutdown: on SIGINT/SIGTERM a fleet member first leaves
+	// the ring (peers reroute new streams at once), then the server stops
+	// accepting connections and drains in-flight enactments for at most
+	// -drain-timeout, then the durable stores flush and close — a clean
+	// restart recovers from segments, not a WAL replay of everything
+	// since boot.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
+	if node != nil {
+		// Start after the listener is up: joining invites peers to probe
+		// this node back immediately.
+		if err := node.Start(ctx); err != nil {
+			log.Fatalf("quratord: %v", err)
+		}
+		log.Printf("quratord: fleet node %s advertising %s (seeds: %s)",
+			node.Self().ID, node.Self().Addr, *clusterSeeds)
+	}
 	select {
 	case err := <-errCh:
 		log.Fatalf("quratord: %v", err)
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("quratord: shutting down, draining in-flight requests")
-	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	if node != nil {
+		log.Printf("quratord: leaving the fleet ring")
+		node.Leave(drainCtx)
+	}
+	log.Printf("quratord: shutting down, draining in-flight requests")
 	if err := srv.Shutdown(drainCtx); err != nil {
 		log.Printf("quratord: drain: %v", err)
 	}
@@ -229,6 +371,17 @@ func main() {
 	}
 }
 
+// splitCSV parses a comma-separated flag into its non-empty elements.
+func splitCSV(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // flaky answers a seeded fraction of requests with 503 Service
 // Unavailable (a retryable status for resilient clients), optionally
 // after a delay — the server side of a fault-tolerance demo. /healthz
@@ -237,7 +390,7 @@ func main() {
 func flaky(h http.Handler, rate float64, latency time.Duration, seed int64) http.Handler {
 	var mu sync.Mutex
 	rng := rand.New(rand.NewSource(seed))
-	spared := map[string]bool{"/healthz": true, "/metrics": true, "/debug/enactments": true}
+	spared := map[string]bool{"/healthz": true, "/readyz": true, "/metrics": true, "/debug/enactments": true}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		mu.Lock()
 		flake := rng.Float64() < rate

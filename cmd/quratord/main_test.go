@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -9,10 +11,13 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"testing"
 	"time"
+
+	"qurator/internal/cluster"
 )
 
 // buildQuratord compiles the daemon once per test binary and returns the
@@ -85,6 +90,244 @@ func stopDaemon(t *testing.T, cmd *exec.Cmd) {
 	case <-time.After(15 * time.Second):
 		cmd.Process.Kill()
 		t.Fatal("quratord did not exit within 15s of SIGTERM")
+	}
+}
+
+// clusterStatus decodes the slice of GET /cluster this test cares about.
+type clusterStatus struct {
+	State       string   `json:"state"`
+	RingMembers []string `json:"ringMembers"`
+	Owner       *struct {
+		Node string `json:"node"`
+		Addr string `json:"addr"`
+	} `json:"owner"`
+}
+
+func getClusterStatus(t *testing.T, base, key string) clusterStatus {
+	t.Helper()
+	u := base + "/cluster"
+	if key != "" {
+		u += "?key=" + url.QueryEscape(key)
+	}
+	res, err := http.Get(u)
+	if err != nil {
+		t.Fatalf("GET /cluster: %v", err)
+	}
+	defer res.Body.Close()
+	var st clusterStatus
+	if err := json.NewDecoder(res.Body).Decode(&st); err != nil {
+		t.Fatalf("decode /cluster: %v", err)
+	}
+	return st
+}
+
+// TestClusterSIGKILLExactlyOnce is the acceptance scenario end to end,
+// against real processes: a 3-node fleet enacts a paced stream, the node
+// owning the partition is SIGKILLed mid-window, and the fleet-aware
+// client still delivers every item's decision exactly once, in order.
+func TestClusterSIGKILLExactlyOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a 3-daemon fleet; skipped in -short")
+	}
+	bin := buildQuratord(t)
+
+	type daemon struct {
+		id   string
+		base string
+		cmd  *exec.Cmd
+	}
+	var fleet []*daemon
+	var seed string
+	for i := 1; i <= 3; i++ {
+		addr := freePort(t)
+		d := &daemon{id: fmt.Sprintf("n%d", i), base: "http://" + addr}
+		args := []string{
+			"-cluster", "-node-id", d.id, "-advertise", d.base,
+			"-heartbeat-interval", "100ms", "-drain-timeout", "5s",
+			"-with-demo-annotator",
+			"-data-dir", t.TempDir(), "-fsync", "never",
+		}
+		if seed == "" {
+			seed = d.base
+		} else {
+			args = append(args, "-cluster-seeds", seed)
+		}
+		d.cmd = startDaemon(t, bin, addr, args...)
+		fleet = append(fleet, d)
+	}
+	alive := map[string]bool{"n1": true, "n2": true, "n3": true}
+	defer func() {
+		for _, d := range fleet {
+			if alive[d.id] {
+				stopDaemon(t, d.cmd)
+			}
+		}
+	}()
+
+	// Fleet convergence: every node sees a 3-member ring.
+	waitDeadline := time.Now().Add(10 * time.Second)
+	for _, d := range fleet {
+		for {
+			if len(getClusterStatus(t, d.base, "").RingMembers) == 3 {
+				break
+			}
+			if time.Now().After(waitDeadline) {
+				t.Fatalf("%s never saw a 3-member ring", d.id)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+
+	// Resolve who owns the "paper" partition; the ring answer is the
+	// same on every node.
+	st := getClusterStatus(t, fleet[0].base, "paper")
+	if st.Owner == nil {
+		t.Fatal("no owner resolved for key paper")
+	}
+	var owner *daemon
+	var nodes []string
+	for _, d := range fleet {
+		nodes = append(nodes, d.base)
+		if d.id == st.Owner.Node {
+			owner = d
+		}
+	}
+	if owner == nil {
+		t.Fatalf("owner %s is not in the fleet", st.Owner.Node)
+	}
+	t.Logf("owner of paper partition: %s (%s)", owner.id, owner.base)
+
+	const items = 80
+	lines := make([]string, items)
+	for i := range lines {
+		lines[i] = fmt.Sprintf(`{"item":"urn:lsid:test.org:hit:%03d"}`, i)
+	}
+	c := &cluster.StreamClient{
+		Nodes:        nodes,
+		View:         "paper",
+		Window:       8,
+		Pace:         25 * time.Millisecond,
+		MaxAttempts:  30,
+		RetryBackoff: 100 * time.Millisecond,
+		Logf:         t.Logf,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	type outcome struct {
+		res *cluster.EnactResult
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := c.Enact(ctx, lines)
+		done <- outcome{res, err}
+	}()
+
+	// SIGKILL the owner while the stream is mid-flight: 80 items at 25ms
+	// pace keep the stream open for ~2s, so 600ms in it is mid-window.
+	time.Sleep(600 * time.Millisecond)
+	if err := owner.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	owner.cmd.Wait()
+	alive[owner.id] = false
+	t.Logf("SIGKILLed %s mid-stream", owner.id)
+
+	out := <-done
+	if out.err != nil {
+		t.Fatalf("fleet client: %v", out.err)
+	}
+	if got := len(out.res.Decisions); got != items {
+		t.Fatalf("delivered %d decisions for %d items", got, items)
+	}
+	seen := make(map[string]int, items)
+	for _, d := range out.res.Decisions {
+		seen[d.Item]++
+	}
+	for i := 0; i < items; i++ {
+		item := fmt.Sprintf("urn:lsid:test.org:hit:%03d", i)
+		if seen[item] != 1 {
+			t.Fatalf("item %d decided %d times; want exactly once", i, seen[item])
+		}
+	}
+	for i, d := range out.res.Decisions {
+		if want := fmt.Sprintf("urn:lsid:test.org:hit:%03d", i); d.Item != want {
+			t.Fatalf("decision %d is for %s; want %s (in-order delivery)", i, d.Item, want)
+		}
+	}
+	if out.res.Resumes == 0 {
+		t.Fatal("stream completed without a single resume despite the SIGKILL")
+	}
+	t.Logf("delivered %d decisions over %d windows (%d replayed, %d resumes, %d shed)",
+		len(out.res.Decisions), out.res.Windows, out.res.Replayed, out.res.Resumes, out.res.Shed)
+
+	// The survivors shed the corpse: both converge on a 2-member ring.
+	shrinkDeadline := time.Now().Add(10 * time.Second)
+	for _, d := range fleet {
+		if !alive[d.id] {
+			continue
+		}
+		for {
+			if len(getClusterStatus(t, d.base, "").RingMembers) == 2 {
+				break
+			}
+			if time.Now().After(shrinkDeadline) {
+				t.Fatalf("%s never shed the killed node from its ring", d.id)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+}
+
+// TestAdmissionFlagSheds429 boots one daemon with a 1-token admission
+// bucket and checks the second enactment is shed with an honest
+// Retry-After.
+func TestAdmissionFlagSheds429(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon; skipped in -short")
+	}
+	bin := buildQuratord(t)
+	addr := freePort(t)
+	cmd := startDaemon(t, bin, addr,
+		"-with-demo-annotator", "-admit-rate", "0.01", "-admit-burst", "1")
+	defer stopDaemon(t, cmd)
+	base := "http://" + addr
+
+	enact := func() *http.Response {
+		res, err := http.Post(base+"/stream/enact?view=paper&window=1",
+			"application/x-ndjson", strings.NewReader(`{"item":"urn:lsid:test.org:hit:0"}`+"\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := enact()
+	io.Copy(io.Discard, res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("first enactment: %d, want 200", res.StatusCode)
+	}
+	res = enact()
+	defer res.Body.Close()
+	body, _ := io.ReadAll(res.Body)
+	if res.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second enactment: %d %s, want 429", res.StatusCode, body)
+	}
+	ra, err := strconv.Atoi(res.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("429 Retry-After = %q, want an integer ≥ 1", res.Header.Get("Retry-After"))
+	}
+
+	// /readyz stays 200 under shedding — overload is not unreadiness.
+	rz, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rzBody, _ := io.ReadAll(rz.Body)
+	rz.Body.Close()
+	if rz.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz under shedding: %d %s", rz.StatusCode, rzBody)
 	}
 }
 

@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"qurator/internal/telemetry"
+)
+
+// Admission metrics.
+var (
+	admissionShed = telemetry.Default.CounterVec(
+		"qurator_admission_shed_total",
+		"Requests answered 429, by endpoint and reason (rate or queue-depth).",
+		"endpoint", "reason")
+	admissionAdmitted = telemetry.Default.CounterVec(
+		"qurator_admission_admitted_total",
+		"Requests admitted past admission control.",
+		"endpoint")
+	admissionInflight = telemetry.Default.GaugeVec(
+		"qurator_admission_inflight",
+		"Admitted requests currently in flight.",
+		"endpoint")
+)
+
+// TenantHeader names the caller for per-tenant rate limiting; absent,
+// all anonymous traffic shares one bucket.
+const TenantHeader = "X-Qurator-Tenant"
+
+// TokenBucket is a lazily-refilled rate limiter: capacity tokens, rate
+// tokens/second, refilled on demand from the elapsed time — no ticker
+// goroutine per tenant.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // capacity
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+// NewTokenBucket builds a bucket holding burst tokens refilled at rate
+// per second, starting full. A nil now uses the wall clock; tests inject
+// a fake for deterministic refill math.
+func NewTokenBucket(rate, burst float64, now func() time.Time) *TokenBucket {
+	if now == nil {
+		now = time.Now
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst, last: now(), now: now}
+}
+
+// Take attempts to consume one token. When the bucket is empty it
+// reports how long until the next token accrues — the Retry-After hint.
+func (b *TokenBucket) Take() (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+elapsed*b.rate)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	if b.rate <= 0 {
+		return false, time.Hour // a zero-rate bucket never refills
+	}
+	need := 1 - b.tokens
+	return false, time.Duration(need / b.rate * float64(time.Second))
+}
+
+// AdmissionConfig parameterises the fleet's front door.
+type AdmissionConfig struct {
+	// RatePerTenant is the sustained admitted requests/second per tenant
+	// (identified by the X-Qurator-Tenant header). ≤ 0 disables rate
+	// limiting.
+	RatePerTenant float64
+	// Burst is the per-tenant bucket capacity (default: max(1, rate)).
+	Burst float64
+	// MaxInflight sheds load by queue depth: more than this many
+	// admitted requests concurrently in one endpoint answers 429.
+	// ≤ 0 disables depth shedding.
+	MaxInflight int
+	// RetryAfterFloor is the minimum Retry-After advertised on a shed
+	// (default 1s) — a zero hint would invite an immediate, equally
+	// doomed retry.
+	RetryAfterFloor time.Duration
+	// Now injects a clock for tests.
+	Now func() time.Time
+}
+
+// Admission is the shared admission controller quratord wraps around
+// /stream/enact and /services/*: overload answers an honest 429 with a
+// Retry-After the resilient client transport already honours, instead of
+// queueing until something times out.
+type Admission struct {
+	cfg AdmissionConfig
+
+	mu       sync.Mutex
+	buckets  map[string]*TokenBucket
+	inflight map[string]int
+}
+
+// NewAdmission builds an admission controller.
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	if cfg.Burst <= 0 {
+		cfg.Burst = math.Max(1, cfg.RatePerTenant)
+	}
+	if cfg.RetryAfterFloor <= 0 {
+		cfg.RetryAfterFloor = time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Admission{
+		cfg:      cfg,
+		buckets:  make(map[string]*TokenBucket),
+		inflight: make(map[string]int),
+	}
+}
+
+// Wrap gates next behind admission control, accounting under the given
+// endpoint label.
+func (a *Admission) Wrap(endpoint string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if ok, retryAfter, reason := a.admit(endpoint, r.Header.Get(TenantHeader)); !ok {
+			admissionShed.With(endpoint, reason).Inc()
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", int(math.Ceil(retryAfter.Seconds()))))
+			http.Error(w, "qurator: overloaded ("+reason+"), retry later", http.StatusTooManyRequests)
+			return
+		}
+		admissionAdmitted.With(endpoint).Inc()
+		defer a.release(endpoint)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// admit applies depth shedding then the tenant bucket, reserving an
+// inflight slot on success.
+func (a *Admission) admit(endpoint, tenant string) (ok bool, retryAfter time.Duration, reason string) {
+	if tenant == "" {
+		tenant = "anonymous"
+	}
+	a.mu.Lock()
+	if a.cfg.MaxInflight > 0 && a.inflight[endpoint] >= a.cfg.MaxInflight {
+		a.mu.Unlock()
+		return false, a.cfg.RetryAfterFloor, "queue-depth"
+	}
+	var b *TokenBucket
+	if a.cfg.RatePerTenant > 0 {
+		var found bool
+		if b, found = a.buckets[tenant]; !found {
+			b = NewTokenBucket(a.cfg.RatePerTenant, a.cfg.Burst, a.cfg.Now)
+			a.buckets[tenant] = b
+		}
+	}
+	if b != nil {
+		if took, wait := b.Take(); !took {
+			a.mu.Unlock()
+			if wait < a.cfg.RetryAfterFloor {
+				wait = a.cfg.RetryAfterFloor
+			}
+			return false, wait, "rate"
+		}
+	}
+	a.inflight[endpoint]++
+	depth := a.inflight[endpoint]
+	a.mu.Unlock()
+	admissionInflight.With(endpoint).Set(float64(depth))
+	return true, 0, ""
+}
+
+func (a *Admission) release(endpoint string) {
+	a.mu.Lock()
+	a.inflight[endpoint]--
+	depth := a.inflight[endpoint]
+	a.mu.Unlock()
+	admissionInflight.With(endpoint).Set(float64(depth))
+}

@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"qurator/internal/resilience"
+)
+
+// fakeClock is a manually-advanced clock for deterministic refill math.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+
+func TestTokenBucketRefillMath(t *testing.T) {
+	clk := newFakeClock()
+	b := NewTokenBucket(2, 2, clk.now) // 2 tokens/s, burst 2, starts full
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.Take(); !ok {
+			t.Fatalf("take %d: bucket should start with %d tokens", i, 2)
+		}
+	}
+	ok, wait := b.Take()
+	if ok {
+		t.Fatalf("third take should fail on an empty bucket")
+	}
+	if wait != 500*time.Millisecond {
+		t.Fatalf("retry hint = %v; want 500ms (1 token at 2 tokens/s)", wait)
+	}
+
+	clk.advance(500 * time.Millisecond)
+	if ok, _ := b.Take(); !ok {
+		t.Fatalf("after 500ms at 2/s exactly one token should have accrued")
+	}
+	if ok, _ := b.Take(); ok {
+		t.Fatalf("the refilled token was already spent")
+	}
+
+	// Refill is capped at burst: a long idle does not bank unlimited
+	// tokens.
+	clk.advance(time.Hour)
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.Take(); !ok {
+			t.Fatalf("take %d after idle: want burst tokens back", i)
+		}
+	}
+	if ok, _ := b.Take(); ok {
+		t.Fatalf("idle refill exceeded burst capacity")
+	}
+}
+
+func TestAdmissionRateShedsPerTenant(t *testing.T) {
+	clk := newFakeClock()
+	a := NewAdmission(AdmissionConfig{RatePerTenant: 1, Burst: 1, Now: clk.now})
+	h := a.Wrap("test", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+
+	do := func(tenant string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, "/stream/enact", nil)
+		if tenant != "" {
+			req.Header.Set(TenantHeader, tenant)
+		}
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		return rr
+	}
+
+	if rr := do("alice"); rr.Code != http.StatusOK {
+		t.Fatalf("first request: %d, want 200", rr.Code)
+	}
+	rr := do("alice")
+	if rr.Code != http.StatusTooManyRequests {
+		t.Fatalf("second request inside the same second: %d, want 429", rr.Code)
+	}
+	secs, err := strconv.Atoi(rr.Header().Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q; want an integer ≥ 1", rr.Header().Get("Retry-After"))
+	}
+	// Another tenant has its own bucket.
+	if rr := do("bob"); rr.Code != http.StatusOK {
+		t.Fatalf("other tenant shed alongside alice: %d", rr.Code)
+	}
+	// ...and alice recovers once her bucket refills.
+	clk.advance(time.Duration(secs) * time.Second)
+	if rr := do("alice"); rr.Code != http.StatusOK {
+		t.Fatalf("after Retry-After elapsed: %d, want 200", rr.Code)
+	}
+}
+
+func TestAdmissionQueueDepthSheds(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxInflight: 1})
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	var enteredOnce sync.Once
+	h := a.Wrap("test", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		enteredOnce.Do(func() { close(entered) })
+		<-release
+		w.WriteHeader(http.StatusOK)
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(srv.URL)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	<-entered // the slot is occupied
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-depth request: %d, want 429", resp.StatusCode)
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q; want an integer ≥ 1", resp.Header.Get("Retry-After"))
+	}
+
+	close(release)
+	if err := <-errc; err != nil {
+		t.Fatalf("occupying request failed: %v", err)
+	}
+	// Slot freed: admitted again.
+	resp2, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("after release: %d, want 200", resp2.StatusCode)
+	}
+}
+
+// TestResilientClientRidesOutShedding is the end-to-end admission story:
+// an overloaded node answers 429 + Retry-After, and the existing
+// resilience.Transport (which honours Retry-After as a backoff floor)
+// retries and completes once capacity returns — the caller sees one slow
+// success, never an error.
+func TestResilientClientRidesOutShedding(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxInflight: 1})
+	var sheds atomic.Int64
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "enacted")
+	})
+	wrapped := a.Wrap("test", inner)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := httptest.NewRecorder()
+		wrapped.ServeHTTP(rec, r)
+		if rec.Code == http.StatusTooManyRequests {
+			sheds.Add(1)
+		}
+		for k, vs := range rec.Header() {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(rec.Code)
+		w.Write(rec.Body.Bytes())
+	}))
+	defer srv.Close()
+
+	// Occupy the single slot for a while, then free it.
+	release := make(chan struct{})
+	occupied := make(chan struct{})
+	go func() {
+		a.admit("test", "occupier")
+		close(occupied)
+		<-release
+		a.release("test")
+	}()
+	<-occupied
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		close(release)
+	}()
+
+	client := &http.Client{Transport: resilience.NewTransport(nil, resilience.Policy{
+		MaxAttempts: 4,
+		BaseBackoff: 50 * time.Millisecond,
+	})}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("resilient client should have outlasted the shedding: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || string(body) != "enacted" {
+		t.Fatalf("got %d %q; want 200 \"enacted\"", resp.StatusCode, body)
+	}
+	if sheds.Load() == 0 {
+		t.Fatalf("the test never actually shed — the slot was free too early")
+	}
+}

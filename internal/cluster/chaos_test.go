@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestNodeDeathMidStreamDeliversEveryDecisionExactlyOnce is the PR's
+// acceptance scenario: a 3-node fleet enacts a windowed stream; the node
+// that owns the stream is killed abruptly (connections severed, server
+// gone — the in-process equivalent of SIGKILL) while it is inside a
+// window; the survivors detect the death, rebalance the ring, and the
+// client's replay completes the stream with every item decided exactly
+// once.
+//
+// Determinism: the owner's annotator is gated to freeze at the first
+// item of the second window, so the kill always lands mid-window — no
+// sleep-and-hope timing.
+func TestNodeDeathMidStreamDeliversEveryDecisionExactlyOnce(t *testing.T) {
+	const (
+		items  = 40
+		window = 4
+	)
+
+	// Boot the first two nodes, compute who will own the "paper"
+	// partition once all three IDs are on the ring, and arm the gate on
+	// that node only.
+	ids := []string{"n1", "n2", "n3"}
+	ownerID := NewRing(ids, DefaultVirtualNodes).Owner("paper")
+	gate := newAnnotGate(window) // first item of window 1
+
+	gateFor := func(id string) *annotGate {
+		if id == ownerID {
+			return gate
+		}
+		return nil
+	}
+	n1 := startMember(t, "n1", nil, streamInner(gateFor("n1")))
+	n2 := startMember(t, "n2", []string{n1.srv.URL}, streamInner(gateFor("n2")))
+	n3 := startMember(t, "n3", []string{n1.srv.URL}, streamInner(gateFor("n3")))
+	fleet := map[string]*testMember{"n1": n1, "n2": n2, "n3": n3}
+	waitFor(t, 5*time.Second, "fleet of 3", func() bool {
+		return n1.node.Ring().Len() == 3 && n2.node.Ring().Len() == 3 && n3.node.Ring().Len() == 3
+	})
+	owner := fleet[ownerID]
+	t.Logf("chaos: %s owns the stream; it will die mid-window", ownerID)
+
+	lines := hitLines(items)
+	client := &StreamClient{
+		Nodes:        []string{n1.srv.URL, n2.srv.URL, n3.srv.URL},
+		View:         "paper",
+		Window:       window,
+		Pace:         time.Millisecond,
+		MaxAttempts:  20,
+		RetryBackoff: 50 * time.Millisecond,
+		Logf:         t.Logf,
+	}
+
+	type outcome struct {
+		res *EnactResult
+		err error
+	}
+	done := make(chan outcome, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	go func() {
+		res, err := client.Enact(ctx, lines)
+		done <- outcome{res, err}
+	}()
+
+	// The owner is now provably inside window 1's enactment. Kill it:
+	// sever every open connection (mid-stream bytes stop dead), refuse
+	// new ones, and only then let the frozen handler unwind into the
+	// closed socket.
+	select {
+	case <-gate.Reached:
+	case <-ctx.Done():
+		t.Fatal("the stream never reached the gated window")
+	}
+	owner.srv.CloseClientConnections()
+	owner.node.Stop()
+	close(gate.Release)
+	owner.srv.Close()
+	t.Logf("chaos: %s killed", ownerID)
+
+	out := <-done
+	if out.err != nil {
+		t.Fatalf("stream did not survive the node death: %v (result so far: %+v)", out.err, out.res)
+	}
+	assertExactlyOnce(t, out.res.Decisions, items)
+	if out.res.Resumes == 0 {
+		t.Fatalf("the client never resumed — the kill did not actually interrupt the stream")
+	}
+	t.Logf("chaos: stream completed with %d windows, %d replayed, %d resumes, %d shed",
+		out.res.Windows, out.res.Replayed, out.res.Resumes, out.res.Shed)
+
+	// The survivors must have converged on a 2-node ring with a new
+	// owner for the partition.
+	survivors := []*testMember{}
+	for id, m := range fleet {
+		if id != ownerID {
+			survivors = append(survivors, m)
+		}
+	}
+	for _, m := range survivors {
+		m := m
+		waitFor(t, 5*time.Second, m.node.Self().ID+" shrinking to 2-node ring", func() bool {
+			return m.node.Ring().Len() == 2
+		})
+		if newOwner := m.node.Ring().Owner("paper"); newOwner == ownerID {
+			t.Fatalf("%s still routes the partition to the dead node", m.node.Self().ID)
+		}
+	}
+
+	// Exactly-once, round two: replaying the ENTIRE stream now answers
+	// every window from the replicated journal — nothing is re-enacted,
+	// no journal entry is added, and the decisions match run one.
+	before := []int{survivors[0].node.Journal().Len(), survivors[1].node.Journal().Len()}
+	client2 := &StreamClient{
+		Nodes:        []string{survivors[0].srv.URL, survivors[1].srv.URL},
+		View:         "paper",
+		Window:       window,
+		MaxAttempts:  10,
+		RetryBackoff: 50 * time.Millisecond,
+	}
+	res2, err := client2.Enact(ctx, lines)
+	if err != nil {
+		t.Fatalf("full replay run: %v", err)
+	}
+	assertExactlyOnce(t, res2.Decisions, items)
+	if res2.Replayed != res2.Windows {
+		t.Fatalf("replay run re-enacted %d of %d windows; the journal should have answered all of them",
+			res2.Windows-res2.Replayed, res2.Windows)
+	}
+	for i := range out.res.Decisions {
+		if out.res.Decisions[i].Item != res2.Decisions[i].Item {
+			t.Fatalf("decision %d diverged between runs: %q vs %q",
+				i, out.res.Decisions[i].Item, res2.Decisions[i].Item)
+		}
+	}
+	if got := []int{survivors[0].node.Journal().Len(), survivors[1].node.Journal().Len()}; got[0] != before[0] || got[1] != before[1] {
+		t.Fatalf("replay run grew the journals: %v -> %v", before, got)
+	}
+}

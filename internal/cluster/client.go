@@ -1,0 +1,292 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"qurator/internal/stream"
+)
+
+// StreamClient is a fleet-aware streaming enactment client with resume:
+// it feeds items to one node, consumes the interleaved decision/summary
+// NDJSON, and — when the connection dies mid-stream or the node sheds it
+// with 429 — replays the not-yet-summarised tail of the input at the
+// next node. Decisions are acknowledged only at window-summary
+// granularity (a summary line means every decision of that window
+// arrived), and unacknowledged decisions are discarded before a resume,
+// so each item's decision is delivered to the caller exactly once: the
+// server's emission journal deduplicates the enactment, the client's
+// summary accounting deduplicates the delivery.
+//
+// Resume arithmetic assumes tumbling windows (every item is decided by
+// exactly one window, in arrival order) — the fleet's partitioned
+// enactment mode. Sliding windows re-decide context items and cannot be
+// resumed by suffix replay.
+type StreamClient struct {
+	// Nodes are the fleet base URLs tried in round-robin order.
+	Nodes []string
+	// View names the quality view to enact (required).
+	View string
+	// Window is the tumbling window size (default 64).
+	Window int
+	// Partial, when "drop", suppresses the final short window.
+	Partial string
+	// Tenant stamps requests for per-tenant admission control.
+	Tenant string
+	// HTTPClient performs the requests (default http.DefaultClient; give
+	// it no overall timeout — streams are long-lived).
+	HTTPClient *http.Client
+	// Pace inserts a delay before each item line is sent — test hooks
+	// use it to hold a stream open long enough to kill a node under it.
+	Pace time.Duration
+	// MaxAttempts bounds connection attempts, including resumes and
+	// 429-backoff retries (default 8).
+	MaxAttempts int
+	// RetryBackoff is the pause between attempts when the server gave no
+	// Retry-After hint (default 250ms).
+	RetryBackoff time.Duration
+	// Logf receives resume events (default: discard).
+	Logf func(format string, args ...any)
+}
+
+// EnactResult is the outcome of one fully-delivered stream.
+type EnactResult struct {
+	// Decisions holds exactly one decision per input item, in item order.
+	Decisions []stream.Decision
+	// Windows is the number of window summaries received (replays
+	// included, re-received windows not double counted).
+	Windows int
+	// Replayed counts windows answered from a node's emission journal.
+	Replayed int
+	// Resumes counts mid-stream failovers to another node.
+	Resumes int
+	// Shed counts 429 responses backed off from.
+	Shed int
+}
+
+// wireSummary is the window-summary NDJSON line (see stream.WriteResults);
+// a line is a summary iff it has "decided" and no "item".
+type wireSummary struct {
+	Window   int    `json:"window"`
+	Size     int    `json:"size"`
+	Decided  int    `json:"decided"`
+	Partial  bool   `json:"partial"`
+	Failed   bool   `json:"failed"`
+	Replayed bool   `json:"replayed"`
+	Error    string `json:"error"`
+}
+
+// Enact streams the NDJSON item lines through the fleet until every
+// item's decision is delivered, resuming across node failures.
+func (c *StreamClient) Enact(ctx context.Context, lines []string) (*EnactResult, error) {
+	if c.View == "" {
+		return nil, fmt.Errorf("cluster: StreamClient needs a View")
+	}
+	if len(c.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: StreamClient needs at least one node")
+	}
+	window := c.Window
+	if window <= 0 {
+		window = 64
+	}
+	maxAttempts := c.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 8
+	}
+	backoff := c.RetryBackoff
+	if backoff <= 0 {
+		backoff = 250 * time.Millisecond
+	}
+	client := c.HTTPClient
+	if client == nil {
+		client = http.DefaultClient
+	}
+	logf := c.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	res := &EnactResult{}
+	acked := 0 // items whose window summary arrived; the resume offset
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if acked >= len(lines) {
+			break
+		}
+		node := strings.TrimSuffix(c.Nodes[attempt%len(c.Nodes)], "/")
+		gained, retryAfter, err := c.streamOnce(ctx, client, node, window, lines[acked:], res, logf)
+		acked += gained
+		if err == nil && acked >= len(lines) {
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			return res, ctx.Err()
+		}
+		if retryAfter > 0 {
+			res.Shed++
+			logf("cluster: client shed by %s, retrying after %s", node, retryAfter)
+			select {
+			case <-time.After(retryAfter):
+			case <-ctx.Done():
+				return res, ctx.Err()
+			}
+			continue
+		}
+		if err != nil {
+			res.Resumes++
+			logf("cluster: client resuming after %s failed at item %d/%d: %v",
+				node, acked, len(lines), err)
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return res, ctx.Err()
+			}
+			continue
+		}
+		// Clean end of stream but items unaccounted for. With dropped
+		// partials that is the caller's configuration, not a failure;
+		// otherwise treat it like a truncation — a proxy hop may have
+		// terminated the response cleanly over a dead upstream — and
+		// resume elsewhere.
+		if c.Partial == "drop" {
+			return res, nil
+		}
+		res.Resumes++
+		logf("cluster: client resuming after %s ended early at item %d/%d", node, acked, len(lines))
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return res, ctx.Err()
+		}
+	}
+	if acked >= len(lines) {
+		return res, nil
+	}
+	return res, fmt.Errorf("cluster: gave up after %d attempts with %d of %d items undelivered",
+		maxAttempts, len(lines)-acked, len(lines))
+}
+
+// streamOnce plays the remaining lines at one node, appending fully
+// summarised windows to res. It returns how many items were acknowledged
+// (windows fully summarised), a backoff hint when the node shed the
+// request, and the error that ended the stream early (nil on clean end).
+func (c *StreamClient) streamOnce(ctx context.Context, client *http.Client, node string,
+	window int, lines []string, res *EnactResult, logf func(string, ...any)) (acked int, retryAfter time.Duration, err error) {
+
+	q := url.Values{}
+	q.Set("view", c.View)
+	q.Set("window", strconv.Itoa(window))
+	if c.Partial != "" {
+		q.Set("partial", c.Partial)
+	}
+	pr, pw := io.Pipe()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		node+"/stream/enact?"+q.Encode(), pr)
+	if err != nil {
+		pw.Close()
+		return 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	if c.Tenant != "" {
+		req.Header.Set(TenantHeader, c.Tenant)
+	}
+
+	// Producer: pace the items in so the response can interleave (and so
+	// tests have a live stream to kill a node under).
+	go func() {
+		for _, line := range lines {
+			if c.Pace > 0 {
+				select {
+				case <-time.After(c.Pace):
+				case <-ctx.Done():
+					pw.CloseWithError(ctx.Err())
+					return
+				}
+			}
+			if _, err := io.WriteString(pw, line+"\n"); err != nil {
+				return // receiver gone; the read side reports the cause
+			}
+		}
+		pw.Close()
+	}()
+
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		d := time.Second
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, perr := strconv.Atoi(s); perr == nil && secs > 0 {
+				d = time.Duration(secs) * time.Second
+			}
+		}
+		return 0, d, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return 0, 0, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+
+	// Consumer: buffer decisions until their window summary arrives, then
+	// acknowledge the whole window at once. Decisions of a window whose
+	// summary never arrives are discarded — the resume will get them
+	// again (journal-replayed, not re-enacted).
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var pending []stream.Decision
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var probe map[string]json.RawMessage
+		if err := json.Unmarshal([]byte(line), &probe); err != nil {
+			return acked, 0, fmt.Errorf("cluster: bad NDJSON from %s: %w", node, err)
+		}
+		switch {
+		case probe["item"] != nil:
+			var d stream.Decision
+			if err := json.Unmarshal([]byte(line), &d); err != nil {
+				return acked, 0, err
+			}
+			pending = append(pending, d)
+		case probe["decided"] != nil:
+			var s wireSummary
+			if err := json.Unmarshal([]byte(line), &s); err != nil {
+				return acked, 0, err
+			}
+			logf("cluster: client summary from %s: window=%d size=%d decided=%d partial=%v replayed=%v failed=%v",
+				node, s.Window, s.Size, s.Decided, s.Partial, s.Replayed, s.Failed)
+			if s.Failed {
+				return acked, 0, fmt.Errorf("cluster: window %d failed on %s: %s", s.Window, node, s.Error)
+			}
+			res.Decisions = append(res.Decisions, pending...)
+			pending = pending[:0]
+			res.Windows++
+			if s.Replayed {
+				res.Replayed++
+			}
+			acked += s.Decided
+		case probe["error"] != nil:
+			var msg string
+			json.Unmarshal(probe["error"], &msg)
+			return acked, 0, fmt.Errorf("cluster: stream error from %s: %s", node, msg)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return acked, 0, err
+	}
+	return acked, 0, nil
+}

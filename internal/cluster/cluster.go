@@ -1,0 +1,638 @@
+// Package cluster turns N quratord processes into one enactment fleet.
+// The paper's deployment story (§6) is a single service host; ROADMAP
+// item 1 asks for the next order of magnitude — horizontal. This package
+// supplies the four pieces:
+//
+//   - Membership: HTTP heartbeat probes with jitter drive each peer
+//     through alive → suspect → dead; probe outcomes feed a
+//     resilience.Breaker per peer, so "is this node healthy" and "should
+//     I route work to it" are the same circuit-breaker question the
+//     service fabric already answers for QA services.
+//   - Partitioning: a consistent-hash ring (virtual nodes, deterministic
+//     from the live member set — see Ring) assigns every stream
+//     partition key and library view a single owning node.
+//   - Forwarding: work that lands on the wrong node is transparently
+//     proxied to its owner, with a hop header for loop protection
+//     (a request forwarded once is served where it lands, even if ring
+//     views disagree mid-rebalance).
+//   - Failover: every emitted stream window is journaled under a
+//     content-addressed idempotency key (the qcache fingerprint) in the
+//     durable provenance log and replicated to peers BEFORE its
+//     decisions reach the client. When a node dies mid-stream, the
+//     client replays undelivered items at the new owner; journaled
+//     windows answer from the journal (at-most-once enactment), fresh
+//     windows enact normally (at-least-once delivery) — together,
+//     exactly-once decision emission.
+//
+// Admission control (per-tenant token buckets, queue-depth load
+// shedding, 429 + Retry-After) lives in this package too: the fleet's
+// front door degrades predictably instead of falling over.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qurator/internal/resilience"
+	"qurator/internal/telemetry"
+)
+
+// Cluster metrics, labelled by node ID so in-process fleets (tests, the
+// examples) stay distinguishable on one registry.
+var (
+	clusterMembers = telemetry.Default.GaugeVec(
+		"qurator_cluster_members",
+		"Known fleet members by liveness status (self counts as alive).",
+		"node", "status")
+	clusterRingVersion = telemetry.Default.GaugeVec(
+		"qurator_cluster_ring_version",
+		"Monotonic ring rebuild counter; a bump means ownership moved.",
+		"node")
+	clusterProbes = telemetry.Default.CounterVec(
+		"qurator_cluster_probes_total",
+		"Heartbeat probes by result (ok or fail).",
+		"node", "result")
+	clusterTransitions = telemetry.Default.CounterVec(
+		"qurator_cluster_member_transitions_total",
+		"Member liveness transitions, labelled by the status entered.",
+		"node", "to")
+	clusterForwards = telemetry.Default.CounterVec(
+		"qurator_cluster_forwards_total",
+		"Enactment-request routing decisions by outcome.",
+		"node", "outcome")
+	clusterReplays = telemetry.Default.CounterVec(
+		"qurator_cluster_window_replays_total",
+		"Windows answered from the emission journal instead of re-enacted.",
+		"node")
+	clusterJournalEntries = telemetry.Default.CounterVec(
+		"qurator_cluster_journal_entries_total",
+		"Window emissions journaled, by origin (local enactment or peer replication).",
+		"node", "origin")
+)
+
+// NodeInfo identifies one fleet member.
+type NodeInfo struct {
+	// ID is the member's stable identity (unique across the fleet).
+	ID string `json:"id"`
+	// Addr is the member's base URL, e.g. "http://10.0.0.7:9090".
+	Addr string `json:"addr"`
+}
+
+// MemberStatus is the probe-derived liveness of a peer.
+type MemberStatus int
+
+const (
+	// Alive: the last probe succeeded (or the member was just learned).
+	Alive MemberStatus = iota
+	// Suspect: SuspectAfter consecutive probes failed; the member keeps
+	// its ring ownership — transient blips must not reshuffle the fleet.
+	Suspect
+	// Dead: DeadAfter consecutive probes failed; the member is removed
+	// and the ring rebuilt. A dead node that heals rejoins explicitly.
+	Dead
+)
+
+// String implements fmt.Stringer.
+func (s MemberStatus) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	default:
+		return fmt.Sprintf("MemberStatus(%d)", int(s))
+	}
+}
+
+// State is the node's own lifecycle position, reported by /readyz: the
+// ring and the probes must agree on who can take work.
+type State int32
+
+const (
+	// StateJoining: the node is contacting seeds; not ready for work.
+	StateJoining State = iota
+	// StateReady: membership established, taking work.
+	StateReady
+	// StateDraining: deregistered from the ring, finishing in-flight
+	// requests; peers stop routing new work here.
+	StateDraining
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateJoining:
+		return "joining"
+	case StateReady:
+		return "ready"
+	case StateDraining:
+		return "draining"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Member is one peer as this node sees it.
+type Member struct {
+	Info     NodeInfo     `json:"info"`
+	Status   MemberStatus `json:"-"`
+	StatusS  string       `json:"status"`
+	Strikes  int          `json:"strikes,omitempty"`
+	LastSeen time.Time    `json:"lastSeen,omitempty"`
+	Breaker  string       `json:"breaker,omitempty"`
+}
+
+// Config parameterises a fleet node.
+type Config struct {
+	// Self is this node's identity and advertised address (required).
+	Self NodeInfo
+	// Seeds are peer base URLs to join through. Empty starts (or
+	// continues) a single-node fleet that others join.
+	Seeds []string
+	// HeartbeatInterval is the probe period (default 500ms); each tick
+	// is jittered ±25% so a fleet started together does not probe in
+	// lockstep.
+	HeartbeatInterval time.Duration
+	// SuspectAfter is the consecutive probe failures before a peer turns
+	// suspect (default 2).
+	SuspectAfter int
+	// DeadAfter is the consecutive probe failures before a peer is
+	// declared dead and the ring rebuilt (default 4).
+	DeadAfter int
+	// VirtualNodes per member on the ring (default DefaultVirtualNodes).
+	VirtualNodes int
+	// Client performs probes, joins and journal replication (default: a
+	// plain client with ProbeTimeout per request). Tests inject a chaos
+	// transport here to cut links.
+	Client *http.Client
+	// ForwardClient proxies mis-routed enactment requests to their ring
+	// owner. Kept separate from Client because streams are long-lived: a
+	// per-request timeout that is right for a probe would sever a
+	// healthy stream mid-window. Default: no timeout.
+	ForwardClient *http.Client
+	// ProbeTimeout bounds one heartbeat probe (default 2s).
+	ProbeTimeout time.Duration
+	// Seed seeds the probe-jitter RNG (0 = fixed default).
+	Seed int64
+	// Discover, when set, is called once for every peer learned (the
+	// internal/services scavenger hook: quratord wires this to
+	// Framework.Scavenge so a joining node imports the fleet's deployed
+	// services). Errors are logged, not fatal.
+	Discover func(ctx context.Context, baseURL string) error
+	// Logf receives membership events (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 2
+	}
+	if c.DeadAfter <= c.SuspectAfter {
+		c.DeadAfter = c.SuspectAfter + 2
+	}
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = DefaultVirtualNodes
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: c.ProbeTimeout}
+	}
+	if c.ForwardClient == nil {
+		c.ForwardClient = &http.Client{}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Node is one fleet member: membership table, ring, journal, and the
+// HTTP surface peers talk to.
+type Node struct {
+	cfg  Config
+	self NodeInfo
+
+	journal *Journal
+
+	mu          sync.Mutex
+	members     map[string]*memberState // peers only; self is implicit
+	ring        *Ring
+	ringVersion uint64
+	breakers    map[string]*resilience.Breaker
+	rng         *rand.Rand
+
+	state   atomic.Int32
+	stopCh  chan struct{}
+	done    sync.WaitGroup
+	started atomic.Bool
+}
+
+type memberState struct {
+	info     NodeInfo
+	status   MemberStatus
+	strikes  int
+	lastSeen time.Time
+}
+
+// NewNode builds a node; call Start to join the fleet and begin probing.
+// The journal defaults to a memory-backed one — AttachJournal before
+// Start to make emissions durable.
+func NewNode(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Self.ID == "" || cfg.Self.Addr == "" {
+		return nil, fmt.Errorf("cluster: Config.Self needs both ID and Addr")
+	}
+	n := &Node{
+		cfg:      cfg,
+		self:     cfg.Self,
+		members:  make(map[string]*memberState),
+		breakers: make(map[string]*resilience.Breaker),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		stopCh:   make(chan struct{}),
+	}
+	n.journal = NewJournal(nil)
+	n.journal.node = n
+	n.state.Store(int32(StateJoining))
+	n.rebuildRingLocked()
+	return n, nil
+}
+
+// AttachJournal backs the emission journal with a provenance log (pass
+// the framework's — durable when persistence is enabled). Must precede
+// Start.
+func (n *Node) AttachJournal(j *Journal) {
+	j.node = n
+	n.journal = j
+}
+
+// Journal returns the node's emission journal.
+func (n *Node) Journal() *Journal { return n.journal }
+
+// Self returns this node's identity.
+func (n *Node) Self() NodeInfo { return n.self }
+
+// State returns the node's lifecycle state.
+func (n *Node) State() State { return State(n.state.Load()) }
+
+// ReadinessCheck is the /readyz hook: an error while the node is not
+// ready to take work (joining or draining), nil when ready.
+func (n *Node) ReadinessCheck() error {
+	if s := n.State(); s != StateReady {
+		return fmt.Errorf("cluster: node %s is %s", n.self.ID, s)
+	}
+	return nil
+}
+
+// Start joins the fleet through the seeds and launches the probe loop.
+// Joining is best-effort per seed: one reachable seed suffices; none
+// reachable leaves a single-node fleet (peers may still join us).
+func (n *Node) Start(ctx context.Context) error {
+	if !n.started.CompareAndSwap(false, true) {
+		return fmt.Errorf("cluster: node already started")
+	}
+	for _, seed := range n.cfg.Seeds {
+		seed = strings.TrimSuffix(seed, "/")
+		if seed == "" || seed == n.self.Addr {
+			continue
+		}
+		if err := n.join(ctx, seed); err != nil {
+			n.cfg.Logf("cluster: join via %s: %v", seed, err)
+			continue
+		}
+	}
+	n.state.Store(int32(StateReady))
+	n.updateMemberMetrics()
+	n.done.Add(1)
+	go n.probeLoop()
+	n.cfg.Logf("cluster: node %s ready with %d peer(s)", n.self.ID, len(n.Peers()))
+	return nil
+}
+
+// Stop halts the probe loop without deregistering (a crash, not a
+// drain). Use Leave for graceful departure.
+func (n *Node) Stop() {
+	select {
+	case <-n.stopCh:
+	default:
+		close(n.stopCh)
+	}
+	n.done.Wait()
+}
+
+// Leave deregisters from every live peer — BEFORE the caller drains its
+// HTTP server, so peers stop routing new work to a dying node — then
+// stops the probe loop. The node answers /readyz non-200 from the first
+// moment of Leave.
+func (n *Node) Leave(ctx context.Context) {
+	n.state.Store(int32(StateDraining))
+	for _, p := range n.Peers() {
+		body, _ := json.Marshal(n.self)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			p.Info.Addr+"/cluster/leave", bytes.NewReader(body))
+		if err != nil {
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if resp, err := n.cfg.Client.Do(req); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	n.Stop()
+	n.cfg.Logf("cluster: node %s left the fleet", n.self.ID)
+}
+
+// join announces this node to one seed and merges the member list the
+// seed returns.
+func (n *Node) join(ctx context.Context, seedURL string) error {
+	body, _ := json.Marshal(n.self)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		seedURL+"/cluster/join", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("cluster: join %s: %s: %s", seedURL, resp.Status, bytes.TrimSpace(data))
+	}
+	var peers []NodeInfo
+	if err := json.NewDecoder(resp.Body).Decode(&peers); err != nil {
+		return fmt.Errorf("cluster: join %s: decoding member list: %w", seedURL, err)
+	}
+	for _, p := range peers {
+		n.learn(p)
+	}
+	return nil
+}
+
+// learn adds (or revives) a peer as alive. Newly-learned peers trigger
+// the Discover hook — how a joining node imports the fleet's deployed
+// services through the scavenger.
+func (n *Node) learn(info NodeInfo) {
+	if info.ID == "" || info.ID == n.self.ID || info.Addr == "" {
+		return
+	}
+	n.mu.Lock()
+	m, known := n.members[info.ID]
+	if known && m.status != Dead {
+		m.info = info // address updates win
+		n.mu.Unlock()
+		return
+	}
+	n.members[info.ID] = &memberState{info: info, status: Alive, lastSeen: time.Now()}
+	n.rebuildRingLocked()
+	n.mu.Unlock()
+	clusterTransitions.With(n.self.ID, "alive").Inc()
+	n.updateMemberMetrics()
+	n.cfg.Logf("cluster: node %s learned member %s (%s)", n.self.ID, info.ID, info.Addr)
+	if n.cfg.Discover != nil {
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := n.cfg.Discover(ctx, info.Addr); err != nil {
+				n.cfg.Logf("cluster: discover %s: %v", info.Addr, err)
+			}
+		}()
+	}
+}
+
+// forget removes a peer (graceful leave or death) and rebuilds the ring.
+func (n *Node) forget(id string, why string) {
+	n.mu.Lock()
+	if _, ok := n.members[id]; !ok {
+		n.mu.Unlock()
+		return
+	}
+	delete(n.members, id)
+	n.rebuildRingLocked()
+	n.mu.Unlock()
+	clusterTransitions.With(n.self.ID, "dead").Inc()
+	n.updateMemberMetrics()
+	n.cfg.Logf("cluster: node %s removed member %s (%s)", n.self.ID, id, why)
+}
+
+// rebuildRingLocked recomputes the ring from self + non-dead members.
+// Caller holds n.mu.
+func (n *Node) rebuildRingLocked() {
+	ids := make([]string, 0, len(n.members)+1)
+	ids = append(ids, n.self.ID)
+	for id, m := range n.members {
+		if m.status != Dead {
+			ids = append(ids, id)
+		}
+	}
+	n.ring = NewRing(ids, n.cfg.VirtualNodes)
+	n.ringVersion++
+	clusterRingVersion.With(n.self.ID).Set(float64(n.ringVersion))
+}
+
+// Ring returns the current ring (immutable snapshot).
+func (n *Node) Ring() *Ring {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ring
+}
+
+// Peers snapshots the known peers (not self), sorted by ID.
+func (n *Node) Peers() []Member {
+	n.mu.Lock()
+	out := make([]Member, 0, len(n.members))
+	for id, m := range n.members {
+		out = append(out, Member{
+			Info:     m.info,
+			Status:   m.status,
+			StatusS:  m.status.String(),
+			Strikes:  m.strikes,
+			LastSeen: m.lastSeen,
+			Breaker:  n.breakerStateLocked(id),
+		})
+	}
+	n.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Info.ID < out[j].Info.ID })
+	return out
+}
+
+// Owner resolves a partition key to its owning member. ok is false only
+// for an empty ring (cannot happen: self is always a member).
+func (n *Node) Owner(key string) (NodeInfo, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	id := n.ring.Owner(key)
+	if id == "" {
+		return NodeInfo{}, false
+	}
+	if id == n.self.ID {
+		return n.self, true
+	}
+	m, ok := n.members[id]
+	if !ok {
+		return NodeInfo{}, false
+	}
+	return m.info, true
+}
+
+// breakerFor returns (creating if needed) the peer's health breaker:
+// probe outcomes feed it, forwarding consults it. Caller must NOT hold
+// n.mu.
+func (n *Node) breakerFor(id string) *resilience.Breaker {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	b, ok := n.breakers[id]
+	if !ok {
+		b = resilience.NewBreaker(resilience.BreakerConfig{
+			FailureThreshold: n.cfg.SuspectAfter,
+			Cooldown:         2 * n.cfg.HeartbeatInterval,
+		}, nil)
+		n.breakers[id] = b
+	}
+	return b
+}
+
+func (n *Node) breakerStateLocked(id string) string {
+	if b, ok := n.breakers[id]; ok {
+		return b.State().String()
+	}
+	return ""
+}
+
+// probeLoop heartbeats every peer each (jittered) interval until Stop.
+func (n *Node) probeLoop() {
+	defer n.done.Done()
+	for {
+		d := n.cfg.HeartbeatInterval
+		n.mu.Lock()
+		jitter := time.Duration(n.rng.Int63n(int64(d)/2+1)) - d/4 // ±25%
+		n.mu.Unlock()
+		select {
+		case <-n.stopCh:
+			return
+		case <-time.After(d + jitter):
+		}
+		if n.State() == StateDraining {
+			return
+		}
+		n.probeAll()
+	}
+}
+
+// probeAll heartbeats every known peer concurrently.
+func (n *Node) probeAll() {
+	var wg sync.WaitGroup
+	for _, p := range n.Peers() {
+		if p.Status == Dead {
+			continue
+		}
+		wg.Add(1)
+		go func(p Member) {
+			defer wg.Done()
+			n.probe(p.Info)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// probe heartbeats one peer and walks its liveness state machine.
+func (n *Node) probe(info NodeInfo) {
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		info.Addr+"/cluster/heartbeat?from="+n.self.ID, nil)
+	if err != nil {
+		return
+	}
+	req.Header.Set(heartbeatAddrHeader, n.self.Addr)
+	br := n.breakerFor(info.ID)
+	resp, err := n.cfg.Client.Do(req)
+	var peers []NodeInfo
+	ok := err == nil && resp.StatusCode == http.StatusOK
+	if resp != nil {
+		if ok {
+			// Heartbeat responses piggyback the peer's member list —
+			// lightweight anti-entropy, so a fleet converges on full
+			// membership from any connected seed graph.
+			_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&peers)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if ok {
+		br.RecordSuccess()
+		clusterProbes.With(n.self.ID, "ok").Inc()
+		n.mu.Lock()
+		if m, known := n.members[info.ID]; known {
+			if m.status != Alive {
+				clusterTransitions.With(n.self.ID, "alive").Inc()
+			}
+			m.status = Alive
+			m.strikes = 0
+			m.lastSeen = time.Now()
+		}
+		n.mu.Unlock()
+		n.updateMemberMetrics()
+		for _, p := range peers {
+			n.learn(p)
+		}
+		return
+	}
+	br.RecordFailure()
+	clusterProbes.With(n.self.ID, "fail").Inc()
+	n.mu.Lock()
+	m, known := n.members[info.ID]
+	if !known {
+		n.mu.Unlock()
+		return
+	}
+	m.strikes++
+	strikes := m.strikes
+	if strikes >= n.cfg.SuspectAfter && m.status == Alive {
+		m.status = Suspect
+		n.mu.Unlock()
+		clusterTransitions.With(n.self.ID, "suspect").Inc()
+		n.updateMemberMetrics()
+		n.cfg.Logf("cluster: node %s suspects %s (%d failed probes)", n.self.ID, info.ID, strikes)
+		return
+	}
+	n.mu.Unlock()
+	if strikes >= n.cfg.DeadAfter {
+		n.forget(info.ID, fmt.Sprintf("%d failed probes", strikes))
+	}
+}
+
+// updateMemberMetrics refreshes the per-status member gauges.
+func (n *Node) updateMemberMetrics() {
+	counts := map[MemberStatus]int{Alive: 1} // self
+	n.mu.Lock()
+	for _, m := range n.members {
+		counts[m.status]++
+	}
+	n.mu.Unlock()
+	for _, s := range []MemberStatus{Alive, Suspect, Dead} {
+		clusterMembers.With(n.self.ID, s.String()).Set(float64(counts[s]))
+	}
+}

@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"io"
+	"net/http"
+)
+
+// PartitionKey extracts the routing key of an enactment request: the
+// explicit ?partition= override when present, else the view name. The
+// key is request-granular on purpose — a window IS the collection for
+// collection-scoped QAs (§5.1), so the items of one stream must be
+// windowed and enacted on one node; splitting a stream's items across
+// owners would change its decisions, not just its placement.
+func PartitionKey(r *http.Request) string {
+	q := r.URL.Query()
+	if p := q.Get("partition"); p != "" {
+		return p
+	}
+	return q.Get("view")
+}
+
+// EnactHandler routes enactment requests across the fleet: requests
+// whose partition key this node owns are served by inner; the rest are
+// proxied — full-duplex, flushed window-by-window — to the ring owner.
+//
+// Routing outcomes (the qurator_cluster_forwards_total label):
+//
+//	local          this node owns the key
+//	loop-local     already forwarded once; served here whatever the ring
+//	               says (two ring views mid-rebalance must not ping-pong)
+//	shed-local     owner's breaker is open; served here rather than fed
+//	               to a node the probes say is failing
+//	remote         proxied to the owner
+//	remote-failed  proxy failed before any response byte; the client
+//	               gets 502 + Retry-After and replays elsewhere
+func (n *Node) EnactHandler(inner http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		key := PartitionKey(r)
+		if key == "" {
+			inner.ServeHTTP(w, r) // let inner produce its own 400
+			return
+		}
+		if r.Header.Get(forwardedHeader) != "" {
+			clusterForwards.With(n.self.ID, "loop-local").Inc()
+			inner.ServeHTTP(w, r)
+			return
+		}
+		owner, ok := n.Owner(key)
+		if !ok || owner.ID == n.self.ID {
+			clusterForwards.With(n.self.ID, "local").Inc()
+			inner.ServeHTTP(w, r)
+			return
+		}
+		br := n.breakerFor(owner.ID)
+		if !br.Allow() {
+			// The probes think the owner is down. Serving locally keeps
+			// the stream alive; the emission journal keeps the detour
+			// exactly-once even if the owner was actually fine.
+			clusterForwards.With(n.self.ID, "shed-local").Inc()
+			inner.ServeHTTP(w, r)
+			return
+		}
+		n.forward(w, r, owner, br)
+	})
+}
+
+// forward proxies one enactment request to its ring owner, streaming the
+// NDJSON response through as it arrives.
+func (n *Node) forward(w http.ResponseWriter, r *http.Request, owner NodeInfo, br interface {
+	RecordSuccess()
+	RecordFailure()
+}) {
+	// The proxy writes response bytes while the upstream POST is still
+	// consuming r.Body. Without full duplex, HTTP/1.x servers discard
+	// the unread request body on the first response write — which would
+	// silently drop in-flight items from a live stream.
+	rc := http.NewResponseController(w)
+	if err := rc.EnableFullDuplex(); err != nil {
+		http.Error(w, "cluster: forward: connection does not support full-duplex streaming",
+			http.StatusInternalServerError)
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method,
+		owner.Addr+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		http.Error(w, "cluster: forward: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	req.Header = r.Header.Clone()
+	req.Header.Set(forwardedHeader, n.self.ID)
+	resp, err := n.cfg.ForwardClient.Do(req)
+	if err != nil {
+		// Nothing was written yet, so the client sees a clean, retryable
+		// failure and its replay logic picks another node.
+		br.RecordFailure()
+		clusterForwards.With(n.self.ID, "remote-failed").Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "cluster: owner "+owner.ID+" unreachable: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	br.RecordSuccess()
+	clusterForwards.With(n.self.ID, "remote").Inc()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	buf := make([]byte, 32*1024)
+	for {
+		nr, rerr := resp.Body.Read(buf)
+		if nr > 0 {
+			if _, werr := w.Write(buf[:nr]); werr != nil {
+				return
+			}
+			// Per-chunk flush: the owner flushes per window, and this
+			// hop must not re-buffer those windows or the client loses
+			// the "first decisions before last item" property.
+			_ = rc.Flush()
+		}
+		if rerr == io.EOF {
+			return
+		}
+		if rerr != nil {
+			// Mid-stream owner death: the response status is already
+			// committed, so the truncation must be made VISIBLE — ending
+			// the handler normally would send a clean chunked terminator
+			// and the client would mistake a half-delivered stream for a
+			// complete one. Aborting tears the connection down so the
+			// client's resume logic takes over.
+			br.RecordFailure()
+			panic(http.ErrAbortHandler)
+		}
+	}
+}

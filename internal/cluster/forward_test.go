@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// echoInner mounts an inner "enactment" handler that reports which node
+// served the request — enough to observe routing without real streams.
+func echoInner(id string) func(*Node, *http.ServeMux) {
+	return func(n *Node, mux *http.ServeMux) {
+		mux.Handle("/stream/enact", n.EnactHandler(http.HandlerFunc(
+			func(w http.ResponseWriter, r *http.Request) {
+				fmt.Fprintf(w, "served-by:%s", id)
+			})))
+	}
+}
+
+// keyOwnedBy hunts for a partition key the given member owns — the ring
+// is deterministic, so the test just probes candidates.
+func keyOwnedBy(t *testing.T, r *Ring, owner string) string {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("view-%d", i)
+		if r.Owner(key) == owner {
+			return key
+		}
+	}
+	t.Fatalf("no key owned by %s in 1000 candidates", owner)
+	return ""
+}
+
+func serveBody(t *testing.T, url string, hdr map[string]string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func TestForwardRoutesToOwner(t *testing.T) {
+	n1 := startMember(t, "n1", nil, echoInner("n1"))
+	n2 := startMember(t, "n2", []string{n1.srv.URL}, echoInner("n2"))
+	waitFor(t, 3*time.Second, "fleet of 2", func() bool {
+		return n1.node.Ring().Len() == 2 && n2.node.Ring().Len() == 2
+	})
+
+	ownedByN2 := keyOwnedBy(t, n1.node.Ring(), "n2")
+	ownedByN1 := keyOwnedBy(t, n1.node.Ring(), "n1")
+
+	// Mis-routed request: n1 proxies to the owner n2.
+	if code, body := serveBody(t, n1.srv.URL+"/stream/enact?partition="+ownedByN2, nil); code != 200 || body != "served-by:n2" {
+		t.Fatalf("forwarded request: %d %q; want n2 to serve it", code, body)
+	}
+	// Correctly-routed request: served locally.
+	if code, body := serveBody(t, n1.srv.URL+"/stream/enact?partition="+ownedByN1, nil); code != 200 || body != "served-by:n1" {
+		t.Fatalf("local request: %d %q; want n1 to serve it", code, body)
+	}
+	// The ?view= parameter is the default partition key.
+	if code, body := serveBody(t, n1.srv.URL+"/stream/enact?view="+ownedByN2, nil); code != 200 || body != "served-by:n2" {
+		t.Fatalf("view-keyed request: %d %q; want n2 to serve it", code, body)
+	}
+}
+
+func TestForwardLoopProtection(t *testing.T) {
+	n1 := startMember(t, "n1", nil, echoInner("n1"))
+	n2 := startMember(t, "n2", []string{n1.srv.URL}, echoInner("n2"))
+	waitFor(t, 3*time.Second, "fleet of 2", func() bool {
+		return n1.node.Ring().Len() == 2 && n2.node.Ring().Len() == 2
+	})
+	ownedByN2 := keyOwnedBy(t, n1.node.Ring(), "n2")
+
+	// A request already forwarded once is served where it lands, even if
+	// this node's ring says someone else owns it — the hop budget is 1.
+	code, body := serveBody(t, n1.srv.URL+"/stream/enact?partition="+ownedByN2,
+		map[string]string{forwardedHeader: "n2"})
+	if code != 200 || body != "served-by:n1" {
+		t.Fatalf("forwarded-marked request: %d %q; want n1 to serve it locally", code, body)
+	}
+}
+
+func TestForwardFallsBackWhenOwnerBreakerOpen(t *testing.T) {
+	n1 := startMember(t, "n1", nil, echoInner("n1"))
+	n2 := startMember(t, "n2", []string{n1.srv.URL}, echoInner("n2"))
+	waitFor(t, 3*time.Second, "fleet of 2", func() bool {
+		return n1.node.Ring().Len() == 2 && n2.node.Ring().Len() == 2
+	})
+	ownedByN2 := keyOwnedBy(t, n1.node.Ring(), "n2")
+
+	// Trip n1's breaker for n2 (as failed probes would).
+	br := n1.node.breakerFor("n2")
+	for i := 0; i < 10; i++ {
+		br.RecordFailure()
+	}
+	if br.Allow() {
+		t.Fatalf("breaker should be open after consecutive failures")
+	}
+	code, body := serveBody(t, n1.srv.URL+"/stream/enact?partition="+ownedByN2, nil)
+	if code != 200 || body != "served-by:n1" {
+		t.Fatalf("with owner breaker open: %d %q; want local fallback on n1", code, body)
+	}
+}
+
+func TestForwardUnreachableOwnerAnswers502WithRetryAfter(t *testing.T) {
+	n1 := startMember(t, "n1", nil, echoInner("n1"))
+	n2 := startMember(t, "n2", []string{n1.srv.URL}, echoInner("n2"))
+	waitFor(t, 3*time.Second, "fleet of 2", func() bool {
+		return n1.node.Ring().Len() == 2 && n2.node.Ring().Len() == 2
+	})
+	ownedByN2 := keyOwnedBy(t, n1.node.Ring(), "n2")
+
+	// Cut only the forwarding link (probes share the same chaos
+	// transport, but one failed forward comes first).
+	n1.ch.Partition(n2.host())
+	defer n1.ch.Heal()
+
+	req, _ := http.NewRequest(http.MethodPost, n1.srv.URL+"/stream/enact?partition="+ownedByN2, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("unreachable owner: %d; want 502", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("502 from a dead forward should carry Retry-After so clients replay elsewhere")
+	}
+}

@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"qurator/internal/annotstore"
+	"qurator/internal/binding"
+	"qurator/internal/compiler"
+	"qurator/internal/evidence"
+	"qurator/internal/ontology"
+	"qurator/internal/ops"
+	"qurator/internal/qa"
+	"qurator/internal/qvlang"
+	"qurator/internal/rdf"
+	"qurator/internal/services"
+	"qurator/internal/stream"
+)
+
+func hit(i int) evidence.Item {
+	return rdf.IRI(fmt.Sprintf("urn:lsid:test.org:hit:%d", i))
+}
+
+func hitIndex(it evidence.Item) int {
+	s := it.Value()
+	n, err := strconv.Atoi(s[strings.LastIndex(s, ":")+1:])
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// hitLines renders n NDJSON item lines for the streaming client.
+func hitLines(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf(`{"item":%q}`, hit(i).Value())
+	}
+	return out
+}
+
+// annotGate lets a test freeze one node's enactment at a chosen item —
+// the deterministic stand-in for "the node was mid-window when it died".
+// When armed, the first window containing the trigger item signals
+// Reached and then blocks until Release is closed.
+type annotGate struct {
+	trigger int
+	armed   atomic.Bool
+	Reached chan struct{}
+	Release chan struct{}
+}
+
+func newAnnotGate(trigger int) *annotGate {
+	g := &annotGate{
+		trigger: trigger,
+		Reached: make(chan struct{}),
+		Release: make(chan struct{}),
+	}
+	g.armed.Store(true)
+	return g
+}
+
+// identityAnnotator derives evidence from item identity alone — the same
+// item gets the same evidence on every node and every re-enactment, the
+// determinism the replay comparisons rest on. Even hits strong, odd weak.
+// A non-nil gate makes the annotator freeze per annotGate.
+func identityAnnotator(gate *annotGate) ops.Annotator {
+	return ops.AnnotatorFunc{
+		ClassIRI: ontology.ImprintOutputAnnotation,
+		Types: []rdf.Term{
+			ontology.HitRatio, ontology.Coverage, ontology.Masses, ontology.PeptidesCount,
+		},
+		Fn: func(items []evidence.Item, repo annotstore.Store) error {
+			if gate != nil {
+				for _, it := range items {
+					if hitIndex(it) == gate.trigger && gate.armed.CompareAndSwap(true, false) {
+						close(gate.Reached)
+						<-gate.Release
+					}
+				}
+			}
+			for _, it := range items {
+				i := hitIndex(it)
+				hr, mc := 0.9, 0.8
+				if i%2 == 1 {
+					hr, mc = 0.15, 0.1
+				}
+				puts := []annotstore.Annotation{
+					{Item: it, Type: ontology.HitRatio, Value: evidence.Float(hr)},
+					{Item: it, Type: ontology.Coverage, Value: evidence.Float(mc)},
+					{Item: it, Type: ontology.Masses, Value: evidence.Int(int64(10 + i%7))},
+					{Item: it, Type: ontology.PeptidesCount, Value: evidence.Int(8)},
+				}
+				for _, a := range puts {
+					a.Source = ontology.ImprintOutputAnnotation
+					if err := repo.Put(a); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// paperCompiler builds a per-request CompileFunc over this node's own
+// framework plumbing — mirroring what quratord does per node, without
+// importing the root package.
+func paperCompiler(gate *annotGate) stream.CompileFunc {
+	return func(view string) (*compiler.Compiled, error) {
+		model := ontology.NewIQModel()
+		repos := annotstore.NewRegistry()
+		local := services.NewRegistry()
+		local.Add(&services.AnnotatorService{
+			ServiceName:  "ImprintOutputAnnotator",
+			Annotator:    identityAnnotator(gate),
+			Repositories: repos,
+		})
+		local.Add(&services.AssertionService{
+			ServiceName: "HR_MC_score",
+			QA:          qa.NewUniversalPIScore(qvlang.TagKeyFor("HR_MC")),
+		})
+		local.Add(&services.AssertionService{
+			ServiceName: "HR_score",
+			QA:          qa.NewHRScore(qvlang.TagKeyFor("HR")),
+		})
+		local.Add(&services.AssertionService{
+			ServiceName: "PIScoreClassifier",
+			QA:          qa.NewPIScoreClassifier(),
+		})
+		bindings := binding.NewRegistry(model)
+		bindings.MustBind(binding.Binding{Concept: ontology.ImprintOutputAnnotation, Kind: binding.ServiceResource, Locator: "local:ImprintOutputAnnotator"})
+		bindings.MustBind(binding.Binding{Concept: ontology.UniversalPIScore2, Kind: binding.ServiceResource, Locator: "local:HR_MC_score"})
+		bindings.MustBind(binding.Binding{Concept: ontology.HRScoreAssertion, Kind: binding.ServiceResource, Locator: "local:HR_score"})
+		bindings.MustBind(binding.Binding{Concept: ontology.PIScoreClassifier, Kind: binding.ServiceResource, Locator: "local:PIScoreClassifier"})
+		c := &compiler.Compiler{
+			Bindings:     bindings,
+			Resolver:     &binding.Resolver{Local: local},
+			Repositories: repos,
+		}
+		v, err := qvlang.Parse([]byte(qvlang.PaperViewXML))
+		if err != nil {
+			return nil, err
+		}
+		r, err := qvlang.Resolve(v, model)
+		if err != nil {
+			return nil, err
+		}
+		return c.Compile(r)
+	}
+}
+
+// streamInner mounts a real journaled streaming endpoint behind the
+// node's fleet router — the full production wiring, in-process.
+func streamInner(gate *annotGate) func(*Node, *http.ServeMux) {
+	return func(n *Node, mux *http.ServeMux) {
+		inner := stream.Handler(paperCompiler(gate), stream.WithJournal(n.Journal()))
+		mux.Handle("/stream/enact", n.EnactHandler(inner))
+	}
+}
+
+// assertExactlyOnce fails unless the decisions cover items 0..n-1 each
+// exactly once, in order.
+func assertExactlyOnce(t *testing.T, decisions []stream.Decision, n int) {
+	t.Helper()
+	if len(decisions) != n {
+		t.Fatalf("delivered %d decisions for %d items", len(decisions), n)
+	}
+	counts := make(map[string]int, n)
+	for _, d := range decisions {
+		counts[d.Item]++
+	}
+	for i := 0; i < n; i++ {
+		if c := counts[hit(i).Value()]; c != 1 {
+			order := make([]int, len(decisions))
+			for j, d := range decisions {
+				order[j] = hitIndex(rdf.IRI(d.Item))
+			}
+			t.Fatalf("item %d decided %d times; want exactly once (delivery order: %v)", i, c, order)
+		}
+	}
+	for i, d := range decisions {
+		if d.Item != hit(i).Value() {
+			t.Fatalf("decision %d is for %s; want %s (in-order delivery)", i, d.Item, hit(i).Value())
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"qurator/internal/provenance"
+	"qurator/internal/stream"
+)
+
+// JournalEntry is one replicated window emission on the wire.
+type JournalEntry struct {
+	Key    string              `json:"key"`
+	Result stream.WindowResult `json:"result"`
+}
+
+// Journal is the fleet's emission record: it implements
+// stream.WindowJournal so the streaming enactor consults it before
+// enacting and commits into it before emitting. Backed by the durable
+// provenance log when one is attached (entries survive restarts via the
+// metadata WAL) and replicated to live peers on commit, so a window
+// decided on a node that dies a millisecond later is still recognised —
+// and its original decisions replayed — when the client resumes on the
+// new owner. That commit-replicate-then-emit ordering is the at-most-once
+// half of the fleet's exactly-once argument (the replaying client is the
+// at-least-once half).
+type Journal struct {
+	node *Node           // set by AttachJournal; nil when standalone
+	log  *provenance.Log // durable backing; nil = memory only
+
+	mu  sync.Mutex
+	mem map[string]stream.WindowResult
+}
+
+// NewJournal builds a journal over the given provenance log. A nil log
+// keeps emissions in memory only — fine for tests, not for failover
+// across process restarts.
+func NewJournal(log *provenance.Log) *Journal {
+	return &Journal{log: log, mem: make(map[string]stream.WindowResult)}
+}
+
+func (j *Journal) nodeID() string {
+	if j.node != nil {
+		return j.node.self.ID
+	}
+	return "standalone"
+}
+
+// Len returns the number of journaled emissions.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	n := len(j.mem)
+	j.mu.Unlock()
+	if j.log != nil {
+		// The log may hold entries recovered from the WAL that were never
+		// looked up (and so never cached) this run.
+		if ln := j.log.Emissions(); ln > n {
+			n = ln
+		}
+	}
+	return n
+}
+
+// Lookup implements stream.WindowJournal: the journaled result for key,
+// whether committed locally, absorbed from a peer, or recovered from the
+// provenance WAL after a restart.
+func (j *Journal) Lookup(key string) (stream.WindowResult, bool) {
+	j.mu.Lock()
+	res, ok := j.mem[key]
+	j.mu.Unlock()
+	if !ok && j.log != nil {
+		payload, found := j.log.Emission(key)
+		if !found {
+			return stream.WindowResult{}, false
+		}
+		if err := json.Unmarshal([]byte(payload), &res); err != nil {
+			return stream.WindowResult{}, false
+		}
+		j.mu.Lock()
+		j.mem[key] = res
+		j.mu.Unlock()
+		ok = true
+	}
+	if ok {
+		clusterReplays.With(j.nodeID()).Inc()
+	}
+	return res, ok
+}
+
+// Commit implements stream.WindowJournal: record the emission durably,
+// then replicate it to every live peer. The local write failing is fatal
+// to the window (the enactor refuses to emit an unjournaled window); a
+// replication failure is fatal only when NO live peer accepted the entry
+// while peers exist — with zero replicas, this node's death would lose
+// the at-most-once guarantee for a window whose decisions already
+// escaped.
+func (j *Journal) Commit(key string, res stream.WindowResult) error {
+	if err := j.record(key, res, "local"); err != nil {
+		return err
+	}
+	if j.node == nil {
+		return nil
+	}
+	peers := j.node.Peers()
+	live := peers[:0]
+	for _, p := range peers {
+		if p.Status == Alive {
+			live = append(live, p)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	body, err := json.Marshal(JournalEntry{Key: key, Result: res})
+	if err != nil {
+		return fmt.Errorf("cluster: journal entry %s: %w", key, err)
+	}
+	var (
+		wg sync.WaitGroup
+		ok int32
+		mu sync.Mutex
+	)
+	for _, p := range live {
+		wg.Add(1)
+		go func(p Member) {
+			defer wg.Done()
+			if j.replicate(p, body) == nil {
+				mu.Lock()
+				ok++
+				mu.Unlock()
+			}
+		}(p)
+	}
+	wg.Wait()
+	if ok == 0 {
+		return fmt.Errorf("cluster: journal entry %s replicated to 0 of %d live peer(s)", key, len(live))
+	}
+	return nil
+}
+
+func (j *Journal) replicate(p Member, body []byte) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		p.Info.Addr+"/cluster/journal", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := j.node.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: replicate to %s: %s", p.Info.ID, resp.Status)
+	}
+	return nil
+}
+
+// Absorb stores an entry replicated from a peer. Set-semantic: absorbing
+// the same key twice (two peers racing, or a retried replication) is a
+// no-op, so replication can be freely retried.
+func (j *Journal) Absorb(e JournalEntry) error {
+	if e.Key == "" {
+		return fmt.Errorf("cluster: journal entry without key")
+	}
+	j.mu.Lock()
+	_, dup := j.mem[e.Key]
+	j.mu.Unlock()
+	if dup {
+		return nil
+	}
+	return j.record(e.Key, e.Result, "peer")
+}
+
+// record writes one entry through to the provenance log (when attached)
+// and the memory index.
+func (j *Journal) record(key string, res stream.WindowResult, origin string) error {
+	if j.log != nil {
+		payload, err := json.Marshal(res)
+		if err != nil {
+			return fmt.Errorf("cluster: journal entry %s: %w", key, err)
+		}
+		if err := j.log.RecordEmission(key, res.View, string(payload)); err != nil {
+			return fmt.Errorf("cluster: journal entry %s: %w", key, err)
+		}
+	}
+	j.mu.Lock()
+	_, dup := j.mem[key]
+	j.mem[key] = res
+	j.mu.Unlock()
+	if !dup {
+		clusterJournalEntries.With(j.nodeID(), origin).Inc()
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"qurator/internal/mstore"
+	"qurator/internal/provenance"
+	"qurator/internal/stream"
+)
+
+func TestJournalAbsorbIsSetSemantic(t *testing.T) {
+	j := NewJournal(nil)
+	e := JournalEntry{Key: "k1", Result: stream.WindowResult{Seq: 0, Size: 4, View: "v"}}
+	if err := j.Absorb(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Absorb(e); err != nil {
+		t.Fatalf("duplicate absorb must be a no-op, got %v", err)
+	}
+	if j.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate absorb; want 1", j.Len())
+	}
+	if _, ok := j.Lookup("k1"); !ok {
+		t.Fatalf("absorbed entry not found")
+	}
+	if _, ok := j.Lookup("missing"); ok {
+		t.Fatalf("phantom journal entry")
+	}
+}
+
+func TestJournalSurvivesRestartThroughProvenance(t *testing.T) {
+	dir := t.TempDir()
+	log := provenance.NewLog()
+	if err := log.Persist(filepath.Join(dir, "prov"), mstore.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	j := NewJournal(log)
+	res := stream.WindowResult{Seq: 2, Size: 4, View: "paper",
+		Decisions: []stream.Decision{{Item: hit(0).Value(), Window: 2, Outputs: []string{"accept:out"}}}}
+	if err := j.Commit("key-abc", res); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.CloseStore(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A new process over the same directory sees the emission.
+	log2 := provenance.NewLog()
+	if err := log2.Persist(filepath.Join(dir, "prov"), mstore.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	defer log2.CloseStore()
+	j2 := NewJournal(log2)
+	got, ok := j2.Lookup("key-abc")
+	if !ok {
+		t.Fatalf("journal entry lost across restart")
+	}
+	if got.View != "paper" || len(got.Decisions) != 1 || got.Decisions[0].Item != hit(0).Value() {
+		t.Fatalf("recovered entry mangled: %+v", got)
+	}
+}
+
+// TestCommitReplicatesAndPeerReplays is the failover story in miniature:
+// a window committed on one node is replicated fleet-wide before its
+// decisions escape, so when the SAME stream later arrives at a peer
+// (because the committer died), the peer replays the journaled decisions
+// instead of re-enacting — at-most-once enactment across the fleet.
+func TestCommitReplicatesAndPeerReplays(t *testing.T) {
+	n1 := startMember(t, "n1", nil, streamInner(nil))
+	n2 := startMember(t, "n2", []string{n1.srv.URL}, streamInner(nil))
+	waitFor(t, 3*time.Second, "fleet of 2", func() bool {
+		return n1.node.Ring().Len() == 2 && n2.node.Ring().Len() == 2
+	})
+
+	lines := hitLines(8)
+	c := &StreamClient{
+		Nodes:  []string{n1.srv.URL},
+		View:   "paper",
+		Window: 4,
+	}
+	res1, err := c.Enact(context.Background(), lines)
+	if err != nil {
+		t.Fatalf("first stream: %v", err)
+	}
+	assertExactlyOnce(t, res1.Decisions, 8)
+	if res1.Replayed != 0 {
+		t.Fatalf("first run replayed %d windows; nothing was journaled yet", res1.Replayed)
+	}
+
+	// Both nodes hold both windows now — the enacting owner committed
+	// locally and replicated to its peer before emitting.
+	waitFor(t, 2*time.Second, "journal replication", func() bool {
+		return n1.node.Journal().Len() == 2 && n2.node.Journal().Len() == 2
+	})
+
+	// The same stream again, entering through the OTHER node: every
+	// window must answer from the journal, with identical decisions.
+	c2 := &StreamClient{
+		Nodes:  []string{n2.srv.URL},
+		View:   "paper",
+		Window: 4,
+	}
+	res2, err := c2.Enact(context.Background(), lines)
+	if err != nil {
+		t.Fatalf("second stream: %v", err)
+	}
+	assertExactlyOnce(t, res2.Decisions, 8)
+	if res2.Replayed != res2.Windows || res2.Windows != 2 {
+		t.Fatalf("second run replayed %d of %d windows; want all 2", res2.Replayed, res2.Windows)
+	}
+	for i := range res1.Decisions {
+		if res1.Decisions[i].Item != res2.Decisions[i].Item ||
+			len(res1.Decisions[i].Outputs) != len(res2.Decisions[i].Outputs) {
+			t.Fatalf("replayed decision %d differs:\n  first:  %+v\n  second: %+v",
+				i, res1.Decisions[i], res2.Decisions[i])
+		}
+	}
+	// Replaying enacted nothing, so no new journal entries appeared.
+	if n1.node.Journal().Len() != 2 || n2.node.Journal().Len() != 2 {
+		t.Fatalf("replay grew the journal: n1=%d n2=%d; want 2 each",
+			n1.node.Journal().Len(), n2.node.Journal().Len())
+	}
+}

@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"qurator/internal/resilience/chaos"
+)
+
+// testMember is one in-process fleet node: a real Node behind a real
+// HTTP server, probing its peers over loopback.
+type testMember struct {
+	node *Node
+	srv  *httptest.Server
+	ch   *chaos.Transport
+}
+
+func (m *testMember) host() string { return strings.TrimPrefix(m.srv.URL, "http://") }
+
+// startMember boots one node whose outbound traffic runs through a chaos
+// transport (so tests can partition links without killing processes).
+// extraMux, when set, lets callers mount application endpoints alongside
+// the /cluster surface.
+func startMember(t *testing.T, id string, seeds []string, extraMux func(*Node, *http.ServeMux)) *testMember {
+	t.Helper()
+	mux := http.NewServeMux()
+	srv := httptest.NewServer(mux)
+	ch := chaos.New(nil, chaos.Config{})
+	node, err := NewNode(Config{
+		Self:              NodeInfo{ID: id, Addr: srv.URL},
+		Seeds:             seeds,
+		HeartbeatInterval: 25 * time.Millisecond,
+		SuspectAfter:      2,
+		DeadAfter:         4,
+		ProbeTimeout:      500 * time.Millisecond,
+		Client:            &http.Client{Transport: ch, Timeout: 500 * time.Millisecond},
+		ForwardClient:     &http.Client{Transport: ch},
+		Logf:              t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := node.Handler()
+	mux.Handle("/cluster", h)
+	mux.Handle("/cluster/", h)
+	if extraMux != nil {
+		extraMux(node, mux)
+	}
+	if err := node.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		node.Stop()
+		srv.Close()
+	})
+	return &testMember{node: node, srv: srv, ch: ch}
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestMembershipConvergesFromOneSeed(t *testing.T) {
+	n1 := startMember(t, "n1", nil, nil)
+	n2 := startMember(t, "n2", []string{n1.srv.URL}, nil)
+	// n3 only seeds through n1; it must still learn n2 from the
+	// heartbeat piggyback.
+	n3 := startMember(t, "n3", []string{n1.srv.URL}, nil)
+
+	for _, m := range []*testMember{n1, n2, n3} {
+		m := m
+		waitFor(t, 3*time.Second, m.node.Self().ID+" seeing 3 ring members", func() bool {
+			return m.node.Ring().Len() == 3
+		})
+	}
+	// Every node agrees who owns any given key.
+	owner := n1.node.Ring().Owner("some-view")
+	for _, m := range []*testMember{n2, n3} {
+		if got := m.node.Ring().Owner("some-view"); got != owner {
+			t.Fatalf("%s resolves owner %q, n1 resolves %q", m.node.Self().ID, got, owner)
+		}
+	}
+}
+
+func TestPartitionedPeerTurnsSuspectThenDead(t *testing.T) {
+	n1 := startMember(t, "n1", nil, nil)
+	n2 := startMember(t, "n2", []string{n1.srv.URL}, nil)
+	waitFor(t, 3*time.Second, "fleet of 2", func() bool {
+		return n1.node.Ring().Len() == 2 && n2.node.Ring().Len() == 2
+	})
+
+	// Cut n1 → n2 (and n2 → n1, so n2 doesn't keep vouching for n1's
+	// view of the world): the chaos transport injects connection-refused
+	// on those links without touching the servers.
+	n1.ch.Partition(n2.host())
+	n2.ch.Partition(n1.host())
+
+	sawSuspect := false
+	waitFor(t, 5*time.Second, "n1 dropping n2 from the ring", func() bool {
+		for _, p := range n1.node.Peers() {
+			if p.Info.ID == "n2" && p.Status == Suspect {
+				sawSuspect = true
+			}
+		}
+		return n1.node.Ring().Len() == 1
+	})
+	if !sawSuspect {
+		t.Errorf("n2 went straight to dead without passing through suspect")
+	}
+	if owner := n1.node.Ring().Owner("anything"); owner != "n1" {
+		t.Fatalf("after the partition n1 should own everything, got %q", owner)
+	}
+
+	// Heal and rejoin: a dead node is not resurrected by rumour alone —
+	// explicit join brings it back.
+	n1.ch.Heal()
+	n2.ch.Heal()
+	if err := n2.node.join(context.Background(), n1.srv.URL); err != nil {
+		t.Fatalf("rejoin: %v", err)
+	}
+	waitFor(t, 3*time.Second, "fleet healing back to 2", func() bool {
+		return n1.node.Ring().Len() == 2 && n2.node.Ring().Len() == 2
+	})
+}
+
+func TestLeaveDeregistersImmediately(t *testing.T) {
+	n1 := startMember(t, "n1", nil, nil)
+	n2 := startMember(t, "n2", []string{n1.srv.URL}, nil)
+	waitFor(t, 3*time.Second, "fleet of 2", func() bool {
+		return n1.node.Ring().Len() == 2
+	})
+
+	n2.node.Leave(context.Background())
+
+	// Leave is synchronous: by the time it returns, n1 must already have
+	// dropped n2 — no waiting for probes to notice.
+	if got := n1.node.Ring().Len(); got != 1 {
+		t.Fatalf("n1 ring has %d members right after n2.Leave; want 1", got)
+	}
+	if n2.node.State() != StateDraining {
+		t.Fatalf("n2 state = %s; want draining", n2.node.State())
+	}
+	if err := n2.node.ReadinessCheck(); err == nil {
+		t.Fatalf("a draining node must fail its readiness check")
+	}
+	// And its heartbeat endpoint refuses, so stragglers mark it down too.
+	resp, err := http.Get(n2.srv.URL + "/cluster/heartbeat?from=n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining heartbeat = %d; want 503", resp.StatusCode)
+	}
+}
+
+func TestJoinRejectsStolenIdentity(t *testing.T) {
+	n1 := startMember(t, "n1", nil, nil)
+	body, _ := json.Marshal(NodeInfo{ID: "n1", Addr: "http://10.0.0.99:1"})
+	resp, err := http.Post(n1.srv.URL+"/cluster/join", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("joining with the seed's own ID = %d; want 409", resp.StatusCode)
+	}
+}
+
+func TestClusterStatusEndpoint(t *testing.T) {
+	n1 := startMember(t, "n1", nil, nil)
+	n2 := startMember(t, "n2", []string{n1.srv.URL}, nil)
+	waitFor(t, 3*time.Second, "fleet of 2", func() bool {
+		return n1.node.Ring().Len() == 2 && n2.node.Ring().Len() == 2
+	})
+	resp, err := http.Get(n1.srv.URL + "/cluster?key=some-view")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Self.ID != "n1" || st.State != "ready" {
+		t.Fatalf("status self/state = %q/%q", st.Self.ID, st.State)
+	}
+	if len(st.RingMembers) != 2 || len(st.Members) != 1 {
+		t.Fatalf("status ring=%v members=%v; want 2 ring members, 1 peer", st.RingMembers, st.Members)
+	}
+	if st.Owner == nil || st.Owner.Node != n1.node.Ring().Owner("some-view") {
+		t.Fatalf("status owner resolution = %+v", st.Owner)
+	}
+}

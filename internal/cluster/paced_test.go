@@ -1,0 +1,57 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestPacedStreamDirect streams slowly into the node that owns the
+// partition — no forwarding, no faults. Every item must come back
+// exactly once.
+func TestPacedStreamDirect(t *testing.T) {
+	n1 := startMember(t, "n1", nil, streamInner(nil))
+	c := &StreamClient{
+		Nodes:  []string{n1.srv.URL},
+		View:   "paper",
+		Window: 4,
+		Pace:   time.Millisecond,
+	}
+	res, err := c.Enact(context.Background(), hitLines(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertExactlyOnce(t, res.Decisions, 40)
+	if res.Resumes != 0 {
+		t.Fatalf("resumed %d times on a healthy single node", res.Resumes)
+	}
+}
+
+// TestPacedStreamForwarded streams slowly into a node that must forward
+// to the owner — the proxy hop must not reorder, drop, or buffer items.
+func TestPacedStreamForwarded(t *testing.T) {
+	n1 := startMember(t, "n1", nil, streamInner(nil))
+	n2 := startMember(t, "n2", []string{n1.srv.URL}, streamInner(nil))
+	waitFor(t, 3*time.Second, "fleet of 2", func() bool {
+		return n1.node.Ring().Len() == 2 && n2.node.Ring().Len() == 2
+	})
+	ownerID := n1.node.Ring().Owner("paper")
+	entry := map[string]*testMember{"n1": n2, "n2": n1}[ownerID] // the NON-owner
+	t.Logf("owner=%s entry=%s", ownerID, entry.node.Self().ID)
+
+	c := &StreamClient{
+		Nodes:  []string{entry.srv.URL},
+		View:   "paper",
+		Window: 4,
+		Pace:   time.Millisecond,
+		Logf:   t.Logf,
+	}
+	res, err := c.Enact(context.Background(), hitLines(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertExactlyOnce(t, res.Decisions, 40)
+	if res.Resumes != 0 {
+		t.Fatalf("resumed %d times on a healthy fleet", res.Resumes)
+	}
+}

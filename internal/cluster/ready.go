@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+)
+
+// Readiness aggregates named checks into a GET /readyz endpoint. Where
+// /healthz answers "is the process alive" (always 200 while serving),
+// /readyz answers "should a load balancer send work here": it fails
+// while the node is joining its fleet, once it starts draining, when
+// metadata persistence is broken, and for whatever else the host
+// registers. The body itemises every check so an operator sees WHICH
+// gate is closed, not just that one is.
+type Readiness struct {
+	mu     sync.Mutex
+	names  []string
+	checks map[string]func() error
+}
+
+// NewReadiness builds an empty readiness gate (which reports ready).
+func NewReadiness() *Readiness {
+	return &Readiness{checks: make(map[string]func() error)}
+}
+
+// Add registers a named check; nil errors mean ready. Re-adding a name
+// replaces its check.
+func (r *Readiness) Add(name string, check func() error) *Readiness {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.checks[name]; !dup {
+		r.names = append(r.names, name)
+	}
+	r.checks[name] = check
+	return r
+}
+
+// Ready runs every check, returning overall readiness and the per-check
+// outcomes ("ok" or the error text) in registration order.
+func (r *Readiness) Ready() (bool, map[string]string) {
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	checks := make(map[string]func() error, len(r.checks))
+	for k, v := range r.checks {
+		checks[k] = v
+	}
+	r.mu.Unlock()
+	ready := true
+	out := make(map[string]string, len(names))
+	for _, name := range names {
+		if err := checks[name](); err != nil {
+			ready = false
+			out[name] = err.Error()
+		} else {
+			out[name] = "ok"
+		}
+	}
+	return ready, out
+}
+
+// Handler serves GET /readyz: 200 with {"ready":true,...} when every
+// check passes, 503 otherwise.
+func (r *Readiness) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		ready, results := r.Ready()
+		w.Header().Set("Content-Type", "application/json")
+		if !ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Ready  bool              `json:"ready"`
+			Checks map[string]string `json:"checks"`
+		}{ready, results})
+	})
+}

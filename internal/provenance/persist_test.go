@@ -89,3 +89,40 @@ func TestPersistFoldsExistingRuns(t *testing.T) {
 		t.Fatalf("LastRun = %+v, %v", rec, ok)
 	}
 }
+
+// TestEmissionsSurviveRestart proves the exactly-once foundation: a
+// window emission journaled before a crash answers Emission (and refuses
+// re-recording) after recovery from disk.
+func TestEmissionsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	l := NewLog()
+	if err := l.Persist(dir, mstore.Options{Fsync: mstore.FsyncNever}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.RecordEmission("k1", "paper", `{"window":0}`); err != nil {
+		t.Fatal(err)
+	}
+	// Set semantics: same key again is a no-op, not a duplicate.
+	if err := l.RecordEmission("k1", "paper", `{"window":999}`); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.CloseStore(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := NewLog()
+	if err := l2.Persist(dir, mstore.Options{Fsync: mstore.FsyncNever}); err != nil {
+		t.Fatal(err)
+	}
+	defer l2.CloseStore()
+	payload, ok := l2.Emission("k1")
+	if !ok {
+		t.Fatal("emission k1 lost across restart")
+	}
+	if payload != `{"window":0}` {
+		t.Fatalf("payload = %q, want the first recording (set semantics)", payload)
+	}
+	if n := l2.Emissions(); n != 1 {
+		t.Fatalf("emissions = %d, want 1", n)
+	}
+}

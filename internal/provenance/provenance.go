@@ -42,6 +42,15 @@ var (
 	propCondAct   = ontology.Q("conditionAction")
 	propCondExpr  = ontology.Q("conditionExpression")
 	propTrace     = ontology.Q("traceID")
+
+	// Window-emission vocabulary: cluster enactment journals every emitted
+	// stream window here under its content-addressed idempotency key, so
+	// a failed-over node can prove "this window's decisions already left
+	// the building" against durable state rather than memory.
+	emissionClass  = ontology.Q("WindowEmission")
+	propEmitKey    = ontology.Q("idempotencyKey")
+	propEmitResult = ontology.Q("emittedResult")
+	propEmitView   = ontology.Q("emittedView")
 )
 
 // Record describes one quality-process execution.
@@ -77,11 +86,15 @@ type Log struct {
 	// lastErr records a store write failure — Record's signature (kept
 	// stable for its compiler-side callers) cannot return one; see Err.
 	lastErr error
+	// emissions indexes WindowEmission records by idempotency key (the
+	// graph holds the durable truth; this is its lookup structure,
+	// rebuilt from the graph on Persist).
+	emissions map[string]string
 }
 
 // NewLog returns an empty provenance log.
 func NewLog() *Log {
-	return &Log{graph: rdf.NewGraph()}
+	return &Log{graph: rdf.NewGraph(), emissions: make(map[string]string)}
 }
 
 // Record appends a run and returns its resource IRI.
@@ -124,6 +137,64 @@ func (l *Log) Record(rec Record) rdf.Term {
 		}
 	}
 	return run
+}
+
+// RecordEmission journals one emitted stream window under its
+// content-addressed idempotency key. Recording is set-semantic: a key
+// already present is a no-op (re-recording the same emission cannot
+// duplicate it), so replication and crash-replay may deliver the same
+// entry any number of times. With a durable backend the entry is
+// WAL-committed before RecordEmission returns.
+func (l *Log) RecordEmission(key, view, payload string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.emissions[key]; ok {
+		return nil
+	}
+	node := rdf.IRI(ontology.QuratorNS + "emission/" + key)
+	adds := []rdf.Triple{
+		rdf.T(node, rdf.IRI(rdf.RDFType), emissionClass),
+		rdf.T(node, propEmitKey, rdf.Literal(key)),
+		rdf.T(node, propEmitView, rdf.Literal(view)),
+		rdf.T(node, propEmitResult, rdf.Literal(payload)),
+	}
+	if l.store != nil {
+		if _, err := l.store.AddBatch(adds); err != nil {
+			return err
+		}
+	} else {
+		for _, t := range adds {
+			l.graph.MustAdd(t)
+		}
+	}
+	l.emissions[key] = payload
+	return nil
+}
+
+// Emission returns the journaled payload for an idempotency key.
+func (l *Log) Emission(key string) (string, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	p, ok := l.emissions[key]
+	return p, ok
+}
+
+// EmissionKeys returns every journaled idempotency key (unordered).
+func (l *Log) EmissionKeys() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, len(l.emissions))
+	for k := range l.emissions {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Emissions returns the number of journaled window emissions.
+func (l *Log) Emissions() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.emissions)
 }
 
 // Runs returns the recorded run resources, oldest first.

@@ -33,6 +33,11 @@ type Config struct {
 	// LatencyRate is the probability Latency is added before forwarding.
 	LatencyRate float64
 	Latency     time.Duration
+	// RefuseRate is the probability a request fails as if the peer's
+	// port were closed — a connection-refused dial error, distinct from
+	// ErrorRate's mid-exchange transport failure. The request never
+	// reaches the base.
+	RefuseRate float64
 	// TruncateRate is the probability the response body is cut in half
 	// with its Content-Length left claiming the full size — a mid-body
 	// connection reset as the client sees it.
@@ -46,17 +51,26 @@ type Config struct {
 
 // Stats counts what the transport injected, for test assertions.
 type Stats struct {
-	Requests  int64
-	Errors    int64
-	Delays    int64
-	Truncated int64
-	Corrupted int64
-	Outages   int64
+	Requests    int64
+	Errors      int64
+	Refused     int64
+	Delays      int64
+	Truncated   int64
+	Corrupted   int64
+	Outages     int64
+	Partitioned int64
 }
 
 // ErrInjected is the error class of every chaos-injected transport
 // failure.
 var ErrInjected = fmt.Errorf("chaos: injected transport error")
+
+// ErrRefused is the error class of injected connection-refused failures
+// (RefuseRate and Partition): the peer looked reachable a moment ago and
+// now the dial itself fails — the failure mode cluster membership must
+// detect. It unwraps to ErrInjected so existing chaos assertions still
+// match.
+var ErrRefused = fmt.Errorf("%w: connection refused", ErrInjected)
 
 // Transport injects faults in front of a base RoundTripper.
 type Transport struct {
@@ -66,9 +80,13 @@ type Transport struct {
 	mu  sync.Mutex
 	rng *rand.Rand
 
-	down  atomic.Bool
+	down atomic.Bool
+
+	partMu      sync.Mutex
+	partitioned map[string]bool // req.URL.Host values currently unreachable
+
 	stats struct {
-		requests, errors, delays, truncated, corrupted, outages atomic.Int64
+		requests, errors, refused, delays, truncated, corrupted, outages, partitions atomic.Int64
 	}
 }
 
@@ -89,15 +107,54 @@ func New(base http.RoundTripper, cfg Config) *Transport {
 // then let the dependency heal.
 func (t *Transport) SetDown(down bool) { t.down.Store(down) }
 
+// Partition makes the given hosts (req.URL.Host values, e.g.
+// "127.0.0.1:9091") unreachable: every request to them fails with
+// ErrRefused, deterministically, as if the process died or a network
+// partition cut the link. Hosts accumulate across calls; Heal reconnects
+// everything. Unlike SetDown, requests to other hosts are unaffected —
+// this is the asymmetric failure membership protocols must survive.
+func (t *Transport) Partition(hosts ...string) {
+	t.partMu.Lock()
+	defer t.partMu.Unlock()
+	if t.partitioned == nil {
+		t.partitioned = make(map[string]bool, len(hosts))
+	}
+	for _, h := range hosts {
+		t.partitioned[h] = true
+	}
+}
+
+// Heal removes the given hosts from the partition (no hosts = heal all).
+func (t *Transport) Heal(hosts ...string) {
+	t.partMu.Lock()
+	defer t.partMu.Unlock()
+	if len(hosts) == 0 {
+		t.partitioned = nil
+		return
+	}
+	for _, h := range hosts {
+		delete(t.partitioned, h)
+	}
+}
+
+// isPartitioned reports whether host is currently cut off.
+func (t *Transport) isPartitioned(host string) bool {
+	t.partMu.Lock()
+	defer t.partMu.Unlock()
+	return t.partitioned[host]
+}
+
 // Stats snapshots the injection counters.
 func (t *Transport) Stats() Stats {
 	return Stats{
-		Requests:  t.stats.requests.Load(),
-		Errors:    t.stats.errors.Load(),
-		Delays:    t.stats.delays.Load(),
-		Truncated: t.stats.truncated.Load(),
-		Corrupted: t.stats.corrupted.Load(),
-		Outages:   t.stats.outages.Load(),
+		Requests:    t.stats.requests.Load(),
+		Errors:      t.stats.errors.Load(),
+		Refused:     t.stats.refused.Load(),
+		Delays:      t.stats.delays.Load(),
+		Truncated:   t.stats.truncated.Load(),
+		Corrupted:   t.stats.corrupted.Load(),
+		Outages:     t.stats.outages.Load(),
+		Partitioned: t.stats.partitions.Load(),
 	}
 }
 
@@ -118,6 +175,14 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	if t.down.Load() {
 		t.stats.outages.Add(1)
 		return nil, fmt.Errorf("%w: %s %s: endpoint down", ErrInjected, req.Method, req.URL.Path)
+	}
+	if t.isPartitioned(req.URL.Host) {
+		t.stats.partitions.Add(1)
+		return nil, fmt.Errorf("%w: dial tcp %s", ErrRefused, req.URL.Host)
+	}
+	if t.cfg.RefuseRate > 0 && t.roll() < t.cfg.RefuseRate {
+		t.stats.refused.Add(1)
+		return nil, fmt.Errorf("%w: dial tcp %s", ErrRefused, req.URL.Host)
 	}
 	if t.cfg.ErrorRate > 0 && t.roll() < t.cfg.ErrorRate {
 		t.stats.errors.Add(1)

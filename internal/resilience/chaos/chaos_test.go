@@ -126,6 +126,52 @@ func TestMatchScopesInjection(t *testing.T) {
 	}
 }
 
+func TestRefuseRateInjectsConnectionRefused(t *testing.T) {
+	srv := newEchoServer(t)
+	tr := New(http.DefaultTransport, Config{Seed: 1, RefuseRate: 1})
+	_, err := doGet(t, tr, srv.URL)
+	if !errors.Is(err, ErrRefused) {
+		t.Fatalf("err = %v, want ErrRefused", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("ErrRefused must unwrap to ErrInjected, got %v", err)
+	}
+	if st := tr.Stats(); st.Refused != 1 {
+		t.Errorf("refused = %d, want 1", st.Refused)
+	}
+}
+
+// TestPartitionCutsOnlyNamedHosts proves the asymmetric failure mode: a
+// partitioned peer is unreachable while its neighbours stay healthy, and
+// healing restores it — exactly the suspect→dead→rejoin sequence cluster
+// membership probes must observe.
+func TestPartitionCutsOnlyNamedHosts(t *testing.T) {
+	a, b := newEchoServer(t), newEchoServer(t)
+	tr := New(http.DefaultTransport, Config{Seed: 1})
+
+	hostOf := func(url string) string { return strings.TrimPrefix(url, "http://") }
+	tr.Partition(hostOf(a.URL))
+
+	if _, err := doGet(t, tr, a.URL); !errors.Is(err, ErrRefused) {
+		t.Fatalf("partitioned host: err = %v, want ErrRefused", err)
+	}
+	resp, err := doGet(t, tr, b.URL)
+	if err != nil {
+		t.Fatalf("unpartitioned host failed: %v", err)
+	}
+	resp.Body.Close()
+
+	tr.Heal()
+	resp, err = doGet(t, tr, a.URL)
+	if err != nil {
+		t.Fatalf("healed host still failing: %v", err)
+	}
+	resp.Body.Close()
+	if st := tr.Stats(); st.Partitioned != 1 {
+		t.Errorf("partitioned = %d, want 1", st.Partitioned)
+	}
+}
+
 // TestResilientTransportSurvivesChaos is the layered integration check:
 // the resilient transport stacked on the chaos transport keeps a flaky
 // endpoint usable — every idempotent call eventually succeeds under a

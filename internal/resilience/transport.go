@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -160,6 +161,32 @@ func (t *Transport) BreakerStates() map[string]BreakerState {
 // Budget exposes the transport's retry budget.
 func (t *Transport) Budget() *Budget { return t.budget }
 
+// maxRetryAfter caps how long the transport honours a server-supplied
+// Retry-After hint: a shedding front door asking for a few seconds is
+// respected verbatim, a misconfigured one asking for an hour is not.
+const maxRetryAfter = 30 * time.Second
+
+// retryAfterHint parses a 429/503 response's Retry-After header
+// (delta-seconds or HTTP-date) into a backoff floor, 0 when absent or
+// unparseable. Load-shedding servers (admission control's 429s) use it to
+// tell clients exactly when capacity returns; honouring it beats blind
+// exponential guessing.
+func retryAfterHint(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return min(time.Duration(secs)*time.Second, maxRetryAfter)
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return min(d, maxRetryAfter)
+		}
+	}
+	return 0
+}
+
 // retryableStatus reports whether an HTTP status indicates a transient
 // server-side condition worth retrying.
 func retryableStatus(code int) bool {
@@ -189,6 +216,7 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	t.budget.Request()
 
 	var lastErr error
+	var retryAfter time.Duration // server-requested backoff floor
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		if attempt > 0 {
 			if !t.budget.Allow() {
@@ -196,6 +224,12 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 			}
 			rtRetries.With(key).Inc()
 			d := backoffFor(t.policy.BaseBackoff, t.policy.MaxBackoff, attempt-1, t.rng)
+			// A shedding server's Retry-After is a floor, not a hint to
+			// ignore: backing off sooner would just be shed again.
+			if retryAfter > d {
+				d = retryAfter
+			}
+			retryAfter = 0
 			if !t.policy.sleep(d, req.Context().Done()) {
 				return nil, &ExhaustedError{Endpoint: key, Attempts: attempt, Err: req.Context().Err()}
 			}
@@ -216,6 +250,7 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 		}
 		if retryableStatus(resp.StatusCode) {
 			br.RecordFailure()
+			retryAfter = retryAfterHint(resp)
 			lastErr = fmt.Errorf("resilience: %s returned %s", key, resp.Status)
 			if attempt == maxAttempts-1 || !t.budget.Peek() {
 				// Out of attempts: hand the actual response to the caller

@@ -265,3 +265,93 @@ func TestTransportDeadlinePropagation(t *testing.T) {
 type roundTripFunc func(*http.Request) (*http.Response, error)
 
 func (f roundTripFunc) RoundTrip(req *http.Request) (*http.Response, error) { return f(req) }
+
+// shedBase answers 429 + Retry-After for its first sheds calls, then 200 —
+// the server side of admission-control load shedding.
+type shedBase struct {
+	sheds      int
+	retryAfter string
+	calls      atomic.Int64
+}
+
+func (s *shedBase) RoundTrip(req *http.Request) (*http.Response, error) {
+	n := int(s.calls.Add(1))
+	if n <= s.sheds {
+		h := http.Header{}
+		if s.retryAfter != "" {
+			h.Set("Retry-After", s.retryAfter)
+		}
+		return &http.Response{
+			StatusCode: http.StatusTooManyRequests,
+			Status:     "429 Too Many Requests",
+			Header:     h,
+			Body:       io.NopCloser(strings.NewReader("shed")),
+			Request:    req,
+		}, nil
+	}
+	return &http.Response{
+		StatusCode:    http.StatusOK,
+		Status:        "200 OK",
+		Body:          io.NopCloser(strings.NewReader("ok")),
+		ContentLength: 2,
+		Request:       req,
+	}, nil
+}
+
+// TestTransportHonoursRetryAfter proves a shed client waits at least the
+// server-requested interval instead of its own (shorter) backoff, then
+// succeeds once shedding ends.
+func TestTransportHonoursRetryAfter(t *testing.T) {
+	base := &shedBase{sheds: 2, retryAfter: "3"}
+	var sleeps []time.Duration
+	p := Policy{MaxAttempts: 4, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond}.
+		WithSleep(func(d time.Duration, _ <-chan struct{}) bool {
+			sleeps = append(sleeps, d)
+			return true
+		})
+	tr := NewTransport(base, p)
+	resp, err := get(t, tr, "http://front.example/stream/enact")
+	if err != nil {
+		t.Fatalf("RoundTrip: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 after shedding ended", resp.StatusCode)
+	}
+	if len(sleeps) != 2 {
+		t.Fatalf("sleeps = %v, want 2 retry sleeps", sleeps)
+	}
+	for i, d := range sleeps {
+		if d < 3*time.Second {
+			t.Errorf("sleep %d = %v, want ≥ 3s (the Retry-After floor)", i, d)
+		}
+	}
+}
+
+// TestRetryAfterHintParsesAndCaps covers the header grammar: delta
+// seconds, HTTP-date, absent, garbage, and the cap on hostile values.
+func TestRetryAfterHintParsesAndCaps(t *testing.T) {
+	mk := func(v string) *http.Response {
+		h := http.Header{}
+		if v != "" {
+			h.Set("Retry-After", v)
+		}
+		return &http.Response{Header: h}
+	}
+	if d := retryAfterHint(mk("2")); d != 2*time.Second {
+		t.Errorf("delta-seconds: %v, want 2s", d)
+	}
+	if d := retryAfterHint(mk("")); d != 0 {
+		t.Errorf("absent: %v, want 0", d)
+	}
+	if d := retryAfterHint(mk("soon")); d != 0 {
+		t.Errorf("garbage: %v, want 0", d)
+	}
+	if d := retryAfterHint(mk("3600")); d != maxRetryAfter {
+		t.Errorf("hostile delta: %v, want cap %v", d, maxRetryAfter)
+	}
+	date := time.Now().Add(5 * time.Second).UTC().Format(http.TimeFormat)
+	if d := retryAfterHint(mk(date)); d <= 0 || d > 5*time.Second {
+		t.Errorf("HTTP-date: %v, want (0, 5s]", d)
+	}
+}

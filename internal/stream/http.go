@@ -9,6 +9,22 @@ import (
 	"qurator/internal/compiler"
 )
 
+// handlerOptions collects the host-side (non-query) configuration of the
+// streaming endpoint.
+type handlerOptions struct {
+	journal WindowJournal
+}
+
+// HandlerOption configures Handler beyond what the request query can ask
+// for.
+type HandlerOption func(*handlerOptions)
+
+// WithJournal attaches a window-emission journal to every stream served
+// by the handler — the cluster layer's exactly-once hook.
+func WithJournal(j WindowJournal) HandlerOption {
+	return func(o *handlerOptions) { o.journal = j }
+}
+
 // CompileFunc produces a freshly-compiled quality view for one streaming
 // request. Each request gets its own Compiled so concurrent streams never
 // share mutable workflow state; the host (quratord, or a test) decides
@@ -31,7 +47,11 @@ type CompileFunc func(view string) (*compiler.Compiled, error)
 //	partial     "drop" suppresses the final short window
 //	on-error    "skip" reports failed windows and keeps streaming
 //	            (default: the first failed window ends the stream)
-func Handler(compile CompileFunc) http.Handler {
+func Handler(compile CompileFunc, opts ...HandlerOption) http.Handler {
+	var ho handlerOptions
+	for _, o := range opts {
+		o(&ho)
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "stream: POST an NDJSON item stream", http.StatusMethodNotAllowed)
@@ -42,6 +62,7 @@ func Handler(compile CompileFunc) http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		cfg.Journal = ho.journal
 		compiled, err := compile(view)
 		if err != nil {
 			http.Error(w, fmt.Sprintf("stream: compile view %q: %v", view, err), http.StatusBadRequest)

@@ -110,14 +110,15 @@ func WriteResults(w io.Writer, results <-chan WindowResult, flush func()) error 
 			}
 		}
 		summary := struct {
-			Window  int                    `json:"window"`
-			Size    int                    `json:"size"`
-			Decided int                    `json:"decided"`
-			Partial bool                   `json:"partial,omitempty"`
-			Failed  bool                   `json:"failed,omitempty"`
-			Error   string                 `json:"error,omitempty"`
-			Stats   map[string]WindowStats `json:"stats,omitempty"`
-		}{res.Seq, res.Size, len(res.Decisions), res.Partial, res.Failed, res.Error, res.Stats}
+			Window   int                    `json:"window"`
+			Size     int                    `json:"size"`
+			Decided  int                    `json:"decided"`
+			Partial  bool                   `json:"partial,omitempty"`
+			Failed   bool                   `json:"failed,omitempty"`
+			Replayed bool                   `json:"replayed,omitempty"`
+			Error    string                 `json:"error,omitempty"`
+			Stats    map[string]WindowStats `json:"stats,omitempty"`
+		}{res.Seq, res.Size, len(res.Decisions), res.Partial, res.Failed, res.Replayed, res.Error, res.Stats}
 		if err := enc.Encode(summary); err != nil {
 			return err
 		}

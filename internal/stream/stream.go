@@ -26,11 +26,13 @@ package stream
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"qurator/internal/compiler"
 	"qurator/internal/evidence"
+	"qurator/internal/qcache"
 	"qurator/internal/telemetry"
 	"qurator/internal/workflow"
 )
@@ -117,6 +119,15 @@ type WindowResult struct {
 	// SkipFailedWindows: its items were NOT decided (Decisions is empty)
 	// and Error carries the cause. The stream itself kept going.
 	Failed bool `json:"failed,omitempty"`
+	// Replayed marks a window answered from the emission journal instead
+	// of enacted: an identical window (same view, items and inline
+	// evidence) was already decided and emitted — typically by a node
+	// that has since died. Its decisions are the journaled originals.
+	Replayed bool `json:"replayed,omitempty"`
+	// View names the quality view that decided the window — carried so
+	// downstream journals can attribute the emission without re-deriving
+	// it from the idempotency key.
+	View string `json:"view,omitempty"`
 	// Error is the enactment failure for a Failed window.
 	Error string `json:"error,omitempty"`
 	// Decisions holds one decision per newly-decided item.
@@ -157,6 +168,29 @@ type Config struct {
 	// set (and no decisions) and later windows proceed. Off by default —
 	// a batch-faithful stream fails fast.
 	SkipFailedWindows bool
+	// Journal, when set, gives window emission at-most-once semantics
+	// across re-enactments (cluster failover): before enacting a fired
+	// window the enactor looks its content-addressed idempotency key up —
+	// a hit replays the journaled result instead of re-enacting; a miss
+	// enacts and Commits the result durably before it is emitted. Paired
+	// with an at-least-once replaying producer this yields exactly-once
+	// decision emission.
+	Journal WindowJournal
+}
+
+// WindowJournal is the durable emission record the cluster layer plugs
+// into a streaming enactment. Keys are content-addressed over the
+// window's view, items and inline evidence (see Enactor.windowKey), so
+// the same window re-sent to a different node — or to the same node
+// after a restart — maps to the same entry.
+type WindowJournal interface {
+	// Lookup returns the journaled result for key, if any.
+	Lookup(key string) (WindowResult, bool)
+	// Commit records the enacted result under key, durably, before any
+	// decision from it reaches a client. An error fails the window (it
+	// is NOT emitted): emitting without a journal entry could duplicate
+	// the window after failover.
+	Commit(key string, res WindowResult) error
 }
 
 // Enactor runs a compiled quality view over unbounded item sequences.
@@ -280,9 +314,36 @@ func (e *Enactor) Run(ctx context.Context, in <-chan Item, out chan<- WindowResu
 			defer workerWG.Done()
 			for j := range jobs {
 				queueDepth.Add(-1)
+				var key string
+				if e.cfg.Journal != nil {
+					key = e.windowKey(j)
+					if cached, ok := e.cfg.Journal.Lookup(key); ok {
+						// Already decided and emitted once (possibly by a
+						// node that has since died): replay the journaled
+						// decisions instead of re-enacting.
+						cached.Seq = j.seq
+						cached.Replayed = true
+						cached.firedAt = j.firedAt
+						streamWindows.With(view, "replayed").Inc()
+						select {
+						case results <- cached:
+						case <-ctx.Done():
+							return
+						}
+						continue
+					}
+				}
 				began := time.Now()
 				res, err := e.enactWindow(ctx, j)
 				streamWindowDuration.With(view).Observe(time.Since(began).Seconds())
+				if err == nil && key != "" {
+					// The journal entry must be durable before the first
+					// decision escapes: a commit failure is a window
+					// failure, not a silent best-effort.
+					if cerr := e.cfg.Journal.Commit(key, res); cerr != nil {
+						err = fmt.Errorf("stream: window %d: journal commit: %w", j.seq, cerr)
+					}
+				}
 				if err != nil {
 					if ctx.Err() != nil {
 						return
@@ -402,6 +463,7 @@ func (e *Enactor) enactWindow(ctx context.Context, j windowJob) (_ WindowResult,
 		Seq:       j.seq,
 		Size:      len(j.items),
 		Partial:   j.partial,
+		View:      e.compiled.Name(),
 		Decisions: Decide(j.items[j.decideFrom:], outputs, cons, outputOrder, j.seq),
 		Stats:     j.stats,
 		firedAt:   j.firedAt,
@@ -430,6 +492,27 @@ func (e *Enactor) enactWindow(ctx context.Context, j windowJob) (_ WindowResult,
 		}
 	}
 	return res, nil
+}
+
+// windowKey derives the content-addressed idempotency key of a fired
+// window: the view name, the windowing shape, the item sequence and the
+// canonical encoding of the window's annotation map (inline evidence
+// included). Everything position-dependent is length-prefixed via
+// qcache.Key, and the window sequence number is deliberately excluded —
+// a resumed stream renumbers its windows from zero, and the SAME window
+// content must map to the SAME journal entry regardless.
+func (e *Enactor) windowKey(j windowJob) string {
+	k := qcache.NewKey().
+		Str("stream-window").
+		Str(e.compiled.Name()).
+		Str(strconv.Itoa(j.decideFrom)).
+		Str(strconv.FormatBool(j.partial)).
+		Str(strconv.Itoa(len(j.items)))
+	for _, it := range j.items {
+		k.Str(it.Value())
+	}
+	k.Map(j.m)
+	return k.Sum()
 }
 
 // Decide derives per-item decisions from one enactment's outputs — the

@@ -133,3 +133,23 @@ func (f *Framework) TransportFor(baseURL string) *resilience.Transport {
 	}
 	return nil
 }
+
+// BreakerStates merges the circuit-breaker states of every cached remote
+// client, keyed "host endpoint" → closed/open/half-open. Readiness
+// endpoints report this map so "which upstream is this node shunning"
+// is one GET away.
+func (f *Framework) BreakerStates() map[string]string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]string)
+	for base, c := range f.clients {
+		rt := c.ResilientTransport()
+		if rt == nil {
+			continue
+		}
+		for ep, st := range rt.BreakerStates() {
+			out[base+" "+ep] = st.String()
+		}
+	}
+	return out
+}
