@@ -13,6 +13,7 @@
 //	         [-heartbeat-interval d] [-drain-timeout d] [-scavenge-peers]
 //	         [-admit-rate r] [-admit-burst n] [-admit-max-inflight n]
 //	         [-flake-rate p] [-flake-latency d] [-debug-addr :6060]
+//	quratord -check-exposition FILE
 //
 // -cluster turns the process into one member of an enactment fleet (see
 // internal/cluster): it joins through -cluster-seeds, heartbeats its
@@ -49,8 +50,13 @@
 // Observability: GET /metrics serves the process registry in Prometheus
 // text format (processor durations, breaker states, retry counters,
 // stream window metrics, injected-fault counters); GET /debug/enactments
-// serves recent enactment span trees as JSON. -debug-addr starts a
-// second listener with net/http/pprof profiles.
+// serves recent enactment span trees as JSON (?fleet=1 assembles them
+// across ring members, see internal/cluster); GET /debug/traces/<id>
+// serves this node's raw span fragment of one distributed trace; in
+// cluster mode GET /cluster/metrics federates every member's /metrics
+// into one exposition. -check-exposition lints a captured exposition
+// file and exits. -debug-addr starts a second listener with
+// net/http/pprof profiles.
 //
 // A second machine (or a second process) can then do:
 //
@@ -159,7 +165,23 @@ func main() {
 		"admission control: token-bucket burst size (0 = rate rounded up)")
 	admitMaxInflight := flag.Int("admit-max-inflight", 0,
 		"admission control: concurrent enactment streams before shedding (0 = unbounded)")
+	checkExposition := flag.String("check-exposition", "",
+		"validate FILE as Prometheus text exposition and exit — lint a captured /metrics or /cluster/metrics snapshot")
 	flag.Parse()
+
+	// Lint mode: no server, just the exposition validator over a file.
+	if *checkExposition != "" {
+		in, err := os.Open(*checkExposition)
+		if err != nil {
+			log.Fatalf("quratord: %v", err)
+		}
+		defer in.Close()
+		if err := telemetry.ValidateExposition(in); err != nil {
+			log.Fatalf("quratord: %s: %v", *checkExposition, err)
+		}
+		fmt.Printf("quratord: %s is a valid exposition\n", *checkExposition)
+		return
+	}
 
 	mode, err := qurator.ParseDegradedMode(*degraded)
 	if err != nil {
@@ -292,15 +314,27 @@ func main() {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.Handle("GET /readyz", ready.Handler())
+	// The name this process signs its span fragments with: the fleet ID
+	// in cluster mode, the node-id flag or listen address otherwise.
+	nodeName := *nodeID
+	if node != nil {
+		nodeName = node.Self().ID
+	} else if nodeName == "" {
+		nodeName = strings.TrimPrefix(*addr, ":")
+	}
 	if node != nil {
 		mux.Handle("/cluster", node.Handler())
 		mux.Handle("/cluster/", node.Handler())
+		// Exact pattern beats the /cluster/ subtree: the federated view
+		// of every member's /metrics, summed where summing is sound.
+		mux.Handle("GET /cluster/metrics", node.MetricsHandler(telemetry.Default))
 	}
 	mux.Handle("/stream/enact", streamH)
 	mux.Handle("POST /query", f.QueryHandler())
 	mux.Handle("GET /cube", f.CubeHandler())
 	mux.Handle("GET /metrics", telemetry.Default.Handler())
-	mux.Handle("GET /debug/enactments", telemetry.DebugHandler(telemetry.DefaultRecorder))
+	mux.Handle("GET /debug/enactments", cluster.FleetDebugHandler(node, telemetry.DefaultRecorder, nodeName))
+	mux.Handle("GET /debug/traces/", telemetry.FragmentsHandler(telemetry.DefaultRecorder, nodeName))
 
 	var handler http.Handler = mux
 	chaosRate.Set(*flakeRate)
@@ -390,12 +424,16 @@ func splitCSV(s string) []string {
 func flaky(h http.Handler, rate float64, latency time.Duration, seed int64) http.Handler {
 	var mu sync.Mutex
 	rng := rand.New(rand.NewSource(seed))
-	spared := map[string]bool{"/healthz": true, "/readyz": true, "/metrics": true, "/debug/enactments": true}
+	spared := map[string]bool{
+		"/healthz": true, "/readyz": true,
+		"/metrics": true, "/cluster/metrics": true,
+		"/debug/enactments": true,
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		mu.Lock()
 		flake := rng.Float64() < rate
 		mu.Unlock()
-		if flake && !spared[r.URL.Path] {
+		if flake && !spared[r.URL.Path] && !strings.HasPrefix(r.URL.Path, "/debug/traces") {
 			chaosFaults.Inc()
 			time.Sleep(latency)
 			http.Error(w, "quratord: injected flake", http.StatusServiceUnavailable)

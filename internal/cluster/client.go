@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"qurator/internal/stream"
+	"qurator/internal/telemetry"
 )
 
 // StreamClient is a fleet-aware streaming enactment client with resume:
@@ -59,6 +60,11 @@ type StreamClient struct {
 
 // EnactResult is the outcome of one fully-delivered stream.
 type EnactResult struct {
+	// TraceID identifies the enactment's distributed trace: the client
+	// roots it and every node the stream touches (resumes included)
+	// records its spans under it — GET /debug/traces/<id> on any fleet
+	// node finds this node's fragment.
+	TraceID string
 	// Decisions holds exactly one decision per input item, in item order.
 	Decisions []stream.Decision
 	// Windows is the number of window summaries received (replays
@@ -86,13 +92,20 @@ type wireSummary struct {
 
 // Enact streams the NDJSON item lines through the fleet until every
 // item's decision is delivered, resuming across node failures.
-func (c *StreamClient) Enact(ctx context.Context, lines []string) (*EnactResult, error) {
+func (c *StreamClient) Enact(ctx context.Context, lines []string) (res *EnactResult, err error) {
 	if c.View == "" {
 		return nil, fmt.Errorf("cluster: StreamClient needs a View")
 	}
 	if len(c.Nodes) == 0 {
 		return nil, fmt.Errorf("cluster: StreamClient needs at least one node")
 	}
+	// The client roots the enactment's distributed trace: every attempt
+	// (resumes at other nodes included) carries the same traceparent, so
+	// a failover shows up as two server spans under one trace instead of
+	// two unrelated traces.
+	ctx, span := telemetry.StartSpan(ctx, "client:stream")
+	span.SetAttr("view", c.View)
+	defer func() { span.EndErr(err) }()
 	window := c.Window
 	if window <= 0 {
 		window = 64
@@ -114,7 +127,7 @@ func (c *StreamClient) Enact(ctx context.Context, lines []string) (*EnactResult,
 		logf = func(string, ...any) {}
 	}
 
-	res := &EnactResult{}
+	res = &EnactResult{TraceID: span.TraceID}
 	acked := 0 // items whose window summary arrived; the resume offset
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		if acked >= len(lines) {
@@ -197,6 +210,7 @@ func (c *StreamClient) streamOnce(ctx context.Context, client *http.Client, node
 	if c.Tenant != "" {
 		req.Header.Set(TenantHeader, c.Tenant)
 	}
+	telemetry.Inject(ctx, req.Header)
 
 	// Producer: pace the items in so the response can interleave (and so
 	// tests have a live stream to kill a node under).

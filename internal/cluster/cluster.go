@@ -245,6 +245,13 @@ type Node struct {
 	stopCh  chan struct{}
 	done    sync.WaitGroup
 	started atomic.Bool
+
+	// hbCtx/hbSpan are the node's long-lived heartbeat trace: every probe
+	// this node sends carries the same traceparent, so heartbeat traffic
+	// is traceable fleet-wide without minting a trace per probe (2/s per
+	// peer would churn the recorder's trace ring into uselessness).
+	hbCtx  context.Context
+	hbSpan *telemetry.Span
 }
 
 type memberState struct {
@@ -321,6 +328,8 @@ func (n *Node) Start(ctx context.Context) error {
 		}
 	}
 	n.state.Store(int32(StateReady))
+	n.hbCtx, n.hbSpan = telemetry.StartSpan(context.Background(), "cluster:heartbeats")
+	n.hbSpan.SetAttr("node", n.self.ID)
 	n.updateMemberMetrics()
 	n.done.Add(1)
 	go n.probeLoop()
@@ -337,6 +346,10 @@ func (n *Node) Stop() {
 		close(n.stopCh)
 	}
 	n.done.Wait()
+	if n.hbSpan != nil {
+		n.hbSpan.End()
+		n.hbSpan = nil
+	}
 }
 
 // Leave deregisters from every live peer — BEFORE the caller drains its
@@ -559,7 +572,11 @@ func (n *Node) probeAll() {
 
 // probe heartbeats one peer and walks its liveness state machine.
 func (n *Node) probe(info NodeInfo) {
-	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ProbeTimeout)
+	base := n.hbCtx
+	if base == nil {
+		base = context.Background()
+	}
+	ctx, cancel := context.WithTimeout(base, n.cfg.ProbeTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		info.Addr+"/cluster/heartbeat?from="+n.self.ID, nil)
@@ -567,6 +584,7 @@ func (n *Node) probe(info NodeInfo) {
 		return
 	}
 	req.Header.Set(heartbeatAddrHeader, n.self.Addr)
+	telemetry.Inject(ctx, req.Header)
 	br := n.breakerFor(info.ID)
 	resp, err := n.cfg.Client.Do(req)
 	var peers []NodeInfo

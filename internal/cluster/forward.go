@@ -3,6 +3,8 @@ package cluster
 import (
 	"io"
 	"net/http"
+
+	"qurator/internal/telemetry"
 )
 
 // PartitionKey extracts the routing key of an enactment request: the
@@ -80,18 +82,30 @@ func (n *Node) forward(w http.ResponseWriter, r *http.Request, owner NodeInfo, b
 			http.StatusInternalServerError)
 		return
 	}
-	req, err := http.NewRequestWithContext(r.Context(), r.Method,
+	// The forwarding hop is where a fleet trace is rooted: join the
+	// client's trace if it sent a traceparent, mint one otherwise, and
+	// pass the hop's span to the owner so its enactment spans hang off
+	// this one — one trace ID across both nodes.
+	ctx, _ := telemetry.Extract(r.Context(), r.Header)
+	ctx, span := telemetry.StartSpan(ctx, "cluster:forward")
+	span.SetAttr("owner", owner.ID)
+	var fwdErr error
+	defer func() { span.EndErr(fwdErr) }()
+	req, err := http.NewRequestWithContext(ctx, r.Method,
 		owner.Addr+r.URL.RequestURI(), r.Body)
 	if err != nil {
+		fwdErr = err
 		http.Error(w, "cluster: forward: "+err.Error(), http.StatusInternalServerError)
 		return
 	}
 	req.Header = r.Header.Clone()
 	req.Header.Set(forwardedHeader, n.self.ID)
+	telemetry.Inject(ctx, req.Header)
 	resp, err := n.cfg.ForwardClient.Do(req)
 	if err != nil {
 		// Nothing was written yet, so the client sees a clean, retryable
 		// failure and its replay logic picks another node.
+		fwdErr = err
 		br.RecordFailure()
 		clusterForwards.With(n.self.ID, "remote-failed").Inc()
 		w.Header().Set("Retry-After", "1")
@@ -128,7 +142,9 @@ func (n *Node) forward(w http.ResponseWriter, r *http.Request, owner NodeInfo, b
 			// the handler normally would send a clean chunked terminator
 			// and the client would mistake a half-delivered stream for a
 			// complete one. Aborting tears the connection down so the
-			// client's resume logic takes over.
+			// client's resume logic takes over. The deferred EndErr still
+			// runs, so the truncated hop is recorded before the abort.
+			fwdErr = rerr
 			br.RecordFailure()
 			panic(http.ErrAbortHandler)
 		}

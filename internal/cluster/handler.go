@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"strings"
+
+	"qurator/internal/telemetry"
 )
 
 // heartbeatAddrHeader carries the prober's advertised address on a
@@ -99,6 +101,14 @@ func (n *Node) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	if n.State() == StateDraining {
 		http.Error(w, "cluster: draining", http.StatusServiceUnavailable)
 		return
+	}
+	// Probes carry the sender's long-lived heartbeat trace; ack under it
+	// only when a traceparent actually arrived — an un-traced probe must
+	// not mint a fresh trace per heartbeat.
+	if ctx, traced := telemetry.Extract(r.Context(), r.Header); traced {
+		_, span := telemetry.StartSpan(ctx, "cluster:heartbeat-ack")
+		span.SetAttr("node", n.self.ID)
+		defer span.End()
 	}
 	// Being probed teaches us the prober.
 	if from := r.URL.Query().Get("from"); from != "" {

@@ -1,0 +1,282 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"qurator/internal/resilience"
+	"qurator/internal/telemetry"
+)
+
+// IncompleteHeader lists the fleet members a federated response could
+// not include (down, breaker-open, scrape failed) — a partial answer
+// says so in-band instead of quietly shrinking the fleet.
+const IncompleteHeader = "X-Qurator-Federation-Incomplete"
+
+// scrapeTargets snapshots the peers worth pulling observability data
+// from: not dead, and not behind an open breaker. Peers skipped for an
+// open breaker are returned as unreachable — a federated answer that
+// omits them must say so. The breaker is only consulted (State, not
+// Allow) — debug and metrics pulls must not consume half-open probe
+// slots or flip routing health.
+func (n *Node) scrapeTargets() (targets []NodeInfo, unreachable []string) {
+	for _, p := range n.Peers() {
+		if p.Status == Dead {
+			continue
+		}
+		if b := n.breakerFor(p.Info.ID); b.State() == resilience.Open {
+			unreachable = append(unreachable, p.Info.ID)
+			continue
+		}
+		targets = append(targets, p.Info)
+	}
+	return targets, unreachable
+}
+
+// get issues one bounded observability pull against a peer.
+func (n *Node) get(ctx context.Context, url string) (*http.Response, error) {
+	ctx, cancel := context.WithTimeout(ctx, n.cfg.ProbeTimeout)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	resp, err := n.cfg.Client.Do(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	// The caller closes the body; tie the timeout to that close.
+	resp.Body = &cancelOnClose{ReadCloser: resp.Body, cancel: cancel}
+	return resp, nil
+}
+
+type cancelOnClose struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (c *cancelOnClose) Close() error {
+	err := c.ReadCloser.Close()
+	c.cancel()
+	return err
+}
+
+// MetricsHandler serves GET /cluster/metrics: the fleet's metrics as one
+// exposition. It scrapes every reachable member's /metrics, sums
+// counters and histogram buckets across nodes, and re-exports gauges
+// once per node under a node label (see Federate). Members that could
+// not be scraped are listed in the X-Qurator-Federation-Incomplete
+// header and a leading comment — the numbers are still valid, just not
+// fleet-complete. reg is this node's own registry (scraped in-process).
+func (n *Node) MetricsHandler(reg *telemetry.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "cluster: GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		var buf bytes.Buffer
+		if err := reg.WriteProm(&buf); err != nil {
+			http.Error(w, "cluster: rendering local metrics: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		self, err := telemetry.ParseExposition(&buf)
+		if err != nil {
+			http.Error(w, "cluster: local metrics do not parse: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		exps := []telemetry.NodeExposition{{Node: n.self.ID, Exp: self}}
+		targets, incomplete := n.scrapeTargets()
+		for _, p := range targets {
+			exp, err := n.scrapeMetrics(r.Context(), p)
+			if err != nil {
+				incomplete = append(incomplete, p.ID)
+				continue
+			}
+			exps = append(exps, telemetry.NodeExposition{Node: p.ID, Exp: exp})
+		}
+		sort.Strings(incomplete)
+		merged, err := telemetry.Federate(exps)
+		if err != nil {
+			http.Error(w, "cluster: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if len(incomplete) > 0 {
+			w.Header().Set(IncompleteHeader, strings.Join(incomplete, ","))
+		}
+		fmt.Fprintf(w, "# federated from %d of %d fleet member(s)\n", len(exps), len(exps)+len(incomplete))
+		for _, id := range incomplete {
+			fmt.Fprintf(w, "# missing %s\n", id)
+		}
+		_ = merged.Write(w)
+	})
+}
+
+// scrapeMetrics pulls and parses one peer's /metrics.
+func (n *Node) scrapeMetrics(ctx context.Context, p NodeInfo) (*telemetry.Exposition, error) {
+	resp, err := n.get(ctx, p.Addr+"/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: %s /metrics: %s", p.ID, resp.Status)
+	}
+	return telemetry.ParseExposition(io.LimitReader(resp.Body, 16<<20))
+}
+
+// FleetTrace assembles one distributed trace across the fleet: the
+// local recorder's fragment plus GET /debug/traces/<id> from every
+// reachable member. A peer that answers 404 simply has no spans for the
+// trace (not an error); a peer that cannot be reached at all lands in
+// IncompleteNodes.
+func (n *Node) FleetTrace(ctx context.Context, rec *telemetry.Recorder, id string) telemetry.FleetTrace {
+	var frags []telemetry.TraceFragment
+	if f, ok := rec.Fragment(id); ok {
+		f.Node = n.self.ID
+		frags = append(frags, f)
+	}
+	targets, incomplete := n.scrapeTargets()
+	for _, p := range targets {
+		frag, found, err := n.pullFragment(ctx, p, id)
+		if err != nil {
+			incomplete = append(incomplete, p.ID)
+			continue
+		}
+		if found {
+			frags = append(frags, frag)
+		}
+	}
+	sort.Strings(incomplete)
+	return telemetry.AssembleTrace(id, frags, incomplete)
+}
+
+// pullFragment fetches one peer's fragment of a trace. found is false
+// when the peer holds no spans for it.
+func (n *Node) pullFragment(ctx context.Context, p NodeInfo, id string) (telemetry.TraceFragment, bool, error) {
+	resp, err := n.get(ctx, p.Addr+"/debug/traces/"+id)
+	if err != nil {
+		return telemetry.TraceFragment{}, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotFound:
+		return telemetry.TraceFragment{}, false, nil
+	case http.StatusOK:
+	default:
+		return telemetry.TraceFragment{}, false, fmt.Errorf("cluster: %s: %s", p.ID, resp.Status)
+	}
+	var frag telemetry.TraceFragment
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&frag); err != nil {
+		return telemetry.TraceFragment{}, false, err
+	}
+	if frag.Node == "" {
+		frag.Node = p.ID
+	}
+	return frag, true, nil
+}
+
+// fleetTraceIDs unions the trace listings of the local recorder and
+// every reachable peer, newest-first per node, deduplicated.
+func (n *Node) fleetTraceIDs(ctx context.Context, rec *telemetry.Recorder) (ids []string, incomplete []string) {
+	seen := make(map[string]bool)
+	add := func(list []string) {
+		for _, id := range list {
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+	}
+	add(rec.TraceIDs())
+	targets, unreachable := n.scrapeTargets()
+	incomplete = unreachable
+	for _, p := range targets {
+		resp, err := n.get(ctx, p.Addr+"/debug/traces/")
+		if err != nil {
+			incomplete = append(incomplete, p.ID)
+			continue
+		}
+		var listing struct {
+			Traces []string `json:"traces"`
+		}
+		err = json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&listing)
+		resp.Body.Close()
+		if err != nil {
+			incomplete = append(incomplete, p.ID)
+			continue
+		}
+		add(listing.Traces)
+	}
+	sort.Strings(incomplete)
+	return ids, incomplete
+}
+
+// FleetDebugHandler serves GET /debug/enactments with an optional
+// fleet view:
+//
+//	GET /debug/enactments                   → this node's traces (DebugHandler)
+//	GET /debug/enactments?trace=<id>        → this node's tree for one trace
+//	GET /debug/enactments?fleet=1           → cross-node traces, assembled
+//	GET /debug/enactments?fleet=1&trace=<id>→ one assembled FleetTrace
+//	GET /debug/enactments?fleet=1&n=3       → at most 3 assembled traces
+//
+// The fleet view pulls span fragments from every reachable ring member
+// and merges them into per-trace trees; members that could not be
+// pulled are named in each trace's incompleteNodes. n may be nil (not
+// running in cluster mode), in which case fleet=1 degrades to the
+// single-node view.
+func FleetDebugHandler(n *Node, rec *telemetry.Recorder, node string) http.Handler {
+	local := telemetry.DebugHandler(rec)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "telemetry: GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		if n == nil || r.URL.Query().Get("fleet") == "" {
+			local.ServeHTTP(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if id := r.URL.Query().Get("trace"); id != "" {
+			t := n.FleetTrace(r.Context(), rec, id)
+			if len(t.Nodes) == 0 && !t.Complete {
+				http.Error(w, fmt.Sprintf("telemetry: unknown trace %q", id), http.StatusNotFound)
+				return
+			}
+			_ = enc.Encode(t)
+			return
+		}
+		// Assembling a trace costs one round per peer; default to fewer
+		// than the single-node listing.
+		limit := 5
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				limit = v
+			}
+		}
+		ids, incomplete := n.fleetTraceIDs(r.Context(), rec)
+		if len(ids) > limit {
+			ids = ids[:limit]
+		}
+		traces := make([]telemetry.FleetTrace, 0, len(ids))
+		for _, id := range ids {
+			traces = append(traces, n.FleetTrace(r.Context(), rec, id))
+		}
+		_ = enc.Encode(struct {
+			Node            string                 `json:"node"`
+			IncompleteNodes []string               `json:"incompleteNodes,omitempty"`
+			Traces          []telemetry.FleetTrace `json:"traces"`
+		}{node, incomplete, traces})
+	})
+}

@@ -1,0 +1,276 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"qurator/internal/resilience/chaos"
+	"qurator/internal/stream"
+	"qurator/internal/telemetry"
+)
+
+// obsMember is one in-process fleet node with its OWN span recorder and
+// metric registry — in-process fleets sharing telemetry.Default would
+// make cross-node assertions vacuous.
+type obsMember struct {
+	node *Node
+	srv  *httptest.Server
+	ch   *chaos.Transport
+	rec  *telemetry.Recorder
+	reg  *telemetry.Registry
+}
+
+func (m *obsMember) host() string { return strings.TrimPrefix(m.srv.URL, "http://") }
+
+// startObservedMember boots a node with the full quratord observability
+// surface mounted: per-node /metrics, /debug/traces/, /debug/enactments,
+// /cluster/metrics, and a real journaled stream endpoint behind the
+// fleet router. Every request is served under the member's own recorder.
+func startObservedMember(t *testing.T, id string, seeds []string) *obsMember {
+	t.Helper()
+	rec := telemetry.NewRecorder(16)
+	reg := telemetry.NewRegistry()
+	mux := http.NewServeMux()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mux.ServeHTTP(w, r.WithContext(telemetry.WithRecorder(r.Context(), rec)))
+	}))
+	ch := chaos.New(nil, chaos.Config{})
+	node, err := NewNode(Config{
+		Self:              NodeInfo{ID: id, Addr: srv.URL},
+		Seeds:             seeds,
+		HeartbeatInterval: 25 * time.Millisecond,
+		SuspectAfter:      2,
+		DeadAfter:         4,
+		ProbeTimeout:      500 * time.Millisecond,
+		Client:            &http.Client{Transport: ch, Timeout: 500 * time.Millisecond},
+		ForwardClient:     &http.Client{Transport: ch},
+		Logf:              t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := node.Handler()
+	mux.Handle("/cluster", h)
+	mux.Handle("/cluster/", h)
+	mux.Handle("GET /cluster/metrics", node.MetricsHandler(reg))
+	mux.Handle("/stream/enact", node.EnactHandler(
+		stream.Handler(paperCompiler(nil), stream.WithJournal(node.Journal()))))
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.Handle("GET /debug/traces/", telemetry.FragmentsHandler(rec, id))
+	mux.Handle("GET /debug/enactments", FleetDebugHandler(node, rec, id))
+	if err := node.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		node.Stop()
+		srv.Close()
+	})
+	return &obsMember{node: node, srv: srv, ch: ch, rec: rec, reg: reg}
+}
+
+// TestForwardedStreamIsOneFleetTrace is the tentpole acceptance test: a
+// stream enacted through ring forwarding produces exactly one trace ID
+// whose assembled tree contains spans from two distinct nodes.
+func TestForwardedStreamIsOneFleetTrace(t *testing.T) {
+	m1 := startObservedMember(t, "n1", nil)
+	m2 := startObservedMember(t, "n2", []string{m1.srv.URL})
+	waitFor(t, 3*time.Second, "fleet of 2", func() bool {
+		return m1.node.Ring().Len() == 2 && m2.node.Ring().Len() == 2
+	})
+
+	// A view name n2 owns, enacted at n1: the request must cross nodes.
+	// paperCompiler compiles the paper view whatever the name says.
+	view := keyOwnedBy(t, m1.node.Ring(), "n2")
+	client := &StreamClient{Nodes: []string{m1.srv.URL}, View: view, Window: 4}
+	res, err := client.Enact(context.Background(), hitLines(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceID == "" {
+		t.Fatal("EnactResult carries no trace ID")
+	}
+	assertExactlyOnce(t, res.Decisions, 8)
+
+	// The forward hop span lands on n1, the enactment span on n2 — the
+	// handlers End() their spans after the last response byte, so poll.
+	var ft telemetry.FleetTrace
+	waitFor(t, 3*time.Second, "spans from both nodes under one trace", func() bool {
+		ft = m1.node.FleetTrace(context.Background(), m1.rec, res.TraceID)
+		return len(ft.Nodes) >= 2
+	})
+	if strings.Join(ft.Nodes, ",") != "n1,n2" {
+		t.Fatalf("contributors = %v; want [n1 n2]", ft.Nodes)
+	}
+	if ft.TraceID != res.TraceID {
+		t.Fatalf("assembled trace %s; want %s", ft.TraceID, res.TraceID)
+	}
+	if len(ft.IncompleteNodes) != 0 {
+		t.Fatalf("assembly incomplete: %v", ft.IncompleteNodes)
+	}
+	// The hop structure survives assembly: n2's server span is a child
+	// of n1's forward span (the client's root span lives in this test
+	// process, not on either node, so the forward span is an orphan).
+	var hop *telemetry.FleetSpan
+	for _, o := range ft.Orphans {
+		if o.Name == "cluster:forward" {
+			hop = o
+		}
+	}
+	if hop == nil || hop.Node != "n1" {
+		t.Fatalf("no n1 cluster:forward span among orphans: %+v", ft.Orphans)
+	}
+	foundServer := false
+	for _, c := range hop.Children {
+		if c.Name == "http:/stream/enact" && c.Node == "n2" {
+			foundServer = true
+		}
+	}
+	if !foundServer {
+		t.Fatalf("forward span's children lack n2's enactment span: %+v", hop.Children)
+	}
+
+	// The same assembly over HTTP, from the node that did NOT forward.
+	resp, err := http.Get(m2.srv.URL + "/debug/enactments?fleet=1&trace=" + res.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fleet debug endpoint: %s", resp.Status)
+	}
+	var viaHTTP telemetry.FleetTrace
+	if err := json.NewDecoder(resp.Body).Decode(&viaHTTP); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(viaHTTP.Nodes, ",") != "n1,n2" {
+		t.Fatalf("fleet view from n2 saw contributors %v; want [n1 n2]", viaHTTP.Nodes)
+	}
+}
+
+// TestClusterMetricsFederation: GET /cluster/metrics on any member is a
+// valid exposition whose counters equal the sum of the per-node values.
+func TestClusterMetricsFederation(t *testing.T) {
+	m1 := startObservedMember(t, "n1", nil)
+	m2 := startObservedMember(t, "n2", []string{m1.srv.URL})
+	m3 := startObservedMember(t, "n3", []string{m1.srv.URL})
+	members := []*obsMember{m1, m2, m3}
+	waitFor(t, 3*time.Second, "fleet of 3", func() bool {
+		return m1.node.Ring().Len() == 3 && m2.node.Ring().Len() == 3 && m3.node.Ring().Len() == 3
+	})
+
+	for i, m := range members {
+		m.reg.Counter("obs_test_ops_total", "Test ops.").Add(uint64(10 * (i + 1)))
+		m.reg.Gauge("obs_test_depth", "Test depth.").Set(float64(i + 1))
+		h := m.reg.Histogram("obs_test_latency_seconds", "Test latency.", []float64{1, 10})
+		h.Observe(0.5)
+		h.Observe(float64(5 * i))
+	}
+
+	resp, err := http.Get(m2.srv.URL + "/cluster/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/cluster/metrics: %s", resp.Status)
+	}
+	if inc := resp.Header.Get(IncompleteHeader); inc != "" {
+		t.Fatalf("federation incomplete: %s", inc)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidateExposition(bytes.NewReader(body)); err != nil {
+		t.Fatalf("federated exposition invalid: %v\n%s", err, body)
+	}
+	exp, err := telemetry.ParseExposition(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cf := exp.Family("obs_test_ops_total")
+	if cf == nil || len(cf.Samples) != 1 {
+		t.Fatalf("obs_test_ops_total = %+v; want one summed sample", cf)
+	}
+	if cf.Samples[0].Value != 60 { // 10 + 20 + 30
+		t.Fatalf("federated counter = %v; want 60", cf.Samples[0].Value)
+	}
+
+	gf := exp.Family("obs_test_depth")
+	if gf == nil || len(gf.Samples) != 3 {
+		t.Fatalf("obs_test_depth = %+v; want 3 per-node samples", gf)
+	}
+	var gaugeSum float64
+	for _, s := range gf.Samples {
+		if _, ok := s.Label("node"); !ok {
+			t.Fatalf("gauge sample lacks node label: %+v", s)
+		}
+		gaugeSum += s.Value
+	}
+	if gaugeSum != 6 { // 1 + 2 + 3
+		t.Fatalf("per-node gauge values sum to %v; want 6", gaugeSum)
+	}
+
+	hf := exp.Family("obs_test_latency_seconds")
+	if hf == nil {
+		t.Fatal("histogram missing from federation")
+	}
+	for _, s := range hf.Samples {
+		switch {
+		case s.Name == "obs_test_latency_seconds_count" && s.Value != 6:
+			t.Fatalf("_count = %v; want 6", s.Value)
+		case s.Name == "obs_test_latency_seconds_bucket":
+			if le, _ := s.Label("le"); le == "+Inf" && s.Value != 6 {
+				t.Fatalf("le=+Inf bucket = %v; want 6", s.Value)
+			}
+		}
+	}
+}
+
+// TestClusterMetricsPartialFederation: an unreachable peer shrinks the
+// federation and says so, instead of failing the whole scrape.
+func TestClusterMetricsPartialFederation(t *testing.T) {
+	m1 := startObservedMember(t, "n1", nil)
+	m2 := startObservedMember(t, "n2", []string{m1.srv.URL})
+	waitFor(t, 3*time.Second, "fleet of 2", func() bool {
+		return m1.node.Ring().Len() == 2 && m2.node.Ring().Len() == 2
+	})
+	m1.reg.Counter("obs_part_total", "Partial.").Add(7)
+	m2.reg.Counter("obs_part_total", "Partial.").Add(5)
+
+	// Cut n1's link to n2 — but not so long that n2 turns dead.
+	m1.ch.Partition(m2.host())
+	defer m1.ch.Heal()
+
+	resp, err := http.Get(m1.srv.URL + "/cluster/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidateExposition(bytes.NewReader(body)); err != nil {
+		t.Fatalf("partial federation invalid: %v\n%s", err, body)
+	}
+	if inc := resp.Header.Get(IncompleteHeader); inc != "n2" {
+		t.Fatalf("incomplete header = %q; want n2 (body:\n%s)", inc, body)
+	}
+	exp, err := telemetry.ParseExposition(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := exp.Family("obs_part_total")
+	if cf == nil || len(cf.Samples) != 1 || cf.Samples[0].Value != 7 {
+		t.Fatalf("partial counter = %+v; want n1's 7 alone", cf)
+	}
+}

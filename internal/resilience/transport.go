@@ -276,6 +276,10 @@ func (t *Transport) attempt(req *http.Request) (*http.Response, error) {
 		ctx, cancel = context.WithTimeout(ctx, t.policy.AttemptTimeout)
 	}
 	r := req.Clone(ctx)
+	// Every attempt carries the caller's trace position: a retried call
+	// re-injects the same parent, so the far side's spans all join the
+	// one trace no matter which attempt got through.
+	telemetry.Inject(ctx, r.Header)
 	if req.Body != nil && req.GetBody != nil {
 		body, err := req.GetBody()
 		if err != nil {

@@ -50,6 +50,15 @@ func Handler(reg *Registry) http.Handler {
 			http.Error(w, fmt.Sprintf("unknown service %q", name), http.StatusNotFound)
 			return
 		}
+		// Join the caller's trace when one arrived; an un-traced
+		// invocation gets no span — the fabric must not mint a fresh
+		// trace per QA call.
+		ctx := r.Context()
+		if traceCtx, traced := telemetry.Extract(ctx, r.Header); traced {
+			var span *telemetry.Span
+			ctx, span = telemetry.StartSpan(traceCtx, "service:"+name)
+			defer span.End()
+		}
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
 		if err != nil {
 			svcRequests.With(name, "bad_request").Inc()
@@ -62,7 +71,7 @@ func Handler(reg *Registry) http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		resp, err := svc.Invoke(r.Context(), req)
+		resp, err := svc.Invoke(ctx, req)
 		if err != nil {
 			// Faults travel as envelopes with an Error element, so
 			// clients distinguish service faults from transport failures.
@@ -167,6 +176,7 @@ func (c *Client) invoke(ctx context.Context, name string, req *Envelope, idempot
 	if idempotent {
 		resilience.MarkIdempotent(httpReq)
 	}
+	telemetry.Inject(ctx, httpReq.Header)
 	httpResp, err := c.httpClient().Do(httpReq)
 	if err != nil {
 		return nil, fmt.Errorf("services: invoking %s: %w", url, err)

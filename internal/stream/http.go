@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"qurator/internal/compiler"
+	"qurator/internal/telemetry"
 )
 
 // handlerOptions collects the host-side (non-query) configuration of the
@@ -84,11 +85,18 @@ func Handler(compile CompileFunc, opts ...HandlerOption) http.Handler {
 				http.StatusInternalServerError)
 			return
 		}
+		// Join the caller's trace when a traceparent arrived (a forwarding
+		// peer, or a client that wants to correlate); mint a fresh trace
+		// otherwise — the enactment endpoint is where traces are born.
+		ctx, _ := telemetry.Extract(r.Context(), r.Header)
+		ctx, span := telemetry.StartSpan(ctx, "http:/stream/enact")
+		span.SetAttr("view", view)
+		defer span.End()
+
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		w.Header().Set("X-Accel-Buffering", "no") // proxies: don't buffer
+		w.Header().Set(telemetry.TraceIDHeader, span.TraceID)
 		flush := func() { _ = rc.Flush() }
-
-		ctx := r.Context()
 		in := make(chan Item, cfg.Parallelism)
 		results := make(chan WindowResult, cfg.Parallelism)
 

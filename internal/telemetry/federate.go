@@ -1,0 +1,207 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeExposition pairs one fleet member's parsed /metrics document with
+// the node name it was scraped from.
+type NodeExposition struct {
+	Node string
+	Exp  *Exposition
+}
+
+// Federate merges per-node metric expositions into one fleet-wide
+// document — the body of GET /cluster/metrics:
+//
+//   - counters and histograms are summed across nodes per sample
+//     identity (name + label set, le included), so a federated counter
+//     equals the sum of the per-node values;
+//   - gauges, summaries and untyped samples are re-exported once per
+//     node with a prepended node="<name>" label — summing a gauge is
+//     meaningless, but per-node values side by side are not;
+//   - histogram bucket series are re-emitted in ascending le order per
+//     series so the merged document still validates even when nodes
+//     expose different bucket layouts.
+//
+// Families keep their first-appearance order; HELP text is the first
+// non-empty one seen. Two nodes declaring the same family with different
+// TYPEs is an error — that is a fleet running incompatible binaries, and
+// silently merging would produce numbers nobody can interpret.
+// Timestamps are dropped: a merged sample has no single scrape time.
+func Federate(nodes []NodeExposition) (*Exposition, error) {
+	out := &Exposition{}
+	fams := make(map[string]*MetricFamily)
+	sums := make(map[string]map[string]int) // family → sample identity → index in Samples
+	hists := make(map[string]*histMerge)
+	for _, n := range nodes {
+		if n.Exp == nil {
+			continue
+		}
+		for _, src := range n.Exp.Families {
+			f, ok := fams[src.Name]
+			if !ok {
+				f = &MetricFamily{Name: src.Name, Type: src.Type, Help: src.Help}
+				fams[src.Name] = f
+				out.Families = append(out.Families, f)
+			}
+			if f.Type == "" {
+				f.Type = src.Type
+			} else if src.Type != "" && src.Type != f.Type {
+				return nil, fmt.Errorf("federate: family %s is a %s on node %q but a %s elsewhere",
+					src.Name, src.Type, n.Node, f.Type)
+			}
+			if f.Help == "" {
+				f.Help = src.Help
+			}
+			switch f.Type {
+			case typeCounter:
+				mergeSum(f, sums, src.Samples)
+			case typeHistogram:
+				h := hists[f.Name]
+				if h == nil {
+					h = newHistMerge()
+					hists[f.Name] = h
+				}
+				if err := h.add(f.Name, src.Samples); err != nil {
+					return nil, fmt.Errorf("federate: node %q: %w", n.Node, err)
+				}
+			default: // gauge, summary, untyped
+				mergePerNode(f, sums, n.Node, src.Samples)
+			}
+		}
+	}
+	for name, h := range hists {
+		fams[name].Samples = h.render(name)
+	}
+	return out, nil
+}
+
+// mergeSum folds samples into the family by identity, summing values.
+func mergeSum(f *MetricFamily, sums map[string]map[string]int, samples []Sample) {
+	byID := sums[f.Name]
+	if byID == nil {
+		byID = make(map[string]int)
+		sums[f.Name] = byID
+	}
+	for _, s := range samples {
+		id := s.Name + "\xff" + sortedLabelKey(s.Labels, "")
+		if i, ok := byID[id]; ok {
+			f.Samples[i].Value += s.Value
+			continue
+		}
+		s.Timestamp = ""
+		f.Samples = append(f.Samples, s)
+		byID[id] = len(f.Samples) - 1
+	}
+}
+
+// mergePerNode re-exports each sample with a node label prepended (kept
+// as-is when the source already carries one); two nodes colliding on the
+// same labelled identity keep the first.
+func mergePerNode(f *MetricFamily, sums map[string]map[string]int, node string, samples []Sample) {
+	byID := sums[f.Name]
+	if byID == nil {
+		byID = make(map[string]int)
+		sums[f.Name] = byID
+	}
+	for _, s := range samples {
+		if _, has := s.Label("node"); !has && node != "" {
+			s.Labels = append([]Label{{Name: "node", Value: node}}, s.Labels...)
+		}
+		id := s.Name + "\xff" + sortedLabelKey(s.Labels, "")
+		if _, ok := byID[id]; ok {
+			continue
+		}
+		s.Timestamp = ""
+		f.Samples = append(f.Samples, s)
+		byID[id] = len(f.Samples) - 1
+	}
+}
+
+// histMerge accumulates one histogram family across nodes: per series
+// (labels modulo le) the summed bucket counts keyed by bound, plus the
+// summed _sum and _count.
+type histMerge struct {
+	order  []string // series keys, first appearance
+	series map[string]*histSeries
+}
+
+type histSeries struct {
+	labels  []Label // from first appearance, minus le
+	buckets map[float64]float64
+	rawLE   map[float64]string // bound → raw le spelling ("+Inf", "0.5")
+	sum     float64
+	count   float64
+}
+
+func newHistMerge() *histMerge {
+	return &histMerge{series: make(map[string]*histSeries)}
+}
+
+func (h *histMerge) get(labels []Label) *histSeries {
+	key := sortedLabelKey(labels, "le")
+	s, ok := h.series[key]
+	if !ok {
+		kept := make([]Label, 0, len(labels))
+		for _, l := range labels {
+			if l.Name != "le" {
+				kept = append(kept, l)
+			}
+		}
+		s = &histSeries{
+			labels:  kept,
+			buckets: make(map[float64]float64),
+			rawLE:   make(map[float64]string),
+		}
+		h.series[key] = s
+		h.order = append(h.order, key)
+	}
+	return s
+}
+
+func (h *histMerge) add(fam string, samples []Sample) error {
+	for _, smp := range samples {
+		s := h.get(smp.Labels)
+		switch smp.Name {
+		case fam + "_bucket":
+			le, _ := smp.Label("le")
+			bound, err := parsePromFloat(le)
+			if err != nil {
+				return fmt.Errorf("histogram %s: bad le %q", fam, le)
+			}
+			s.buckets[bound] += smp.Value
+			s.rawLE[bound] = le
+		case fam + "_sum":
+			s.sum += smp.Value
+		case fam + "_count":
+			s.count += smp.Value
+		default:
+			return fmt.Errorf("histogram %s: unexpected sample %s", fam, smp.Name)
+		}
+	}
+	return nil
+}
+
+// render emits each series' buckets in ascending le order followed by
+// _sum and _count — always a valid histogram block.
+func (h *histMerge) render(fam string) []Sample {
+	var out []Sample
+	for _, key := range h.order {
+		s := h.series[key]
+		bounds := make([]float64, 0, len(s.buckets))
+		for b := range s.buckets {
+			bounds = append(bounds, b)
+		}
+		sort.Float64s(bounds)
+		for _, b := range bounds {
+			labels := append(append([]Label(nil), s.labels...), Label{Name: "le", Value: s.rawLE[b]})
+			out = append(out, Sample{Name: fam + "_bucket", Labels: labels, Value: s.buckets[b]})
+		}
+		base := append([]Label(nil), s.labels...)
+		out = append(out, Sample{Name: fam + "_sum", Labels: base, Value: s.sum})
+		out = append(out, Sample{Name: fam + "_count", Labels: base, Value: s.count})
+	}
+	return out
+}

@@ -1,0 +1,275 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// renderAndParse round-trips a registry through its text exposition.
+func renderAndParse(t *testing.T, r *Registry) *Exposition {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ParseExposition(&buf)
+	if err != nil {
+		t.Fatalf("registry output does not parse: %v", err)
+	}
+	return exp
+}
+
+// TestExpositionRoundTrip: parse∘Write is the identity on WriteProm
+// output — the property /cluster/metrics federation rests on (anything
+// the structured form failed to capture would be silently dropped from
+// the merged document).
+func TestExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rt_plain_total", "A plain counter.").Add(42)
+	r.CounterVec("rt_labelled_total", "With labels.", "op", "status").With("read", "ok").Add(7)
+	r.CounterVec("rt_labelled_total", "With labels.", "op", "status").With("write", "err").Add(1)
+	r.Gauge("rt_depth", "A gauge.").Set(3.25)
+	r.GaugeVec("rt_temp", `Escapes: backslash \ quote " newline.`, "host").
+		With(`we"ird\host` + "\n").Set(-1.5)
+	r.Histogram("rt_latency_seconds", "A histogram.", []float64{0.1, 1}).Observe(0.5)
+	r.Histogram("rt_latency_seconds", "A histogram.", []float64{0.1, 1}).Observe(2)
+	r.Gauge("rt_nan", "Odd values.").Set(math.Inf(1))
+
+	var first bytes.Buffer
+	if err := r.WriteProm(&first); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ParseExposition(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var second bytes.Buffer
+	if err := exp.Write(&second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Fatalf("round trip is not the identity:\n--- rendered ---\n%s\n--- re-rendered ---\n%s",
+			first.String(), second.String())
+	}
+	// And the re-rendered form must itself still validate and re-parse.
+	if err := ValidateExposition(bytes.NewReader(second.Bytes())); err != nil {
+		t.Fatalf("re-rendered exposition invalid: %v", err)
+	}
+}
+
+// TestDefaultRegistryRoundTrip runs the same identity check over the
+// live process registry, which the whole codebase has populated by the
+// time tests run — the widest input we can get for free.
+func TestDefaultRegistryRoundTrip(t *testing.T) {
+	var first bytes.Buffer
+	if err := Default.WriteProm(&first); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ParseExposition(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatalf("Default registry output does not parse: %v", err)
+	}
+	var second bytes.Buffer
+	if err := exp.Write(&second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Fatal("Default registry round trip is not the identity")
+	}
+}
+
+func TestParsedStructure(t *testing.T) {
+	doc := `# HELP acme_requests_total Requests with a \\ and a \n inside.
+# TYPE acme_requests_total counter
+acme_requests_total{method="get",code="200"} 7 1712345678901
+acme_untyped 3
+`
+	exp, err := ParseExposition(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := exp.Family("acme_requests_total")
+	if f == nil || f.Type != "counter" {
+		t.Fatalf("family = %+v; want a counter", f)
+	}
+	if want := "Requests with a \\ and a \n inside."; f.Help != want {
+		t.Fatalf("help %q; want %q", f.Help, want)
+	}
+	if len(f.Samples) != 1 {
+		t.Fatalf("samples = %d; want 1", len(f.Samples))
+	}
+	s := f.Samples[0]
+	if s.Value != 7 || s.Timestamp != "1712345678901" {
+		t.Fatalf("sample = %+v", s)
+	}
+	if len(s.Labels) != 2 || s.Labels[0] != (Label{"method", "get"}) || s.Labels[1] != (Label{"code", "200"}) {
+		t.Fatalf("labels (order must be preserved) = %+v", s.Labels)
+	}
+	if u := exp.Family("acme_untyped"); u == nil || u.Type != "" || len(u.Samples) != 1 {
+		t.Fatalf("untyped family = %+v", u)
+	}
+}
+
+// TestFederateSums is the merge property test: for counters and
+// histograms the federated value of every series equals the sum of the
+// per-node values, and the merged document is itself a valid exposition.
+func TestFederateSums(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const nodes = 4
+	buckets := []float64{0.1, 1, 5}
+
+	var exps []NodeExposition
+	wantCounter := make(map[string]uint64) // label value → summed count
+	var wantObs []float64
+	wantGauge := make(map[string]float64) // node → gauge value
+	for i := 0; i < nodes; i++ {
+		r := NewRegistry()
+		ops := r.CounterVec("fed_ops_total", "Ops.", "op")
+		for _, op := range []string{"read", "write"} {
+			v := uint64(rng.Intn(1000))
+			// Not every node exposes every series.
+			if op == "write" && i%2 == 1 {
+				continue
+			}
+			ops.With(op).Add(v)
+			wantCounter[op] += v
+		}
+		h := r.Histogram("fed_latency_seconds", "Latency.", buckets)
+		for j := 0; j < 5+rng.Intn(5); j++ {
+			v := rng.Float64() * 6
+			h.Observe(v)
+			wantObs = append(wantObs, v)
+		}
+		node := fmt.Sprintf("n%d", i)
+		g := r.Gauge("fed_depth", "Depth.")
+		gv := rng.Float64() * 100
+		g.Set(gv)
+		wantGauge[node] = gv
+		exps = append(exps, NodeExposition{Node: node, Exp: renderAndParse(t, r)})
+	}
+
+	merged, err := Federate(exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The merged document is a valid exposition.
+	var out bytes.Buffer
+	if err := merged.Write(&out); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExposition(bytes.NewReader(out.Bytes())); err != nil {
+		t.Fatalf("federated exposition invalid: %v\n%s", err, out.String())
+	}
+
+	// Counters: federated == sum of per-node.
+	cf := merged.Family("fed_ops_total")
+	if cf == nil {
+		t.Fatal("fed_ops_total missing from merge")
+	}
+	for _, s := range cf.Samples {
+		op, _ := s.Label("op")
+		if uint64(s.Value) != wantCounter[op] {
+			t.Fatalf("federated fed_ops_total{op=%q} = %v; want %d", op, s.Value, wantCounter[op])
+		}
+		delete(wantCounter, op)
+	}
+	if len(wantCounter) != 0 {
+		t.Fatalf("series missing from merge: %v", wantCounter)
+	}
+
+	// Histogram: every bucket is the sum of the per-node cumulative
+	// counts, _count is the total observation count, _sum their sum.
+	hf := merged.Family("fed_latency_seconds")
+	if hf == nil {
+		t.Fatal("fed_latency_seconds missing from merge")
+	}
+	countPer := func(le float64) (n int) {
+		for _, v := range wantObs {
+			if v <= le {
+				n++
+			}
+		}
+		return n
+	}
+	var sawBuckets, sawCount, sawSum int
+	for _, s := range hf.Samples {
+		switch s.Name {
+		case "fed_latency_seconds_bucket":
+			sawBuckets++
+			leRaw, _ := s.Label("le")
+			le, err := parsePromFloat(leRaw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int(s.Value) != countPer(le) {
+				t.Fatalf("bucket le=%s = %v; want %d", leRaw, s.Value, countPer(le))
+			}
+		case "fed_latency_seconds_count":
+			sawCount++
+			if int(s.Value) != len(wantObs) {
+				t.Fatalf("_count = %v; want %d", s.Value, len(wantObs))
+			}
+		case "fed_latency_seconds_sum":
+			sawSum++
+			var want float64
+			for _, v := range wantObs {
+				want += v
+			}
+			if math.Abs(s.Value-want) > 1e-6 {
+				t.Fatalf("_sum = %v; want %v", s.Value, want)
+			}
+		}
+	}
+	if sawBuckets != len(buckets)+1 || sawCount != 1 || sawSum != 1 {
+		t.Fatalf("histogram shape: %d buckets, %d count, %d sum", sawBuckets, sawCount, sawSum)
+	}
+
+	// Gauges: one sample per node, node label prepended.
+	gf := merged.Family("fed_depth")
+	if gf == nil || len(gf.Samples) != nodes {
+		t.Fatalf("fed_depth = %+v; want %d per-node samples", gf, nodes)
+	}
+	for _, s := range gf.Samples {
+		node, ok := s.Label("node")
+		if !ok {
+			t.Fatalf("gauge sample lacks node label: %+v", s)
+		}
+		if s.Value != wantGauge[node] {
+			t.Fatalf("fed_depth{node=%q} = %v; want %v", node, s.Value, wantGauge[node])
+		}
+	}
+}
+
+func TestFederateTypeConflict(t *testing.T) {
+	r1, r2 := NewRegistry(), NewRegistry()
+	r1.Counter("conflict_metric", "As a counter.").Inc()
+	r2.Gauge("conflict_metric", "As a gauge.").Set(1)
+	_, err := Federate([]NodeExposition{
+		{Node: "a", Exp: renderAndParse(t, r1)},
+		{Node: "b", Exp: renderAndParse(t, r2)},
+	})
+	if err == nil || !strings.Contains(err.Error(), "conflict_metric") {
+		t.Fatalf("Federate over conflicting types = %v; want a named error", err)
+	}
+}
+
+func TestFederateGaugeNodeCollision(t *testing.T) {
+	// Two in-process nodes sharing one registry both expose a sample that
+	// already carries a node label — keep-first, never a duplicate.
+	r := NewRegistry()
+	r.GaugeVec("fed_shared", "Shared.", "node").With("n1").Set(5)
+	exp := renderAndParse(t, r)
+	merged, err := Federate([]NodeExposition{{Node: "n1", Exp: exp}, {Node: "n2", Exp: exp}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := merged.Family("fed_shared")
+	if f == nil || len(f.Samples) != 1 || f.Samples[0].Value != 5 {
+		t.Fatalf("shared gauge merged to %+v; want one kept-first sample", f)
+	}
+}

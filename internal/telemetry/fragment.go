@@ -1,0 +1,204 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TraceFragment is one node's share of a distributed trace: the finished
+// spans this process recorded under a trace ID. A forwarded enactment
+// leaves a fragment on every node it touched; assembling the full tree
+// means collecting the fragments from the live ring members.
+type TraceFragment struct {
+	TraceID string `json:"traceID"`
+	// Node names the process that recorded these spans.
+	Node string `json:"node,omitempty"`
+	// DroppedSpans counts spans this node discarded past its per-trace cap.
+	DroppedSpans int `json:"droppedSpans,omitempty"`
+	// Complete reports whether this node recorded the trace's root span.
+	Complete bool       `json:"complete"`
+	Spans    []SpanData `json:"spans"`
+}
+
+// Fragment returns the recorder's raw spans for one trace, ready to
+// serve to an assembling peer.
+func (r *Recorder) Fragment(id string) (TraceFragment, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.traces[id]
+	if !ok {
+		return TraceFragment{}, false
+	}
+	return TraceFragment{
+		TraceID:      id,
+		DroppedSpans: e.dropped,
+		Complete:     e.done,
+		Spans:        append([]SpanData(nil), e.spans...),
+	}, true
+}
+
+// TraceIDs returns the retained trace IDs, newest first.
+func (r *Recorder) TraceIDs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.order))
+	for i := len(r.order) - 1; i >= 0; i-- {
+		out = append(out, r.order[i])
+	}
+	return out
+}
+
+// FragmentsHandler serves a node's span fragments for distributed trace
+// assembly, mounted at /debug/traces/:
+//
+//	GET /debug/traces/       → {"node":..., "traces":[ids...]} (newest first)
+//	GET /debug/traces/<id>   → the TraceFragment (404 if unknown)
+//
+// node names this process in the fragments it serves (the fleet node ID
+// under quratord -cluster).
+func FragmentsHandler(rec *Recorder, node string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "telemetry: GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		id := strings.Trim(strings.TrimPrefix(r.URL.Path, "/debug/traces"), "/")
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if id == "" {
+			_ = enc.Encode(struct {
+				Node   string   `json:"node"`
+				Traces []string `json:"traces"`
+			}{node, rec.TraceIDs()})
+			return
+		}
+		frag, ok := rec.Fragment(id)
+		if !ok {
+			http.Error(w, fmt.Sprintf("telemetry: unknown trace %q", id), http.StatusNotFound)
+			return
+		}
+		frag.Node = node
+		_ = enc.Encode(frag)
+	})
+}
+
+// FleetSpan is one span of an assembled distributed trace, attributed to
+// the node that recorded it.
+type FleetSpan struct {
+	SpanData
+	Node     string       `json:"node,omitempty"`
+	Children []*FleetSpan `json:"children,omitempty"`
+}
+
+// MarshalJSON splices node and children into the span's own JSON object
+// (the embedded SpanData's marshaller would otherwise be promoted and
+// both fields silently dropped).
+func (t *FleetSpan) MarshalJSON() ([]byte, error) {
+	span, err := json.Marshal(t.SpanData)
+	if err != nil || (t.Node == "" && len(t.Children) == 0) {
+		return span, err
+	}
+	buf := span[:len(span)-1]
+	if t.Node != "" {
+		buf = append(buf, `,"node":`...)
+		buf = strconv.AppendQuote(buf, t.Node)
+	}
+	if len(t.Children) > 0 {
+		kids, err := json.Marshal(t.Children)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, `,"children":`...)
+		buf = append(buf, kids...)
+	}
+	return append(buf, '}'), nil
+}
+
+// FleetTrace is a distributed trace assembled from per-node fragments:
+// one tree spanning every node the traced operation touched.
+type FleetTrace struct {
+	TraceID string `json:"traceID"`
+	// Nodes lists the members that contributed spans, sorted.
+	Nodes []string `json:"nodes,omitempty"`
+	// IncompleteNodes lists ring members whose fragments could not be
+	// collected (down, breaker-open, or timed out) — the tree may be
+	// missing their spans.
+	IncompleteNodes []string `json:"incompleteNodes,omitempty"`
+	// DroppedSpans sums the spans dropped across all fragments.
+	DroppedSpans int `json:"droppedSpans,omitempty"`
+	// Complete reports whether the root span was found.
+	Complete bool `json:"complete"`
+	// Root is the parentless span's tree; nil while the root is still
+	// running or its fragment is missing.
+	Root *FleetSpan `json:"root,omitempty"`
+	// Orphans are spans whose parent span was not collected.
+	Orphans []*FleetSpan `json:"orphans,omitempty"`
+}
+
+// AssembleTrace merges per-node fragments of one trace into a single
+// cross-node tree. Duplicate span IDs (a fragment fetched twice) keep
+// their first occurrence; spans whose parent is on a missing fragment
+// surface as orphans rather than vanishing. incompleteNodes is recorded
+// verbatim so a partial assembly says so explicitly.
+func AssembleTrace(id string, frags []TraceFragment, incompleteNodes []string) FleetTrace {
+	t := FleetTrace{TraceID: id, IncompleteNodes: incompleteNodes}
+	nodes := make(map[string]*FleetSpan)
+	var contributors []string
+	for _, f := range frags {
+		if f.TraceID != "" && f.TraceID != id {
+			continue
+		}
+		t.DroppedSpans += f.DroppedSpans
+		seen := false
+		for _, d := range f.Spans {
+			if _, dup := nodes[d.SpanID]; dup {
+				continue
+			}
+			nodes[d.SpanID] = &FleetSpan{SpanData: d, Node: f.Node}
+			seen = true
+		}
+		if seen && f.Node != "" {
+			contributors = append(contributors, f.Node)
+		}
+	}
+	sort.Strings(contributors)
+	t.Nodes = dedupSorted(contributors)
+	for _, n := range nodes {
+		switch {
+		case n.ParentID == "":
+			if t.Root == nil {
+				t.Root = n
+			} else {
+				t.Orphans = append(t.Orphans, n)
+			}
+		case nodes[n.ParentID] != nil:
+			parent := nodes[n.ParentID]
+			parent.Children = append(parent.Children, n)
+		default:
+			t.Orphans = append(t.Orphans, n)
+		}
+	}
+	t.Complete = t.Root != nil
+	for _, n := range nodes {
+		sort.Slice(n.Children, func(a, b int) bool {
+			return n.Children[a].Start.Before(n.Children[b].Start)
+		})
+	}
+	sort.Slice(t.Orphans, func(a, b int) bool { return t.Orphans[a].Start.Before(t.Orphans[b].Start) })
+	return t
+}
+
+func dedupSorted(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// spanData builds a raw span for assembly tests.
+func spanData(trace, id, parent, name string, start time.Time) SpanData {
+	return SpanData{TraceID: trace, SpanID: id, ParentID: parent, Name: name,
+		Start: start, End: start.Add(time.Millisecond)}
+}
+
+func TestAssembleTraceCrossNode(t *testing.T) {
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	const trace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	frags := []TraceFragment{
+		{TraceID: trace, Node: "n1", Spans: []SpanData{
+			spanData(trace, "aaaaaaaaaaaaaaaa", "", "client:stream", t0),
+			spanData(trace, "bbbbbbbbbbbbbbbb", "aaaaaaaaaaaaaaaa", "cluster:forward", t0.Add(time.Millisecond)),
+		}, DroppedSpans: 2},
+		{TraceID: trace, Node: "n2", Spans: []SpanData{
+			spanData(trace, "cccccccccccccccc", "bbbbbbbbbbbbbbbb", "http:/stream/enact", t0.Add(2*time.Millisecond)),
+			// Parent never collected: must surface as an orphan.
+			spanData(trace, "dddddddddddddddd", "ffffffffffffffff", "service:lost-parent", t0.Add(3*time.Millisecond)),
+		}},
+		// Duplicate fetch of n2's fragment: spans must not double.
+		{TraceID: trace, Node: "n2", Spans: []SpanData{
+			spanData(trace, "cccccccccccccccc", "bbbbbbbbbbbbbbbb", "http:/stream/enact", t0.Add(2*time.Millisecond)),
+		}},
+		// Fragment of a different trace: skipped entirely.
+		{TraceID: "deadbeefdeadbeefdeadbeefdeadbeef", Node: "n3", Spans: []SpanData{
+			spanData("deadbeefdeadbeefdeadbeefdeadbeef", "eeeeeeeeeeeeeeee", "", "other", t0)}},
+	}
+	got := AssembleTrace(trace, frags, []string{"n4"})
+	if !got.Complete || got.Root == nil {
+		t.Fatalf("trace incomplete: %+v", got)
+	}
+	if want := []string{"n1", "n2"}; strings.Join(got.Nodes, ",") != strings.Join(want, ",") {
+		t.Fatalf("contributors = %v; want %v", got.Nodes, want)
+	}
+	if len(got.IncompleteNodes) != 1 || got.IncompleteNodes[0] != "n4" {
+		t.Fatalf("incomplete = %v; want [n4]", got.IncompleteNodes)
+	}
+	if got.DroppedSpans != 2 {
+		t.Fatalf("dropped = %d; want 2", got.DroppedSpans)
+	}
+	if got.Root.Name != "client:stream" || got.Root.Node != "n1" {
+		t.Fatalf("root = %s on %s", got.Root.Name, got.Root.Node)
+	}
+	if len(got.Root.Children) != 1 || got.Root.Children[0].Name != "cluster:forward" {
+		t.Fatalf("root children = %+v", got.Root.Children)
+	}
+	hop := got.Root.Children[0]
+	if len(hop.Children) != 1 || hop.Children[0].Node != "n2" || hop.Children[0].Name != "http:/stream/enact" {
+		t.Fatalf("forward hop children = %+v; want the n2 server span", hop.Children)
+	}
+	if len(got.Orphans) != 1 || got.Orphans[0].Name != "service:lost-parent" {
+		t.Fatalf("orphans = %+v", got.Orphans)
+	}
+}
+
+func TestAssembleTraceMarshalKeepsNodeAndChildren(t *testing.T) {
+	t0 := time.Now()
+	const trace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	got := AssembleTrace(trace, []TraceFragment{
+		{TraceID: trace, Node: "n1", Spans: []SpanData{
+			spanData(trace, "aaaaaaaaaaaaaaaa", "", "root", t0),
+			spanData(trace, "bbbbbbbbbbbbbbbb", "aaaaaaaaaaaaaaaa", "child", t0),
+		}},
+	}, nil)
+	data, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"node":"n1"`, `"children":[`, `"name":"child"`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("marshalled trace lacks %s:\n%s", want, data)
+		}
+	}
+}
+
+func TestFragmentsHandler(t *testing.T) {
+	rec := NewRecorder(4)
+	ctx := WithRecorder(context.Background(), rec)
+	ctx, root := StartSpan(ctx, "root")
+	_, child := StartSpan(ctx, "child")
+	child.End()
+	root.End()
+
+	srv := httptest.NewServer(FragmentsHandler(rec, "n1"))
+	defer srv.Close()
+
+	// Listing.
+	resp, err := http.Get(srv.URL + "/debug/traces/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Node   string   `json:"node"`
+		Traces []string `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if listing.Node != "n1" || len(listing.Traces) != 1 || listing.Traces[0] != root.TraceID {
+		t.Fatalf("listing = %+v", listing)
+	}
+
+	// One fragment.
+	resp, err = http.Get(srv.URL + "/debug/traces/" + root.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frag TraceFragment
+	if err := json.NewDecoder(resp.Body).Decode(&frag); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if frag.Node != "n1" || frag.TraceID != root.TraceID || len(frag.Spans) != 2 || !frag.Complete {
+		t.Fatalf("fragment = %+v", frag)
+	}
+
+	// Unknown trace.
+	resp, err = http.Get(srv.URL + "/debug/traces/ffffffffffffffffffffffffffffffff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace status = %d; want 404", resp.StatusCode)
+	}
+}

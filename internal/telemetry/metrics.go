@@ -48,16 +48,21 @@ type Gauge struct {
 // Set replaces the gauge value.
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
-// Add adjusts the gauge by delta (CAS loop; contention-tolerant).
-func (g *Gauge) Add(delta float64) {
+// addFloat64 atomically adds delta to a float64 stored as uint64 bits
+// (CAS loop; contention-tolerant) — the shared hot-path primitive behind
+// Gauge.Add and Histogram.Observe's sum.
+func addFloat64(bits *atomic.Uint64, delta float64) {
 	for {
-		old := g.bits.Load()
+		old := bits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + delta)
-		if g.bits.CompareAndSwap(old, next) {
+		if bits.CompareAndSwap(old, next) {
 			return
 		}
 	}
 }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) { addFloat64(&g.bits, delta) }
 
 // Value returns the current gauge value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
@@ -79,13 +84,7 @@ func (h *Histogram) Observe(v float64) {
 	// First bucket whose upper bound admits v (le is inclusive).
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i].Add(1)
-	for {
-		old := h.sumBits.Load()
-		next := math.Float64bits(math.Float64frombits(old) + v)
-		if h.sumBits.CompareAndSwap(old, next) {
-			break
-		}
-	}
+	addFloat64(&h.sumBits, v)
 	h.count.Add(1)
 }
 

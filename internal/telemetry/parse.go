@@ -8,23 +8,118 @@ import (
 	"strings"
 )
 
-// ValidateExposition parses a Prometheus text-format (0.0.4) document
-// and reports the first malformed line. It is the round-trip check the
-// CI benchmark smoke runs over /metrics output: every HELP/TYPE header
-// must be well-formed and precede its samples, every sample line must
-// parse as name{labels} value, histogram samples must belong to a
-// declared histogram family, and cumulative bucket counts must be
-// non-decreasing.
-func ValidateExposition(r io.Reader) error {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	types := map[string]string{} // family → declared TYPE
-	helped := map[string]bool{}  // family → HELP seen
-	sampled := map[string]bool{} // family → sample seen
-	lastBucket := map[string]struct {
+// Label is one name/value pair of a parsed sample, in document order —
+// order is preserved so a parsed exposition re-renders byte-identically.
+type Label struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// Sample is one parsed sample line: name{labels} value [timestamp].
+// For histogram families the Name keeps its _bucket/_sum/_count suffix.
+type Sample struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
+	// Timestamp is the optional raw timestamp field ("" when absent),
+	// kept verbatim for lossless re-rendering.
+	Timestamp string `json:"timestamp,omitempty"`
+}
+
+// Label returns the value of the named label, and whether it is present.
+func (s Sample) Label(name string) (string, bool) {
+	for _, l := range s.Labels {
+		if l.Name == name {
+			return l.Value, true
+		}
+	}
+	return "", false
+}
+
+// sortedLabelKey is the sample's identity modulo label order and the
+// histogram le label handled by callers: "k=v\xffk=v" with keys sorted.
+func sortedLabelKey(labels []Label, skip string) string {
+	parts := make([]string, 0, len(labels))
+	for _, l := range labels {
+		if l.Name == skip {
+			continue
+		}
+		parts = append(parts, l.Name+"="+l.Value)
+	}
+	return labelKey(sortedCopy(parts))
+}
+
+// MetricFamily is one parsed metric family: its TYPE (empty for samples
+// that never declared one), HELP text (unescaped; empty = no HELP line)
+// and samples in document order.
+type MetricFamily struct {
+	Name    string   `json:"name"`
+	Type    string   `json:"type,omitempty"`
+	Help    string   `json:"help,omitempty"`
+	Samples []Sample `json:"samples"`
+}
+
+// Exposition is a fully parsed Prometheus text-format (0.0.4) document,
+// families in document order. It is the structured form /cluster/metrics
+// federation merges; Write renders it back to valid exposition text.
+type Exposition struct {
+	Families []*MetricFamily `json:"families"`
+}
+
+// Family returns the named family, or nil.
+func (e *Exposition) Family(name string) *MetricFamily {
+	for _, f := range e.Families {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// parser accumulates families and the validation state the format
+// demands (HELP/TYPE before samples, cumulative buckets non-decreasing).
+type parser struct {
+	exp        *Exposition
+	fams       map[string]*MetricFamily
+	hasHelp    map[string]bool
+	hasType    map[string]bool
+	types      map[string]string // family → declared TYPE
+	lastBucket map[string]struct {
 		cum uint64
 		le  float64
-	}{} // per bucket-series prefix: monotonicity check
+	}
+}
+
+func (p *parser) family(name string) *MetricFamily {
+	f, ok := p.fams[name]
+	if !ok {
+		f = &MetricFamily{Name: name}
+		p.fams[name] = f
+		p.exp.Families = append(p.exp.Families, f)
+	}
+	return f
+}
+
+// ParseExposition parses a Prometheus text-format (0.0.4) document into
+// its structured form, reporting the first malformed line: every
+// HELP/TYPE header must be well-formed and precede its samples, every
+// sample line must parse as name{labels} value, histogram samples must
+// belong to a declared histogram family, and cumulative bucket counts
+// must be non-decreasing. Free-form comments are legal and discarded.
+func ParseExposition(r io.Reader) (*Exposition, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	p := &parser{
+		exp:     &Exposition{},
+		fams:    make(map[string]*MetricFamily),
+		hasHelp: make(map[string]bool),
+		hasType: make(map[string]bool),
+		types:   make(map[string]string),
+		lastBucket: make(map[string]struct {
+			cum uint64
+			le  float64
+		}),
+	}
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -32,47 +127,115 @@ func ValidateExposition(r io.Reader) error {
 		if strings.TrimSpace(line) == "" {
 			continue
 		}
+		var err error
 		if strings.HasPrefix(line, "#") {
-			if err := validateComment(line, types, helped, sampled); err != nil {
-				return fmt.Errorf("line %d: %w", lineNo, err)
-			}
-			continue
+			err = p.comment(line)
+		} else {
+			err = p.sample(line)
 		}
-		name, labels, value, err := parseSample(line)
 		if err != nil {
-			return fmt.Errorf("line %d: %w", lineNo, err)
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
 		}
-		fam, suffix := familyOf(name, types)
-		if typ, ok := types[fam]; ok {
-			if suffix != "" && typ != typeHistogram {
-				return fmt.Errorf("line %d: sample %s has histogram suffix but %s is a %s", lineNo, name, fam, typ)
-			}
-			if typ == typeHistogram {
-				switch suffix {
-				case "_bucket":
-					le, ok := labels["le"]
-					if !ok {
-						return fmt.Errorf("line %d: histogram bucket %s lacks an le label", lineNo, name)
-					}
-					if err := checkBucket(line, le, value, labels, lastBucket); err != nil {
-						return fmt.Errorf("line %d: %w", lineNo, err)
-					}
-				case "_sum", "_count", "":
-				default:
-					return fmt.Errorf("line %d: unknown histogram sample %s", lineNo, name)
-				}
-			}
-		}
-		sampled[fam] = true
 	}
 	if err := sc.Err(); err != nil {
-		return err
+		return nil, err
 	}
-	for fam := range types {
-		if !sampled[fam] {
-			return fmt.Errorf("family %s declares a TYPE but exposes no samples", fam)
+	for _, f := range p.exp.Families {
+		if p.hasType[f.Name] && len(f.Samples) == 0 {
+			return nil, fmt.Errorf("family %s declares a TYPE but exposes no samples", f.Name)
 		}
 	}
+	return p.exp, nil
+}
+
+// ValidateExposition parses a Prometheus text-format document and
+// reports the first malformed line — the round-trip check CI runs over
+// /metrics and /cluster/metrics output.
+func ValidateExposition(r io.Reader) error {
+	_, err := ParseExposition(r)
+	return err
+}
+
+func (p *parser) comment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		// Free-form comments ("# anything") are legal; only HELP/TYPE
+		// shapes are parsed. A bare "#" or "# word" is a comment too.
+		if fields[0] == "#" && (len(fields) < 2 || (fields[1] != "HELP" && fields[1] != "TYPE")) {
+			return nil
+		}
+		return fmt.Errorf("malformed comment %q", line)
+	}
+	switch fields[1] {
+	case "HELP":
+		name := fields[2]
+		if !validName(name) {
+			return fmt.Errorf("HELP for invalid metric name %q", name)
+		}
+		if p.hasHelp[name] {
+			return fmt.Errorf("duplicate HELP for %s", name)
+		}
+		p.hasHelp[name] = true
+		f := p.family(name)
+		if len(fields) == 4 {
+			f.Help = unescapeHelp(fields[3])
+		}
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], fields[3]
+		if !validName(name) {
+			return fmt.Errorf("TYPE for invalid metric name %q", name)
+		}
+		switch typ {
+		case typeCounter, typeGauge, typeHistogram, "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown TYPE %q for %s", typ, name)
+		}
+		if p.hasType[name] {
+			return fmt.Errorf("duplicate TYPE for %s", name)
+		}
+		if f, ok := p.fams[name]; ok && len(f.Samples) > 0 {
+			return fmt.Errorf("TYPE for %s appears after its samples", name)
+		}
+		p.hasType[name] = true
+		p.types[name] = typ
+		p.family(name).Type = typ
+	default:
+		// Free-form comments are legal.
+	}
+	return nil
+}
+
+func (p *parser) sample(line string) error {
+	s, err := parseSample(line)
+	if err != nil {
+		return err
+	}
+	fam, suffix := familyOf(s.Name, p.types)
+	if typ, ok := p.types[fam]; ok {
+		if suffix != "" && typ != typeHistogram {
+			return fmt.Errorf("sample %s has histogram suffix but %s is a %s", s.Name, fam, typ)
+		}
+		if typ == typeHistogram {
+			switch suffix {
+			case "_bucket":
+				le, ok := s.Label("le")
+				if !ok {
+					return fmt.Errorf("histogram bucket %s lacks an le label", s.Name)
+				}
+				if err := p.checkBucket(s, le); err != nil {
+					return err
+				}
+			case "_sum", "_count", "":
+			default:
+				return fmt.Errorf("unknown histogram sample %s", s.Name)
+			}
+		}
+	}
+	f := p.family(fam)
+	f.Samples = append(f.Samples, s)
 	return nil
 }
 
@@ -88,118 +251,106 @@ func familyOf(name string, types map[string]string) (fam, suffix string) {
 	return name, ""
 }
 
-func validateComment(line string, types map[string]string, helped, sampled map[string]bool) error {
-	fields := strings.SplitN(line, " ", 4)
-	if len(fields) < 3 || fields[0] != "#" {
-		return fmt.Errorf("malformed comment %q", line)
+// checkBucket enforces cumulative-bucket monotonicity per series (same
+// labels modulo le), keyed by the sample's name plus its label set minus
+// le.
+func (p *parser) checkBucket(s Sample, le string) error {
+	bound, err := parsePromFloat(le)
+	if err != nil {
+		return fmt.Errorf("bad le %q", le)
 	}
-	switch fields[1] {
-	case "HELP":
-		name := fields[2]
-		if !validName(name) {
-			return fmt.Errorf("HELP for invalid metric name %q", name)
+	key := s.Name + "\xff" + sortedLabelKey(s.Labels, "le")
+	prev, seen := p.lastBucket[key]
+	if seen {
+		if bound < prev.le {
+			return fmt.Errorf("bucket le=%s out of order (after le=%v)", le, prev.le)
 		}
-		if helped[name] {
-			return fmt.Errorf("duplicate HELP for %s", name)
+		if uint64(s.Value) < prev.cum {
+			return fmt.Errorf("bucket le=%s count %v below previous cumulative %d", le, s.Value, prev.cum)
 		}
-		helped[name] = true
-	case "TYPE":
-		if len(fields) != 4 {
-			return fmt.Errorf("malformed TYPE line %q", line)
-		}
-		name, typ := fields[2], fields[3]
-		if !validName(name) {
-			return fmt.Errorf("TYPE for invalid metric name %q", name)
-		}
-		switch typ {
-		case typeCounter, typeGauge, typeHistogram, "summary", "untyped":
-		default:
-			return fmt.Errorf("unknown TYPE %q for %s", typ, name)
-		}
-		if _, dup := types[name]; dup {
-			return fmt.Errorf("duplicate TYPE for %s", name)
-		}
-		if sampled[name] {
-			return fmt.Errorf("TYPE for %s appears after its samples", name)
-		}
-		types[name] = typ
-	default:
-		// Free-form comments are legal.
 	}
+	p.lastBucket[key] = struct {
+		cum uint64
+		le  float64
+	}{cum: uint64(s.Value), le: bound}
 	return nil
 }
 
-// parseSample parses `name{k="v",...} value` (timestamp suffixes are
-// accepted and ignored).
-func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+// parseSample parses `name{k="v",...} value [timestamp]`.
+func parseSample(line string) (Sample, error) {
 	i := 0
 	for i < len(line) && isNameChar(line[i], i == 0) {
 		i++
 	}
 	if i == 0 {
-		return "", nil, 0, fmt.Errorf("sample line %q does not start with a metric name", line)
+		return Sample{}, fmt.Errorf("sample line %q does not start with a metric name", line)
 	}
-	name = line[:i]
-	labels = map[string]string{}
+	s := Sample{Name: line[:i]}
 	rest := line[i:]
 	if strings.HasPrefix(rest, "{") {
-		end, err := parseLabels(rest, labels)
+		end, labels, err := parseLabels(rest)
 		if err != nil {
-			return "", nil, 0, fmt.Errorf("sample %s: %w", name, err)
+			return Sample{}, fmt.Errorf("sample %s: %w", s.Name, err)
 		}
+		s.Labels = labels
 		rest = rest[end:]
 	}
 	fields := strings.Fields(rest)
 	if len(fields) < 1 || len(fields) > 2 {
-		return "", nil, 0, fmt.Errorf("sample %s: want value [timestamp], got %q", name, strings.TrimSpace(rest))
+		return Sample{}, fmt.Errorf("sample %s: want value [timestamp], got %q", s.Name, strings.TrimSpace(rest))
 	}
-	value, err = parsePromFloat(fields[0])
+	var err error
+	s.Value, err = parsePromFloat(fields[0])
 	if err != nil {
-		return "", nil, 0, fmt.Errorf("sample %s: bad value %q", name, fields[0])
+		return Sample{}, fmt.Errorf("sample %s: bad value %q", s.Name, fields[0])
 	}
 	if len(fields) == 2 {
 		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
-			return "", nil, 0, fmt.Errorf("sample %s: bad timestamp %q", name, fields[1])
+			return Sample{}, fmt.Errorf("sample %s: bad timestamp %q", s.Name, fields[1])
 		}
+		s.Timestamp = fields[1]
 	}
-	return name, labels, value, nil
+	return s, nil
 }
 
 // parseLabels parses a {k="v",...} block starting at s[0] == '{',
-// returning the index just past the closing brace.
-func parseLabels(s string, out map[string]string) (int, error) {
+// returning the index just past the closing brace and the pairs in
+// document order.
+func parseLabels(s string) (int, []Label, error) {
+	var out []Label
+	seen := map[string]bool{}
 	i := 1 // past '{'
 	for {
 		if i >= len(s) {
-			return 0, fmt.Errorf("unterminated label block")
+			return 0, nil, fmt.Errorf("unterminated label block")
 		}
 		if s[i] == '}' {
-			return i + 1, nil
+			return i + 1, out, nil
 		}
 		start := i
 		for i < len(s) && isNameChar(s[i], i == start) && s[i] != ':' {
 			i++
 		}
 		if i == start {
-			return 0, fmt.Errorf("empty label name at %q", s[i:])
+			return 0, nil, fmt.Errorf("empty label name at %q", s[i:])
 		}
 		key := s[start:i]
 		if i >= len(s) || s[i] != '=' {
-			return 0, fmt.Errorf("label %s lacks '='", key)
+			return 0, nil, fmt.Errorf("label %s lacks '='", key)
 		}
 		i++
 		if i >= len(s) || s[i] != '"' {
-			return 0, fmt.Errorf("label %s value is not quoted", key)
+			return 0, nil, fmt.Errorf("label %s value is not quoted", key)
 		}
 		i++
 		var val strings.Builder
 		for {
 			if i >= len(s) {
-				return 0, fmt.Errorf("unterminated value for label %s", key)
+				return 0, nil, fmt.Errorf("unterminated value for label %s", key)
 			}
 			if s[i] == '\\' {
 				if i+1 >= len(s) {
-					return 0, fmt.Errorf("dangling escape in label %s", key)
+					return 0, nil, fmt.Errorf("dangling escape in label %s", key)
 				}
 				switch s[i+1] {
 				case '\\', '"':
@@ -207,7 +358,7 @@ func parseLabels(s string, out map[string]string) (int, error) {
 				case 'n':
 					val.WriteByte('\n')
 				default:
-					return 0, fmt.Errorf("bad escape \\%c in label %s", s[i+1], key)
+					return 0, nil, fmt.Errorf("bad escape \\%c in label %s", s[i+1], key)
 				}
 				i += 2
 				continue
@@ -219,10 +370,11 @@ func parseLabels(s string, out map[string]string) (int, error) {
 			val.WriteByte(s[i])
 			i++
 		}
-		if _, dup := out[key]; dup {
-			return 0, fmt.Errorf("duplicate label %s", key)
+		if seen[key] {
+			return 0, nil, fmt.Errorf("duplicate label %s", key)
 		}
-		out[key] = val.String()
+		seen[key] = true
+		out = append(out, Label{Name: key, Value: val.String()})
 		if i < len(s) && s[i] == ',' {
 			i++
 		}
@@ -251,42 +403,6 @@ func isNameChar(c byte, first bool) bool {
 	return false
 }
 
-// checkBucket enforces cumulative-bucket monotonicity per series (same
-// labels modulo le), keyed by the sample line's label set minus le.
-func checkBucket(line, le string, value float64, labels map[string]string, last map[string]struct {
-	cum uint64
-	le  float64
-}) error {
-	bound, err := parsePromFloat(le)
-	if err != nil {
-		return fmt.Errorf("bad le %q", le)
-	}
-	var keyParts []string
-	for k, v := range labels {
-		if k == "le" {
-			continue
-		}
-		keyParts = append(keyParts, k+"="+v)
-	}
-	// Prefix with the metric name so distinct histograms don't collide.
-	name := line[:strings.IndexAny(line, "{ ")]
-	key := name + "\xff" + labelKey(sortedCopy(keyParts))
-	prev, seen := last[key]
-	if seen {
-		if bound < prev.le {
-			return fmt.Errorf("bucket le=%s out of order (after le=%v)", le, prev.le)
-		}
-		if uint64(value) < prev.cum {
-			return fmt.Errorf("bucket le=%s count %v below previous cumulative %d", le, value, prev.cum)
-		}
-	}
-	last[key] = struct {
-		cum uint64
-		le  float64
-	}{cum: uint64(value), le: bound}
-	return nil
-}
-
 func sortedCopy(s []string) []string {
 	out := append([]string(nil), s...)
 	for i := 1; i < len(out); i++ { // insertion sort; label sets are tiny
@@ -295,4 +411,69 @@ func sortedCopy(s []string) []string {
 		}
 	}
 	return out
+}
+
+// unescapeHelp reverses the HELP escaping (\\ → \, \n → newline),
+// scanning left-to-right so "\\n" stays a literal backslash-n.
+func unescapeHelp(s string) string {
+	if !strings.Contains(s, `\`) {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			case 'n':
+				b.WriteByte('\n')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// Write renders the exposition back to Prometheus text format: HELP
+// (when present) then TYPE (when declared) then the samples, everything
+// in parsed order with label order preserved — parse∘Write is the
+// identity on documents this package's WriteProm produces.
+func (e *Exposition) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range e.Families {
+		if f.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		}
+		if f.Type != "" {
+			fmt.Fprintf(bw, "# TYPE %s %s\n", f.Name, f.Type)
+		}
+		for _, s := range f.Samples {
+			bw.WriteString(s.Name)
+			if len(s.Labels) > 0 {
+				bw.WriteByte('{')
+				for i, l := range s.Labels {
+					if i > 0 {
+						bw.WriteByte(',')
+					}
+					bw.WriteString(l.Name)
+					bw.WriteString(`="`)
+					bw.WriteString(escapeLabel(l.Value))
+					bw.WriteByte('"')
+				}
+				bw.WriteByte('}')
+			}
+			bw.WriteByte(' ')
+			bw.WriteString(formatFloat(s.Value))
+			if s.Timestamp != "" {
+				bw.WriteByte(' ')
+				bw.WriteString(s.Timestamp)
+			}
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
 }

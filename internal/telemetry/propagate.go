@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"context"
+	"net/http"
+	"strings"
+)
+
+// TraceparentHeader carries trace context across process boundaries in
+// the W3C traceparent layout: version-traceid-parentid-flags, e.g.
+//
+//	X-Qurator-Traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//
+// Every fleet hop — cluster forwarding, heartbeats, the resilient
+// transport, QA service invocations, the streaming client — injects it
+// on outbound requests and extracts it on inbound ones, so one enactment
+// is one trace ID no matter how many quratord nodes it crosses.
+const TraceparentHeader = "X-Qurator-Traceparent"
+
+// TraceIDHeader is the response header a traced endpoint answers with:
+// the trace ID its handling was recorded under, so a client that did not
+// send a traceparent still learns where to find its trace.
+const TraceIDHeader = "X-Qurator-Trace-Id"
+
+// FormatTraceparent renders trace context as a traceparent value
+// (version 00, sampled flag set — Qurator records every span it starts).
+func FormatTraceparent(traceID, spanID string) string {
+	return "00-" + traceID + "-" + spanID + "-01"
+}
+
+// ParseTraceparent splits a traceparent value into its trace and parent
+// span IDs. Accepted trace IDs are 32 (current) or 16 (pre-fleet) hex
+// chars, span IDs 16; all-zero IDs and unknown versions are rejected, as
+// the W3C spec directs.
+func ParseTraceparent(s string) (traceID, spanID string, ok bool) {
+	parts := strings.Split(strings.TrimSpace(s), "-")
+	if len(parts) != 4 || parts[0] != "00" {
+		return "", "", false
+	}
+	traceID, spanID = parts[1], parts[2]
+	if len(traceID) != 32 && len(traceID) != 16 {
+		return "", "", false
+	}
+	if len(spanID) != 16 {
+		return "", "", false
+	}
+	if !isHex(traceID) || !isHex(spanID) || allZero(traceID) || allZero(spanID) {
+		return "", "", false
+	}
+	return traceID, spanID, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+// Inject stamps the context's trace position into h: the active span if
+// one is running, else a remote parent being passed through. With
+// neither, h is left untouched. An existing traceparent is overwritten —
+// the context is always more current than whatever an earlier layer set.
+func Inject(ctx context.Context, h http.Header) {
+	if s := SpanFrom(ctx); s != nil {
+		h.Set(TraceparentHeader, FormatTraceparent(s.TraceID, s.SpanID))
+		return
+	}
+	if traceID, spanID, ok := RemoteFrom(ctx); ok {
+		h.Set(TraceparentHeader, FormatTraceparent(traceID, spanID))
+	}
+}
+
+// Extract reads the traceparent header out of h. When present and valid
+// it returns a context under which StartSpan joins the remote trace, and
+// true; otherwise the context comes back unchanged with false. Handlers
+// use the boolean to decide whether serving this request is worth a span
+// at all — un-traced high-frequency calls should not each mint a trace.
+func Extract(ctx context.Context, h http.Header) (context.Context, bool) {
+	traceID, spanID, ok := ParseTraceparent(h.Get(TraceparentHeader))
+	if !ok {
+		return ctx, false
+	}
+	return ContextWithRemote(ctx, traceID, spanID), true
+}

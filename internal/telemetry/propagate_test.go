@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"context"
+	"net/http"
+	"testing"
+)
+
+func TestParseTraceparent(t *testing.T) {
+	valid32 := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	cases := []struct {
+		in          string
+		wantTrace   string
+		wantSpan    string
+		wantOK      bool
+		description string
+	}{
+		{valid32, "4bf92f3577b34da6a3ce929d0e0e4736", "00f067aa0ba902b7", true, "current 128-bit trace ID"},
+		{"00-00f067aa0ba902b7-00f067aa0ba902b7-01", "00f067aa0ba902b7", "00f067aa0ba902b7", true, "pre-fleet 64-bit trace ID"},
+		{" " + valid32 + " ", "4bf92f3577b34da6a3ce929d0e0e4736", "00f067aa0ba902b7", true, "surrounding whitespace"},
+		{"", "", "", false, "empty"},
+		{"01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", "", "", false, "unknown version"},
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7", "", "", false, "missing flags"},
+		{"00-00000000000000000000000000000000-00f067aa0ba902b7-01", "", "", false, "all-zero trace ID"},
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", "", "", false, "all-zero span ID"},
+		{"00-4bf92f3577b34da6a3ce929d0e0e47XY-00f067aa0ba902b7-01", "", "", false, "non-hex trace ID"},
+		{"00-4bf92f3577b34da6a3ce-00f067aa0ba902b7-01", "", "", false, "20-char trace ID"},
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902-01", "", "", false, "short span ID"},
+		{"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", "", "", false, "uppercase hex rejected"},
+	}
+	for _, c := range cases {
+		traceID, spanID, ok := ParseTraceparent(c.in)
+		if ok != c.wantOK || traceID != c.wantTrace || spanID != c.wantSpan {
+			t.Errorf("%s: ParseTraceparent(%q) = (%q, %q, %v); want (%q, %q, %v)",
+				c.description, c.in, traceID, spanID, ok, c.wantTrace, c.wantSpan, c.wantOK)
+		}
+	}
+}
+
+func TestIDFormats(t *testing.T) {
+	trace, span := newTraceID(), newSpanID()
+	if len(trace) != 32 || !isHex(trace) {
+		t.Fatalf("trace ID %q: want 32 lowercase hex chars", trace)
+	}
+	if len(span) != 16 || !isHex(span) {
+		t.Fatalf("span ID %q: want 16 lowercase hex chars", span)
+	}
+	if newTraceID() == trace {
+		t.Fatal("two trace IDs collided")
+	}
+}
+
+func TestInjectExtractRoundTrip(t *testing.T) {
+	rec := NewRecorder(4)
+	ctx := WithRecorder(context.Background(), rec)
+	ctx, span := StartSpan(ctx, "client")
+	defer span.End()
+
+	h := http.Header{}
+	Inject(ctx, h)
+	got := h.Get(TraceparentHeader)
+	if want := FormatTraceparent(span.TraceID, span.SpanID); got != want {
+		t.Fatalf("injected %q; want %q", got, want)
+	}
+
+	// The far side: extract, then start the server span — it must join
+	// the client's trace as a child of the client span.
+	serverCtx, traced := Extract(context.Background(), h)
+	if !traced {
+		t.Fatal("Extract did not find the injected traceparent")
+	}
+	serverRec := NewRecorder(4)
+	serverCtx = WithRecorder(serverCtx, serverRec)
+	_, serverSpan := StartSpan(serverCtx, "server")
+	if serverSpan.TraceID != span.TraceID {
+		t.Fatalf("server joined trace %s; want %s", serverSpan.TraceID, span.TraceID)
+	}
+	if serverSpan.ParentID != span.SpanID {
+		t.Fatalf("server parent is %s; want the client span %s", serverSpan.ParentID, span.SpanID)
+	}
+	serverSpan.End()
+	frag, ok := serverRec.Fragment(span.TraceID)
+	if !ok || len(frag.Spans) != 1 {
+		t.Fatalf("server recorder fragment = %+v, %v; want one span", frag, ok)
+	}
+}
+
+func TestExtractAbsentOrInvalid(t *testing.T) {
+	for _, h := range []http.Header{
+		{},
+		{TraceparentHeader: []string{"not-a-traceparent"}},
+	} {
+		ctx, traced := Extract(context.Background(), h)
+		if traced {
+			t.Fatalf("Extract(%v) reported a trace", h)
+		}
+		if _, _, ok := RemoteFrom(ctx); ok {
+			t.Fatalf("Extract(%v) attached a remote parent", h)
+		}
+	}
+}
+
+func TestInjectPassesThroughRemoteParent(t *testing.T) {
+	// A relay that never starts its own span must still propagate the
+	// inbound trace position.
+	in := http.Header{TraceparentHeader: []string{
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"}}
+	ctx, _ := Extract(context.Background(), in)
+	out := http.Header{}
+	Inject(ctx, out)
+	if got := out.Get(TraceparentHeader); got != in.Get(TraceparentHeader) {
+		t.Fatalf("relayed traceparent %q; want %q", got, in.Get(TraceparentHeader))
+	}
+}
+
+func TestInjectWithoutContextLeavesHeaderAlone(t *testing.T) {
+	h := http.Header{}
+	Inject(context.Background(), h)
+	if len(h) != 0 {
+		t.Fatalf("Inject without trace context wrote %v", h)
+	}
+}
+
+func TestSpansDroppedCounter(t *testing.T) {
+	rec := NewRecorder(4)
+	ctx := WithRecorder(context.Background(), rec)
+	before := spansDropped.Value()
+	ctx, root := StartSpan(ctx, "root")
+	for i := 0; i < rec.maxSpans+10; i++ {
+		_, s := StartSpan(ctx, "child")
+		s.End()
+	}
+	root.End()
+	dropped := spansDropped.Value() - before
+	if dropped != 11 { // 10 children past the cap, plus the root itself
+		t.Fatalf("spans dropped counter rose by %d; want 11", dropped)
+	}
+	frag, ok := rec.Fragment(root.TraceID)
+	if !ok {
+		t.Fatal("trace missing from recorder")
+	}
+	if frag.DroppedSpans != int(dropped) {
+		t.Fatalf("fragment reports %d dropped; counter says %d", frag.DroppedSpans, dropped)
+	}
+}

@@ -2,11 +2,11 @@ package telemetry
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"math/rand"
 	"net/http"
-	"os"
 	"sort"
 	"strconv"
 	"sync"
@@ -59,21 +59,61 @@ type Span struct {
 	data  SpanData
 }
 
-// idRng feeds trace/span IDs; math/rand is plenty — IDs only need to be
-// unique within a debugging session, not unguessable.
-var idRng = struct {
-	sync.Mutex
-	*rand.Rand
-}{Rand: rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(os.Getpid())<<32))}
+// spansDropped counts finished spans discarded because their trace hit
+// the per-trace retention cap — without it, span loss is invisible until
+// someone pulls the affected trace tree.
+var spansDropped = Default.Counter(
+	"qurator_telemetry_spans_dropped_total",
+	"Finished spans discarded because their trace reached the per-trace retention cap.")
 
-func newID() string {
-	idRng.Lock()
-	defer idRng.Unlock()
-	return fmt.Sprintf("%016x", idRng.Uint64())
+// randHex returns n crypto-random bytes as lowercase hex. Trace IDs used
+// to be drawn from math/rand seeded with time⊕pid, which is fine for one
+// process but collision-prone across a fleet that now shares trace IDs:
+// two nodes booted in the same nanosecond would mint overlapping ID
+// streams. crypto/rand makes fleet-wide uniqueness a birthday problem on
+// 128 bits instead of a seeding accident.
+func randHex(n int) string {
+	b := make([]byte, n)
+	if _, err := crand.Read(b); err != nil {
+		// crypto/rand failing means the OS entropy source is gone;
+		// nothing sensible can run in that process.
+		panic(fmt.Sprintf("telemetry: crypto/rand: %v", err))
+	}
+	return hex.EncodeToString(b)
 }
+
+// newTraceID mints a 128-bit trace ID (32 hex chars).
+func newTraceID() string { return randHex(16) }
+
+// newSpanID mints a 64-bit span ID (16 hex chars).
+func newSpanID() string { return randHex(8) }
 
 type spanCtxKey struct{}
 type recorderCtxKey struct{}
+type remoteCtxKey struct{}
+
+// remoteParent is trace context extracted from an incoming request: the
+// caller's trace and span IDs, carried without a local *Span because the
+// parent span lives (and will be recorded) on another node.
+type remoteParent struct {
+	traceID, spanID string
+}
+
+// ContextWithRemote returns a context under which StartSpan joins the
+// given trace as a child of the given (remote) span, instead of starting
+// a fresh trace. It is how trace context crosses process boundaries —
+// Extract calls it after parsing the traceparent header.
+func ContextWithRemote(ctx context.Context, traceID, spanID string) context.Context {
+	return context.WithValue(ctx, remoteCtxKey{}, remoteParent{traceID: traceID, spanID: spanID})
+}
+
+// RemoteFrom returns the remote trace/span context carried by ctx, if
+// any. A local active span takes precedence: callers that need "who is
+// my parent" should consult SpanFrom first, as StartSpan does.
+func RemoteFrom(ctx context.Context) (traceID, spanID string, ok bool) {
+	rp, ok := ctx.Value(remoteCtxKey{}).(remoteParent)
+	return rp.traceID, rp.spanID, ok
+}
 
 // WithRecorder directs spans started under ctx (and their descendants)
 // to rec instead of DefaultRecorder — qvrun -telemetry uses a private
@@ -97,15 +137,23 @@ func TraceIDFrom(ctx context.Context) string {
 }
 
 // StartSpan begins a span named name. If the context carries an active
-// span the new span joins its trace as a child; otherwise a fresh trace
-// starts, delivered (on End) to the context's recorder or, absent one,
-// to DefaultRecorder. The returned context carries the new span.
+// span the new span joins its trace as a child; failing that, a remote
+// parent (see ContextWithRemote) is joined the same way, so one
+// enactment forwarded across fleet nodes stays one trace; otherwise a
+// fresh trace starts. Spans are delivered (on End) to the parent's
+// recorder or, for trace roots and remote children, to the context's
+// recorder — absent one, to DefaultRecorder. The returned context
+// carries the new span.
 func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
-	s := &Span{Name: name, SpanID: newID(), Start: time.Now()}
+	s := &Span{Name: name, SpanID: newSpanID(), Start: time.Now()}
 	if parent := SpanFrom(ctx); parent != nil {
 		s.TraceID, s.ParentID, s.rec = parent.TraceID, parent.SpanID, parent.rec
 	} else {
-		s.TraceID = newID()
+		if traceID, spanID, ok := RemoteFrom(ctx); ok {
+			s.TraceID, s.ParentID = traceID, spanID
+		} else {
+			s.TraceID = newTraceID()
+		}
 		if rec, ok := ctx.Value(recorderCtxKey{}).(*Recorder); ok {
 			s.rec = rec
 		} else {
@@ -209,6 +257,7 @@ func (r *Recorder) record(d SpanData) {
 	}
 	if len(e.spans) >= r.maxSpans {
 		e.dropped++
+		spansDropped.Inc()
 	} else {
 		e.spans = append(e.spans, d)
 	}

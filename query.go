@@ -75,6 +75,15 @@ func (f *Framework) QueryHandler() http.Handler {
 		if req.Target == "" {
 			req.Target = "provenance"
 		}
+		// Join the caller's trace when one arrived (provenance queries
+		// issued while debugging an enactment correlate with it); an
+		// un-traced query gets no span.
+		if ctx, traced := telemetry.Extract(r.Context(), r.Header); traced {
+			_, span := telemetry.StartSpan(ctx, "http:/query")
+			span.SetAttr("target", req.Target)
+			w.Header().Set(telemetry.TraceIDHeader, span.TraceID)
+			defer span.End()
+		}
 
 		q, err := sparql.Parse(req.Query)
 		if err != nil {
