@@ -9,6 +9,7 @@
 //	experiment -dataplane    # serial vs sharded vs cached enactment
 //	experiment -sparql       # metadata-plane query engine: clone vs snapshot
 //	experiment -cube         # quality cube: rollup slices vs SPARQL scans
+//	experiment -mqo          # view-fleet MQO: independent vs merged shared-prefix enactment
 //	experiment -all          # everything
 //
 // Flags -seed, -spots, -db resize the world. The Figure-7 run also
@@ -22,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"qurator/internal/ispider"
 	"qurator/internal/telemetry"
@@ -51,6 +53,15 @@ func main() {
 	cubeObs := flag.Int("cube-obs", 100_000, "observations in the cube experiment")
 	cubeOut := flag.String("cube-out", "BENCH_cube.json",
 		"write the cube benchmark record here; empty = off")
+	mqoRun := flag.Bool("mqo", false,
+		"run the multi-query-optimization experiment: independent view-fleet enactment vs one merged shared-prefix plan")
+	mqoViews := flag.Int("mqo-views", 100, "fleet size in the MQO experiment")
+	mqoFamilies := flag.Int("mqo-families", 20, "shared QA families in the MQO experiment")
+	mqoItems := flag.Int("mqo-items", 24, "data-set size in the MQO experiment")
+	mqoLatency := flag.Duration("mqo-latency", 2*time.Millisecond,
+		"simulated per-invocation quality-service latency in the MQO experiment")
+	mqoOut := flag.String("mqo-out", "BENCH_mqo.json",
+		"write the MQO benchmark record here; empty = off")
 	flag.Parse()
 
 	params := ispider.DefaultWorldParams()
@@ -69,6 +80,7 @@ func main() {
 		runDataPlane(world, *dataplaneOut, *repeats)
 		runSPARQL(*sparqlRuns, *repeats, *sparqlOut)
 		runCube(*cubeObs, *repeats, *cubeOut)
+		runMQO(*mqoViews, *mqoFamilies, *mqoItems, *mqoLatency, *repeats, *mqoOut)
 		runQAAblation(world)
 		runThresholdAblation(world)
 		runLearnedAblation(world)
@@ -82,6 +94,8 @@ func main() {
 		runSPARQL(*sparqlRuns, *repeats, *sparqlOut)
 	case *cubeRun:
 		runCube(*cubeObs, *repeats, *cubeOut)
+	case *mqoRun:
+		runMQO(*mqoViews, *mqoFamilies, *mqoItems, *mqoLatency, *repeats, *mqoOut)
 	case *fig == 1:
 		runFigure1(world)
 	case *fig == 6:

@@ -1,0 +1,397 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"qurator/internal/annotstore"
+	"qurator/internal/binding"
+	"qurator/internal/compiler"
+	"qurator/internal/evidence"
+	"qurator/internal/ontology"
+	"qurator/internal/ops"
+	"qurator/internal/qvlang"
+	"qurator/internal/rdf"
+	"qurator/internal/services"
+	"qurator/internal/telemetry"
+)
+
+// The MQO experiment measures workflow-level common-subexpression
+// elimination (compiler.MergeViews): a fleet of views drawn from a small
+// pool of QA families — the paper's §7 observation that views are
+// reusable quality knowledge, so registered views overlap heavily — is
+// enacted first independently (N full enactments) and then as ONE merged
+// plan in which each shared annotator/enrichment/QA prefix runs once.
+// Every quality service carries a fixed simulated latency, standing in
+// for the network round-trip that dominates real enactments. The built-in
+// tripwire re-checks the MQO contract: every view's merged outputs must
+// be bit-identical to its independent enactment.
+
+// mqoRecord is the BENCH_mqo.json schema.
+type mqoRecord struct {
+	Experiment string `json:"experiment"`
+	// Views is the fleet size; QAFamilies the size of the shared QA pool
+	// each view draws from (plus one private QA per view).
+	Views      int `json:"views"`
+	QAFamilies int `json:"qaFamilies"`
+	Items      int `json:"items"`
+	// SharedFraction is the fraction of each view's quality-service
+	// processors that at least one sibling also uses.
+	SharedFraction float64 `json:"sharedFraction"`
+	LatencyMS      float64 `json:"latency_ms"`
+	Repeats        int     `json:"repeats"`
+	// SharedPrefixes / SavedPerEnactment come from the merged plan: how
+	// many quality processors serve ≥ 2 views, and how many invocations
+	// one merged enactment avoids versus independent enactment.
+	SharedPrefixes    int `json:"sharedPrefixes"`
+	SavedPerEnactment int `json:"savedPerEnactment"`
+	// IndependentRunsMS / MergedRunsMS are per-repeat wall-clock times of
+	// the full fleet: all views independently vs the one merged plan.
+	IndependentRunsMS []float64 `json:"independent_runs_ms"`
+	MergedRunsMS      []float64 `json:"merged_runs_ms"`
+	IndependentBestMS float64   `json:"independent_best_ms"`
+	MergedBestMS      float64   `json:"merged_best_ms"`
+	// Ratio = merged best / independent best; MaxRatio is the acceptance
+	// ceiling the experiment enforces.
+	Ratio    float64 `json:"ratio"`
+	MaxRatio float64 `json:"maxRatio"`
+	// Equivalent reports the bit-identity tripwire: every view's merged
+	// outputs matched its independent enactment, every repeat.
+	Equivalent bool                       `json:"equivalent"`
+	Metrics    []telemetry.MetricSnapshot `json:"metrics"`
+}
+
+// mqoMaxRatio is the acceptance ceiling: a merged fleet enactment must
+// cost at most this fraction of enacting every view independently.
+const mqoMaxRatio = 0.35
+
+// synQA is a synthetic scoring QA with simulated service latency: one
+// fixed delay per invocation (the network round-trip), then a
+// deterministic per-item score derived from the HitRatio evidence.
+type synQA struct {
+	class rdf.Term
+	tag   rdf.Term
+	gain  float64
+	delay time.Duration
+}
+
+func (s *synQA) Class() rdf.Term      { return s.class }
+func (s *synQA) Requires() []rdf.Term { return []rdf.Term{ontology.HitRatio} }
+func (s *synQA) Provides() []rdf.Term { return []rdf.Term{s.tag} }
+func (s *synQA) ItemWise() bool       { return true }
+func (s *synQA) Assert(m *evidence.Map) error {
+	time.Sleep(s.delay)
+	for _, it := range m.Items() {
+		hr, ok := m.Get(it, ontology.HitRatio).AsFloat()
+		if !ok {
+			return fmt.Errorf("mqo: item %v lacks HitRatio", it)
+		}
+		m.Set(it, s.tag, evidence.Float(math.Round(100*hr)+s.gain))
+	}
+	return nil
+}
+
+// mqoFleet is the compiled synthetic view fleet.
+type mqoFleet struct {
+	views    []*compiler.Compiled
+	families int
+	// sharedFraction: shared quality procs per view / total per view.
+	sharedFraction float64
+}
+
+// buildMQOFleet compiles viewCount views over one service stack: a single
+// shared annotator, `families` shared QA services (each view declares
+// four of them, round-robin), and one private QA per view. With four of
+// five QAs (plus annotator and enrichment) common to many views, ~86% of
+// each view's quality structure is shared — the "80% shared" fleet shape
+// of the acceptance scenario.
+func buildMQOFleet(viewCount, families int, delay time.Duration) (*mqoFleet, error) {
+	model := ontology.NewIQModel()
+	synAnnotation := ontology.Q("SynAnnotation")
+	model.MustDefineClass(synAnnotation, ontology.AnnotationFunction)
+
+	repos := annotstore.NewRegistry()
+	local := services.NewRegistry()
+	local.Add(&services.AnnotatorService{
+		ServiceName: "SynAnnotator",
+		Annotator: ops.AnnotatorFunc{
+			ClassIRI: synAnnotation,
+			Types:    []rdf.Term{ontology.HitRatio},
+			Fn: func(items []evidence.Item, repo annotstore.Store) error {
+				time.Sleep(delay)
+				for _, it := range items {
+					idx := mqoItemIndex(it)
+					if err := repo.Put(annotstore.Annotation{
+						Item:   it,
+						Type:   ontology.HitRatio,
+						Value:  evidence.Float(float64(idx%10+1) / 10),
+						Source: synAnnotation,
+					}); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		},
+		Repositories: repos,
+	})
+	bindings := binding.NewRegistry(model)
+	bindings.MustBind(binding.Binding{
+		Concept: synAnnotation, Kind: binding.ServiceResource, Locator: "local:SynAnnotator",
+	})
+	addQA := func(name, tagName string, gain float64) {
+		concept := ontology.Q(name)
+		model.MustDefineClass(concept, ontology.QualityAssertion)
+		local.Add(&services.AssertionService{
+			ServiceName: name,
+			QA: &synQA{
+				class: concept,
+				tag:   qvlang.TagKeyFor(tagName),
+				gain:  gain,
+				delay: delay,
+			},
+		})
+		bindings.MustBind(binding.Binding{
+			Concept: concept, Kind: binding.ServiceResource, Locator: "local:" + name,
+		})
+	}
+	for f := 0; f < families; f++ {
+		addQA(fmt.Sprintf("SynQA%02d", f), fmt.Sprintf("T%02d", f), float64(f))
+	}
+	for i := 0; i < viewCount; i++ {
+		addQA(fmt.Sprintf("PrivQA%03d", i), fmt.Sprintf("P%03d", i), 100+float64(i))
+	}
+
+	comp := &compiler.Compiler{
+		Bindings:     bindings,
+		Resolver:     &binding.Resolver{Local: local},
+		Repositories: repos,
+	}
+	fleet := &mqoFleet{families: families}
+	const sharedPerView = 4
+	for i := 0; i < viewCount; i++ {
+		var qas strings.Builder
+		for s := 0; s < sharedPerView; s++ {
+			f := (i + s) % families
+			fmt.Fprintf(&qas, qaFragment, fmt.Sprintf("SynQA%02d", f), fmt.Sprintf("T%02d", f))
+		}
+		fmt.Fprintf(&qas, qaFragment, fmt.Sprintf("PrivQA%03d", i), fmt.Sprintf("P%03d", i))
+		threshold := 25 + (i*7)%50
+		xml := fmt.Sprintf(mqoViewXML, fmt.Sprintf("mqo-view-%03d", i), qas.String(),
+			fmt.Sprintf("T%02d", i%families), threshold)
+		v, err := qvlang.Parse([]byte(xml))
+		if err != nil {
+			return nil, fmt.Errorf("mqo: view %d: %w", i, err)
+		}
+		r, err := qvlang.Resolve(v, model)
+		if err != nil {
+			return nil, fmt.Errorf("mqo: view %d: %w", i, err)
+		}
+		c, err := comp.Compile(r)
+		if err != nil {
+			return nil, fmt.Errorf("mqo: view %d: %w", i, err)
+		}
+		fleet.views = append(fleet.views, c)
+	}
+	// Per view: 1 annotator + 1 enrichment + 4 shared QAs are shared; the
+	// private QA is not. (Consolidations are per-view plumbing, actions
+	// are per-view by design — neither is a quality service.)
+	fleet.sharedFraction = float64(2+sharedPerView) / float64(2+sharedPerView+1)
+	return fleet, nil
+}
+
+const mqoViewXML = `<QualityView name="%s">
+  <Annotator servicename="SynAnnotator" servicetype="q:SynAnnotation">
+    <variables repositoryRef="cache" persistent="false">
+      <var evidence="q:HitRatio"/>
+    </variables>
+  </Annotator>
+%s  <action name="keep scored">
+    <filter>
+      <condition>%s &gt; %d</condition>
+    </filter>
+  </action>
+</QualityView>`
+
+const qaFragment = `  <QualityAssertion servicename="%s" servicetype="q:%[1]s"
+                    tagname="%s" tagsyntype="q:score">
+    <variables repositoryRef="cache">
+      <var variablename="hr" evidence="q:HitRatio"/>
+    </variables>
+  </QualityAssertion>
+`
+
+func mqoItem(i int) evidence.Item {
+	return rdf.IRI(fmt.Sprintf("urn:lsid:qurator.org:mqo:%d", i))
+}
+
+func mqoItemIndex(it evidence.Item) int {
+	s := it.Value()
+	var idx int
+	fmt.Sscanf(s[strings.LastIndex(s, ":")+1:], "%d", &idx)
+	return idx
+}
+
+// viewFingerprint canonically encodes one view's outputs, sorted by
+// output name — the bit-identity tripwire's unit of comparison.
+func viewFingerprint(outputs map[string]*evidence.Map) (string, error) {
+	names := make([]string, 0, len(outputs))
+	for name := range outputs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b bytes.Buffer
+	for _, name := range names {
+		fmt.Fprintf(&b, "%s:", name)
+		if err := outputs[name].WriteCanonical(&b); err != nil {
+			return "", err
+		}
+	}
+	return b.String(), nil
+}
+
+// measureMQO enacts the fleet independently and merged, repeats times
+// each, checking bit-identity on every repeat.
+func measureMQO(viewCount, families, items int, delay time.Duration, repeats int) (*mqoRecord, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	fleet, err := buildMQOFleet(viewCount, families, delay)
+	if err != nil {
+		return nil, err
+	}
+	mv, err := compiler.MergeViews(fleet.views...)
+	if err != nil {
+		return nil, err
+	}
+	record := &mqoRecord{
+		Experiment:        "mqo",
+		Views:             viewCount,
+		QAFamilies:        families,
+		Items:             items,
+		SharedFraction:    fleet.sharedFraction,
+		LatencyMS:         float64(delay.Microseconds()) / 1000,
+		Repeats:           repeats,
+		SharedPrefixes:    mv.SharedPrefixes(),
+		SavedPerEnactment: mv.SavedPerEnactment(),
+		MaxRatio:          mqoMaxRatio,
+		Equivalent:        true,
+	}
+	data := make([]evidence.Item, items)
+	for i := range data {
+		data[i] = mqoItem(i)
+	}
+	ctx := context.Background()
+
+	independent := make(map[string]string, viewCount)
+	for r := 0; r < repeats; r++ {
+		start := time.Now()
+		for _, v := range fleet.views {
+			out, err := v.Run(ctx, data)
+			if err != nil {
+				return nil, fmt.Errorf("mqo: independent %s: %w", v.Name(), err)
+			}
+			print, err := viewFingerprint(out)
+			if err != nil {
+				return nil, err
+			}
+			if prev, ok := independent[v.Name()]; ok && prev != print {
+				return nil, fmt.Errorf("mqo: independent enactment of %s is not deterministic", v.Name())
+			}
+			independent[v.Name()] = print
+		}
+		record.IndependentRunsMS = append(record.IndependentRunsMS,
+			float64(time.Since(start).Microseconds())/1000)
+	}
+
+	for r := 0; r < repeats; r++ {
+		start := time.Now()
+		results, err := mv.Enact(ctx, data)
+		if err != nil {
+			return nil, fmt.Errorf("mqo: merged enactment: %w", err)
+		}
+		record.MergedRunsMS = append(record.MergedRunsMS,
+			float64(time.Since(start).Microseconds())/1000)
+		for name, vr := range results {
+			if vr.Err != nil {
+				return nil, fmt.Errorf("mqo: merged view %s: %w", name, vr.Err)
+			}
+			print, err := viewFingerprint(vr.Outputs)
+			if err != nil {
+				return nil, err
+			}
+			if print != independent[name] {
+				record.Equivalent = false
+			}
+		}
+	}
+
+	best := func(runs []float64) float64 {
+		b := runs[0]
+		for _, v := range runs[1:] {
+			if v < b {
+				b = v
+			}
+		}
+		return b
+	}
+	record.IndependentBestMS = best(record.IndependentRunsMS)
+	record.MergedBestMS = best(record.MergedRunsMS)
+	record.Ratio = record.MergedBestMS / record.IndependentBestMS
+	record.Metrics = telemetry.Default.Snapshot()
+	return record, nil
+}
+
+func writeMQORecord(path string, record *mqoRecord) error {
+	data, err := json.MarshalIndent(record, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func runMQO(viewCount, families, items int, latency time.Duration, repeats int, benchOut string) {
+	record, err := measureMQO(viewCount, families, items, latency, repeats)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("Multi-query optimization — shared-prefix enactment of a view fleet (compiler.MergeViews)")
+	fmt.Printf("fleet: %d views over %d QA families (+1 private QA each), %.0f%% shared structure, %gms service latency\n",
+		record.Views, record.QAFamilies, 100*record.SharedFraction, record.LatencyMS)
+	fmt.Printf("merged plan: %d shared prefixes, %d invocations saved per enactment\n",
+		record.SharedPrefixes, record.SavedPerEnactment)
+	fmt.Printf("%-22s %12s %12s\n", "strategy", "best ms", "mean ms")
+	mean := func(runs []float64) float64 {
+		var s float64
+		for _, v := range runs {
+			s += v
+		}
+		return s / float64(len(runs))
+	}
+	fmt.Printf("%-22s %12.1f %12.1f\n", "independent fleet", record.IndependentBestMS, mean(record.IndependentRunsMS))
+	fmt.Printf("%-22s %12.1f %12.1f\n", "merged (MQO)", record.MergedBestMS, mean(record.MergedRunsMS))
+	fmt.Printf("ratio merged/independent = %.3f (ceiling %.2f)\n", record.Ratio, record.MaxRatio)
+	if !record.Equivalent {
+		fatal(fmt.Errorf("mqo: merged outputs diverged from independent enactment"))
+	}
+	fmt.Println("all views bit-identical to independent enactment")
+	if record.Ratio > record.MaxRatio {
+		fatal(fmt.Errorf("mqo: merged enactment cost %.3f of independent, above the %.2f ceiling",
+			record.Ratio, record.MaxRatio))
+	}
+	if benchOut == "" {
+		fmt.Println()
+		return
+	}
+	if err := writeMQORecord(benchOut, record); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchmark record written to %s\n\n", benchOut)
+}

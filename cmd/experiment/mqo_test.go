@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestMQORecordSchema runs the MQO experiment over a scaled-down fleet
+// and checks the BENCH_mqo.json record is well-formed: the bit-identity
+// tripwire holds, the merged plan deduplicates what the fleet shape
+// predicts, the dedup metrics are present, and the on-disk record
+// round-trips strictly. The ≤0.35 cost-ratio ceiling is asserted by the
+// full-size CI run (runMQO fatals above it); at test scale we only
+// require the merged fleet to be strictly cheaper.
+func TestMQORecordSchema(t *testing.T) {
+	const views, families, items = 12, 4, 8
+	record, err := measureMQO(views, families, items, time.Millisecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !record.Equivalent {
+		t.Fatal("merged outputs diverged from independent enactment")
+	}
+	if record.Experiment != "mqo" || record.Views != views || record.QAFamilies != families {
+		t.Fatalf("header = %q/%d/%d", record.Experiment, record.Views, record.QAFamilies)
+	}
+	// Plan shape: per view 1 annotator + 1 enrichment + 4 shared QAs + 1
+	// private QA = 7 quality processors; merged = 1 + 1 + families shared
+	// QAs + views private QAs.
+	wantSaved := 7*views - (2 + families + views)
+	if record.SavedPerEnactment != wantSaved {
+		t.Errorf("savedPerEnactment = %d, want %d", record.SavedPerEnactment, wantSaved)
+	}
+	// Shared prefixes: annotator + enrichment + every family QA (each
+	// family serves ≥ 2 views at this fleet shape).
+	if record.SharedPrefixes != 2+families {
+		t.Errorf("sharedPrefixes = %d, want %d", record.SharedPrefixes, 2+families)
+	}
+	if record.MergedBestMS <= 0 || record.IndependentBestMS <= 0 {
+		t.Fatalf("timings = %f / %f", record.MergedBestMS, record.IndependentBestMS)
+	}
+	if record.Ratio >= 1 {
+		t.Errorf("ratio = %.3f, want < 1 even at test scale", record.Ratio)
+	}
+	var sawGauge, sawCounter bool
+	for _, m := range record.Metrics {
+		switch m.Name {
+		case "qurator_mqo_shared_prefixes":
+			sawGauge = true
+		case "qurator_mqo_invocations_saved_total":
+			sawCounter = true
+		}
+	}
+	if !sawGauge || !sawCounter {
+		t.Errorf("MQO metrics missing from snapshot: gauge=%v counter=%v", sawGauge, sawCounter)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_mqo.json")
+	if err := writeMQORecord(path, record); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var back mqoRecord
+	if err := dec.Decode(&back); err != nil {
+		t.Fatalf("record does not round-trip strictly: %v", err)
+	}
+	if back.SavedPerEnactment != record.SavedPerEnactment || back.Ratio != record.Ratio {
+		t.Error("record fields lost in the round-trip")
+	}
+}

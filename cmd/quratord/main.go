@@ -66,6 +66,10 @@
 // POST /stream/enact?view=paper enacts a quality view continuously over
 // an NDJSON item stream (see internal/stream): decisions flush back
 // window by window while the request body is still being produced.
+// ?views=a,b,c enacts several views as ONE merged plan — shared
+// annotator/enrichment/QA prefixes run once per window (multi-query
+// optimization) and each view's decisions arrive as its own
+// view-attributed window records.
 //
 // POST /query runs SPARQL over the metadata plane: run provenance
 // ({"target":"provenance"}) or an annotation repository

@@ -8,8 +8,10 @@ import (
 )
 
 // PartitionKey extracts the routing key of an enactment request: the
-// explicit ?partition= override when present, else the view name. The
-// key is request-granular on purpose — a window IS the collection for
+// explicit ?partition= override when present, else the view set
+// (?views=a,b,c — a merged stream is one unit of work and must land on
+// one node whole), else the single view name. The key is
+// request-granular on purpose — a window IS the collection for
 // collection-scoped QAs (§5.1), so the items of one stream must be
 // windowed and enacted on one node; splitting a stream's items across
 // owners would change its decisions, not just its placement.
@@ -17,6 +19,9 @@ func PartitionKey(r *http.Request) string {
 	q := r.URL.Query()
 	if p := q.Get("partition"); p != "" {
 		return p
+	}
+	if vs := q.Get("views"); vs != "" {
+		return vs
 	}
 	return q.Get("view")
 }

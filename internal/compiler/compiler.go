@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"qurator/internal/annotstore"
@@ -83,18 +84,24 @@ type Compiled struct {
 	// force, input/output sizes, timing) as queryable RDF.
 	Provenance *provenance.Log
 
-	actions  map[string]*serviceProcessor
-	degraded DegradedMode
+	actions map[string]*serviceProcessor
+	// Quality-service processor handles in declaration order — the
+	// fingerprinting substrate for MergeViews (mqo.go).
+	annotators []*serviceProcessor
+	enrichment *serviceProcessor
+	qas        []*serviceProcessor
+	degraded   atomic.Int32 // holds a DegradedMode
 }
 
 // DegradedMode returns the degraded-enactment policy in force.
-func (c *Compiled) DegradedMode() DegradedMode { return c.degraded }
+func (c *Compiled) DegradedMode() DegradedMode { return DegradedMode(c.degraded.Load()) }
 
 // SetDegradedMode changes the degraded-enactment policy for subsequent
 // runs (the compiled processors always carry the degrade wrapper; the
-// mode only decides whether Execute opts a run into it). Not safe to
-// change while an enactment is in flight.
-func (c *Compiled) SetDegradedMode(m DegradedMode) { c.degraded = m }
+// mode only decides whether Execute opts a run into it). Safe to call
+// while enactments are in flight: each run reads the mode once on entry
+// and applies it consistently throughout.
+func (c *Compiled) SetDegradedMode(m DegradedMode) { c.degraded.Store(int32(m)) }
 
 // Conditions returns the condition text currently in force per action —
 // filter conditions under the action name, splitter branches under
@@ -137,12 +144,15 @@ func (c *Compiler) Compile(r *qvlang.Resolved) (*Compiled, error) {
 	if c.Repositories == nil {
 		return nil, fmt.Errorf("compiler: no repositories configured")
 	}
+	if err := checkNameCollisions(r); err != nil {
+		return nil, err
+	}
 	wf := workflow.New(r.View.Name)
 	compiled := &Compiled{
 		Workflow: wf, Resolved: r,
-		actions:  map[string]*serviceProcessor{},
-		degraded: c.Degraded,
+		actions: map[string]*serviceProcessor{},
 	}
+	compiled.degraded.Store(int32(c.Degraded))
 
 	// Rule 1: annotators first.
 	var annotatorNames []string
@@ -166,6 +176,7 @@ func (c *Compiler) Compile(r *qvlang.Resolved) (*Compiled, error) {
 			return nil, err
 		}
 		annotatorNames = append(annotatorNames, name)
+		compiled.annotators = append(compiled.annotators, p)
 	}
 
 	// Rule 2: one Data Enrichment operator configured from the derived
@@ -183,6 +194,7 @@ func (c *Compiler) Compile(r *qvlang.Resolved) (*Compiled, error) {
 	if err := wf.AddProcessor(c.guard(c.dataplane(de))); err != nil {
 		return nil, err
 	}
+	compiled.enrichment = de
 	if err := wf.BindInput(PortDataSet, ProcEnrichment, PortDataSet); err != nil {
 		return nil, err
 	}
@@ -217,6 +229,7 @@ func (c *Compiler) Compile(r *qvlang.Resolved) (*Compiled, error) {
 			return nil, err
 		}
 		qaNames = append(qaNames, name)
+		compiled.qas = append(compiled.qas, p)
 	}
 
 	// Rule 4: consolidate the assertion fan-out. With no QAs, the
@@ -341,6 +354,44 @@ func (c *Compiler) serviceFor(class rdf.Term) (services.QualityService, error) {
 	return c.Resolver.Service(b)
 }
 
+// checkNameCollisions rejects declarations whose names normalise to the
+// same processor/output name via condition.NormaliseName — left unchecked
+// the collision surfaces later as a confusing duplicate-processor /
+// duplicate-output error, or worse, as a silent overwrite in the actions
+// map. Categories never collide with each other (processor names carry
+// an "Annotator:"/"QA:"/"Action:" prefix), so each is checked on its own.
+func checkNameCollisions(r *qvlang.Resolved) error {
+	check := func(kind string, names []string) error {
+		seen := map[string]string{}
+		for _, name := range names {
+			norm := condition.NormaliseName(name)
+			if prev, ok := seen[norm]; ok {
+				return fmt.Errorf("compiler: %s declarations %q and %q collide: both normalise to %q",
+					kind, prev, name, norm)
+			}
+			seen[norm] = name
+		}
+		return nil
+	}
+	var anns, qas, acts []string
+	for _, a := range r.Annotators {
+		anns = append(anns, a.Decl.ServiceName)
+	}
+	for _, a := range r.Assertions {
+		qas = append(qas, a.Decl.ServiceName)
+	}
+	for _, a := range r.Actions {
+		acts = append(acts, a.Name)
+	}
+	if err := check("annotator", anns); err != nil {
+		return err
+	}
+	if err := check("assertion", qas); err != nil {
+		return err
+	}
+	return check("action", acts)
+}
+
 // outputName builds a workflow output name from an action and port.
 func outputName(action, port string) string {
 	return condition.NormaliseName(action) + ":" + port
@@ -449,7 +500,8 @@ func (c *Compiled) Execute(ctx context.Context, in workflow.Ports) (workflow.Por
 	// either way its trace ID lands in the provenance record below.
 	ctx, span := telemetry.StartSpan(ctx, "enact:"+c.Workflow.Name())
 	log, hasLog := FailureLogFrom(ctx)
-	if c.degraded != DegradeOff && !hasLog {
+	degraded := c.DegradedMode() // read once so a concurrent flip can't split the run
+	if degraded != DegradeOff && !hasLog {
 		log = NewFailureLog()
 		ctx = WithFailureLog(ctx, log)
 	}
@@ -458,8 +510,8 @@ func (c *Compiled) Execute(ctx context.Context, in workflow.Ports) (workflow.Por
 		span.EndErr(err)
 		return nil, err
 	}
-	if c.degraded != DegradeOff {
-		c.applyDegradedRouting(out, log)
+	if degraded != DegradeOff {
+		c.applyDegradedRouting(out, log, degraded)
 	}
 	span.End()
 	if c.Provenance != nil {

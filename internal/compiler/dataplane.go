@@ -141,7 +141,14 @@ func (p *serviceProcessor) invokeShards(ctx context.Context, shards []*evidence.
 		wg.Add(1)
 		go func(i int, shard *evidence.Map) {
 			defer wg.Done()
-			sem <- struct{}{}
+			// Acquire under cancellation: once a shard fails and cancel()
+			// fires, queued workers must not block for a slot just to
+			// notice the run is over.
+			select {
+			case sem <- struct{}{}:
+			case <-cctx.Done():
+				return
+			}
 			defer func() { <-sem }()
 			if cctx.Err() != nil {
 				return

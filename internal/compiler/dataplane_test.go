@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"qurator/internal/evidence"
 	"qurator/internal/ontology"
@@ -436,4 +438,81 @@ func TestShardEquivalenceAcrossShardSizes(t *testing.T) {
 		}
 	}
 	sort.Ints(sizes) // keep the slice used; documents the coverage set
+}
+
+// gateService blocks every invocation on a release channel while
+// deliberately ignoring the context — it models a slow remote host, and
+// lets a test hold all semaphore slots while inspecting queued workers.
+type gateService struct {
+	name    string
+	started chan struct{}
+	release chan struct{}
+	invokes atomic.Int64
+}
+
+func (s *gateService) Describe() services.Info {
+	return services.Info{Name: s.name, Kind: services.KindAssertion, Scope: services.ScopeItem}
+}
+
+func (s *gateService) Invoke(_ context.Context, req *services.Envelope) (*services.Envelope, error) {
+	s.invokes.Add(1)
+	s.started <- struct{}{}
+	<-s.release
+	m, err := req.Map()
+	if err != nil {
+		return nil, err
+	}
+	resp := services.NewEnvelope(m)
+	resp.Service = s.name
+	return resp, nil
+}
+
+// TestInvokeShardsCancelReleasesQueuedWorkers pins the satellite bugfix:
+// workers used to acquire the semaphore with an unconditional send, so
+// after cancellation the whole queue still trickled through slot
+// acquisition behind the in-flight invocations. Acquisition now selects
+// on the cancelled context: with both slots held by a blocked service,
+// cancelling must release every queued worker promptly.
+func TestInvokeShardsCancelReleasesQueuedWorkers(t *testing.T) {
+	const shards = 40
+	svc := &gateService{
+		name:    "gate-svc",
+		started: make(chan struct{}, shards),
+		release: make(chan struct{}),
+	}
+	p := &serviceProcessor{
+		name: "QA:gate", svc: svc, mode: modeAssertion,
+		inPort: PortAnnotations, outs: []string{PortAnnotations},
+		shardSize: 1, maxInflight: 2,
+	}
+	in := echoItems(shards)
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = p.invokeShards(ctx, p.shardInput(in), p.snapshotConfig())
+	}()
+	// Both slots held inside the gated service; 38 workers are queued.
+	<-svc.started
+	<-svc.started
+	cancel()
+	// The queued workers must exit without waiting for a slot. Poll the
+	// goroutine count down: only the two in-flight workers, the fan-out
+	// goroutine, and this test's helpers may remain.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+8 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queued workers still blocked on the semaphore after cancel: %d goroutines (baseline %d)",
+				runtime.NumGoroutine(), before)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Release the two in-flight invocations and let the fan-out finish.
+	close(svc.release)
+	<-done
+	if got := svc.invokes.Load(); got > 4 {
+		t.Errorf("%d shards invoked after cancellation, want ≤ 4", got)
+	}
 }

@@ -214,9 +214,11 @@ func (d *degradeProcessor) Execute(ctx context.Context, in workflow.Ports) (work
 // compiled policy. An item is undecided when a failure touched it and no
 // action claimed it — it appears in no filter output and in no splitter
 // branch other than the default port (the splitter's k+1-th "none of the
-// above" group, where condition-evaluation errors land).
-func (c *Compiled) applyDegradedRouting(out workflow.Ports, log *FailureLog) {
-	if c.degraded == DegradeQuarantine {
+// above" group, where condition-evaluation errors land). The mode is
+// passed in — read once by the caller — so a concurrent SetDegradedMode
+// cannot split one run across two policies.
+func (c *Compiled) applyDegradedRouting(out workflow.Ports, log *FailureLog, mode DegradedMode) {
+	if mode == DegradeQuarantine {
 		if _, ok := out[QuarantineOutput]; !ok {
 			out[QuarantineOutput] = evidence.NewMap()
 		}
@@ -263,7 +265,7 @@ func (c *Compiled) applyDegradedRouting(out workflow.Ports, log *FailureLog) {
 		return
 	}
 
-	switch c.degraded {
+	switch mode {
 	case DegradeFailOpen:
 		for action, p := range c.actions {
 			if p.op != "filter" {

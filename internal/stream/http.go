@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"qurator/internal/compiler"
@@ -40,7 +41,11 @@ type CompileFunc func(view string) (*compiler.Compiled, error)
 //
 // Query parameters:
 //
-//	view        name of the quality view to enact (required)
+//	view        name of the quality view to enact (required unless views=)
+//	views       comma-separated view names to enact as ONE merged plan:
+//	            shared prefixes run once per window, each view's
+//	            decisions arrive as its own window records (the "view"
+//	            field tells them apart)
 //	window      window size (default 64)
 //	slide       slide width (default = window, i.e. tumbling)
 //	parallelism worker-pool degree (default 1)
@@ -58,18 +63,14 @@ func Handler(compile CompileFunc, opts ...HandlerOption) http.Handler {
 			http.Error(w, "stream: POST an NDJSON item stream", http.StatusMethodNotAllowed)
 			return
 		}
-		cfg, view, err := configFromQuery(r)
+		cfg, views, err := configFromQuery(r)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 		cfg.Journal = ho.journal
-		compiled, err := compile(view)
-		if err != nil {
-			http.Error(w, fmt.Sprintf("stream: compile view %q: %v", view, err), http.StatusBadRequest)
-			return
-		}
-		e, err := New(compiled, cfg)
+		view := strings.Join(views, ",")
+		e, err := newEnactor(compile, views, cfg)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
@@ -128,35 +129,71 @@ func Handler(compile CompileFunc, opts ...HandlerOption) http.Handler {
 	})
 }
 
-func configFromQuery(r *http.Request) (Config, string, error) {
+// newEnactor builds the request's enactor: a plain single-view stream,
+// or — for ?views=a,b,c — a merged multi-view stream whose shared
+// prefixes enact once per window.
+func newEnactor(compile CompileFunc, views []string, cfg Config) (*Enactor, error) {
+	if len(views) == 1 {
+		compiled, err := compile(views[0])
+		if err != nil {
+			return nil, fmt.Errorf("stream: compile view %q: %w", views[0], err)
+		}
+		return New(compiled, cfg)
+	}
+	compiledSet := make([]*compiler.Compiled, 0, len(views))
+	for _, v := range views {
+		c, err := compile(v)
+		if err != nil {
+			return nil, fmt.Errorf("stream: compile view %q: %w", v, err)
+		}
+		compiledSet = append(compiledSet, c)
+	}
+	mv, err := compiler.MergeViews(compiledSet...)
+	if err != nil {
+		return nil, fmt.Errorf("stream: merge views: %w", err)
+	}
+	return NewMulti(mv, cfg)
+}
+
+func configFromQuery(r *http.Request) (Config, []string, error) {
 	q := r.URL.Query()
-	view := q.Get("view")
-	if view == "" {
-		return Config{}, "", fmt.Errorf("stream: missing ?view= parameter")
+	var views []string
+	for _, v := range strings.Split(q.Get("views"), ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			views = append(views, v)
+		}
+	}
+	if len(views) == 0 {
+		if view := q.Get("view"); view != "" {
+			views = []string{view}
+		}
+	}
+	if len(views) == 0 {
+		return Config{}, nil, fmt.Errorf("stream: missing ?view= (or ?views=a,b,c) parameter")
 	}
 	cfg := Config{Window: 64, Parallelism: 1}
 	var err error
 	if s := q.Get("window"); s != "" {
 		if cfg.Window, err = strconv.Atoi(s); err != nil {
-			return Config{}, "", fmt.Errorf("stream: bad window %q", s)
+			return Config{}, nil, fmt.Errorf("stream: bad window %q", s)
 		}
 	}
 	if s := q.Get("slide"); s != "" {
 		if cfg.Slide, err = strconv.Atoi(s); err != nil {
-			return Config{}, "", fmt.Errorf("stream: bad slide %q", s)
+			return Config{}, nil, fmt.Errorf("stream: bad slide %q", s)
 		}
 	}
 	if s := q.Get("parallelism"); s != "" {
 		if cfg.Parallelism, err = strconv.Atoi(s); err != nil {
-			return Config{}, "", fmt.Errorf("stream: bad parallelism %q", s)
+			return Config{}, nil, fmt.Errorf("stream: bad parallelism %q", s)
 		}
 	}
 	if s := q.Get("timeout"); s != "" {
 		if cfg.ProcessorTimeout, err = time.ParseDuration(s); err != nil {
-			return Config{}, "", fmt.Errorf("stream: bad timeout %q", s)
+			return Config{}, nil, fmt.Errorf("stream: bad timeout %q", s)
 		}
 	}
 	cfg.DropPartial = q.Get("partial") == "drop"
 	cfg.SkipFailedWindows = q.Get("on-error") == "skip"
-	return cfg, view, nil
+	return cfg, views, nil
 }

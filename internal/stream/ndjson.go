@@ -111,6 +111,7 @@ func WriteResults(w io.Writer, results <-chan WindowResult, flush func()) error 
 		}
 		summary := struct {
 			Window   int                    `json:"window"`
+			View     string                 `json:"view,omitempty"`
 			Size     int                    `json:"size"`
 			Decided  int                    `json:"decided"`
 			Partial  bool                   `json:"partial,omitempty"`
@@ -118,7 +119,7 @@ func WriteResults(w io.Writer, results <-chan WindowResult, flush func()) error 
 			Replayed bool                   `json:"replayed,omitempty"`
 			Error    string                 `json:"error,omitempty"`
 			Stats    map[string]WindowStats `json:"stats,omitempty"`
-		}{res.Seq, res.Size, len(res.Decisions), res.Partial, res.Failed, res.Replayed, res.Error, res.Stats}
+		}{res.Seq, res.View, res.Size, len(res.Decisions), res.Partial, res.Failed, res.Replayed, res.Error, res.Stats}
 		if err := enc.Encode(summary); err != nil {
 			return err
 		}

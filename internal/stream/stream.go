@@ -193,13 +193,41 @@ type WindowJournal interface {
 	Commit(key string, res WindowResult) error
 }
 
-// Enactor runs a compiled quality view over unbounded item sequences.
-// One Enactor serves one stream at a time; the compiled view it wraps may
-// be shared with batch enactments when idle.
+// Enactor runs one or more compiled quality views over unbounded item
+// sequences. One Enactor serves one stream at a time; the compiled views
+// it wraps may be shared with batch enactments when idle. A multi-view
+// enactor (NewMulti) feeds every window through the merged plan once —
+// shared annotator/enrichment/QA prefixes run once per window — and
+// emits one WindowResult per member view per window.
 type Enactor struct {
-	compiled *compiler.Compiled
-	plan     compiler.Plan
+	compiled *compiler.Compiled  // single-view mode (nil under NewMulti)
+	multi    *compiler.MultiView // multi-view mode (nil under New)
+	views    []streamView        // member views in emission order; len 1 under New
 	cfg      Config
+}
+
+// streamView is one enacted view's identity and abstract plan — what the
+// per-window decision projection needs.
+type streamView struct {
+	name string
+	plan compiler.Plan
+}
+
+// normalise validates and defaults a streaming configuration.
+func normalise(cfg Config) (Config, error) {
+	if cfg.Window < 1 {
+		return cfg, fmt.Errorf("stream: window size must be ≥ 1, got %d", cfg.Window)
+	}
+	if cfg.Slide == 0 {
+		cfg.Slide = cfg.Window
+	}
+	if cfg.Slide < 1 || cfg.Slide > cfg.Window {
+		return cfg, fmt.Errorf("stream: slide must be in [1, window], got %d", cfg.Slide)
+	}
+	if cfg.Parallelism < 1 {
+		cfg.Parallelism = 1
+	}
+	return cfg, nil
 }
 
 // New validates the configuration and prepares a streaming enactor for
@@ -208,26 +236,66 @@ func New(compiled *compiler.Compiled, cfg Config) (*Enactor, error) {
 	if compiled == nil {
 		return nil, fmt.Errorf("stream: nil compiled view")
 	}
-	if cfg.Window < 1 {
-		return nil, fmt.Errorf("stream: window size must be ≥ 1, got %d", cfg.Window)
-	}
-	if cfg.Slide == 0 {
-		cfg.Slide = cfg.Window
-	}
-	if cfg.Slide < 1 || cfg.Slide > cfg.Window {
-		return nil, fmt.Errorf("stream: slide must be in [1, window], got %d", cfg.Slide)
-	}
-	if cfg.Parallelism < 1 {
-		cfg.Parallelism = 1
+	cfg, err := normalise(cfg)
+	if err != nil {
+		return nil, err
 	}
 	if cfg.ProcessorTimeout > 0 {
 		compiled.Workflow.SetProcessorTimeout(cfg.ProcessorTimeout)
 	}
-	return &Enactor{compiled: compiled, plan: compiled.Plan(), cfg: cfg}, nil
+	return &Enactor{
+		compiled: compiled,
+		views:    []streamView{{name: compiled.Name(), plan: compiled.Plan()}},
+		cfg:      cfg,
+	}, nil
 }
 
-// Plan returns the abstract plan of the enacted view.
-func (e *Enactor) Plan() compiler.Plan { return e.plan }
+// NewMulti prepares a streaming enactor over a merged view set: each
+// window is enacted ONCE through the merged plan and every member view's
+// decisions are emitted as its own WindowResult — same Seq, view order,
+// distinguished by the View field. Journal keys stay per (view, window
+// content), identical to the keys N independent single-view streams
+// would use, so cluster failover replays/commits each view's emission
+// independently.
+func NewMulti(mv *compiler.MultiView, cfg Config) (*Enactor, error) {
+	if mv == nil {
+		return nil, fmt.Errorf("stream: nil merged view set")
+	}
+	cfg, err := normalise(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ProcessorTimeout > 0 {
+		mv.Workflow().SetProcessorTimeout(cfg.ProcessorTimeout)
+	}
+	e := &Enactor{multi: mv, cfg: cfg}
+	for _, v := range mv.Views() {
+		e.views = append(e.views, streamView{name: v.Name(), plan: v.Plan()})
+	}
+	return e, nil
+}
+
+// name labels the stream's telemetry: the view name, or the merged plan
+// name under NewMulti.
+func (e *Enactor) name() string {
+	if e.multi != nil {
+		return e.multi.Name()
+	}
+	return e.compiled.Name()
+}
+
+// Plan returns the abstract plan of the enacted view (the first member's
+// plan for a multi-view enactor; see Plans).
+func (e *Enactor) Plan() compiler.Plan { return e.views[0].plan }
+
+// Plans returns every enacted view's abstract plan in emission order.
+func (e *Enactor) Plans() []compiler.Plan {
+	out := make([]compiler.Plan, len(e.views))
+	for i, v := range e.views {
+		out[i] = v.plan
+	}
+	return out
+}
 
 // Config returns the normalised configuration in force.
 func (e *Enactor) Config() Config { return e.cfg }
@@ -239,7 +307,7 @@ func (e *Enactor) Config() Config { return e.cfg }
 // the context's error.
 func (e *Enactor) Run(ctx context.Context, in <-chan Item, out chan<- WindowResult) (err error) {
 	defer close(out)
-	view := e.compiled.Name()
+	view := e.name()
 	// One root span covers the whole stream, so every window enactment
 	// below joins a single trace.
 	ctx, streamSpan := telemetry.StartSpan(ctx, "stream:"+view)
@@ -252,7 +320,10 @@ func (e *Enactor) Run(ctx context.Context, in <-chan Item, out chan<- WindowResu
 	defer cancel()
 
 	jobs := make(chan windowJob, e.cfg.Parallelism)
-	results := make(chan WindowResult, e.cfg.Parallelism)
+	// Each job resolves to one result per enacted view (len 1 for a
+	// single-view stream), reordered and emitted as a unit so a window's
+	// per-view results are adjacent on out.
+	results := make(chan []WindowResult, e.cfg.Parallelism)
 
 	var (
 		errOnce  sync.Once
@@ -314,34 +385,67 @@ func (e *Enactor) Run(ctx context.Context, in <-chan Item, out chan<- WindowResu
 			defer workerWG.Done()
 			for j := range jobs {
 				queueDepth.Add(-1)
-				var key string
+				// Per-view journal keys: a merged stream journals each
+				// member under the SAME key an independent single-view
+				// stream of it would use, so views journaled before a
+				// failover replay while the rest commit fresh.
+				keys := make([]string, len(e.views))
+				cached := make([]*WindowResult, len(e.views))
+				hits := 0
 				if e.cfg.Journal != nil {
-					key = e.windowKey(j)
-					if cached, ok := e.cfg.Journal.Lookup(key); ok {
-						// Already decided and emitted once (possibly by a
-						// node that has since died): replay the journaled
-						// decisions instead of re-enacting.
-						cached.Seq = j.seq
-						cached.Replayed = true
-						cached.firedAt = j.firedAt
-						streamWindows.With(view, "replayed").Inc()
-						select {
-						case results <- cached:
-						case <-ctx.Done():
-							return
+					for i, sv := range e.views {
+						keys[i] = e.windowKey(sv.name, j)
+						if res, ok := e.cfg.Journal.Lookup(keys[i]); ok {
+							// Already decided and emitted once (possibly by
+							// a node that has since died): replay the
+							// journaled decisions instead of re-enacting.
+							// Attribution belongs to the emitting stream,
+							// not the journal — the same entry serves a
+							// single-view stream (unattributed) and a
+							// merged one (attributed to the member view).
+							res.Seq = j.seq
+							res.Replayed = true
+							res.firedAt = j.firedAt
+							res.View = ""
+							if e.multi != nil {
+								res.View = sv.name
+							}
+							cached[i] = &res
+							hits++
 						}
-						continue
 					}
 				}
-				began := time.Now()
-				res, err := e.enactWindow(ctx, j)
-				streamWindowDuration.With(view).Observe(time.Since(began).Seconds())
-				if err == nil && key != "" {
-					// The journal entry must be durable before the first
-					// decision escapes: a commit failure is a window
-					// failure, not a silent best-effort.
-					if cerr := e.cfg.Journal.Commit(key, res); cerr != nil {
-						err = fmt.Errorf("stream: window %d: journal commit: %w", j.seq, cerr)
+				var batch []WindowResult
+				var err error
+				if hits < len(e.views) {
+					began := time.Now()
+					batch, err = e.enactBatch(ctx, j)
+					streamWindowDuration.With(view).Observe(time.Since(began).Seconds())
+				} else {
+					// Every view already journaled: pure replay, no enactment.
+					batch = make([]WindowResult, len(e.views))
+				}
+				if err == nil {
+					for i := range e.views {
+						if cached[i] != nil {
+							streamWindows.With(view, "replayed").Inc()
+							batch[i] = *cached[i]
+							continue
+						}
+						if batch[i].Failed {
+							streamWindows.With(view, "skipped").Inc()
+							continue
+						}
+						streamWindows.With(view, "ok").Inc()
+						if keys[i] != "" {
+							// The journal entry must be durable before the
+							// first decision escapes: a commit failure is a
+							// window failure, not a silent best-effort.
+							if cerr := e.cfg.Journal.Commit(keys[i], batch[i]); cerr != nil {
+								err = fmt.Errorf("stream: window %d: journal commit: %w", j.seq, cerr)
+								break
+							}
+						}
 					}
 				}
 				if err != nil {
@@ -355,21 +459,14 @@ func (e *Enactor) Run(ctx context.Context, in <-chan Item, out chan<- WindowResu
 					}
 					// Skip-and-report: the window's items go undecided,
 					// the stream lives on.
-					streamWindows.With(view, "skipped").Inc()
-					res = WindowResult{
-						Seq:       j.seq,
-						Size:      len(j.items),
-						Partial:   j.partial,
-						Failed:    true,
-						Error:     err.Error(),
-						Decisions: []Decision{},
-						firedAt:   j.firedAt,
+					batch = batch[:0]
+					for _, sv := range e.views {
+						streamWindows.With(view, "skipped").Inc()
+						batch = append(batch, e.failedResult(sv, j, err))
 					}
-				} else {
-					streamWindows.With(view, "ok").Inc()
 				}
 				select {
-				case results <- res:
+				case results <- batch:
 				case <-ctx.Done():
 					return
 				}
@@ -382,33 +479,36 @@ func (e *Enactor) Run(ctx context.Context, in <-chan Item, out chan<- WindowResu
 	}()
 
 	// Stage 3: reorder + emit. Windows complete out of order under
-	// parallelism; decisions are released strictly in window order. The
-	// pending map holds at most Parallelism results (each worker owns at
-	// most one completed-but-unreleased window).
-	pending := make(map[int]WindowResult, e.cfg.Parallelism)
+	// parallelism; decisions are released strictly in window order (and,
+	// within one window, in view order). The pending map holds at most
+	// Parallelism batches (each worker owns at most one
+	// completed-but-unreleased window).
+	pending := make(map[int][]WindowResult, e.cfg.Parallelism)
 	next := 0
-	for res := range results {
-		if ctx.Err() != nil {
+	for batch := range results {
+		if ctx.Err() != nil || len(batch) == 0 {
 			continue // drain so the workers can exit
 		}
-		pending[res.Seq] = res
-		for {
-			r, ok := pending[next]
+		pending[batch[0].Seq] = batch
+		for ctx.Err() == nil {
+			rs, ok := pending[next]
 			if !ok {
 				break
 			}
 			delete(pending, next)
-			select {
-			case out <- r:
-				next++
-				if !r.firedAt.IsZero() {
-					streamWindowLag.With(view).Observe(time.Since(r.firedAt).Seconds())
+			for _, r := range rs {
+				select {
+				case out <- r:
+					if !r.firedAt.IsZero() {
+						streamWindowLag.With(view).Observe(time.Since(r.firedAt).Seconds())
+					}
+				case <-ctx.Done():
 				}
-			case <-ctx.Done():
+				if ctx.Err() != nil {
+					break
+				}
 			}
-			if ctx.Err() != nil {
-				break
-			}
+			next++
 		}
 	}
 	ingestWG.Wait()
@@ -431,30 +531,98 @@ type windowJob struct {
 	firedAt    time.Time
 }
 
-// enactWindow runs one window through the compiled workflow and derives
-// the newly-decided items' decisions plus the window tag statistics.
-func (e *Enactor) enactWindow(ctx context.Context, j windowJob) (_ WindowResult, err error) {
+// enactBatch runs one window through the compiled plan — once — and
+// derives one WindowResult per enacted view, in view order. A member
+// view's own failure (its quality service died and its degraded mode is
+// off) fails the whole window unless SkipFailedWindows is set, in which
+// case that view's result is marked Failed while its siblings' decisions
+// stand — exactly what N independent streams over the same items would
+// report.
+func (e *Enactor) enactBatch(ctx context.Context, j windowJob) (_ []WindowResult, err error) {
 	ctx, span := telemetry.StartSpan(ctx, fmt.Sprintf("window:%d", j.seq))
 	span.SetAttr("size", fmt.Sprint(len(j.items)))
 	defer func() { span.EndErr(err) }()
-	ports, err := e.compiled.Execute(ctx, workflow.Ports{compiler.PortDataSet: j.m})
-	if err != nil {
-		return WindowResult{}, fmt.Errorf("stream: window %d: %w", j.seq, err)
-	}
-	outputs := make(map[string]*evidence.Map, len(ports))
-	for name, v := range ports {
-		m, ok := v.(*evidence.Map)
-		if !ok {
-			return WindowResult{}, fmt.Errorf("stream: window %d: output %q is %T, not *evidence.Map", j.seq, name, v)
+
+	if e.multi == nil {
+		ports, err := e.compiled.Execute(ctx, workflow.Ports{compiler.PortDataSet: j.m})
+		if err != nil {
+			return nil, fmt.Errorf("stream: window %d: %w", j.seq, err)
 		}
-		outputs[name] = m
+		outputs := make(map[string]*evidence.Map, len(ports))
+		for name, v := range ports {
+			m, ok := v.(*evidence.Map)
+			if !ok {
+				return nil, fmt.Errorf("stream: window %d: output %q is %T, not *evidence.Map", j.seq, name, v)
+			}
+			outputs[name] = m
+		}
+		return []WindowResult{deriveResult(e.views[0], outputs, j, j.stats)}, nil
 	}
+
+	res, eerr := e.multi.EnactMap(ctx, j.m)
+	if eerr != nil {
+		return nil, fmt.Errorf("stream: window %d: %w", j.seq, eerr)
+	}
+	batch := make([]WindowResult, 0, len(e.views))
+	for _, sv := range e.views {
+		vr := res[sv.name]
+		if vr.Err != nil {
+			if !e.cfg.SkipFailedWindows {
+				return nil, fmt.Errorf("stream: window %d: %w", j.seq, vr.Err)
+			}
+			batch = append(batch, e.failedResult(sv, j, vr.Err))
+			continue
+		}
+		// Each view derives its stats into its own copy: the windower's
+		// inline-evidence statistics are per window, not per view.
+		res := deriveResult(sv, vr.Outputs, j, copyStats(j.stats))
+		res.View = sv.name // single-view windows stay unattributed, as before
+		batch = append(batch, res)
+	}
+	return batch, nil
+}
+
+// failedResult is the undecided WindowResult of one view whose window
+// enactment failed under SkipFailedWindows.
+func (e *Enactor) failedResult(sv streamView, j windowJob, err error) WindowResult {
+	res := WindowResult{
+		Seq:       j.seq,
+		Size:      len(j.items),
+		Partial:   j.partial,
+		Failed:    true,
+		Error:     err.Error(),
+		Decisions: []Decision{},
+		firedAt:   j.firedAt,
+	}
+	if e.multi != nil {
+		res.View = sv.name // single-view failed windows stay unattributed, as before
+	}
+	return res
+}
+
+// copyStats clones the windower's incremental statistics so sibling
+// views' tag statistics never land in one shared map.
+func copyStats(stats map[string]WindowStats) map[string]WindowStats {
+	if stats == nil {
+		return nil
+	}
+	out := make(map[string]WindowStats, len(stats))
+	for k, v := range stats {
+		out[k] = v
+	}
+	return out
+}
+
+// deriveResult projects one view's outputs of an enacted window into its
+// WindowResult: the newly-decided items' decisions plus the window tag
+// statistics.
+func deriveResult(sv streamView, outputs map[string]*evidence.Map, j windowJob, stats map[string]WindowStats) WindowResult {
 	cons := outputs[compiler.OutputAnnotations]
 
 	// Degraded quarantine enactments grow an extra output; surface it in
 	// the decisions so quarantined items are visibly parked rather than
 	// silently rejected.
-	outputOrder := e.plan.Outputs
+	outputOrder := sv.plan.Outputs
 	if _, ok := outputs[compiler.QuarantineOutput]; ok {
 		outputOrder = append(append([]string(nil), outputOrder...), compiler.QuarantineOutput)
 	}
@@ -463,17 +631,16 @@ func (e *Enactor) enactWindow(ctx context.Context, j windowJob) (_ WindowResult,
 		Seq:       j.seq,
 		Size:      len(j.items),
 		Partial:   j.partial,
-		View:      e.compiled.Name(),
 		Decisions: Decide(j.items[j.decideFrom:], outputs, cons, outputOrder, j.seq),
-		Stats:     j.stats,
+		Stats:     stats,
 		firedAt:   j.firedAt,
 	}
 	// Window score statistics: one Welford pass over the enacted window
 	// per QA tag — O(1) per (item, tag).
 	if cons == nil {
-		return res, nil
+		return res
 	}
-	for _, tag := range e.plan.Tags {
+	for _, tag := range sv.plan.Tags {
 		var acc evidence.Accumulator
 		for _, it := range j.items {
 			if f, ok := cons.Get(it, tag).AsFloat(); ok {
@@ -491,20 +658,23 @@ func (e *Enactor) enactWindow(ctx context.Context, j windowJob) (_ WindowResult,
 			N: acc.N(), Mean: acc.Mean(), StdDev: acc.StdDev(), Lo: lo, Hi: hi,
 		}
 	}
-	return res, nil
+	return res
 }
 
 // windowKey derives the content-addressed idempotency key of a fired
-// window: the view name, the windowing shape, the item sequence and the
-// canonical encoding of the window's annotation map (inline evidence
-// included). Everything position-dependent is length-prefixed via
-// qcache.Key, and the window sequence number is deliberately excluded —
-// a resumed stream renumbers its windows from zero, and the SAME window
-// content must map to the SAME journal entry regardless.
-func (e *Enactor) windowKey(j windowJob) string {
+// window for one view: the view name, the windowing shape, the item
+// sequence and the canonical encoding of the window's annotation map
+// (inline evidence included). Everything position-dependent is
+// length-prefixed via qcache.Key, and the window sequence number is
+// deliberately excluded — a resumed stream renumbers its windows from
+// zero, and the SAME window content must map to the SAME journal entry
+// regardless. Keyed by MEMBER view name, never the merged plan name, so
+// a stream that re-forms with a different view set still replays the
+// views it already emitted.
+func (e *Enactor) windowKey(view string, j windowJob) string {
 	k := qcache.NewKey().
 		Str("stream-window").
-		Str(e.compiled.Name()).
+		Str(view).
 		Str(strconv.Itoa(j.decideFrom)).
 		Str(strconv.FormatBool(j.partial)).
 		Str(strconv.Itoa(len(j.items)))
