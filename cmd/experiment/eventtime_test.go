@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestEventTimeRecordSchema runs the event-time experiment at a reduced
+// scale and checks BENCH_eventtime.json is well-formed: the equivalence
+// tripwire holds, the straggler superseded its window, the drift alert
+// landed within the bound, the drift metrics are in the snapshot, and
+// the on-disk record round-trips strictly.
+func TestEventTimeRecordSchema(t *testing.T) {
+	const items, window = 32, 4
+	record, err := measureEventTime(items, window, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if record.Experiment != "eventtime" || record.Items != items || record.CountWindow != window {
+		t.Fatalf("header = %q/%d/%d", record.Experiment, record.Items, record.CountWindow)
+	}
+	if !record.Equivalent {
+		t.Fatal("event-time windows diverged from count windows on an in-order feed")
+	}
+	if record.Windows != items/window {
+		t.Errorf("windows = %d, want %d", record.Windows, items/window)
+	}
+	if record.Superseded < 1 || !record.LateDecided {
+		t.Fatalf("late data: superseded=%d decided=%v, want a superseding re-emission deciding the straggler",
+			record.Superseded, record.LateDecided)
+	}
+	if !record.DriftAlerted {
+		t.Fatal("injected degradation raised no drift alert")
+	}
+	if record.DriftLagWindows < 0 || record.DriftLagWindows > record.DriftMaxLag {
+		t.Errorf("drift lag = %d windows, want within [0, %d]", record.DriftLagWindows, record.DriftMaxLag)
+	}
+	var sawScore, sawAlerts bool
+	for _, m := range record.Metrics {
+		switch m.Name {
+		case "qurator_stream_drift_score":
+			sawScore = true
+		case "qurator_stream_drift_alerts_total":
+			sawAlerts = true
+		}
+	}
+	if !sawScore || !sawAlerts {
+		t.Errorf("drift metrics missing from snapshot: score=%v alerts=%v", sawScore, sawAlerts)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_eventtime.json")
+	data, err := json.MarshalIndent(record, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var back etRecord
+	if err := dec.Decode(&back); err != nil {
+		t.Fatalf("record does not round-trip strictly: %v", err)
+	}
+	if back.Superseded != record.Superseded || back.DriftAlertWindow != record.DriftAlertWindow {
+		t.Error("record fields lost in the round-trip")
+	}
+}

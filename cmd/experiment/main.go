@@ -10,6 +10,7 @@
 //	experiment -sparql       # metadata-plane query engine: clone vs snapshot
 //	experiment -cube         # quality cube: rollup slices vs SPARQL scans
 //	experiment -mqo          # view-fleet MQO: independent vs merged shared-prefix enactment
+//	experiment -eventtime    # event-time streaming: equivalence, late data, drift alerting
 //	experiment -all          # everything
 //
 // Flags -seed, -spots, -db resize the world. The Figure-7 run also
@@ -62,6 +63,14 @@ func main() {
 		"simulated per-invocation quality-service latency in the MQO experiment")
 	mqoOut := flag.String("mqo-out", "BENCH_mqo.json",
 		"write the MQO benchmark record here; empty = off")
+	etRun := flag.Bool("eventtime", false,
+		"run the event-time streaming experiment: count/event-time equivalence, late-data supersession, drift-alert latency")
+	etItems := flag.Int("eventtime-items", 64, "items in the event-time equivalence feed")
+	etWindow := flag.Int("eventtime-window", 8, "window size (items) in the event-time experiment")
+	etSpacing := flag.Duration("eventtime-spacing", 10*time.Millisecond,
+		"event-time spacing between consecutive items")
+	etOut := flag.String("eventtime-out", "BENCH_eventtime.json",
+		"write the event-time benchmark record here; empty = off")
 	flag.Parse()
 
 	params := ispider.DefaultWorldParams()
@@ -81,6 +90,7 @@ func main() {
 		runSPARQL(*sparqlRuns, *repeats, *sparqlOut)
 		runCube(*cubeObs, *repeats, *cubeOut)
 		runMQO(*mqoViews, *mqoFamilies, *mqoItems, *mqoLatency, *repeats, *mqoOut)
+		runEventTime(*etItems, *etWindow, *etSpacing, *etOut)
 		runQAAblation(world)
 		runThresholdAblation(world)
 		runLearnedAblation(world)
@@ -96,6 +106,8 @@ func main() {
 		runCube(*cubeObs, *repeats, *cubeOut)
 	case *mqoRun:
 		runMQO(*mqoViews, *mqoFamilies, *mqoItems, *mqoLatency, *repeats, *mqoOut)
+	case *etRun:
+		runEventTime(*etItems, *etWindow, *etSpacing, *etOut)
 	case *fig == 1:
 		runFigure1(world)
 	case *fig == 6:

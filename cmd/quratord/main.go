@@ -12,8 +12,18 @@
 //	         [-cluster] [-node-id id] [-advertise url] [-cluster-seeds urls]
 //	         [-heartbeat-interval d] [-drain-timeout d] [-scavenge-peers]
 //	         [-admit-rate r] [-admit-burst n] [-admit-max-inflight n]
+//	         [-drift] [-drift-alpha a] [-drift-threshold h] [-drift-min-windows n]
+//	         [-drift-tighten-action name] [-drift-tighten-condition expr]
 //	         [-flake-rate p] [-flake-latency d] [-debug-addr :6060]
 //	quratord -check-exposition FILE
+//
+// -drift runs an EWMA+CUSUM quality-drift detector over every stream
+// enacted at /stream/enact (accept rate plus each evidence/tag mean, per
+// window); detector state is served at GET /stream/drift and alerts land
+// on /metrics as qurator_stream_drift_alerts_total. With
+// -drift-tighten-action/-condition the first alert of a stream applies
+// the given filter condition to the view — thresholds auto-tighten when
+// a source degrades.
 //
 // -cluster turns the process into one member of an enactment fleet (see
 // internal/cluster): it joins through -cluster-seeds, heartbeats its
@@ -171,6 +181,18 @@ func main() {
 		"admission control: concurrent enactment streams before shedding (0 = unbounded)")
 	checkExposition := flag.String("check-exposition", "",
 		"validate FILE as Prometheus text exposition and exit — lint a captured /metrics or /cluster/metrics snapshot")
+	driftOn := flag.Bool("drift", false,
+		"run an EWMA+CUSUM quality-drift detector over every enacted stream; state at GET /stream/drift")
+	driftAlpha := flag.Float64("drift-alpha", 0,
+		"drift baseline EWMA smoothing factor (0 = default 0.1)")
+	driftH := flag.Float64("drift-threshold", 0,
+		"drift CUSUM alarm threshold in baseline standard deviations (0 = default 5)")
+	driftMinWindows := flag.Int("drift-min-windows", 0,
+		"windows of baseline warm-up before drift alerts (0 = default 8)")
+	driftTightenAction := flag.String("drift-tighten-action", "",
+		"filter action to tighten on the first drift alert of a stream (empty = observe only)")
+	driftTightenCond := flag.String("drift-tighten-condition", "",
+		"replacement filter condition -drift-tighten-action applies")
 	flag.Parse()
 
 	// Lint mode: no server, just the exposition validator over a file.
@@ -266,13 +288,32 @@ func main() {
 		node.AttachJournal(cluster.NewJournal(f.Provenance))
 	}
 
-	// Streaming enactment, innermost-out: journaled windows, then fleet
-	// routing, then admission control at the front door.
+	// Streaming enactment, innermost-out: drift detection, journaled
+	// windows, then fleet routing, then admission control at the front
+	// door.
+	var streamOpts []stream.HandlerOption
+	var driftReg *stream.DriftRegistry
+	if *driftOn {
+		driftReg = stream.NewDriftRegistry()
+		streamOpts = append(streamOpts, stream.WithDrift(stream.DriftConfig{
+			Alpha:      *driftAlpha,
+			H:          *driftH,
+			MinWindows: *driftMinWindows,
+			Registry:   driftReg,
+		}))
+		if *driftTightenAction != "" {
+			streamOpts = append(streamOpts,
+				stream.WithAutoTighten(*driftTightenAction, *driftTightenCond))
+			log.Printf("quratord: drift alerts tighten action %q to %q",
+				*driftTightenAction, *driftTightenCond)
+		}
+	}
 	var streamH http.Handler
 	if node != nil {
-		streamH = node.EnactHandler(stream.Handler(streamCompiler(f), stream.WithJournal(node.Journal())))
+		streamH = node.EnactHandler(stream.Handler(streamCompiler(f),
+			append(streamOpts, stream.WithJournal(node.Journal()))...))
 	} else {
-		streamH = stream.Handler(streamCompiler(f))
+		streamH = stream.Handler(streamCompiler(f), streamOpts...)
 	}
 	if *admitRate > 0 || *admitMaxInflight > 0 {
 		adm := cluster.NewAdmission(cluster.AdmissionConfig{
@@ -334,6 +375,9 @@ func main() {
 		mux.Handle("GET /cluster/metrics", node.MetricsHandler(telemetry.Default))
 	}
 	mux.Handle("/stream/enact", streamH)
+	if driftReg != nil {
+		mux.Handle("GET /stream/drift", driftReg.Handler())
+	}
 	mux.Handle("POST /query", f.QueryHandler())
 	mux.Handle("GET /cube", f.CubeHandler())
 	mux.Handle("GET /metrics", telemetry.Default.Handler())

@@ -192,6 +192,14 @@ func (j *Journal) record(key string, res stream.WindowResult, origin string) err
 		if err := j.log.RecordEmission(key, res.View, string(payload)); err != nil {
 			return fmt.Errorf("cluster: journal entry %s: %w", key, err)
 		}
+		// A late re-emission revises an earlier window's decisions: link
+		// the two emissions with q:Supersedes so the provenance graph
+		// keeps the full decision lineage across failovers.
+		if res.Supersedes != "" {
+			if err := j.log.RecordSupersession(key, res.Supersedes); err != nil {
+				return fmt.Errorf("cluster: journal entry %s: %w", key, err)
+			}
+		}
 	}
 	j.mu.Lock()
 	_, dup := j.mem[key]

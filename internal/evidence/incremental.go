@@ -77,6 +77,12 @@ type Accumulator struct {
 	n    int
 	mean float64
 	m2   float64
+	// tainted records that a Remove drove m2 negative — the tell-tale of
+	// accumulated floating-point drift after many add/remove cycles. A
+	// tainted accumulator still answers (its m2 was clamped to 0), but the
+	// owner should rebuild it from ground truth at the next opportunity;
+	// the streaming windower does exactly that at its next fire.
+	tainted bool
 }
 
 // Add folds one value into the accumulator.
@@ -102,10 +108,17 @@ func (a *Accumulator) Remove(v float64) {
 	a.m2 -= (v - a.mean) * (v - prevMean)
 	if a.m2 < 0 {
 		a.m2 = 0 // guard against floating-point drift
+		a.tainted = true
 	}
 	a.mean = prevMean
 	a.n--
 }
+
+// Tainted reports whether floating-point drift was detected (a Remove
+// drove the running sum of squares negative). Statistics from a tainted
+// accumulator are clamped best-effort values; rebuild from the underlying
+// data to clear the flag.
+func (a *Accumulator) Tainted() bool { return a.tainted }
 
 // N returns the number of values currently accumulated.
 func (a *Accumulator) N() int { return a.n }

@@ -44,6 +44,12 @@ var (
 	ClassificationModel = Q("ClassificationModel")
 	// QualityProperty is the class of generic IQ dimensions.
 	QualityProperty = Q("QualityProperty")
+	// ObservedAt is the generic event-time evidence class: a timestamp
+	// (epoch milliseconds or RFC 3339) recording when the annotated
+	// observation was made at its source. Streaming views that window on
+	// event time declare an ObservedAt subclass (or ObservedAt itself) as
+	// their event-time evidence.
+	ObservedAt = Q("ObservedAt")
 )
 
 // Properties of the IQ model.
@@ -140,6 +146,9 @@ func NewIQModel() *Ontology {
 	must(o.DefineObjectProperty(ComputedBy, QualityEvidence, AnnotationFunction))
 	must(o.DefineObjectProperty(AddressesProperty, QualityAssertion, QualityProperty))
 	must(o.DefineObjectProperty(MemberOfModel, rdf.Term{}, ClassificationModel))
+
+	// Generic event-time evidence for streaming views.
+	o.MustDefineClass(ObservedAt, QualityEvidence)
 
 	// Quality dimensions as individuals of QualityProperty.
 	for _, dim := range []rdf.Term{Accuracy, Completeness, Currency, Credibility} {

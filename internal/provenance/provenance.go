@@ -19,6 +19,7 @@ package provenance
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -51,6 +52,10 @@ var (
 	propEmitKey    = ontology.Q("idempotencyKey")
 	propEmitResult = ontology.Q("emittedResult")
 	propEmitView   = ontology.Q("emittedView")
+	// propSupersedes links a late-data re-emission to the window emission
+	// it replaces: the decisions of the object emission are revised by the
+	// subject's.
+	propSupersedes = ontology.Q("Supersedes")
 )
 
 // Record describes one quality-process execution.
@@ -169,6 +174,43 @@ func (l *Log) RecordEmission(key, view, payload string) error {
 	}
 	l.emissions[key] = payload
 	return nil
+}
+
+// RecordSupersession links a late-data re-emission (newKey) to the
+// emission whose decisions it revises (oldKey) with a q:Supersedes
+// triple. Idempotent: re-recording an existing link is a no-op, so the
+// cluster journal may write it through on every replayed commit.
+func (l *Log) RecordSupersession(newKey, oldKey string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	subj := rdf.IRI(ontology.QuratorNS + "emission/" + newKey)
+	obj := rdf.IRI(ontology.QuratorNS + "emission/" + oldKey)
+	if len(l.graph.Match(subj, propSupersedes, obj)) > 0 {
+		return nil
+	}
+	t := rdf.T(subj, propSupersedes, obj)
+	if l.store != nil {
+		if _, err := l.store.AddBatch([]rdf.Triple{t}); err != nil {
+			return err
+		}
+	} else {
+		l.graph.MustAdd(t)
+	}
+	return nil
+}
+
+// Superseded returns the idempotency key of the emission that newKey
+// supersedes, if a q:Supersedes link was recorded. Graph-backed, so
+// links recovered from the durable store after a restart are visible
+// without any index rebuild.
+func (l *Log) Superseded(newKey string) (string, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	o := l.graph.FirstObject(rdf.IRI(ontology.QuratorNS+"emission/"+newKey), propSupersedes)
+	if o.Value() == "" {
+		return "", false
+	}
+	return strings.TrimPrefix(o.Value(), ontology.QuratorNS+"emission/"), true
 }
 
 // Emission returns the journaled payload for an idempotency key.

@@ -38,6 +38,7 @@ import (
 	"encoding/xml"
 	"fmt"
 	"strings"
+	"time"
 
 	"qurator/internal/condition"
 	"qurator/internal/ontology"
@@ -51,6 +52,33 @@ type View struct {
 	Annotators []AnnotatorDecl `xml:"Annotator"`
 	Assertions []AssertionDecl `xml:"QualityAssertion"`
 	Actions    []ActionDecl    `xml:"action"`
+	Streaming  *StreamingDecl  `xml:"streaming"`
+}
+
+// StreamingDecl declares the view's default windowing for streaming
+// enactment — either event-time (eventtime + window/session-gap) or
+// count-based (count-window). Durations use Go syntax ("30s", "5m").
+// Enactment requests may override any field; the declaration only
+// supplies defaults, keeping batch enactment of the same view untouched.
+type StreamingDecl struct {
+	// EventTime names the QualityEvidence subclass carrying each item's
+	// event timestamp (epoch millis or RFC 3339), e.g. "q:ObservedAt".
+	EventTime string `xml:"eventtime,attr"`
+	// Window / Slide size tumbling or sliding event-time windows.
+	Window string `xml:"window,attr"`
+	Slide  string `xml:"slide,attr"`
+	// SessionGap sizes session windows (mutually exclusive with Window).
+	SessionGap string `xml:"session-gap,attr"`
+	// MaxOutOfOrder bounds the watermark lag; AllowedLateness bounds how
+	// long fired windows accept late data (0 = drop all late data).
+	MaxOutOfOrder   string `xml:"max-out-of-order,attr"`
+	AllowedLateness string `xml:"allowed-lateness,attr"`
+	// Late is the late-data policy: "supersede" (default) or "drop".
+	Late string `xml:"late,attr"`
+	// CountWindow / CountSlide default the count-based configuration when
+	// no event-time evidence is declared.
+	CountWindow int `xml:"count-window,attr"`
+	CountSlide  int `xml:"count-slide,attr"`
 }
 
 // AnnotatorDecl declares an annotation operator.
@@ -224,6 +252,27 @@ type Resolved struct {
 	EvidenceRepo map[rdf.Term]string
 	// EvidencePersistent records each evidence type's persistence flag.
 	EvidencePersistent map[rdf.Term]bool
+	// Streaming carries the view's resolved <streaming> defaults, nil
+	// when the view declares none.
+	Streaming *ResolvedStreaming
+}
+
+// ResolvedStreaming is the validated form of a <streaming> declaration:
+// durations parsed, the event-time evidence resolved against the model.
+type ResolvedStreaming struct {
+	// EventTime is the resolved event-time evidence type; the zero Term
+	// when the declaration is count-based.
+	EventTime rdf.Term
+	Window    time.Duration
+	Slide     time.Duration
+	// SessionGap non-zero selects session windows.
+	SessionGap      time.Duration
+	MaxOutOfOrder   time.Duration
+	AllowedLateness time.Duration
+	// Late is "" (default policy), "supersede" or "drop".
+	Late        string
+	CountWindow int
+	CountSlide  int
 }
 
 // TagKeyFor derives the annotation-map key of a score tag from its
@@ -393,7 +442,88 @@ func Resolve(v *View, model *ontology.Ontology) (*Resolved, error) {
 		}
 		r.Actions = append(r.Actions, ra)
 	}
+
+	if v.Streaming != nil {
+		rs, err := resolveStreaming(v.Streaming, model)
+		if err != nil {
+			return nil, err
+		}
+		r.Streaming = rs
+	}
 	return r, nil
+}
+
+// resolveStreaming validates a <streaming> declaration: the event-time
+// evidence must be a QualityEvidence subclass, durations must parse and
+// be coherent (window XOR session-gap for event time; slide within the
+// window; non-negative lateness bounds).
+func resolveStreaming(s *StreamingDecl, model *ontology.Ontology) (*ResolvedStreaming, error) {
+	dur := func(attr, val string) (time.Duration, error) {
+		if strings.TrimSpace(val) == "" {
+			return 0, nil
+		}
+		d, err := time.ParseDuration(val)
+		if err != nil {
+			return 0, fmt.Errorf("qvlang: streaming %s: %w", attr, err)
+		}
+		if d < 0 {
+			return 0, fmt.Errorf("qvlang: streaming %s must not be negative", attr)
+		}
+		return d, nil
+	}
+	rs := &ResolvedStreaming{
+		Late:        strings.TrimSpace(s.Late),
+		CountWindow: s.CountWindow,
+		CountSlide:  s.CountSlide,
+	}
+	var err error
+	if rs.Window, err = dur("window", s.Window); err != nil {
+		return nil, err
+	}
+	if rs.Slide, err = dur("slide", s.Slide); err != nil {
+		return nil, err
+	}
+	if rs.SessionGap, err = dur("session-gap", s.SessionGap); err != nil {
+		return nil, err
+	}
+	if rs.MaxOutOfOrder, err = dur("max-out-of-order", s.MaxOutOfOrder); err != nil {
+		return nil, err
+	}
+	if rs.AllowedLateness, err = dur("allowed-lateness", s.AllowedLateness); err != nil {
+		return nil, err
+	}
+	switch rs.Late {
+	case "", "supersede", "drop":
+	default:
+		return nil, fmt.Errorf("qvlang: streaming late=%q (want supersede or drop)", s.Late)
+	}
+	if s.EventTime != "" {
+		ev := ontology.ExpandQName(s.EventTime)
+		if !model.IsSubClassOf(ev, ontology.QualityEvidence) {
+			return nil, fmt.Errorf("qvlang: streaming eventtime %q is not a QualityEvidence subclass", s.EventTime)
+		}
+		rs.EventTime = ev
+		switch {
+		case rs.Window > 0 && rs.SessionGap > 0:
+			return nil, fmt.Errorf("qvlang: streaming declares both window and session-gap")
+		case rs.Window == 0 && rs.SessionGap == 0:
+			return nil, fmt.Errorf("qvlang: streaming eventtime needs window or session-gap")
+		}
+		if rs.Slide > 0 && rs.Window == 0 {
+			return nil, fmt.Errorf("qvlang: streaming slide without window")
+		}
+		if rs.Slide > rs.Window {
+			return nil, fmt.Errorf("qvlang: streaming slide exceeds window")
+		}
+	} else {
+		if rs.Window > 0 || rs.SessionGap > 0 || rs.Slide > 0 {
+			return nil, fmt.Errorf("qvlang: streaming durations need an eventtime evidence")
+		}
+		if rs.CountSlide > rs.CountWindow {
+			return nil, fmt.Errorf("qvlang: streaming count-slide exceeds count-window")
+		}
+	}
+	return rs, nil
 }
 
 // parseActionCondition parses a condition and checks that the bare

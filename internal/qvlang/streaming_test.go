@@ -1,0 +1,119 @@
+package qvlang
+
+import (
+	"testing"
+	"time"
+
+	"qurator/internal/ontology"
+)
+
+// TestResolveStreamingDeclaration pins the <streaming> element: a view
+// can declare its own event-time windowing so every enactment of the
+// view — HTTP, cluster, experiment — agrees on window semantics without
+// repeating query parameters.
+func TestResolveStreamingDeclaration(t *testing.T) {
+	xmlSrc := `<QualityView name="timed">
+	  <QualityAssertion servicename="s" servicetype="q:HRScoreAssertion" tagname="HR">
+	    <variables><var variablename="hr" evidence="q:HitRatio"/></variables>
+	  </QualityAssertion>
+	  <streaming eventtime="q:ObservedAt" window="100ms" slide="50ms"
+	             max-out-of-order="25ms" allowed-lateness="1s" late="supersede"/>
+	</QualityView>`
+	v, err := Parse([]byte(xmlSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Resolve(v, ontology.NewIQModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Streaming
+	if s == nil {
+		t.Fatal("Resolved.Streaming is nil")
+	}
+	if s.EventTime != ontology.ObservedAt {
+		t.Errorf("EventTime = %v, want q:ObservedAt", s.EventTime)
+	}
+	if s.Window != 100*time.Millisecond || s.Slide != 50*time.Millisecond {
+		t.Errorf("window/slide = %v/%v", s.Window, s.Slide)
+	}
+	if s.MaxOutOfOrder != 25*time.Millisecond || s.AllowedLateness != time.Second {
+		t.Errorf("max-out-of-order/allowed-lateness = %v/%v", s.MaxOutOfOrder, s.AllowedLateness)
+	}
+	if s.Late != "supersede" {
+		t.Errorf("Late = %q", s.Late)
+	}
+}
+
+func TestResolveStreamingSessionAndCount(t *testing.T) {
+	xmlSrc := `<QualityView name="sessions">
+	  <streaming eventtime="q:ObservedAt" session-gap="200ms"/>
+	</QualityView>`
+	v, err := Parse([]byte(xmlSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Resolve(v, ontology.NewIQModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Streaming.SessionGap != 200*time.Millisecond || r.Streaming.Window != 0 {
+		t.Errorf("streaming = %+v, want a pure session declaration", r.Streaming)
+	}
+
+	// Count windows need no event-time field.
+	xmlSrc = `<QualityView name="counted"><streaming count-window="32" count-slide="8"/></QualityView>`
+	if v, err = Parse([]byte(xmlSrc)); err != nil {
+		t.Fatal(err)
+	}
+	if r, err = Resolve(v, ontology.NewIQModel()); err != nil {
+		t.Fatal(err)
+	}
+	if r.Streaming.CountWindow != 32 || r.Streaming.CountSlide != 8 {
+		t.Errorf("count streaming = %+v", r.Streaming)
+	}
+	if r.Streaming.EventTime.Value() != "" {
+		t.Errorf("count declaration acquired an event-time key: %v", r.Streaming.EventTime)
+	}
+
+	// A view without the element resolves to no streaming declaration.
+	if v, err = Parse([]byte(PaperViewXML)); err != nil {
+		t.Fatal(err)
+	}
+	if r, err = Resolve(v, ontology.NewIQModel()); err != nil {
+		t.Fatal(err)
+	}
+	if r.Streaming != nil {
+		t.Errorf("paper view resolved a streaming declaration: %+v", r.Streaming)
+	}
+}
+
+func TestResolveStreamingErrors(t *testing.T) {
+	model := ontology.NewIQModel()
+	cases := []struct {
+		name string
+		xml  string
+	}{
+		{"bad late policy", `<QualityView><streaming eventtime="q:ObservedAt" window="100ms" late="sideways"/></QualityView>`},
+		{"window and session-gap", `<QualityView><streaming eventtime="q:ObservedAt" window="100ms" session-gap="50ms"/></QualityView>`},
+		{"eventtime without windows", `<QualityView><streaming eventtime="q:ObservedAt"/></QualityView>`},
+		{"non-evidence eventtime", `<QualityView><streaming eventtime="q:PIScoreClassification" window="100ms"/></QualityView>`},
+		{"durations without eventtime", `<QualityView><streaming window="100ms"/></QualityView>`},
+		{"bad duration syntax", `<QualityView><streaming eventtime="q:ObservedAt" window="fast"/></QualityView>`},
+		{"negative duration", `<QualityView><streaming eventtime="q:ObservedAt" window="-100ms"/></QualityView>`},
+		{"slide without window", `<QualityView><streaming eventtime="q:ObservedAt" session-gap="100ms" slide="50ms"/></QualityView>`},
+		{"slide wider than window", `<QualityView><streaming eventtime="q:ObservedAt" window="50ms" slide="100ms"/></QualityView>`},
+		{"count slide wider than window", `<QualityView><streaming count-window="4" count-slide="8"/></QualityView>`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			v, err := Parse([]byte(c.xml))
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			if _, err := Resolve(v, model); err == nil {
+				t.Errorf("Resolve should fail for %s", c.name)
+			}
+		})
+	}
+}

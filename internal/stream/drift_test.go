@@ -1,0 +1,161 @@
+package stream_test
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"qurator/internal/stream"
+)
+
+// acceptWindow fabricates one emitted window: n decisions of which k
+// reached an output, plus a stats series for the given metric mean.
+func acceptWindow(seq, n, k int, statKey string, mean float64) stream.WindowResult {
+	res := stream.WindowResult{Seq: seq, Size: n}
+	for i := 0; i < n; i++ {
+		d := stream.Decision{Item: "urn:item", Window: seq, Outputs: []string{}}
+		if i < k {
+			d.Outputs = []string{"accept:output"}
+		}
+		res.Decisions = append(res.Decisions, d)
+	}
+	if statKey != "" {
+		res.Stats = map[string]stream.WindowStats{statKey: {N: n, Mean: mean}}
+	}
+	return res
+}
+
+func TestDriftDetectorAlertsOnAcceptRateShift(t *testing.T) {
+	var alerts []stream.Alert
+	d := stream.NewDetector("v", stream.DriftConfig{
+		OnAlert: func(a stream.Alert) { alerts = append(alerts, a) },
+	})
+	// Stable baseline: 12 windows at 50% accept rate (past the default
+	// 8-window warm-up), then a sustained collapse to 10%.
+	seq := 0
+	for ; seq < 12; seq++ {
+		d.Observe(acceptWindow(seq, 10, 5, "", 0))
+	}
+	if len(alerts) != 0 {
+		t.Fatalf("%d alerts during a stable baseline, want 0", len(alerts))
+	}
+	shiftAt := seq
+	for ; seq < 18 && len(alerts) == 0; seq++ {
+		d.Observe(acceptWindow(seq, 10, 1, "", 0))
+	}
+	if len(alerts) == 0 {
+		t.Fatal("no alert within 6 windows of a 50%→10% accept-rate collapse")
+	}
+	a := alerts[0]
+	if a.Metric != stream.AcceptRateMetric || a.Direction != "down" || a.View != "v" {
+		t.Fatalf("alert = %+v, want a downward accept-rate alert on view v", a)
+	}
+	if lag := a.Window - shiftAt; lag > 4 {
+		t.Errorf("alert fired %d windows after the shift, want a bounded (≤4) detection lag", lag)
+	}
+	snap := d.Snapshot()
+	tr, ok := snap[stream.AcceptRateMetric]
+	if !ok {
+		t.Fatal("snapshot lacks the accept-rate track")
+	}
+	if tr.Alerts != len(alerts) || tr.Windows != seq {
+		t.Errorf("track = %+v, want %d alerts over %d windows", tr, len(alerts), seq)
+	}
+	if len(tr.Series) != seq {
+		t.Errorf("series retains %d points, want %d", len(tr.Series), seq)
+	}
+}
+
+func TestDriftDetectorTracksStatsMetrics(t *testing.T) {
+	var alerts []stream.Alert
+	d := stream.NewDetector("v", stream.DriftConfig{
+		OnAlert: func(a stream.Alert) { alerts = append(alerts, a) },
+	})
+	key := "urn:q:HitRatio"
+	seq := 0
+	for ; seq < 12; seq++ {
+		d.Observe(acceptWindow(seq, 10, 5, key, 0.8))
+	}
+	for ; seq < 18 && len(alerts) == 0; seq++ {
+		d.Observe(acceptWindow(seq, 10, 5, key, 0.2)) // evidence collapses
+	}
+	if len(alerts) == 0 {
+		t.Fatal("no alert on a collapsed evidence mean")
+	}
+	if alerts[0].Metric != key || alerts[0].Direction != "down" {
+		t.Fatalf("alert = %+v, want a downward %s alert", alerts[0], key)
+	}
+}
+
+func TestDriftMetricsFilter(t *testing.T) {
+	d := stream.NewDetector("v", stream.DriftConfig{Metrics: []string{"urn:q:Tracked"}})
+	res := acceptWindow(0, 4, 2, "urn:q:Tracked", 1)
+	res.Stats["urn:q:Ignored"] = stream.WindowStats{N: 4, Mean: 9}
+	d.Observe(res)
+	snap := d.Snapshot()
+	if _, ok := snap["urn:q:Tracked"]; !ok {
+		t.Error("tracked metric missing from snapshot")
+	}
+	if _, ok := snap["urn:q:Ignored"]; ok {
+		t.Error("filtered-out metric tracked anyway")
+	}
+	if _, ok := snap[stream.AcceptRateMetric]; !ok {
+		t.Error("accept rate must always be tracked")
+	}
+}
+
+func TestDriftAutoTightenAppliesCondition(t *testing.T) {
+	c := compilePaperView(t)
+	const action = "filter top k score"
+	before := c.Conditions()[action]
+	tighten := stream.AutoTighten(c, action, "ScoreClass in q:high")
+	tighten(stream.Alert{View: "v", Metric: stream.AcceptRateMetric, Direction: "down"})
+	after := c.Conditions()[action]
+	if after == before || after != "ScoreClass in q:high" {
+		t.Fatalf("condition after alert = %q, want the tightened one (was %q)", after, before)
+	}
+	// Subsequent alerts are no-ops: the condition is already in force.
+	if err := c.SetFilterCondition(action, before); err != nil {
+		t.Fatal(err)
+	}
+	tighten(stream.Alert{View: "v", Metric: stream.AcceptRateMetric, Direction: "down"})
+	if got := c.Conditions()[action]; got != before {
+		t.Fatalf("second alert re-tightened to %q", got)
+	}
+}
+
+func TestDriftRegistryHandler(t *testing.T) {
+	reg := stream.NewDriftRegistry()
+	d := stream.NewDetector("paper", stream.DriftConfig{Registry: reg})
+	// Registration happens in Run normally; exercise the handler against
+	// a detector observed directly.
+	for i := 0; i < 3; i++ {
+		d.Observe(acceptWindow(i, 4, 2, "", 0))
+	}
+	// An unregistered detector must not appear.
+	if _, ok := reg.Detector("paper"); ok {
+		t.Fatal("detector appeared in the registry without registration")
+	}
+	// Drive registration through a real stream run instead.
+	cfg := stream.Config{Window: 2, Drift: &stream.DriftConfig{Registry: reg}}
+	_ = enactItems(t, cfg, []stream.Item{{ID: hit(0)}, {ID: hit(1)}})
+	if _, ok := reg.Detector("protein-id-quality"); !ok {
+		names := []string{}
+		for v := range reg.Snapshot() {
+			names = append(names, v)
+		}
+		t.Fatalf("stream run did not register its detector (have %v)", names)
+	}
+	rr := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/stream/drift", nil))
+	if rr.Code != 200 {
+		t.Fatalf("GET /stream/drift = %d", rr.Code)
+	}
+	var body map[string]map[string]stream.TrackSnapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatalf("drift endpoint body: %v", err)
+	}
+	if len(body) == 0 {
+		t.Fatal("drift endpoint returned no views")
+	}
+}

@@ -110,16 +110,22 @@ func WriteResults(w io.Writer, results <-chan WindowResult, flush func()) error 
 			}
 		}
 		summary := struct {
-			Window   int                    `json:"window"`
-			View     string                 `json:"view,omitempty"`
-			Size     int                    `json:"size"`
-			Decided  int                    `json:"decided"`
-			Partial  bool                   `json:"partial,omitempty"`
-			Failed   bool                   `json:"failed,omitempty"`
-			Replayed bool                   `json:"replayed,omitempty"`
-			Error    string                 `json:"error,omitempty"`
-			Stats    map[string]WindowStats `json:"stats,omitempty"`
-		}{res.Seq, res.View, res.Size, len(res.Decisions), res.Partial, res.Failed, res.Replayed, res.Error, res.Stats}
+			Window     int                    `json:"window"`
+			View       string                 `json:"view,omitempty"`
+			Size       int                    `json:"size"`
+			Decided    int                    `json:"decided"`
+			Partial    bool                   `json:"partial,omitempty"`
+			Failed     bool                   `json:"failed,omitempty"`
+			Replayed   bool                   `json:"replayed,omitempty"`
+			Kind       string                 `json:"kind,omitempty"`
+			Start      int64                  `json:"start,omitempty"`
+			End        int64                  `json:"end,omitempty"`
+			Late       bool                   `json:"late,omitempty"`
+			Supersedes string                 `json:"supersedes,omitempty"`
+			Error      string                 `json:"error,omitempty"`
+			Stats      map[string]WindowStats `json:"stats,omitempty"`
+		}{res.Seq, res.View, res.Size, len(res.Decisions), res.Partial, res.Failed, res.Replayed,
+			res.Kind, res.Start, res.End, res.Late, res.Supersedes, res.Error, res.Stats}
 		if err := enc.Encode(summary); err != nil {
 			return err
 		}

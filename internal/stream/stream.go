@@ -61,6 +61,14 @@ var (
 		"qurator_stream_window_duration_seconds",
 		"Wall-clock time of one window enactment.",
 		nil, "view")
+	streamLateItems = telemetry.Default.CounterVec(
+		"qurator_stream_late_items_total",
+		"Late item arrivals by outcome: superseded (their window re-fired with a q:Supersedes link) or dropped (beyond allowed lateness / retention, or LatePolicy drop).",
+		"view", "outcome")
+	streamWatermark = telemetry.Default.GaugeVec(
+		"qurator_stream_watermark_seconds",
+		"Low watermark of the event-time stream, in unix seconds.",
+		"view")
 )
 
 // Item is one arriving data item: its identity plus optional inline
@@ -130,6 +138,21 @@ type WindowResult struct {
 	View string `json:"view,omitempty"`
 	// Error is the enactment failure for a Failed window.
 	Error string `json:"error,omitempty"`
+	// Kind names the event-time window shape ("tumbling", "sliding" or
+	// "session"); empty for count-based windows.
+	Kind string `json:"kind,omitempty"`
+	// Start and End are the event-time window bounds in unix milliseconds
+	// (End exclusive). Zero for count-based windows.
+	Start int64 `json:"start,omitempty"`
+	End   int64 `json:"end,omitempty"`
+	// Late marks a superseding re-emission: a late item arrived after this
+	// window had already fired, so the window was re-enacted in full and
+	// this result replaces the one named by Supersedes.
+	Late bool `json:"late,omitempty"`
+	// Supersedes is the content-addressed journal key of the emission this
+	// result replaces (set on Late results). The cluster journal links the
+	// two with a q:Supersedes provenance triple.
+	Supersedes string `json:"supersedes,omitempty"`
 	// Decisions holds one decision per newly-decided item.
 	Decisions []Decision `json:"decisions"`
 	// firedAt is when the windower fired the window; the enactor uses it
@@ -142,9 +165,27 @@ type WindowResult struct {
 	Stats map[string]WindowStats `json:"stats,omitempty"`
 }
 
+// LatePolicy says what to do with an item that arrives after the window
+// owning its event time (or, for count windows, the window that decided
+// it) has already fired.
+type LatePolicy int
+
+const (
+	// LateSupersede re-enacts the affected window in full and emits a
+	// superseding result linked to the original via Supersedes /
+	// q:Supersedes — the default. The item must still be within the
+	// window's retention (AllowedLateness for event time, LateRetention
+	// fires for count windows); beyond that it is dropped and counted.
+	LateSupersede LatePolicy = iota
+	// LateDrop discards late items, counting them in
+	// qurator_stream_late_items_total{outcome="dropped"}.
+	LateDrop
+)
+
 // Config parameterises a streaming enactment.
 type Config struct {
-	// Window is the count-based window size (required, ≥ 1).
+	// Window is the count-based window size (required, ≥ 1, unless
+	// EventTimeKey selects event-time windowing).
 	Window int
 	// Slide is the number of new items between window fires. 0 or
 	// Slide == Window gives tumbling windows; 0 < Slide < Window gives
@@ -168,6 +209,42 @@ type Config struct {
 	// set (and no decisions) and later windows proceed. Off by default —
 	// a batch-faithful stream fails fast.
 	SkipFailedWindows bool
+	// EventTimeKey switches the stream from count-based to event-time
+	// windowing: every item must carry this inline-evidence key, holding
+	// its event time as an integer (unix milliseconds) or an RFC 3339
+	// string. Items group into windows by event time, and windows fire
+	// when the low watermark (max event time seen − MaxOutOfOrder) passes
+	// their end.
+	EventTimeKey evidence.Key
+	// WindowDuration is the event-time window width (tumbling, or sliding
+	// with SlideDuration). Mutually exclusive with SessionGap.
+	WindowDuration time.Duration
+	// SlideDuration is the event-time slide: 0 or == WindowDuration gives
+	// tumbling windows; smaller values give aligned sliding windows where
+	// each item is decided by the earliest window containing it.
+	SlideDuration time.Duration
+	// SessionGap, when positive, selects session windows: bursts of items
+	// separated by gaps of at least SessionGap, each burst one window.
+	SessionGap time.Duration
+	// MaxOutOfOrder bounds the tolerated disorder: the watermark trails
+	// the maximum event time by this much, so items up to MaxOutOfOrder
+	// out of order are still windowed normally. 0 = in-order feed.
+	MaxOutOfOrder time.Duration
+	// AllowedLateness keeps a fired event-time window's state for this
+	// long past its end (in watermark time): an item arriving below the
+	// watermark but within the lateness bound re-fires its window as a
+	// superseding emission. Beyond the bound late items are dropped.
+	AllowedLateness time.Duration
+	// LatePolicy picks between superseding re-emission (default) and
+	// dropping late data.
+	LatePolicy LatePolicy
+	// LateRetention is how many fired count windows are retained to route
+	// re-arrivals of decided items as late data (default 4). Event-time
+	// windows retain by AllowedLateness instead.
+	LateRetention int
+	// Drift, when set, runs an EWMA+CUSUM drift detector over the stream's
+	// per-window quality metrics (accept rate, evidence and tag means).
+	Drift *DriftConfig
 	// Journal, when set, gives window emission at-most-once semantics
 	// across re-enactments (cluster failover): before enacting a fired
 	// window the enactor looks its content-addressed idempotency key up —
@@ -213,19 +290,53 @@ type streamView struct {
 	plan compiler.Plan
 }
 
+// EventTime reports whether the configuration selects event-time
+// windowing (an event-time evidence key is declared).
+func (cfg Config) EventTime() bool { return cfg.EventTimeKey.Value() != "" }
+
 // normalise validates and defaults a streaming configuration.
 func normalise(cfg Config) (Config, error) {
-	if cfg.Window < 1 {
-		return cfg, fmt.Errorf("stream: window size must be ≥ 1, got %d", cfg.Window)
+	if cfg.EventTime() {
+		switch {
+		case cfg.SessionGap > 0 && cfg.WindowDuration > 0:
+			return cfg, fmt.Errorf("stream: session-gap and window-duration are mutually exclusive")
+		case cfg.SessionGap <= 0 && cfg.WindowDuration <= 0:
+			return cfg, fmt.Errorf("stream: event-time windowing needs window-duration or session-gap")
+		}
+		if cfg.WindowDuration > 0 {
+			if cfg.SlideDuration == 0 {
+				cfg.SlideDuration = cfg.WindowDuration
+			}
+			if cfg.SlideDuration < 0 || cfg.SlideDuration > cfg.WindowDuration {
+				return cfg, fmt.Errorf("stream: slide-duration must be in (0, window-duration], got %v", cfg.SlideDuration)
+			}
+		}
+		if cfg.MaxOutOfOrder < 0 {
+			return cfg, fmt.Errorf("stream: negative max-out-of-order %v", cfg.MaxOutOfOrder)
+		}
+		if cfg.AllowedLateness < 0 {
+			return cfg, fmt.Errorf("stream: negative allowed-lateness %v", cfg.AllowedLateness)
+		}
+	} else {
+		if cfg.Window < 1 {
+			return cfg, fmt.Errorf("stream: window size must be ≥ 1, got %d", cfg.Window)
+		}
+		if cfg.Slide == 0 {
+			cfg.Slide = cfg.Window
+		}
+		if cfg.Slide < 1 || cfg.Slide > cfg.Window {
+			return cfg, fmt.Errorf("stream: slide must be in [1, window], got %d", cfg.Slide)
+		}
 	}
-	if cfg.Slide == 0 {
-		cfg.Slide = cfg.Window
-	}
-	if cfg.Slide < 1 || cfg.Slide > cfg.Window {
-		return cfg, fmt.Errorf("stream: slide must be in [1, window], got %d", cfg.Slide)
+	if cfg.LateRetention == 0 {
+		cfg.LateRetention = defaultLateRetention
 	}
 	if cfg.Parallelism < 1 {
 		cfg.Parallelism = 1
+	}
+	if cfg.Drift != nil {
+		d := cfg.Drift.withDefaults()
+		cfg.Drift = &d
 	}
 	return cfg, nil
 }
@@ -316,6 +427,14 @@ func (e *Enactor) Run(ctx context.Context, in <-chan Item, out chan<- WindowResu
 	queueDepth := streamQueueDepth.With(view)
 	defer queueDepth.Set(0)
 
+	var drift *Detector
+	if e.cfg.Drift != nil {
+		drift = NewDetector(view, *e.cfg.Drift)
+		if e.cfg.Drift.Registry != nil {
+			e.cfg.Drift.Registry.register(view, drift)
+		}
+	}
+
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -336,39 +455,54 @@ func (e *Enactor) Run(ctx context.Context, in <-chan Item, out chan<- WindowResu
 		})
 	}
 
-	// Stage 1: ingest + window. A single goroutine keeps the live window
-	// Amap and the incremental evidence accumulators, emitting one job per
-	// window fire. The bounded jobs channel is the backpressure point
-	// towards the producer.
+	// Stage 1: ingest + window. A single goroutine keeps the window state
+	// (live Amap + accumulators for count windows; open/retained windows,
+	// watermark and lateness bookkeeping for event time), emitting jobs as
+	// windows fire — one watermark advance may close several windows, and
+	// a late arrival may re-fire an emitted one, so a single push can
+	// yield several jobs. The bounded jobs channel is the backpressure
+	// point towards the producer.
 	var ingestWG sync.WaitGroup
 	ingestWG.Add(1)
 	go func() {
 		defer ingestWG.Done()
 		defer close(jobs)
-		w := newWindower(e.cfg.Window, e.cfg.Slide)
+		var w windowPolicy
+		if e.cfg.EventTime() {
+			w = newEventWindower(e.cfg, view)
+		} else {
+			w = newWindower(e.cfg, view)
+		}
+		enqueue := func(js []*windowJob) bool {
+			for _, j := range js {
+				select {
+				case jobs <- *j:
+					queueDepth.Add(1)
+				case <-ctx.Done():
+					return false
+				}
+			}
+			return true
+		}
 		for {
 			select {
 			case <-ctx.Done():
 				return
 			case it, ok := <-in:
 				if !ok {
-					if j := w.flush(); j != nil && !e.cfg.DropPartial {
-						select {
-						case jobs <- *j:
-							queueDepth.Add(1)
-						case <-ctx.Done():
-						}
+					if js := w.flush(); !e.cfg.DropPartial {
+						enqueue(js)
 					}
 					return
 				}
 				streamItems.With(view).Inc()
-				if j := w.push(it); j != nil {
-					select {
-					case jobs <- *j:
-						queueDepth.Add(1)
-					case <-ctx.Done():
-						return
-					}
+				js, perr := w.push(it)
+				if perr != nil {
+					fail(fmt.Errorf("stream: %w", perr))
+					return
+				}
+				if !enqueue(js) {
+					return
 				}
 			}
 		}
@@ -436,6 +570,13 @@ func (e *Enactor) Run(ctx context.Context, in <-chan Item, out chan<- WindowResu
 							streamWindows.With(view, "skipped").Inc()
 							continue
 						}
+						if j.late && j.prev != nil {
+							// A superseding re-fire names the emission it
+							// replaces by the journal key the predecessor
+							// window content maps to — derivable with or
+							// without a journal attached.
+							batch[i].Supersedes = e.windowKey(e.views[i].name, *j.prev)
+						}
 						streamWindows.With(view, "ok").Inc()
 						if keys[i] != "" {
 							// The journal entry must be durable before the
@@ -502,6 +643,9 @@ func (e *Enactor) Run(ctx context.Context, in <-chan Item, out chan<- WindowResu
 					if !r.firedAt.IsZero() {
 						streamWindowLag.With(view).Observe(time.Since(r.firedAt).Seconds())
 					}
+					if drift != nil && !r.Failed {
+						drift.Observe(r)
+					}
 				case <-ctx.Done():
 				}
 				if ctx.Err() != nil {
@@ -518,17 +662,38 @@ func (e *Enactor) Run(ctx context.Context, in <-chan Item, out chan<- WindowResu
 	return ctx.Err()
 }
 
-// windowJob is one window ready to enact: a snapshot of the live Amap,
-// the item order, the index where newly-decided items start, and the
-// incrementally-maintained inline-evidence statistics.
+// windowJob is one window ready to enact: a snapshot of the window Amap,
+// the item order, which items this fire decides, and the window's
+// inline-evidence statistics. Count windows decide the items[decideFrom:]
+// suffix; event-time windows and superseding re-fires carry an explicit
+// decide set.
 type windowJob struct {
 	seq        int
 	items      []evidence.Item
 	m          *evidence.Map
 	decideFrom int
+	decide     []evidence.Item // explicit decide set; nil = items[decideFrom:]
 	partial    bool
 	stats      map[string]WindowStats
 	firedAt    time.Time
+
+	// Event-time window identity: shape and bounds (zero for count).
+	kind       string
+	start, end time.Time
+	// Supersession: gen counts this window's fires (0 = original), late
+	// marks a superseding re-fire, prev is the previously-emitted content
+	// of the same window (for deriving the superseded journal key).
+	gen  int
+	late bool
+	prev *windowJob
+}
+
+// decided returns the items this fire decides.
+func (j *windowJob) decided() []evidence.Item {
+	if j.decide != nil {
+		return j.decide
+	}
+	return j.items[j.decideFrom:]
 }
 
 // enactBatch runs one window through the compiled plan — once — and
@@ -591,8 +756,13 @@ func (e *Enactor) failedResult(sv streamView, j windowJob, err error) WindowResu
 		Partial:   j.partial,
 		Failed:    true,
 		Error:     err.Error(),
+		Kind:      j.kind,
+		Late:      j.late,
 		Decisions: []Decision{},
 		firedAt:   j.firedAt,
+	}
+	if j.kind != "" {
+		res.Start, res.End = j.start.UnixMilli(), j.end.UnixMilli()
 	}
 	if e.multi != nil {
 		res.View = sv.name // single-view failed windows stay unattributed, as before
@@ -631,9 +801,14 @@ func deriveResult(sv streamView, outputs map[string]*evidence.Map, j windowJob, 
 		Seq:       j.seq,
 		Size:      len(j.items),
 		Partial:   j.partial,
-		Decisions: Decide(j.items[j.decideFrom:], outputs, cons, outputOrder, j.seq),
+		Kind:      j.kind,
+		Late:      j.late,
+		Decisions: Decide(j.decided(), outputs, cons, outputOrder, j.seq),
 		Stats:     stats,
 		firedAt:   j.firedAt,
+	}
+	if j.kind != "" {
+		res.Start, res.End = j.start.UnixMilli(), j.end.UnixMilli()
 	}
 	// Window score statistics: one Welford pass over the enacted window
 	// per QA tag — O(1) per (item, tag).
@@ -682,6 +857,25 @@ func (e *Enactor) windowKey(view string, j windowJob) string {
 		k.Str(it.Value())
 	}
 	k.Map(j.m)
+	// Event-time windows and superseding re-fires extend the key with the
+	// window identity: shape, event-time bounds, fire generation and the
+	// explicit decide set. Bounds keep two same-content windows at
+	// different event times distinct; the generation keeps a superseding
+	// re-fire distinct from the emission it replaces even when the item
+	// content is identical — without it a failover replay could answer the
+	// correction from the original's journal entry. Plain count windows
+	// omit the block, preserving their pre-event-time keys.
+	if j.kind != "" || j.gen > 0 {
+		k.Str("window-identity").
+			Str(j.kind).
+			Str(strconv.FormatInt(j.start.UnixNano(), 10)).
+			Str(strconv.FormatInt(j.end.UnixNano(), 10)).
+			Str(strconv.Itoa(j.gen)).
+			Str(strconv.Itoa(len(j.decide)))
+		for _, it := range j.decide {
+			k.Str(it.Value())
+		}
+	}
 	return k.Sum()
 }
 

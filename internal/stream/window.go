@@ -6,6 +6,31 @@ import (
 	"qurator/internal/evidence"
 )
 
+// windowPolicy is the windowing strategy behind the streaming enactor's
+// ingest stage: count-based (windower) or event-time (eventWindower).
+// push may fire any number of windows for one arriving item — an
+// event-time watermark advance can close several at once, and a late
+// arrival can re-fire an already-emitted window — so it returns a slice,
+// in emission order. flush fires whatever is still open when the input
+// closes.
+type windowPolicy interface {
+	push(it Item) ([]*windowJob, error)
+	flush() []*windowJob
+}
+
+// accRebuildEvery is how many fires a count windower lets pass before
+// rebuilding its incremental Welford accumulators from the live window.
+// Add/Remove cycles accumulate floating-point error without bound on a
+// long-lived sliding window; a periodic rebuild (plus an immediate one
+// whenever a downdate detects drift, see Accumulator.Tainted) keeps the
+// error bounded by one window's worth of arithmetic instead of the
+// stream's.
+const accRebuildEvery = 256
+
+// defaultLateRetention is how many fired windows a count windower keeps
+// around to route re-arrivals of already-decided items as late data.
+const defaultLateRetention = 4
+
 // windower implements the count-based windowing policy. It maintains the
 // live window as an annotation map (so inline evidence rides along at no
 // extra cost) plus one incremental Welford accumulator per numeric inline
@@ -17,32 +42,74 @@ import (
 // Window−Slide older items re-enacted purely as statistical context for
 // the collection-scoped QAs. Tumbling windows (Slide == Window) decide
 // every item they contain.
+//
+// Late data: a fired window is retained (content and decided set) for the
+// last LateRetention fires. An item that was evicted from the live window
+// and re-arrives is routed back to the retained window that decided it —
+// a superseding re-fire carrying the refreshed evidence, linked to the
+// original emission — instead of being mistaken for a fresh item and
+// silently decided twice. Re-arrivals older than the retention horizon
+// fall back to fresh-item handling (the horizon is the documented bound).
 type windower struct {
 	size  int
 	slide int
+	view  string
 
 	live      *evidence.Map
 	undecided int // trailing items not yet decided by any fire
 	seq       int
+	fires     int
 
 	accs map[evidence.Key]*evidence.Accumulator
+
+	latePolicy LatePolicy
+	retention  int
+	retained   []*firedWindow
+	decidedBy  map[evidence.Item]*firedWindow
 }
 
-func newWindower(size, slide int) *windower {
+// firedWindow is the retained snapshot of an emitted count window: enough
+// to re-enact it when one of its items re-arrives late.
+type firedWindow struct {
+	m       *evidence.Map   // window content, refreshed by late arrivals
+	items   []evidence.Item // arrival order at fire time
+	decided []evidence.Item // the items THIS window decided
+	gen     int             // fire generation: 0 original, 1+ superseding
+	last    *windowJob      // content of the most recent emission
+}
+
+func newWindower(cfg Config, view string) *windower {
+	size, slide := cfg.Window, cfg.Slide
+	if slide <= 0 {
+		slide = size
+	}
+	retention := cfg.LateRetention
+	if retention == 0 {
+		retention = defaultLateRetention
+	}
 	return &windower{
-		size:  size,
-		slide: slide,
-		live:  evidence.NewMap(),
-		accs:  make(map[evidence.Key]*evidence.Accumulator),
+		size:       size,
+		slide:      slide,
+		view:       view,
+		live:       evidence.NewMap(),
+		accs:       make(map[evidence.Key]*evidence.Accumulator),
+		latePolicy: cfg.LatePolicy,
+		retention:  retention,
+		decidedBy:  make(map[evidence.Item]*firedWindow),
 	}
 }
 
-// push adds one item to the live window and returns a job if the window
-// fires. A re-arrival of an item already in the window refreshes its
-// evidence without growing the window.
-func (w *windower) push(it Item) *windowJob {
+// push adds one item to the live window and returns the jobs it fires. A
+// re-arrival of an item already in the live window refreshes its evidence
+// without growing the window; a re-arrival of an item already decided by
+// a retained window is late data and re-fires that window.
+func (w *windower) push(it Item) ([]*windowJob, error) {
 	fresh := !w.live.HasItem(it.ID)
-	if !fresh {
+	if fresh {
+		if fw := w.decidedBy[it.ID]; fw != nil {
+			return w.lateArrival(fw, it), nil
+		}
+	} else {
 		// Retract the stale numeric contributions before the row update.
 		for k, v := range it.Evidence {
 			if v.IsNull() {
@@ -63,17 +130,45 @@ func (w *windower) push(it Item) *windowJob {
 		w.undecided++
 	}
 	if w.live.Len() >= w.size && w.undecided >= w.slide {
-		return w.fire(false)
+		return []*windowJob{w.fire(false)}, nil
 	}
-	return nil
+	return nil, nil
 }
 
 // flush returns the final partial window, or nil if nothing is pending.
-func (w *windower) flush() *windowJob {
+func (w *windower) flush() []*windowJob {
 	if w.undecided == 0 {
 		return nil
 	}
-	return w.fire(true)
+	return []*windowJob{w.fire(true)}
+}
+
+// lateArrival routes a re-arrival of an already-decided item: under the
+// supersede policy the window that decided it re-fires with the refreshed
+// evidence, linked to its previous emission; under the drop policy the
+// re-arrival is counted and discarded.
+func (w *windower) lateArrival(fw *firedWindow, it Item) []*windowJob {
+	if w.latePolicy == LateDrop {
+		streamLateItems.With(w.view, "dropped").Inc()
+		return nil
+	}
+	streamLateItems.With(w.view, "superseded").Inc()
+	fw.m.SetRow(it.ID, it.Evidence)
+	fw.gen++
+	j := &windowJob{
+		seq:     w.seq,
+		items:   fw.items,
+		m:       fw.m.Clone(),
+		decide:  fw.decided,
+		stats:   recomputeStats(fw.m),
+		firedAt: time.Now(),
+		late:    true,
+		gen:     fw.gen,
+		prev:    detach(fw.last),
+	}
+	w.seq++
+	fw.last = j
+	return []*windowJob{j}
 }
 
 // fire snapshots the live window into a job and slides it forward.
@@ -90,6 +185,9 @@ func (w *windower) fire(partial bool) *windowJob {
 	}
 	w.seq++
 	w.undecided = 0
+	if !partial {
+		w.retain(j)
+	}
 	// Evict the oldest slide-worth of items so the next window overlaps
 	// the current one by Window−Slide items (none, for tumbling windows).
 	evict := w.slide
@@ -108,7 +206,54 @@ func (w *windower) fire(partial bool) *windowJob {
 		}
 	}
 	w.live.RemoveFirst(evict)
+	// Evidence keys that stopped appearing would otherwise pin their
+	// accumulators forever — a key-churn stream (every item a new key)
+	// grew this map without bound.
+	for k, acc := range w.accs {
+		if acc.N() == 0 {
+			delete(w.accs, k)
+		}
+	}
+	w.fires++
+	if w.fires%accRebuildEvery == 0 || w.anyTainted() {
+		w.rebuildAccs()
+	}
 	return j
+}
+
+// retain remembers a fired window for late-data routing and expires the
+// oldest beyond the retention horizon.
+func (w *windower) retain(j *windowJob) {
+	fw := &firedWindow{
+		m:       j.m.Clone(),
+		items:   j.items,
+		decided: j.items[j.decideFrom:],
+		last:    detach(j),
+	}
+	for _, d := range fw.decided {
+		w.decidedBy[d] = fw
+	}
+	w.retained = append(w.retained, fw)
+	for len(w.retained) > w.retention {
+		old := w.retained[0]
+		w.retained = w.retained[1:]
+		for _, d := range old.decided {
+			if w.decidedBy[d] == old {
+				delete(w.decidedBy, d)
+			}
+		}
+	}
+}
+
+// detach shallow-copies a job with its supersession link cleared, so
+// retained predecessors never form unbounded chains.
+func detach(j *windowJob) *windowJob {
+	if j == nil {
+		return nil
+	}
+	c := *j
+	c.prev = nil
+	return &c
 }
 
 func (w *windower) acc(k evidence.Key) *evidence.Accumulator {
@@ -118,6 +263,28 @@ func (w *windower) acc(k evidence.Key) *evidence.Accumulator {
 		w.accs[k] = a
 	}
 	return a
+}
+
+func (w *windower) anyTainted() bool {
+	for _, acc := range w.accs {
+		if acc.Tainted() {
+			return true
+		}
+	}
+	return false
+}
+
+// rebuildAccs re-derives every accumulator from the live window, resetting
+// the floating-point drift that unbounded Add/Remove cycles accumulate.
+func (w *windower) rebuildAccs() {
+	w.accs = make(map[evidence.Key]*evidence.Accumulator, len(w.accs))
+	for _, it := range w.live.Items() {
+		for k, v := range w.live.Row(it) {
+			if f, ok := v.AsFloat(); ok {
+				w.acc(k).Add(f)
+			}
+		}
+	}
 }
 
 // snapshotStats freezes the inline-evidence accumulators into the job.
@@ -133,6 +300,26 @@ func (w *windower) snapshotStats() map[string]WindowStats {
 		lo, hi := acc.Thresholds()
 		out[k.Value()] = WindowStats{
 			N: acc.N(), Mean: acc.Mean(), StdDev: acc.StdDev(), Lo: lo, Hi: hi,
+		}
+	}
+	return out
+}
+
+// recomputeStats derives window statistics by a full scan of the window
+// map — the re-fire path, where no incremental accumulators are live.
+func recomputeStats(m *evidence.Map) map[string]WindowStats {
+	var out map[string]WindowStats
+	for _, k := range m.Keys() {
+		st := m.ColumnStats(k)
+		if st.N == 0 {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]WindowStats)
+		}
+		out[k.Value()] = WindowStats{
+			N: st.N, Mean: st.Mean, StdDev: st.StdDev,
+			Lo: st.Mean - st.StdDev, Hi: st.Mean + st.StdDev,
 		}
 	}
 	return out

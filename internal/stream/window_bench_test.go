@@ -26,10 +26,11 @@ func BenchmarkWindowEviction(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for n := 0; n < b.N; n++ {
-				w := newWindower(size, size)
+				w := newWindower(Config{Window: size, Slide: size}, "bench")
 				fires := 0
 				for _, it := range items {
-					if j := w.push(it); j != nil {
+					js, _ := w.push(it)
+					for _, j := range js {
 						fires++
 						if len(j.items) != size {
 							b.Fatalf("fire carried %d items, want %d", len(j.items), size)
@@ -52,16 +53,15 @@ func BenchmarkWindowEviction(b *testing.B) {
 // the accumulator reflects only the survivors.
 func TestFireEvictsOldestSlide(t *testing.T) {
 	key := evidence.Key(rdf.IRI("urn:q:HitRatio"))
-	w := newWindower(4, 2)
+	w := newWindower(Config{Window: 4, Slide: 2}, "test")
 	var jobs []*windowJob
 	for i := 0; i < 6; i++ {
 		it := Item{
 			ID:       evidence.Item(rdf.IRI(fmt.Sprintf("urn:item:%d", i))),
 			Evidence: map[evidence.Key]evidence.Value{key: evidence.Float(float64(i))},
 		}
-		if j := w.push(it); j != nil {
-			jobs = append(jobs, j)
-		}
+		js, _ := w.push(it)
+		jobs = append(jobs, js...)
 	}
 	if len(jobs) != 2 {
 		t.Fatalf("fires = %d, want 2", len(jobs))
